@@ -1,0 +1,313 @@
+package crosslayer_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index), plus
+// micro-benchmarks of the hot substrate paths. Regenerate everything
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// Table/figure benchmarks measure a full regeneration run on scaled
+// populations; their per-op cost documents what `cmd/xlmeasure` does.
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"crosslayer"
+	"crosslayer/internal/apps"
+	"crosslayer/internal/bgp"
+	"crosslayer/internal/core"
+	"crosslayer/internal/dnssrv"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/ipfrag"
+	"crosslayer/internal/measure"
+	"crosslayer/internal/packet"
+	"crosslayer/internal/resolver"
+	"crosslayer/internal/scenario"
+	"crosslayer/internal/sim"
+)
+
+// --- Table benchmarks ---
+
+func BenchmarkTable1Applications(b *testing.B) {
+	// One representative Table 1 exploitation chain per iteration:
+	// poisoned MX -> bounce theft.
+	for i := 0; i < b.N; i++ {
+		s := scenario.New(scenario.Config{Seed: int64(i)})
+		ms := apps.NewMailServer(s.ServiceHost, scenario.ResolverIP, "victim-net.example.")
+		sink := apps.NewMailSink(s.Attacker)
+		s.Resolver.Cache.Put("vict.im.", dnswire.TypeMX,
+			[]*dnswire.RR{dnswire.NewMX("vict.im.", 300, 5, "mail.atk.example.")})
+		ms.Deliver(apps.Mail{From: "a@vict.im", To: "ghost@victim-net.example.", Body: "x", SenderIP: scenario.VictimMail}, nil)
+		s.Run()
+		if len(sink.Received) != 1 {
+			b.Fatal("chain broken")
+		}
+	}
+}
+
+func BenchmarkTable2Middleboxes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := scenario.New(scenario.Config{Seed: int64(i)})
+		apps.NewWebServer(s.WWWHost, apps.Identity{Subject: "www.vict.im.", Issuer: apps.TrustedCA})
+		for _, prof := range apps.Table2Profiles() {
+			if prof.Trigger != apps.TriggerOnDemand {
+				continue
+			}
+			mb := apps.NewMiddlebox(s.ServiceHost, scenario.ResolverIP, prof, "www.vict.im.")
+			mb.HandleClientRequest("/", func(apps.FetchResult) {})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkTable3Resolvers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, res := measure.Table3(40, int64(i)); len(res) != 9 {
+			b.Fatal("datasets missing")
+		}
+	}
+}
+
+func BenchmarkTable4Domains(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, res := measure.Table4(30, int64(i)); len(res) != 10 {
+			b.Fatal("datasets missing")
+		}
+	}
+}
+
+func BenchmarkTable5ANYCaching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, res := measure.Table5(int64(i)); len(res) != 5 {
+			b.Fatal("profiles missing")
+		}
+	}
+}
+
+func BenchmarkTable6Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp := measure.RunComparison(int64(i), 800)
+		if !cmp.Hijack.Success || !cmp.FragGlobal.Success {
+			b.Fatal("deterministic attacks failed")
+		}
+	}
+}
+
+// --- Figure benchmarks ---
+
+func BenchmarkFigure1SadDNS(b *testing.B) {
+	// Figure 1 is the SadDNS sequence: one full attack per iteration.
+	for i := 0; i < b.N; i++ {
+		cfg := scenario.Config{Seed: int64(i)}
+		cfg.ServerCfg = dnssrv.DefaultConfig()
+		cfg.ServerCfg.RateLimit = true
+		cfg.ServerCfg.RateLimitQPS = 10
+		s := scenario.New(cfg)
+		s.ResolverHost.Cfg.PortMin = 32768
+		s.ResolverHost.Cfg.PortMax = 32768 + 399
+		res := crosslayer.RunSadDNS(s, crosslayer.AttackOptions{MaxIterations: 20})
+		if !res.Success {
+			b.Fatalf("saddns failed: %+v", res)
+		}
+	}
+}
+
+func BenchmarkFigure2FragDNS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := scenario.Config{Seed: int64(i)}
+		cfg.ServerCfg = dnssrv.DefaultConfig()
+		cfg.ServerCfg.PadAnswersTo = 1200
+		s := scenario.New(cfg)
+		res := crosslayer.RunFragDNS(s, crosslayer.AttackOptions{})
+		if !res.Success {
+			b.Fatalf("fragdns failed: %+v", res)
+		}
+	}
+}
+
+func BenchmarkFigure3Prefixes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, _ := measure.Figure3(60, int64(i))
+		if len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure4EDNS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, _, _ := measure.Figure4(60, int64(i))
+		if len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure5Venn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, rv, _ := measure.Figure5(40, int64(i))
+		if len(out) == 0 || rv.Total() == 0 {
+			b.Fatal("empty venn")
+		}
+	}
+}
+
+func BenchmarkSamePrefixHijack(b *testing.B) {
+	rng := sim.NewClock(7).NewRand()
+	topo := bgp.Generate(bgp.GenConfig{}, rng)
+	asns := topo.ASNs()
+	p := netip.MustParsePrefix("10.0.0.0/22")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := asns[rng.Intn(len(asns))]
+		a := asns[rng.Intn(len(asns))]
+		if v == a {
+			continue
+		}
+		bgp.SamePrefixHijackWins(topo, p, v, a, asns)
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkIPv4SerializeDecode(b *testing.B) {
+	ip := &packet.IPv4{ID: 7, TTL: 64, Protocol: packet.ProtoUDP,
+		Src: scenario.NSIP, Dst: scenario.ResolverIP, Payload: make([]byte, 512)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire, err := ip.Serialize(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := packet.DecodeIPv4(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNSMessagePackUnpack(b *testing.B) {
+	m := &dnswire.Message{ID: 1, Response: true,
+		Questions: []dnswire.Question{{Name: "www.vict.im.", Type: dnswire.TypeA, Class: dnswire.ClassIN}}}
+	for i := 0; i < 12; i++ {
+		m.Answers = append(m.Answers, dnswire.NewTXT("www.vict.im.", 300, fmt.Sprintf("record %d padding padding padding", i)))
+	}
+	m.Answers = append(m.Answers, dnswire.NewA("www.vict.im.", 300, scenario.VictimWWW))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire, err := m.Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dnswire.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDefragReassembly(b *testing.B) {
+	orig := &packet.IPv4{ID: 9, TTL: 64, Protocol: packet.ProtoUDP,
+		Src: scenario.NSIP, Dst: scenario.ResolverIP, Payload: make([]byte, 1400)}
+	frags, _ := orig.Fragment(576)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := ipfrag.New(0, 0)
+		for j, f := range frags {
+			cp := *f
+			cp.ID = uint16(i)
+			out := c.Insert(&cp, 0)
+			if j == len(frags)-1 && out == nil {
+				b.Fatal("no reassembly")
+			}
+		}
+	}
+}
+
+func BenchmarkResolverFullResolution(b *testing.B) {
+	s := scenario.New(scenario.Config{Seed: 5})
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = fmt.Sprintf("h%d.vict.im.", i)
+		s.VictimZone.Add(dnswire.NewA(names[i], 1, scenario.VictimWWW))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		s.Resolver.Lookup(names[i%len(names)], dnswire.TypeA, func(rrs []*dnswire.RR, err error) {
+			done = err == nil
+		})
+		s.Run()
+		if !done {
+			b.Fatal("resolution failed")
+		}
+		if i%len(names) == len(names)-1 {
+			s.Resolver.Cache.Flush()
+			s.Clock.RunFor(2e9)
+		}
+	}
+}
+
+func BenchmarkCraftSecondFragment(b *testing.B) {
+	cfg := dnssrv.DefaultConfig()
+	cfg.PadAnswersTo = 1200
+	s := scenario.New(scenario.Config{Seed: 6, ServerCfg: cfg})
+	q := dnswire.NewQuery(1, "www.vict.im.", dnswire.TypeA)
+	q.SetEDNS(4096, false)
+	wire, _ := s.NS.BuildResponse(q).Pack()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := core.CraftSecondFragment(wire, 552, scenario.AttackerIP); !ok {
+			b.Fatal("craft failed")
+		}
+	}
+}
+
+func BenchmarkBGPPropagation(b *testing.B) {
+	rng := sim.NewClock(8).NewRand()
+	topo := bgp.Generate(bgp.GenConfig{Stubs: 800}, rng)
+	p := netip.MustParsePrefix("10.0.0.0/22")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routes := topo.Propagate([]bgp.Announcement{{Prefix: p, Origin: bgp.ASN(100 + i%500)}}, nil)
+		if len(routes) == 0 {
+			b.Fatal("no routes")
+		}
+	}
+}
+
+func BenchmarkSadDNSPortScanWindow(b *testing.B) {
+	// Cost of one 50-probe + verification side-channel window.
+	cfg := scenario.Config{Seed: 9}
+	s := scenario.New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := uint16(1000); p < 1050; p++ {
+			s.Attacker.SendUDPSpoofed(scenario.NSIP, 53, scenario.ResolverIP, p, []byte("probe"))
+		}
+		s.Attacker.SendUDP(777, scenario.ResolverIP, 700, []byte("verify"))
+		s.Net.Run()
+	}
+}
+
+func BenchmarkResolverCacheHit(b *testing.B) {
+	s := scenario.New(scenario.Config{Seed: 10})
+	done := false
+	s.Resolver.Lookup("www.vict.im.", dnswire.TypeA, func([]*dnswire.RR, error) { done = true })
+	s.Run()
+	if !done {
+		b.Fatal("priming failed")
+	}
+	var prof resolver.Profile
+	_ = prof
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hit := false
+		s.Resolver.Lookup("www.vict.im.", dnswire.TypeA, func(rrs []*dnswire.RR, err error) { hit = err == nil })
+		if !hit {
+			b.Fatal("cache miss")
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command crosslayer runs the three cache-poisoning methodologies
+// against the canonical victim scenario and reports their telemetry.
+//
+// Usage:
+//
+//	crosslayer [-attack hijack|saddns|fragdns|all] [-seed N] [-ports N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crosslayer"
+	"crosslayer/internal/dnssrv"
+	"crosslayer/internal/scenario"
+)
+
+func main() {
+	attack := flag.String("attack", "all", "attack to run: hijack, saddns, fragdns or all")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	ports := flag.Int("ports", 2000, "resolver ephemeral-port range size for SadDNS")
+	flag.Parse()
+
+	report := func(name string, res crosslayer.Result) {
+		fmt.Printf("%-10s success=%-5v iterations=%-4d queries=%-4d packets=%-8d time=%-12v %s\n",
+			name, res.Success, res.Iterations, res.QueriesTriggered, res.AttackerPackets, res.Duration, res.Detail)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "hijack":
+			s := crosslayer.NewScenario(crosslayer.Config{Seed: *seed})
+			report("HijackDNS", crosslayer.RunHijackDNS(s, crosslayer.AttackOptions{}))
+		case "saddns":
+			cfg := crosslayer.Config{Seed: *seed}
+			cfg.ServerCfg = dnssrv.DefaultConfig()
+			cfg.ServerCfg.RateLimit = true
+			cfg.ServerCfg.RateLimitQPS = 10
+			s := crosslayer.NewScenario(cfg)
+			s.ResolverHost.Cfg.PortMin = 32768
+			s.ResolverHost.Cfg.PortMax = uint16(32768 + *ports - 1)
+			report("SadDNS", crosslayer.RunSadDNS(s, crosslayer.AttackOptions{MaxIterations: 200}))
+		case "fragdns":
+			cfg := crosslayer.Config{Seed: *seed}
+			cfg.ServerCfg = dnssrv.DefaultConfig()
+			cfg.ServerCfg.PadAnswersTo = 1200
+			s := crosslayer.NewScenario(cfg)
+			report("FragDNS", crosslayer.RunFragDNS(s, crosslayer.AttackOptions{}))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown attack %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("victim resolver %v, target domain vict.im (ns %v), attacker %v\n\n",
+		scenario.ResolverIP, scenario.NSIP, scenario.AttackerIP)
+	if *attack == "all" {
+		run("hijack")
+		run("saddns")
+		run("fragdns")
+		return
+	}
+	run(*attack)
+}

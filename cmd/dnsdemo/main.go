@@ -1,0 +1,116 @@
+// Command dnsdemo runs the repository's DNS wire-format code over REAL
+// UDP sockets on localhost: it starts a miniature authoritative server
+// for vict.im on 127.0.0.1 (random port) using internal/dnswire and
+// internal/dnssrv's zone/response logic, then queries it with a stub
+// client — demonstrating that the codec is not simulator-bound.
+//
+// The attacks themselves require IP spoofing and raw fragments, which
+// ordinary sockets (correctly) cannot do; those live on the simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"crosslayer/internal/dnssrv"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/scenario"
+)
+
+func main() {
+	zone := scenario.BuildVictimZone(false)
+
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer pc.Close()
+	fmt.Printf("authoritative server for vict.im on %v\n\n", pc.LocalAddr())
+
+	go serve(pc, zone)
+
+	for _, q := range []struct {
+		name string
+		typ  dnswire.Type
+	}{
+		{"www.vict.im.", dnswire.TypeA},
+		{"vict.im.", dnswire.TypeMX},
+		{"vict.im.", dnswire.TypeTXT},
+		{"_xmpp-server._tcp.vict.im.", dnswire.TypeSRV},
+		{"missing.vict.im.", dnswire.TypeA},
+	} {
+		if err := query(pc.LocalAddr().String(), q.name, q.typ); err != nil {
+			log.Fatalf("query %s %v: %v", q.name, q.typ, err)
+		}
+	}
+}
+
+// serve answers queries from the zone, reusing the repository's
+// response-synthesis rules.
+func serve(pc net.PacketConn, zone *dnssrv.Zone) {
+	buf := make([]byte, 4096)
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		q, err := dnswire.Unpack(buf[:n])
+		if err != nil || q.Response || len(q.Questions) == 0 {
+			continue
+		}
+		resp := &dnswire.Message{
+			ID: q.ID, Response: true, Authoritative: true,
+			RecursionDesired: q.RecursionDesired, Questions: q.Questions,
+		}
+		answers, exists := zone.Lookup(q.Question().Name, q.Question().Type)
+		resp.Answers = answers
+		if len(answers) == 0 {
+			if !exists {
+				resp.RCode = dnswire.RCodeNXDomain
+			}
+			if soa := zone.SOA(); soa != nil {
+				resp.Authority = append(resp.Authority, soa)
+			}
+		}
+		wire, err := resp.Pack()
+		if err != nil {
+			continue
+		}
+		pc.WriteTo(wire, addr)
+	}
+}
+
+// query performs one stub lookup over a real UDP socket.
+func query(server, name string, typ dnswire.Type) error {
+	conn, err := net.Dial("udp", server)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(uint16(time.Now().UnixNano()), name, typ)
+	wire, err := q.Pack()
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return err
+	}
+	msg, err := dnswire.Unpack(buf[:n])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %v -> %s", name, typ, msg.RCode)
+	for _, rr := range msg.Answers {
+		fmt.Printf("\n    %s", rr)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package crosslayer is a research toolkit reproducing "From IP to
+// Transport and Beyond: Cross-Layer Attacks Against Applications"
+// (Dai, Jeitner, Shulman, Waidner — SIGCOMM 2021).
+//
+// It bundles, on a deterministic packet-level Internet simulator:
+//
+//   - the three off-path DNS cache-poisoning methodologies the paper
+//     evaluates — BGP-interception (HijackDNS), the ICMP rate-limit
+//     side channel (SadDNS) and IPv4-fragmentation injection (FragDNS);
+//   - the full substrate they need: IPv4/UDP/ICMP wire formats, IP
+//     defragmentation, host network stacks, Gao–Rexford BGP, RPKI,
+//     authoritative nameservers and recursive resolvers with
+//     per-implementation behaviour profiles;
+//   - the application victims of the paper's Table 1 (email with
+//     SPF/DKIM/DMARC, web, NTP, RADIUS/eduroam, XMPP, Bitcoin, VPN,
+//     PKI domain validation, OCSP, RPKI relying parties, middleboxes);
+//   - the §5 measurement harness that regenerates every table and
+//     figure of the evaluation on calibrated synthetic populations.
+//
+// The facade below wires the canonical victim/attacker scenario and
+// exposes one-call attack runners; the example programs under
+// examples/ show typical use, and cmd/xlmeasure regenerates the
+// paper's tables.
+package crosslayer
+
+import (
+	"net/netip"
+
+	"crosslayer/internal/core"
+	"crosslayer/internal/dnssrv"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/measure"
+	"crosslayer/internal/resolver"
+	"crosslayer/internal/scenario"
+)
+
+// Scenario is the canonical testbed of the paper's §3 setup: a victim
+// AS with a recursive resolver and application hosts, the target
+// domain vict.im with its authoritative nameserver in a second AS, and
+// an adversarial AS without egress filtering.
+type Scenario = scenario.S
+
+// Config tunes scenario construction.
+type Config = scenario.Config
+
+// Result carries attack telemetry (success, packets, queries,
+// duration) — the quantities compared in the paper's Table 6.
+type Result = core.Result
+
+// Well-known scenario addresses.
+var (
+	ResolverIP = scenario.ResolverIP
+	AttackerIP = scenario.AttackerIP
+	NSIP       = scenario.NSIP
+	VictimWWW  = scenario.VictimWWW
+)
+
+// NewScenario builds the canonical scenario.
+func NewScenario(cfg Config) *Scenario { return scenario.New(cfg) }
+
+// AttackOptions selects the record an attack should plant and bounds
+// its effort.
+type AttackOptions struct {
+	// QName/SpoofAddr: the poisoning target; defaults to
+	// www.vict.im. -> the attacker host.
+	QName     string
+	SpoofAddr netip.Addr
+	// MaxIterations bounds probabilistic attacks.
+	MaxIterations int
+}
+
+func (o *AttackOptions) fill() {
+	if o.QName == "" {
+		o.QName = "www.vict.im."
+	}
+	if !o.SpoofAddr.IsValid() {
+		o.SpoofAddr = scenario.AttackerIP
+	}
+}
+
+func spoofFor(o AttackOptions) core.Spoof {
+	return core.Spoof{
+		QName: o.QName, QType: dnswire.TypeA,
+		Records: []*dnswire.RR{dnswire.NewA(o.QName, 300, o.SpoofAddr)},
+	}
+}
+
+// RunHijackDNS intercepts the resolver's query with a sub-prefix
+// hijack of the nameserver's block and answers it (§3.1).
+func RunHijackDNS(s *Scenario, opts AttackOptions) Result {
+	opts.fill()
+	atk := &core.HijackDNS{
+		Attacker:     s.Attacker,
+		HijackPrefix: netip.MustParsePrefix("123.0.0.0/24"),
+		NSAddr:       scenario.NSIP,
+		Spoof:        spoofFor(opts),
+	}
+	return atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, opts.QName, dnswire.TypeA))
+}
+
+// RunSadDNS runs the ICMP side-channel attack (§3.2). The target
+// nameserver should have response-rate limiting enabled (set
+// Config.ServerCfg.RateLimit) or the genuine answer wins the race.
+func RunSadDNS(s *Scenario, opts AttackOptions) Result {
+	opts.fill()
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 50
+	}
+	atk := &core.SadDNS{
+		Attacker:      s.Attacker,
+		ResolverAddr:  scenario.ResolverIP,
+		NSAddr:        scenario.NSIP,
+		Spoof:         spoofFor(opts),
+		PortMin:       s.ResolverHost.Cfg.PortMin,
+		PortMax:       s.ResolverHost.Cfg.PortMax,
+		MuteQPS:       2 * s.NS.Cfg.RateLimitQPS,
+		MaxIterations: opts.MaxIterations,
+		CheckSuccess:  func() bool { return s.Poisoned(opts.QName, dnswire.TypeA) },
+	}
+	return atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, opts.QName, dnswire.TypeA))
+}
+
+// RunFragDNS runs the fragmentation attack (§3.3). The nameserver
+// must emit large responses (set Config.ServerCfg.PadAnswersTo) so a
+// reduced path MTU fragments them.
+func RunFragDNS(s *Scenario, opts AttackOptions) Result {
+	opts.fill()
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 8
+	}
+	atk := &core.FragDNS{
+		Attacker:      s.Attacker,
+		ResolverAddr:  scenario.ResolverIP,
+		NSAddr:        scenario.NSIP,
+		QName:         opts.QName,
+		QType:         dnswire.TypeA,
+		SpoofAddr:     opts.SpoofAddr,
+		ForcedMTU:     68,
+		ResolverEDNS:  s.Resolver.Prof.EDNSSize,
+		PredictIPID:   true,
+		IPIDGuesses:   64,
+		MaxIterations: opts.MaxIterations,
+		CheckSuccess:  func() bool { return s.Poisoned(opts.QName, dnswire.TypeA) },
+	}
+	return atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, opts.QName, dnswire.TypeA))
+}
+
+// Poisoned reports whether the scenario's resolver cache holds an
+// attacker-controlled record for name.
+func Poisoned(s *Scenario, name string) bool {
+	return s.Poisoned(name, dnswire.TypeA)
+}
+
+// Experiments re-exports the measurement entry points that regenerate
+// the paper's tables and figures; see cmd/xlmeasure for the CLI.
+var Experiments = struct {
+	Table3  func(sampleCap int, seed int64) (TableResult, []measure.ResolverScanResult)
+	Table4  func(sampleCap int, seed int64) (TableResult, []measure.DomainScanResult)
+	Table5  func(seed int64) (TableResult, map[string]bool)
+	Figure3 func(sampleCap int, seed int64) string
+	Figure4 func(sampleCap int, seed int64) string
+	Figure5 func(sampleCap int, seed int64) string
+}{
+	Table3: func(n int, seed int64) (TableResult, []measure.ResolverScanResult) {
+		t, r := measure.Table3(n, seed)
+		return t, r
+	},
+	Table4: func(n int, seed int64) (TableResult, []measure.DomainScanResult) {
+		t, r := measure.Table4(n, seed)
+		return t, r
+	},
+	Table5: func(seed int64) (TableResult, map[string]bool) {
+		t, r := measure.Table5(seed)
+		return t, r
+	},
+	Figure3: func(n int, seed int64) string { s, _ := measure.Figure3(n, seed); return s },
+	Figure4: func(n int, seed int64) string { s, _, _ := measure.Figure4(n, seed); return s },
+	Figure5: func(n int, seed int64) string { s, _, _ := measure.Figure5(n, seed); return s },
+}
+
+// TableResult is a rendered experiment table.
+type TableResult interface{ String() string }
+
+// DefaultServerConfig returns the baseline authoritative-server
+// configuration; adjust RateLimit/PadAnswersTo to open the SadDNS and
+// FragDNS attack surfaces.
+func DefaultServerConfig() dnssrv.Config { return dnssrv.DefaultConfig() }
+
+// ProfileBIND and friends are the resolver implementation profiles of
+// the paper's Table 5.
+var (
+	ProfileBIND     = resolver.ProfileBIND
+	ProfileUnbound  = resolver.ProfileUnbound
+	ProfilePowerDNS = resolver.ProfilePowerDNS
+	ProfileSystemd  = resolver.ProfileSystemd
+	ProfileDnsmasq  = resolver.ProfileDnsmasq
+)

@@ -1,0 +1,74 @@
+package crosslayer_test
+
+import (
+	"testing"
+
+	"crosslayer"
+	"crosslayer/internal/apps"
+	"crosslayer/internal/dnssrv"
+	"crosslayer/internal/scenario"
+)
+
+func TestFacadeHijack(t *testing.T) {
+	s := crosslayer.NewScenario(crosslayer.Config{Seed: 1})
+	res := crosslayer.RunHijackDNS(s, crosslayer.AttackOptions{})
+	if !res.Success || !crosslayer.Poisoned(s, "www.vict.im.") {
+		t.Fatalf("facade hijack: %+v", res)
+	}
+}
+
+func TestFacadeSadDNS(t *testing.T) {
+	cfg := crosslayer.Config{Seed: 2}
+	cfg.ServerCfg = crosslayer.DefaultServerConfig()
+	cfg.ServerCfg.RateLimit = true
+	cfg.ServerCfg.RateLimitQPS = 10
+	s := crosslayer.NewScenario(cfg)
+	s.ResolverHost.Cfg.PortMin = 32768
+	s.ResolverHost.Cfg.PortMax = 32768 + 399
+	res := crosslayer.RunSadDNS(s, crosslayer.AttackOptions{MaxIterations: 20})
+	if !res.Success || !crosslayer.Poisoned(s, "www.vict.im.") {
+		t.Fatalf("facade saddns: %+v", res)
+	}
+}
+
+func TestFacadeFragDNS(t *testing.T) {
+	cfg := crosslayer.Config{Seed: 3}
+	cfg.ServerCfg = crosslayer.DefaultServerConfig()
+	cfg.ServerCfg.PadAnswersTo = 1200
+	s := crosslayer.NewScenario(cfg)
+	res := crosslayer.RunFragDNS(s, crosslayer.AttackOptions{})
+	if !res.Success || !crosslayer.Poisoned(s, "www.vict.im.") {
+		t.Fatalf("facade fragdns: %+v", res)
+	}
+}
+
+// TestFullCrossLayerChain is the end-to-end integration test: FragDNS
+// poisons the cache, then the victim's web client is silently served
+// by the attacker — the complete cross-layer story in one test.
+func TestFullCrossLayerChain(t *testing.T) {
+	cfg := crosslayer.Config{Seed: 4}
+	cfg.ServerCfg = dnssrv.DefaultConfig()
+	cfg.ServerCfg.PadAnswersTo = 1200
+	s := crosslayer.NewScenario(cfg)
+	apps.NewWebServer(s.WWWHost, apps.Identity{Subject: "www.vict.im.", Issuer: apps.TrustedCA}).Pages["/"] = "genuine"
+	apps.NewWebServer(s.Attacker, apps.SelfSigned("www.vict.im.")).Pages["/"] = "evil"
+
+	res := crosslayer.RunFragDNS(s, crosslayer.AttackOptions{})
+	if !res.Success {
+		t.Fatalf("attack failed: %+v", res)
+	}
+	wc := &apps.WebClient{Host: s.ClientHost, ResolverAddr: scenario.ResolverIP}
+	var body string
+	wc.Get("www.vict.im.", "/", func(r apps.FetchResult) { body = r.Body })
+	s.Run()
+	if body != "evil" {
+		t.Fatalf("victim fetched %q, want the attacker's page", body)
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	tbl, res := crosslayer.Experiments.Table5(1)
+	if len(res) != 5 || tbl.String() == "" {
+		t.Fatalf("table5 facade: %d rows", len(res))
+	}
+}

@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"time"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+)
+
+// NTPPort is the NTP service port.
+const NTPPort = 123
+
+// NTPServer answers time queries with its own clock plus a fixed
+// offset (an attacker server sets a large ServedOffset to shift victim
+// clocks — "Hijack: change time", Table 1).
+type NTPServer struct {
+	Host         *netsim.Host
+	ServedOffset time.Duration
+	Served       uint64
+}
+
+// NewNTPServer binds an NTP responder on host.
+func NewNTPServer(host *netsim.Host, offset time.Duration) *NTPServer {
+	s := &NTPServer{Host: host, ServedOffset: offset}
+	host.BindUDP(NTPPort, func(dg netsim.Datagram) {
+		s.Served++
+		now := host.Network().Clock.Now() + s.ServedOffset
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(now))
+		host.SendUDP(NTPPort, dg.Src, dg.SrcPort, b[:])
+	})
+	return s
+}
+
+// NTPClient periodically resolves its pool hostname and synchronises
+// its local clock to whatever host the A record points at. The pool
+// hostname is fixed configuration ("known" query name in Table 1) —
+// the attacker cannot choose it but can predict it and the timer.
+type NTPClient struct {
+	Host         *netsim.Host
+	ResolverAddr netip.Addr
+	PoolName     string
+	Interval     time.Duration
+
+	// ClockOffset is the client's notion of "correction to apply" —
+	// zero when synchronised to an honest server.
+	ClockOffset time.Duration
+	Syncs       uint64
+	SyncErrors  uint64
+	LastServer  netip.Addr
+}
+
+// NewNTPClient creates a client synchronising against poolName.
+func NewNTPClient(host *netsim.Host, resolverAddr netip.Addr, poolName string) *NTPClient {
+	return &NTPClient{
+		Host: host, ResolverAddr: resolverAddr,
+		PoolName: dnswire.CanonicalName(poolName),
+		Interval: 64 * time.Second,
+	}
+}
+
+// SyncOnce performs one resolve-and-sync exchange.
+func (c *NTPClient) SyncOnce(done func(Outcome)) {
+	finish := func(o Outcome) {
+		if done != nil {
+			done(o)
+		}
+	}
+	lookupA(c.Host, c.ResolverAddr, c.PoolName, func(addr netip.Addr, err error) {
+		if err != nil {
+			c.SyncErrors++
+			finish(OutcomeDoS)
+			return
+		}
+		c.LastServer = addr
+		responded := false
+		var port uint16
+		port = c.Host.BindUDP(0, func(dg netsim.Datagram) {
+			if responded || dg.Src != addr || len(dg.Payload) < 8 {
+				return
+			}
+			responded = true
+			c.Host.CloseUDP(port)
+			remote := time.Duration(binary.BigEndian.Uint64(dg.Payload))
+			c.ClockOffset = remote - c.Host.Network().Clock.Now()
+			c.Syncs++
+			if c.ClockOffset > time.Second || c.ClockOffset < -time.Second {
+				finish(OutcomeHijack) // time changed under us
+				return
+			}
+			finish(OutcomeOK)
+		})
+		c.Host.SendUDP(port, addr, NTPPort, []byte("ntpq"))
+		c.Host.Network().Clock.After(5*time.Second, func() {
+			if !responded {
+				responded = true
+				c.Host.CloseUDP(port)
+				c.SyncErrors++
+				finish(OutcomeDoS)
+			}
+		})
+	})
+}
+
+// Start schedules periodic synchronisation.
+func (c *NTPClient) Start() {
+	clock := c.Host.Network().Clock
+	var tick func()
+	tick = func() {
+		c.SyncOnce(nil)
+		clock.After(c.Interval, tick)
+	}
+	clock.After(0, tick)
+}

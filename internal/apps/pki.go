@@ -1,0 +1,156 @@
+package apps
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+	"crosslayer/internal/resolver"
+)
+
+// CertificateAuthority issues certificates after domain validation
+// (DV): it resolves the applicant domain THROUGH ITS OWN RESOLVER and
+// fetches a challenge token from the resulting address. A poisoned CA
+// resolver therefore issues certificates for domains the attacker
+// never controlled — "Hijack: fraudulent certificate" (Table 1),
+// previously demonstrated by [21, 23].
+type CertificateAuthority struct {
+	Host         *netsim.Host
+	ResolverAddr netip.Addr
+	Issued       []Identity
+	Refused      uint64
+}
+
+// RequestCertificate runs HTTP-01-style validation: the requester must
+// have placed token at http://<domain>/.well-known/acme.
+func (ca *CertificateAuthority) RequestCertificate(domain, token string, cb func(Identity, error)) {
+	domain = dnswire.CanonicalName(domain)
+	lookupA(ca.Host, ca.ResolverAddr, domain, func(addr netip.Addr, err error) {
+		if err != nil {
+			ca.Refused++
+			cb(Identity{}, fmt.Errorf("apps: DV resolve %s: %w", domain, err))
+			return
+		}
+		ca.Host.CallTCP(addr, HTTPPort, []byte("/.well-known/acme"), func(resp []byte) {
+			if resp == nil || !strings.Contains(string(resp), token) {
+				ca.Refused++
+				cb(Identity{}, fmt.Errorf("apps: DV challenge mismatch for %s at %s", domain, addr))
+				return
+			}
+			id := Identity{Subject: domain, Issuer: TrustedCA}
+			ca.Issued = append(ca.Issued, id)
+			cb(id, nil)
+		})
+	})
+}
+
+// OCSPResponder answers revocation queries.
+type OCSPResponder struct {
+	Host    *netsim.Host
+	Revoked map[string]bool
+	Queries uint64
+}
+
+// OCSPPort is the responder port.
+const OCSPPort = 8080
+
+// NewOCSPResponder binds a responder on host.
+func NewOCSPResponder(host *netsim.Host) *OCSPResponder {
+	o := &OCSPResponder{Host: host, Revoked: map[string]bool{}}
+	host.BindTCP(OCSPPort, func(_ netip.Addr, req []byte) []byte {
+		o.Queries++
+		subject := strings.TrimSpace(string(req))
+		if o.Revoked[dnswire.CanonicalName(subject)] {
+			return []byte("revoked")
+		}
+		return []byte("good")
+	})
+	return o
+}
+
+// OCSPClient checks certificate status at a responder hostname; like
+// every deployed browser it SOFT-FAILS: if the responder cannot be
+// reached the certificate is treated as good. Poisoning the responder
+// name to a black hole therefore silently disables revocation —
+// "Downgrade: no check" (Table 1).
+type OCSPClient struct {
+	Host          *netsim.Host
+	ResolverAddr  netip.Addr
+	ResponderName string
+
+	Checked   uint64
+	SoftFails uint64
+}
+
+// CheckRevocation reports whether the certificate should be accepted.
+func (oc *OCSPClient) CheckRevocation(cert Identity, cb func(accept bool, outcome Outcome)) {
+	oc.Checked++
+	lookupA(oc.Host, oc.ResolverAddr, oc.ResponderName, func(addr netip.Addr, err error) {
+		if err != nil {
+			oc.SoftFails++
+			cb(true, OutcomeDowngrade)
+			return
+		}
+		oc.Host.CallTCP(addr, OCSPPort, []byte(cert.Subject), func(resp []byte) {
+			switch {
+			case resp == nil:
+				oc.SoftFails++
+				cb(true, OutcomeDowngrade) // unreachable: soft-fail
+			case string(resp) == "revoked":
+				cb(false, OutcomeOK)
+			default:
+				cb(true, OutcomeOK)
+			}
+		})
+	})
+}
+
+// PasswordRecovery models the §4.5 account-takeover building block
+// (used against RIR/registrar SSO in [29]): a web service emails a
+// reset link to the account's address; the mail goes wherever the
+// service's resolver says the account domain's MX lives.
+type PasswordRecovery struct {
+	Host         *netsim.Host
+	ResolverAddr netip.Addr
+	ServiceName  string
+	Sent         uint64
+	Lost         uint64
+}
+
+// Recover sends a reset token for account (user@domain).
+func (pr *PasswordRecovery) Recover(account, token string, cb func(deliveredTo netip.Addr, err error)) {
+	dom, err := domainOf(account)
+	if err != nil {
+		cb(netip.Addr{}, err)
+		return
+	}
+	resolver.StubLookup(pr.Host, pr.ResolverAddr, dom, dnswire.TypeMX, 8*time.Second,
+		func(rrs []*dnswire.RR, err error) {
+			if err != nil || len(rrs) == 0 {
+				pr.Lost++
+				cb(netip.Addr{}, fmt.Errorf("apps: recovery MX for %s: %w", dom, err))
+				return
+			}
+			mx, ok := rrs[0].Data.(*dnswire.MXData)
+			if !ok {
+				pr.Lost++
+				cb(netip.Addr{}, fmt.Errorf("apps: bad MX for %s", dom))
+				return
+			}
+			lookupA(pr.Host, pr.ResolverAddr, mx.Host, func(addr netip.Addr, err error) {
+				if err != nil {
+					pr.Lost++
+					cb(netip.Addr{}, err)
+					return
+				}
+				body := fmt.Sprintf("noreply@%s\n%s\nreset-token: %s", pr.ServiceName, account, token)
+				pr.Host.CallTCP(addr, SMTPPort, []byte(body), func([]byte) {
+					pr.Sent++
+					cb(addr, nil)
+				})
+			})
+		})
+}

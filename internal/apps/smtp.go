@@ -1,0 +1,248 @@
+package apps
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+	"crosslayer/internal/resolver"
+)
+
+// SMTPPort is the mail submission/relay port.
+const SMTPPort = 25
+
+// Mail is one message in flight.
+type Mail struct {
+	From, To string
+	Body     string
+	// SenderIP is the connecting client's address (SPF input).
+	SenderIP netip.Addr
+	// DKIMSignedBy carries the signing domain and selector of a
+	// DKIM-signed message ("" when unsigned).
+	DKIMSignedBy string
+	DKIMValidKey string // the public key the signature verifies against
+}
+
+// MailServer is an SMTP server for one domain with SPF/DKIM/DMARC
+// policy evaluation and bounce (DSN) generation — the email rows of
+// Table 1. It uses the victim resolver for every DNS decision, which
+// is exactly what the attacks exploit.
+type MailServer struct {
+	Host         *netsim.Host
+	ResolverAddr netip.Addr
+	Domain       string
+	// LocalUsers accept delivery; everything else bounces (the §4.3.1
+	// bounce trigger: a DSN requires resolving the sender's domain).
+	LocalUsers map[string]bool
+	// Inbox and Bounced record outcomes for inspection.
+	Inbox   []Mail
+	Spam    []Mail
+	Bounced []Mail
+
+	// Policy evaluation telemetry.
+	SPFChecked, SPFFailedOpen   uint64
+	DKIMChecked, DKIMFailedOpen uint64
+	BouncesSent, BouncesLost    uint64
+}
+
+// NewMailServer binds an SMTP service on host for domain.
+func NewMailServer(host *netsim.Host, resolverAddr netip.Addr, domain string) *MailServer {
+	ms := &MailServer{
+		Host: host, ResolverAddr: resolverAddr,
+		Domain:     dnswire.CanonicalName(domain),
+		LocalUsers: map[string]bool{},
+	}
+	host.BindTCP(SMTPPort, ms.serveTCP)
+	return ms
+}
+
+// serveTCP accepts "MAIL FROM|RCPT TO|BODY" lines; a full SMTP state
+// machine is not needed to reproduce the DNS behaviour under study.
+func (ms *MailServer) serveTCP(src netip.Addr, req []byte) []byte {
+	parts := strings.SplitN(string(req), "\n", 3)
+	if len(parts) < 3 {
+		return []byte("500 syntax")
+	}
+	m := Mail{From: parts[0], To: parts[1], Body: parts[2], SenderIP: src}
+	ms.Deliver(m, nil)
+	return []byte("250 queued")
+}
+
+// Deliver runs the inbound pipeline: SPF → DKIM/DMARC → mailbox or
+// bounce. done (optional) fires when processing completes.
+func (ms *MailServer) Deliver(m Mail, done func(Outcome)) {
+	finish := func(o Outcome) {
+		if done != nil {
+			done(o)
+		}
+	}
+	user, ok := ms.localPart(m.To)
+	if !ok {
+		// Not our domain at all: reject outright.
+		finish(OutcomeOK)
+		return
+	}
+	ms.checkSPF(m, func(spfPass bool) {
+		ms.checkDKIM(m, func(dkimPass bool) {
+			if !spfPass || !dkimPass {
+				ms.Spam = append(ms.Spam, m)
+				finish(OutcomeOK) // correctly classified as spam
+				return
+			}
+			if ms.LocalUsers[user] {
+				ms.Inbox = append(ms.Inbox, m)
+				finish(OutcomeOK)
+				return
+			}
+			// Unknown recipient: send a Delivery Status Notification
+			// back to the sender's domain — the bounce that triggers
+			// attacker-chosen queries (§4.3.1).
+			ms.sendBounce(m, finish)
+		})
+	})
+}
+
+func (ms *MailServer) localPart(addr string) (string, bool) {
+	i := strings.LastIndexByte(addr, '@')
+	if i < 0 {
+		return "", false
+	}
+	if !dnswire.EqualNames(addr[i+1:], ms.Domain) {
+		return "", false
+	}
+	return addr[:i], true
+}
+
+// checkSPF fetches the sender domain's SPF TXT record and checks the
+// connecting IP against it. DNS failure ⇒ fail-open (the downgrade
+// the paper demonstrates: no data means no policy means accept).
+func (ms *MailServer) checkSPF(m Mail, cb func(pass bool)) {
+	ms.SPFChecked++
+	dom, err := domainOf(m.From)
+	if err != nil {
+		cb(false)
+		return
+	}
+	lookupTXT(ms.Host, ms.ResolverAddr, dom, func(txts []string, err error) {
+		if err != nil {
+			// No SPF policy retrievable: accept (fail-open).
+			ms.SPFFailedOpen++
+			cb(true)
+			return
+		}
+		for _, txt := range txts {
+			if !strings.HasPrefix(txt, "v=spf1") {
+				continue
+			}
+			cb(spfMatches(txt, m.SenderIP))
+			return
+		}
+		ms.SPFFailedOpen++
+		cb(true) // no SPF record published: neutral/accept
+	})
+}
+
+// spfMatches evaluates the ip4: mechanisms of a simplified SPF policy.
+func spfMatches(policy string, sender netip.Addr) bool {
+	for _, tok := range strings.Fields(policy) {
+		if cidr, ok := strings.CutPrefix(tok, "ip4:"); ok {
+			if p, err := netip.ParsePrefix(cidr); err == nil && p.Contains(sender) {
+				return true
+			}
+			if a, err := netip.ParseAddr(cidr); err == nil && a == sender {
+				return true
+			}
+		}
+	}
+	return !strings.Contains(policy, "-all") // ~all / ?all: accept
+}
+
+// checkDKIM fetches the signing domain's DKIM key record and compares
+// it to the key the signature verifies under. DNS failure ⇒ fail-open.
+func (ms *MailServer) checkDKIM(m Mail, cb func(pass bool)) {
+	if m.DKIMSignedBy == "" {
+		cb(true) // unsigned mail: DKIM imposes nothing by itself
+		return
+	}
+	ms.DKIMChecked++
+	name := "sel1._domainkey." + dnswire.CanonicalName(m.DKIMSignedBy)
+	lookupTXT(ms.Host, ms.ResolverAddr, name, func(txts []string, err error) {
+		if err != nil {
+			ms.DKIMFailedOpen++
+			cb(true)
+			return
+		}
+		for _, txt := range txts {
+			if strings.Contains(txt, m.DKIMValidKey) {
+				cb(true)
+				return
+			}
+		}
+		cb(false)
+	})
+}
+
+// sendBounce resolves the sender domain's MX, then its A, and delivers
+// the DSN there. A poisoned MX/A sends the bounce (with the original
+// message, possibly containing secrets like password-recovery links)
+// to the attacker.
+func (ms *MailServer) sendBounce(orig Mail, done func(Outcome)) {
+	dom, err := domainOf(orig.From)
+	if err != nil {
+		done(OutcomeOK)
+		return
+	}
+	resolver.StubLookup(ms.Host, ms.ResolverAddr, dom, dnswire.TypeMX, 8*time.Second,
+		func(rrs []*dnswire.RR, err error) {
+			if err != nil || len(rrs) == 0 {
+				ms.BouncesLost++
+				done(OutcomeDoS)
+				return
+			}
+			best := ""
+			bestPref := uint16(0xffff)
+			for _, rr := range rrs {
+				if mx, ok := rr.Data.(*dnswire.MXData); ok && mx.Pref <= bestPref {
+					best, bestPref = mx.Host, mx.Pref
+				}
+			}
+			if best == "" {
+				ms.BouncesLost++
+				done(OutcomeDoS)
+				return
+			}
+			lookupA(ms.Host, ms.ResolverAddr, best, func(addr netip.Addr, err error) {
+				if err != nil {
+					ms.BouncesLost++
+					done(OutcomeDoS)
+					return
+				}
+				dsn := fmt.Sprintf("mailer-daemon@%s\n%s\nDSN: undeliverable: %s", ms.Domain, orig.From, orig.Body)
+				ms.Host.CallTCP(addr, SMTPPort, []byte(dsn), func(resp []byte) {
+					ms.BouncesSent++
+					ms.Bounced = append(ms.Bounced, orig)
+					done(OutcomeOK)
+				})
+			})
+		})
+}
+
+// MailSink records everything delivered to it over SMTP — used as the
+// attacker's mail collector and as a generic remote MTA.
+type MailSink struct {
+	Host     *netsim.Host
+	Received []string
+}
+
+// NewMailSink binds a collector on host.
+func NewMailSink(host *netsim.Host) *MailSink {
+	s := &MailSink{Host: host}
+	host.BindTCP(SMTPPort, func(_ netip.Addr, req []byte) []byte {
+		s.Received = append(s.Received, string(req))
+		return []byte("250 ok")
+	})
+	return s
+}

@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+	"crosslayer/internal/resolver"
+)
+
+// VPNPort serves OpenVPN/IKE handshakes (folded to one TCP port; the
+// transport difference is immaterial to the DNS behaviour).
+const VPNPort = 1194
+
+// VPNServer answers tunnel handshakes with its identity.
+type VPNServer struct {
+	Host    *netsim.Host
+	Ident   Identity
+	Tunnels uint64
+}
+
+// NewVPNServer binds a VPN endpoint on host.
+func NewVPNServer(host *netsim.Host, ident Identity) *VPNServer {
+	vs := &VPNServer{Host: host, Ident: ident}
+	host.BindTCP(VPNPort, func(_ netip.Addr, req []byte) []byte {
+		vs.Tunnels++
+		return []byte(fmt.Sprintf("ident=%s/%s", vs.Ident.Subject, vs.Ident.Issuer))
+	})
+	return vs
+}
+
+// VPNClient connects to a configured gateway name (Table 1: query
+// name comes from config, so the attacker must wait for or predict
+// connection attempts). Certificate verification means poisoning
+// yields DoS — "DoS: no VPN access" — not interception.
+type VPNClient struct {
+	Host         *netsim.Host
+	ResolverAddr netip.Addr
+	Gateway      string
+	Connected    uint64
+	Failures     uint64
+}
+
+// Connect attempts to bring the tunnel up.
+func (vc *VPNClient) Connect(cb func(Outcome)) {
+	gw := dnswire.CanonicalName(vc.Gateway)
+	lookupA(vc.Host, vc.ResolverAddr, gw, func(addr netip.Addr, err error) {
+		if err != nil {
+			vc.Failures++
+			cb(OutcomeDoS)
+			return
+		}
+		vc.Host.CallTCP(addr, VPNPort, []byte("ike-init"), func(resp []byte) {
+			ident, ok := parseIdent(resp)
+			if !ok || ident.VerifyFor(gw) != nil {
+				vc.Failures++
+				cb(OutcomeDoS)
+				return
+			}
+			vc.Connected++
+			cb(OutcomeOK)
+		})
+	})
+}
+
+// OpportunisticIPsec looks up IPSECKEY records to encrypt traffic to a
+// peer (Table 1's "IKE Opportunistic Enc." row). The gateway and key
+// come straight from DNS: a poisoned IPSECKEY silently redirects the
+// "encrypted" traffic to the attacker — "Hijack: eavesdropping".
+type OpportunisticIPsec struct {
+	Host         *netsim.Host
+	ResolverAddr netip.Addr
+	Established  uint64
+}
+
+// PeerConfig is the tunnel parameters DNS provided.
+type PeerConfig struct {
+	Gateway netip.Addr
+	Key     []byte
+}
+
+// Discover fetches the IPSECKEY policy for peer.
+func (oi *OpportunisticIPsec) Discover(peer string, cb func(PeerConfig, error)) {
+	resolver.StubLookup(oi.Host, oi.ResolverAddr, peer, dnswire.TypeIPSECKEY, 8*time.Second,
+		func(rrs []*dnswire.RR, err error) {
+			if err != nil || len(rrs) == 0 {
+				cb(PeerConfig{}, fmt.Errorf("apps: no IPSECKEY for %s: %w", peer, err))
+				return
+			}
+			k, ok := rrs[0].Data.(*dnswire.IPSECKEYData)
+			if !ok || k.GatewayType != 1 {
+				cb(PeerConfig{}, fmt.Errorf("apps: unsupported IPSECKEY for %s", peer))
+				return
+			}
+			oi.Established++
+			cb(PeerConfig{Gateway: k.GatewayIP, Key: k.PublicKey}, nil)
+		})
+}

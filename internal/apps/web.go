@@ -1,0 +1,123 @@
+package apps
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+)
+
+// HTTPPort is the web port (the simulator folds HTTP and HTTPS into
+// one port; TLS is modelled by the Identity check).
+const HTTPPort = 80
+
+// WebServer serves named pages and presents an Identity.
+type WebServer struct {
+	Host  *netsim.Host
+	Ident Identity
+	Pages map[string]string
+	Hits  uint64
+}
+
+// NewWebServer binds a web service on host.
+func NewWebServer(host *netsim.Host, ident Identity) *WebServer {
+	ws := &WebServer{Host: host, Ident: ident, Pages: map[string]string{}}
+	host.BindTCP(HTTPPort, func(_ netip.Addr, req []byte) []byte {
+		ws.Hits++
+		path := strings.TrimSpace(string(req))
+		body, ok := ws.Pages[path]
+		if !ok {
+			body = "404"
+		}
+		return []byte(fmt.Sprintf("ident=%s/%s\n%s", ws.Ident.Subject, ws.Ident.Issuer, body))
+	})
+	return ws
+}
+
+// WebClient fetches pages by hostname through a resolver.
+type WebClient struct {
+	Host         *netsim.Host
+	ResolverAddr netip.Addr
+	// VerifyTLS requires the server identity to check out (HTTPS);
+	// plain HTTP clients set it false.
+	VerifyTLS bool
+}
+
+// FetchResult is the outcome of one page fetch.
+type FetchResult struct {
+	Err        error
+	Body       string
+	ServerAddr netip.Addr
+	Ident      Identity
+	// Intercepted reports whether the endpoint was not operated by the
+	// genuine site (determined by the caller comparing ServerAddr).
+}
+
+// Get resolves name, connects, and (optionally) verifies the identity.
+func (wc *WebClient) Get(name, path string, cb func(FetchResult)) {
+	name = dnswire.CanonicalName(name)
+	lookupA(wc.Host, wc.ResolverAddr, name, func(addr netip.Addr, err error) {
+		if err != nil {
+			cb(FetchResult{Err: fmt.Errorf("apps: resolving %s: %w", name, err)})
+			return
+		}
+		wc.Host.CallTCP(addr, HTTPPort, []byte(path), func(resp []byte) {
+			if resp == nil {
+				cb(FetchResult{Err: fmt.Errorf("apps: %s unreachable", addr), ServerAddr: addr})
+				return
+			}
+			res := FetchResult{ServerAddr: addr}
+			lines := strings.SplitN(string(resp), "\n", 2)
+			if len(lines) == 2 && strings.HasPrefix(lines[0], "ident=") {
+				parts := strings.SplitN(strings.TrimPrefix(lines[0], "ident="), "/", 2)
+				if len(parts) == 2 {
+					res.Ident = Identity{Subject: parts[0], Issuer: parts[1]}
+				}
+				res.Body = lines[1]
+			} else {
+				res.Body = string(resp)
+			}
+			if wc.VerifyTLS {
+				if err := res.Ident.VerifyFor(name); err != nil {
+					res.Err = err
+				}
+			}
+			cb(res)
+		})
+	})
+}
+
+// Proxy is an HTTP/SOCKS-style forward proxy: clients hand it a
+// hostname and it resolves via ITS resolver — a direct query trigger
+// for whoever can reach the proxy (Table 1's "Proxies" row).
+type Proxy struct {
+	Host         *netsim.Host
+	ResolverAddr netip.Addr
+	Requests     uint64
+}
+
+// ProxyPort is the proxy service port.
+const ProxyPort = 3128
+
+// NewProxy binds a proxy on host. The simulator's TCP model is a
+// synchronous request/response call, so the proxied fetch itself goes
+// through Fetch (which resolves asynchronously on the proxy's host);
+// the TCP endpoint acknowledges requests for liveness probing.
+func NewProxy(host *netsim.Host, resolverAddr netip.Addr) *Proxy {
+	p := &Proxy{Host: host, ResolverAddr: resolverAddr}
+	host.BindTCP(ProxyPort, func(_ netip.Addr, req []byte) []byte {
+		return []byte("202 accepted")
+	})
+	return p
+}
+
+// Fetch performs a proxied fetch: the PROXY's host resolves the name
+// (triggering a query at the proxy's resolver) and fetches the page
+// for the client.
+func (p *Proxy) Fetch(name, path string, cb func(FetchResult)) {
+	p.Requests++
+	wc := &WebClient{Host: p.Host, ResolverAddr: p.ResolverAddr}
+	wc.Get(name, path, cb)
+}

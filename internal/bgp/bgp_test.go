@@ -1,0 +1,313 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// diamond builds:   1 --- 2   (tier-1 peering)
+//
+//	|     |
+//	3     4   (customers of 1 and 2)
+//	 \   /
+//	   5      (customer of 3 and 4)
+func diamond(t *testing.T) *Topology {
+	t.Helper()
+	top := NewTopology()
+	for i := ASN(1); i <= 5; i++ {
+		tier := 3
+		if i <= 2 {
+			tier = 1
+		} else if i <= 4 {
+			tier = 2
+		}
+		top.AddAS(i, tier)
+	}
+	top.AddPeering(1, 2)
+	top.AddProviderCustomer(1, 3)
+	top.AddProviderCustomer(2, 4)
+	top.AddProviderCustomer(3, 5)
+	top.AddProviderCustomer(4, 5)
+	return top
+}
+
+func TestPropagateReachesEveryone(t *testing.T) {
+	top := diamond(t)
+	p := netip.MustParsePrefix("10.5.0.0/22")
+	routes := top.Propagate([]Announcement{{Prefix: p, Origin: 5}}, nil)
+	if len(routes) != 5 {
+		t.Fatalf("only %d ASes have routes, want 5", len(routes))
+	}
+	if routes[5].Kind != KindOrigin {
+		t.Fatalf("origin's own route kind = %v", routes[5].Kind)
+	}
+	// 3 and 4 learn from their customer 5.
+	if routes[3].Kind != KindCustomer || routes[3].NextHop != 5 {
+		t.Fatalf("AS3 route = %+v", routes[3])
+	}
+	// 1 learns from customer 3; 2 from customer 4.
+	if routes[1].Kind != KindCustomer || routes[1].NextHop != 3 {
+		t.Fatalf("AS1 route = %+v", routes[1])
+	}
+	if routes[2].Kind != KindCustomer || routes[2].NextHop != 4 {
+		t.Fatalf("AS2 route = %+v", routes[2])
+	}
+}
+
+func TestGaoRexfordPreference(t *testing.T) {
+	// AS 1 can reach the origin through a customer (long) or a peer
+	// (short); customer must win despite the longer path.
+	top := NewTopology()
+	for i := ASN(1); i <= 5; i++ {
+		top.AddAS(i, 2)
+	}
+	// 1's customer chain: 1 -> 3 -> 4 -> 5(origin). 1's peer 2 is
+	// directly 5's provider.
+	top.AddProviderCustomer(1, 3)
+	top.AddProviderCustomer(3, 4)
+	top.AddProviderCustomer(4, 5)
+	top.AddPeering(1, 2)
+	top.AddProviderCustomer(2, 5)
+	routes := top.Propagate([]Announcement{{Prefix: netip.MustParsePrefix("10.0.0.0/22"), Origin: 5}}, nil)
+	r := routes[1]
+	if r.Kind != KindCustomer || r.NextHop != 3 {
+		t.Fatalf("AS1 chose %+v; Gao-Rexford requires the customer route via 3", r)
+	}
+}
+
+func TestValleyFreeNoPeerToPeerReexport(t *testing.T) {
+	// origin 3 is customer of 1; 1 peers with 2; 2 peers with 4.
+	// 4 must NOT have a route (peer routes are not re-exported to peers).
+	top := NewTopology()
+	for i := ASN(1); i <= 4; i++ {
+		top.AddAS(i, 2)
+	}
+	top.AddProviderCustomer(1, 3)
+	top.AddPeering(1, 2)
+	top.AddPeering(2, 4)
+	routes := top.Propagate([]Announcement{{Prefix: netip.MustParsePrefix("10.0.0.0/22"), Origin: 3}}, nil)
+	if _, ok := routes[4]; ok {
+		t.Fatalf("AS4 learned a valley route: %+v", routes[4])
+	}
+	if routes[2].Kind != KindPeer {
+		t.Fatalf("AS2 should have a peer route, got %+v", routes[2])
+	}
+}
+
+func TestProviderRoutePropagatesDown(t *testing.T) {
+	// origin 3 under provider 1; 1 peers 2; 2 has customer 4: 4 gets a
+	// provider route (peer route exported down is allowed).
+	top := NewTopology()
+	for i := ASN(1); i <= 4; i++ {
+		top.AddAS(i, 2)
+	}
+	top.AddProviderCustomer(1, 3)
+	top.AddPeering(1, 2)
+	top.AddProviderCustomer(2, 4)
+	routes := top.Propagate([]Announcement{{Prefix: netip.MustParsePrefix("10.0.0.0/22"), Origin: 3}}, nil)
+	if routes[4].Kind != KindProvider || routes[4].NextHop != 2 {
+		t.Fatalf("AS4 route = %+v, want provider via 2", routes[4])
+	}
+}
+
+func TestSamePrefixHijackSplitsInternet(t *testing.T) {
+	top := diamond(t)
+	p := netip.MustParsePrefix("10.5.0.0/22")
+	// Victim 5 and attacker 2 (a tier-1) announce the same prefix.
+	routes := top.Propagate([]Announcement{{Prefix: p, Origin: 5}, {Prefix: p, Origin: 2}}, nil)
+	// AS 4 is 2's customer... 4 hears origin 5 from its customer 5
+	// (customer route) and from provider 2: customer wins.
+	if routes[4].Origin != 5 {
+		t.Fatalf("AS4 diverted: %+v", routes[4])
+	}
+	// AS 1 hears customer route via 3 (origin 5, len 3) vs peer route
+	// via 2 (origin 2, len 2): customer beats peer.
+	if routes[1].Origin != 5 {
+		t.Fatalf("AS1 diverted: %+v", routes[1])
+	}
+}
+
+func TestROVRejectsInvalid(t *testing.T) {
+	top := diamond(t)
+	p := netip.MustParsePrefix("10.5.0.0/22")
+	sub := netip.MustParsePrefix("10.5.0.0/24")
+	roas := []ROA{{Prefix: p, Origin: 5, MaxLength: 22}}
+	for _, asn := range top.ASNs() {
+		top.AS(asn).ROV = true
+	}
+	view := func(ASN) []ROA { return roas }
+	routes := top.Propagate([]Announcement{{Prefix: sub, Origin: 2}}, view)
+	if len(routes) != 0 {
+		t.Fatalf("ROV-protected hijack still got %d routes", len(routes))
+	}
+	// With an empty ROA view (the RPKI downgrade), everyone accepts.
+	routes = top.Propagate([]Announcement{{Prefix: sub, Origin: 2}}, func(ASN) []ROA { return nil })
+	if len(routes) != 5 {
+		t.Fatalf("downgraded ROV should accept hijack: %d routes", len(routes))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p22 := netip.MustParsePrefix("10.5.0.0/22")
+	p24 := netip.MustParsePrefix("10.5.1.0/24")
+	other := netip.MustParsePrefix("99.0.0.0/24")
+	roas := []ROA{{Prefix: p22, Origin: 5, MaxLength: 22}}
+	cases := []struct {
+		ann  Announcement
+		want Validity
+	}{
+		{Announcement{p22, 5}, ValidityValid},
+		{Announcement{p22, 6}, ValidityInvalid},   // wrong origin
+		{Announcement{p24, 5}, ValidityInvalid},   // too specific for maxlen
+		{Announcement{other, 6}, ValidityUnknown}, // uncovered
+	}
+	for _, c := range cases {
+		if got := Validate(c.ann, roas); got != c.want {
+			t.Errorf("Validate(%v) = %v, want %v", c.ann, got, c.want)
+		}
+	}
+	if Validate(Announcement{p22, 5}, nil) != ValidityUnknown {
+		t.Error("empty ROA set must yield unknown")
+	}
+	// MaxLength defaulting to prefix length.
+	roas2 := []ROA{{Prefix: p22, Origin: 5}}
+	if Validate(Announcement{p24, 5}, roas2) != ValidityInvalid {
+		t.Error("maxlen default should reject more-specifics")
+	}
+}
+
+func TestRIBSubPrefixHijackWinsByLPM(t *testing.T) {
+	top := diamond(t)
+	rib := NewRIB(top, nil)
+	victim22 := netip.MustParsePrefix("10.5.0.0/22")
+	if !rib.Announce(victim22, 5) {
+		t.Fatal("victim announcement rejected")
+	}
+	ip := netip.MustParseAddr("10.5.1.7")
+	if origin, _ := rib.Resolve(1, ip); origin != 5 {
+		t.Fatalf("pre-hijack origin = %d", origin)
+	}
+	// Attacker AS2 announces the covering /24.
+	if !rib.Announce(netip.MustParsePrefix("10.5.1.0/24"), 2) {
+		t.Fatal("sub-prefix announcement rejected")
+	}
+	for _, from := range []ASN{1, 3, 4, 5} {
+		if origin, _ := rib.Resolve(from, ip); origin != 2 {
+			t.Fatalf("AS%d not diverted by sub-prefix hijack (origin %d)", from, origin)
+		}
+	}
+	// An address outside the /24 is unaffected.
+	if origin, _ := rib.Resolve(1, netip.MustParseAddr("10.5.2.1")); origin != 5 {
+		t.Fatal("hijack affected addresses outside the sub-prefix")
+	}
+	// Withdraw heals.
+	rib.Withdraw(netip.MustParsePrefix("10.5.1.0/24"), 2)
+	if origin, _ := rib.Resolve(1, ip); origin != 5 {
+		t.Fatal("withdraw did not heal routing")
+	}
+}
+
+func TestRIBFiltersMoreSpecificThan24(t *testing.T) {
+	top := diamond(t)
+	rib := NewRIB(top, nil)
+	rib.Announce(netip.MustParsePrefix("10.5.0.0/24"), 5)
+	if rib.Announce(netip.MustParsePrefix("10.5.0.0/25"), 2) {
+		t.Fatal("/25 announcement accepted despite filter")
+	}
+	if origin, _ := rib.Resolve(1, netip.MustParseAddr("10.5.0.9")); origin != 5 {
+		t.Fatal("victim /24 lost to filtered /25")
+	}
+}
+
+func TestRIBROVDowngrade(t *testing.T) {
+	top := diamond(t)
+	for _, asn := range top.ASNs() {
+		top.AS(asn).ROV = true
+	}
+	victim22 := netip.MustParsePrefix("10.5.0.0/22")
+	roas := []ROA{{Prefix: victim22, Origin: 5, MaxLength: 24}}
+	rib := NewRIB(top, func(ASN) []ROA { return roas })
+	rib.Announce(victim22, 5)
+	sub := netip.MustParsePrefix("10.5.1.0/24")
+	rib.Announce(sub, 2)
+	ip := netip.MustParseAddr("10.5.1.7")
+	if origin, _ := rib.Resolve(1, ip); origin != 5 {
+		t.Fatalf("ROV should have protected the victim, origin=%d", origin)
+	}
+	// RPKI downgrade: relying parties lose their ROA data.
+	rib.SetROAView(func(ASN) []ROA { return nil })
+	if origin, _ := rib.Resolve(1, ip); origin != 2 {
+		t.Fatalf("after downgrade hijack should win, origin=%d", origin)
+	}
+}
+
+func TestCoveringAnnouncement(t *testing.T) {
+	top := diamond(t)
+	rib := NewRIB(top, nil)
+	rib.Announce(netip.MustParsePrefix("10.5.0.0/22"), 5)
+	p, ok := rib.CoveringAnnouncement(netip.MustParseAddr("10.5.3.1"))
+	if !ok || p.Bits() != 22 {
+		t.Fatalf("covering = %v %v", p, ok)
+	}
+	if _, ok := rib.CoveringAnnouncement(netip.MustParseAddr("99.9.9.9")); ok {
+		t.Fatal("found covering announcement for unannounced space")
+	}
+}
+
+func TestGenerateTopologyShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	top := Generate(GenConfig{Tier1: 5, Transit: 20, Stubs: 100}, rng)
+	if top.Len() != 125 {
+		t.Fatalf("topology has %d ASes, want 125", top.Len())
+	}
+	// Every stub must have at least one provider and full reachability
+	// from any origin.
+	p := netip.MustParsePrefix("10.0.0.0/22")
+	routes := top.Propagate([]Announcement{{Prefix: p, Origin: 60}}, nil)
+	if len(routes) != top.Len() {
+		t.Fatalf("only %d/%d ASes reach a stub origin", len(routes), top.Len())
+	}
+	// Tier-1s form a clique.
+	for i := ASN(1); i <= 5; i++ {
+		if len(top.AS(i).Peers()) < 4 {
+			t.Fatalf("tier-1 %d has %d peers", i, len(top.AS(i).Peers()))
+		}
+	}
+}
+
+func TestSamePrefixHijackRateIsHighForRandomPairs(t *testing.T) {
+	// Reproduces §5.1.2's shape: attacker intercepts the majority of
+	// observer ASes over random (victim, attacker) pairs (~80% in the
+	// paper).
+	rng := rand.New(rand.NewSource(2))
+	top := Generate(GenConfig{}, rng)
+	asns := top.ASNs()
+	p := netip.MustParsePrefix("10.0.0.0/22")
+	var total float64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		v := asns[rng.Intn(len(asns))]
+		a := asns[rng.Intn(len(asns))]
+		if v == a {
+			continue
+		}
+		total += SamePrefixHijackWins(top, p, v, a, asns)
+	}
+	avg := total / trials
+	if avg < 0.25 || avg > 0.95 {
+		t.Fatalf("average same-prefix interception %.2f outside plausible band", avg)
+	}
+}
+
+func TestPrefixForDeterministicAndValid(t *testing.T) {
+	for asn := ASN(1); asn < 500; asn++ {
+		p := PrefixFor(asn, 22)
+		if p != PrefixFor(asn, 22) {
+			t.Fatal("PrefixFor not deterministic")
+		}
+		if p.Bits() != 22 {
+			t.Fatalf("PrefixFor bits = %d", p.Bits())
+		}
+	}
+}

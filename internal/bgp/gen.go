@@ -1,0 +1,163 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+)
+
+// GenConfig controls synthetic Internet-like topology generation:
+// a tier-1 clique at the top, a transit layer beneath it, and stub
+// ASes at the edge — the standard structure inferred from CAIDA
+// AS-relationship data, which the paper's same-prefix simulation
+// (§5.1.2) runs over.
+type GenConfig struct {
+	Tier1   int // fully meshed clique, default 8
+	Transit int // mid-tier providers, default 40
+	Stubs   int // edge ASes, default 400
+	// ProvidersPerStub / PerTransit: how many upstreams each picks.
+	ProvidersPerStub    int     // default 2
+	ProvidersPerTransit int     // default 2
+	PeeringProb         float64 // probability two transits peer, default 0.05
+	ROVFraction         float64 // fraction of ASes enforcing ROV, default 0
+}
+
+func (c *GenConfig) fill() {
+	if c.Tier1 == 0 {
+		c.Tier1 = 8
+	}
+	if c.Transit == 0 {
+		c.Transit = 40
+	}
+	if c.Stubs == 0 {
+		c.Stubs = 400
+	}
+	if c.ProvidersPerStub == 0 {
+		c.ProvidersPerStub = 2
+	}
+	if c.ProvidersPerTransit == 0 {
+		c.ProvidersPerTransit = 2
+	}
+	if c.PeeringProb == 0 {
+		c.PeeringProb = 0.05
+	}
+}
+
+// Generate builds a topology from cfg using rng. AS numbers are
+// assigned 1..N with tier-1 first, then transit, then stubs.
+func Generate(cfg GenConfig, rng *rand.Rand) *Topology {
+	cfg.fill()
+	t := NewTopology()
+	next := ASN(1)
+	var tier1, transit, stubs []ASN
+	for i := 0; i < cfg.Tier1; i++ {
+		t.AddAS(next, 1)
+		tier1 = append(tier1, next)
+		next++
+	}
+	for i := 0; i < cfg.Transit; i++ {
+		t.AddAS(next, 2)
+		transit = append(transit, next)
+		next++
+	}
+	for i := 0; i < cfg.Stubs; i++ {
+		t.AddAS(next, 3)
+		stubs = append(stubs, next)
+		next++
+	}
+	// Tier-1 clique.
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			t.AddPeering(tier1[i], tier1[j])
+		}
+	}
+	pick := func(pool []ASN, n int) []ASN {
+		perm := rng.Perm(len(pool))
+		if n > len(pool) {
+			n = len(pool)
+		}
+		out := make([]ASN, n)
+		for i := 0; i < n; i++ {
+			out[i] = pool[perm[i]]
+		}
+		return out
+	}
+	for _, a := range transit {
+		for _, p := range pick(tier1, cfg.ProvidersPerTransit) {
+			t.AddProviderCustomer(p, a)
+		}
+	}
+	for i, a := range transit {
+		for j := i + 1; j < len(transit); j++ {
+			if rng.Float64() < cfg.PeeringProb {
+				t.AddPeering(a, transit[j])
+			}
+		}
+	}
+	for _, a := range stubs {
+		// Mostly transit upstreams, occasionally a tier-1 direct.
+		pool := transit
+		if rng.Float64() < 0.1 {
+			pool = tier1
+		}
+		for _, p := range pick(pool, cfg.ProvidersPerStub) {
+			t.AddProviderCustomer(p, a)
+		}
+	}
+	if cfg.ROVFraction > 0 {
+		for _, asn := range t.ASNs() {
+			if rng.Float64() < cfg.ROVFraction {
+				t.AS(asn).ROV = true
+			}
+		}
+	}
+	return t
+}
+
+// PrefixFor deterministically assigns AS n a prefix of the given
+// length inside 10.0.0.0/8-style space spread across the IPv4 range
+// (the simulator does not care about RFC 1918 semantics).
+func PrefixFor(asn ASN, bits int) netip.Prefix {
+	// Spread ASes across 1.0.0.0 .. 223.x: 24-bit space keyed by ASN.
+	v := uint32(asn)
+	a := byte(1 + (v*37)%222)
+	b := byte((v * 101) % 256)
+	c := byte((v * 17) % 256)
+	addr := netip.AddrFrom4([4]byte{a, b, c, 0})
+	p, err := addr.Prefix(bits)
+	if err != nil {
+		panic(fmt.Sprintf("bgp: PrefixFor(%d,%d): %v", asn, bits, err))
+	}
+	return p
+}
+
+// SamePrefixHijackWins simulates a same-prefix hijack: victim and
+// attacker both originate prefix; it returns the fraction of the given
+// observer ASes whose selected route points at the attacker. This is
+// the paper's §5.1.2 experiment (result there: ~80% of random pairs
+// interceptable).
+func SamePrefixHijackWins(t *Topology, prefix netip.Prefix, victim, attacker ASN, observers []ASN) float64 {
+	routes := t.Propagate([]Announcement{
+		{Prefix: prefix, Origin: victim},
+		{Prefix: prefix, Origin: attacker},
+	}, nil)
+	won := 0
+	total := 0
+	for _, o := range observers {
+		if o == victim || o == attacker {
+			continue
+		}
+		r, ok := routes[o]
+		if !ok {
+			continue
+		}
+		total++
+		if r.Origin == attacker {
+			won++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(won) / float64(total)
+}

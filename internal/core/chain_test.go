@@ -1,0 +1,136 @@
+package core_test
+
+// Full cross-layer chains: a §3 methodology plants the record, a
+// Table 1 application consumes it, and the paper's impact class is
+// observed — methodology and exploitation composed end to end, with
+// no cache pre-seeding anywhere.
+
+import (
+	"net/netip"
+	"testing"
+
+	"crosslayer/internal/apps"
+	"crosslayer/internal/core"
+	"crosslayer/internal/dnssrv"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/resolver"
+	"crosslayer/internal/scenario"
+)
+
+func TestChainHijackDNSToBitcoinEclipse(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 81})
+	apps.NewBitcoinNode(s.WWWHost, "tip-genuine")
+	apps.NewBitcoinNode(s.Attacker, "tip-fake")
+	atk := &core.HijackDNS{
+		Attacker:     s.Attacker,
+		HijackPrefix: netip.MustParsePrefix("123.0.0.0/24"),
+		NSAddr:       scenario.NSIP,
+		Spoof: core.Spoof{QName: "seed.vict.im.", QType: dnswire.TypeA,
+			Records: []*dnswire.RR{dnswire.NewA("seed.vict.im.", 300, scenario.AttackerIP)}},
+	}
+	// The trigger IS the application: a restarting node bootstrapping
+	// from its DNS seed ("waiting" trigger in Table 1).
+	bc := &apps.BitcoinClient{Host: s.ClientHost, ResolverAddr: scenario.ResolverIP, SeedName: "seed.vict.im."}
+	res := atk.Run(core.TriggerFunc(func() { bc.Bootstrap(func(apps.Outcome) {}) }))
+	if !res.Success {
+		t.Fatalf("hijack failed: %+v", res)
+	}
+	if !bc.Eclipsed("tip-fake") {
+		t.Fatalf("node adopted %q, want the attacker's chain", bc.AdoptedTip)
+	}
+}
+
+func TestChainFragDNSToOCSPDowngrade(t *testing.T) {
+	cfg := scenario.Config{Seed: 82}
+	cfg.ServerCfg = dnssrv.DefaultConfig()
+	cfg.ServerCfg.PadAnswersTo = 1200
+	s := scenario.New(cfg)
+	responder := apps.NewOCSPResponder(s.WWWHost)
+	revoked := apps.Identity{Subject: "compromised.vict.im.", Issuer: apps.TrustedCA}
+	responder.Revoked["compromised.vict.im."] = true
+
+	atk := &core.FragDNS{
+		Attacker: s.Attacker, ResolverAddr: scenario.ResolverIP, NSAddr: scenario.NSIP,
+		QName: "ocsp.vict.im.", QType: dnswire.TypeA, SpoofAddr: scenario.AttackerIP,
+		ForcedMTU: 68, ResolverEDNS: resolver.ProfileBIND.EDNSSize,
+		PredictIPID: true, IPIDGuesses: 64,
+		CheckSuccess: func() bool { return s.Poisoned("ocsp.vict.im.", dnswire.TypeA) },
+	}
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "ocsp.vict.im.", dnswire.TypeA))
+	if !res.Success {
+		t.Fatalf("fragdns failed: %+v", res)
+	}
+	oc := &apps.OCSPClient{Host: s.ClientHost, ResolverAddr: scenario.ResolverIP, ResponderName: "ocsp.vict.im."}
+	var accept bool
+	var out apps.Outcome
+	oc.CheckRevocation(revoked, func(a bool, o apps.Outcome) { accept, out = a, o })
+	s.Run()
+	if !accept || out != apps.OutcomeDowngrade {
+		t.Fatalf("revocation check should soft-fail after poisoning: accept=%v out=%v", accept, out)
+	}
+}
+
+func TestChainSadDNSToXMPPEavesdropping(t *testing.T) {
+	cfg := scenario.Config{Seed: 83}
+	cfg.ServerCfg = dnssrv.DefaultConfig()
+	cfg.ServerCfg.RateLimit = true
+	cfg.ServerCfg.RateLimitQPS = 10
+	s := scenario.New(cfg)
+	s.ResolverHost.Cfg.PortMin = 32768
+	s.ResolverHost.Cfg.PortMax = 32768 + 399
+	apps.NewFederationServer(s.WWWHost, apps.Identity{Subject: "www.vict.im.", Issuer: apps.TrustedCA})
+	evil := apps.NewFederationServer(s.Attacker, apps.SelfSigned("www.vict.im."))
+	xp := &apps.XMPPServerPeer{Host: s.ServiceHost, ResolverAddr: scenario.ResolverIP}
+
+	// SadDNS poisons the SRV record itself, pointing federation at a
+	// host inside the attacker's own zone (whose A record the
+	// attacker's genuine nameserver serves); the trigger is the victim
+	// server federating to a user@vict.im (attacker-chosen recipient,
+	// the "bounce" column of Table 1). Poisoning the chained A lookup
+	// instead would not work here: the muted nameserver blocks the SRV
+	// step, so the A query never opens a port — exactly the kind of
+	// dependency the paper's per-record-type applicability reflects.
+	s.AtkNS.Zone("atk.example.").Add(dnswire.NewA("xmpp.atk.example.", 300, scenario.AttackerIP))
+	srvName := "_xmpp-server._tcp.vict.im."
+	atk := &core.SadDNS{
+		Attacker: s.Attacker, ResolverAddr: scenario.ResolverIP, NSAddr: scenario.NSIP,
+		Spoof: core.Spoof{QName: srvName, QType: dnswire.TypeSRV,
+			Records: []*dnswire.RR{dnswire.NewSRV(srvName, 300, 0, 0, apps.XMPPServerPort, "xmpp.atk.example.")}},
+		PortMin: 32768, PortMax: 32768 + 399,
+		MuteQPS: 20, MaxIterations: 25,
+		CheckSuccess: func() bool {
+			rrs, _, ok := s.Resolver.Cache.Get(srvName, dnswire.TypeSRV)
+			if !ok {
+				return false
+			}
+			for _, rr := range rrs {
+				if srv, isSrv := rr.Data.(*dnswire.SRVData); isSrv && dnswire.InBailiwick(srv.Target, "atk.example.") {
+					return true
+				}
+			}
+			return false
+		},
+	}
+	trigger := core.TriggerFunc(func() {
+		xp.SendMessage("target@vict.im", "probe", func(apps.Outcome, netip.Addr) {})
+	})
+	res := atk.Run(trigger)
+	if !res.Success {
+		t.Fatalf("saddns failed: %+v", res)
+	}
+	var at netip.Addr
+	xp.SendMessage("target@vict.im", "the confidential message", func(_ apps.Outcome, addr netip.Addr) { at = addr })
+	s.Run()
+	if at != scenario.AttackerIP {
+		t.Fatalf("federation went to %v, want attacker", at)
+	}
+	found := false
+	for _, line := range evil.Transcript {
+		if line == "xmpp-s2s the confidential message" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("attacker did not capture the message")
+	}
+}

@@ -1,0 +1,61 @@
+// Package core implements the paper's primary contribution: the three
+// off-path DNS cache-poisoning methodologies of §3 —
+//
+//   - HijackDNS: intercept the resolver's query with a BGP sub-prefix
+//     (or same-prefix) hijack and answer it with spoofed records,
+//     copying the challenge values from the intercepted query (§3.1).
+//   - SadDNS: infer the resolver's ephemeral source port through the
+//     global ICMP rate-limit side channel, mute the nameserver with
+//     its own response-rate limiting, and brute-force the 16-bit TXID
+//     (§3.2, Figure 1).
+//   - FragDNS: force the nameserver to fragment its response with a
+//     spoofed ICMP Fragmentation Needed, plant a crafted second
+//     fragment in the resolver's defragmentation cache, and let it
+//     reassemble with the genuine first fragment carrying the
+//     challenge values (§3.3, Figure 2).
+//
+// All three produce a Result with the telemetry Table 6 compares:
+// packets sent, queries triggered, duration, success.
+package core
+
+import (
+	"time"
+
+	"crosslayer/internal/dnswire"
+)
+
+// Spoof describes the record set an attack tries to inject: the
+// question it answers and the malicious RRs.
+type Spoof struct {
+	QName string
+	QType dnswire.Type
+	// Records are the answer RRs of the forged response. For FragDNS
+	// only the address of the first A record is used (the crafted
+	// fragment patches rdata in place).
+	Records []*dnswire.RR
+}
+
+// Result is the outcome and telemetry of one attack run.
+type Result struct {
+	Success bool
+	// Method is the attack name ("HijackDNS", "SadDNS", "FragDNS").
+	Method string
+	// Iterations counts attack rounds (triggered queries raced).
+	Iterations int
+	// AttackerPackets counts packets the attacker sent.
+	AttackerPackets uint64
+	// QueriesTriggered counts queries forced through the victim
+	// resolver.
+	QueriesTriggered int
+	// Duration is elapsed virtual time.
+	Duration time.Duration
+	// Detail carries method-specific notes (e.g. the port found).
+	Detail string
+}
+
+// Trigger causes the victim resolver to issue one upstream query for
+// the attack's target name; done runs when the triggering application
+// exchange completes or fails. Implementations include a direct client
+// lookup, an open forwarder, and the application-level triggers
+// (email bounce etc.) in internal/apps.
+type Trigger func(done func())

@@ -1,0 +1,358 @@
+package core_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"crosslayer/internal/bgp"
+	"crosslayer/internal/core"
+	"crosslayer/internal/dnssrv"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+	"crosslayer/internal/packet"
+	"crosslayer/internal/resolver"
+	"crosslayer/internal/scenario"
+)
+
+func spoofA(name string) core.Spoof {
+	return core.Spoof{
+		QName: name, QType: dnswire.TypeA,
+		Records: []*dnswire.RR{dnswire.NewA(name, 300, scenario.AttackerIP)},
+	}
+}
+
+// --- HijackDNS ---
+
+func TestHijackDNSSubPrefixPoisonsCache(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 21})
+	atk := &core.HijackDNS{
+		Attacker:     s.Attacker,
+		HijackPrefix: netip.MustParsePrefix("123.0.0.0/24"), // covers ns1.vict.im
+		NSAddr:       scenario.NSIP,
+		Spoof:        spoofA("www.vict.im."),
+	}
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if !res.Success {
+		t.Fatalf("hijack failed: %+v", res)
+	}
+	if !s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("cache not poisoned")
+	}
+	if res.QueriesTriggered != 1 || res.Iterations != 1 {
+		t.Fatalf("telemetry: %+v", res)
+	}
+	// Table 6: HijackDNS needs ~2 attacker packets (announcement +
+	// spoofed response).
+	if res.AttackerPackets > 3 {
+		t.Fatalf("hijack used %d packets; should be ~2", res.AttackerPackets)
+	}
+	// Routing must be healed after withdraw.
+	if origin, _ := s.RIB.Resolve(scenario.VictimAS, scenario.NSIP); origin != scenario.DomainAS {
+		t.Fatal("hijack not withdrawn")
+	}
+}
+
+func TestHijackDNSMoreSpecificThan24Filtered(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 22})
+	atk := &core.HijackDNS{
+		Attacker:     s.Attacker,
+		HijackPrefix: netip.MustParsePrefix("123.0.0.0/25"),
+		NSAddr:       scenario.NSIP,
+		Spoof:        spoofA("www.vict.im."),
+	}
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if res.Success {
+		t.Fatal("filtered /25 hijack should fail")
+	}
+	if s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("cache poisoned despite filtered announcement")
+	}
+}
+
+func TestHijackDNSDefeatedByDNSSECValidation(t *testing.T) {
+	prof := resolver.ProfileBIND
+	prof.ValidateDNSSEC = true
+	s := scenario.New(scenario.Config{Seed: 23, Profile: prof, SignVictimZone: true})
+	atk := &core.HijackDNS{
+		Attacker:     s.Attacker,
+		HijackPrefix: netip.MustParsePrefix("123.0.0.0/24"),
+		NSAddr:       scenario.NSIP,
+		Spoof:        spoofA("www.vict.im."),
+	}
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	// The query IS intercepted (success=true at the interception
+	// level) but the unsigned spoofed answer must not enter the cache.
+	_ = res
+	if s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("validating resolver accepted unsigned hijack response")
+	}
+	if s.Resolver.ValidationFailed == 0 {
+		t.Fatal("validation failure not recorded")
+	}
+}
+
+// --- SadDNS ---
+
+// sadScenario narrows the resolver's port range so tests converge in a
+// handful of iterations (the full 28k-port scan is exercised by the
+// Table 6 benchmark).
+func sadScenario(t *testing.T, seed int64, mutate func(*scenario.Config)) (*scenario.S, *core.SadDNS) {
+	t.Helper()
+	cfg := scenario.Config{Seed: seed}
+	cfg.ServerCfg = dnssrv.DefaultConfig()
+	cfg.ServerCfg.RateLimit = true
+	cfg.ServerCfg.RateLimitQPS = 10
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := scenario.New(cfg)
+	s.ResolverHost.Cfg.PortMin = 32768
+	s.ResolverHost.Cfg.PortMax = 32768 + 399 // 400-port range
+	atk := &core.SadDNS{
+		Attacker:      s.Attacker,
+		ResolverAddr:  scenario.ResolverIP,
+		NSAddr:        scenario.NSIP,
+		Spoof:         spoofA("www.vict.im."),
+		PortMin:       32768,
+		PortMax:       32768 + 399,
+		MuteQPS:       20,
+		MaxIterations: 20,
+		CheckSuccess:  func() bool { return s.Poisoned("www.vict.im.", dnswire.TypeA) },
+	}
+	return s, atk
+}
+
+func TestSadDNSPoisonsVulnerableResolver(t *testing.T) {
+	s, atk := sadScenario(t, 31, nil)
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if !res.Success {
+		t.Fatalf("SadDNS failed: %+v (spoofRejected=%d accepted=%d)",
+			res, s.Resolver.SpoofRejected, s.Resolver.Accepted)
+	}
+	if !s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("cache not poisoned")
+	}
+	// The TXID flood means tens of thousands of packets (Table 6's
+	// "Total traffic" shape: SadDNS ≫ FragDNS ≫ Hijack).
+	if res.AttackerPackets < 1<<16 {
+		t.Fatalf("only %d attacker packets; a TXID flood is missing", res.AttackerPackets)
+	}
+	// Flood packets preceding the matching TXID are rejected; packets
+	// after it hit the already-closed port.
+	if s.Resolver.SpoofRejected < 1000 {
+		t.Fatalf("resolver rejected %d spoofs; flood not observed", s.Resolver.SpoofRejected)
+	}
+}
+
+func TestSadDNSDefeatedByPerIPRateLimit(t *testing.T) {
+	s, atk := sadScenario(t, 32, nil)
+	s.ResolverHost.Cfg.ICMPLimitMode = netsim.ICMPLimitPerIP
+	atk.MaxIterations = 5
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if res.Success || s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("patched (per-IP) resolver was still poisoned")
+	}
+}
+
+func TestSadDNSDefeatedBy0x20(t *testing.T) {
+	s, atk := sadScenario(t, 33, func(cfg *scenario.Config) {
+		prof := resolver.ProfileBIND
+		prof.Use0x20 = true
+		cfg.Profile = prof
+	})
+	atk.MaxIterations = 6
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if res.Success || s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("0x20 resolver was poisoned by an all-lowercase flood")
+	}
+}
+
+func TestSadDNSNeedsMuting(t *testing.T) {
+	// Without muting the genuine response wins the race immediately:
+	// the port closes before the scan can finish.
+	s, atk := sadScenario(t, 34, func(cfg *scenario.Config) {
+		cfg.ServerCfg.RateLimit = false
+	})
+	atk.MuteQPS = 0
+	atk.MaxIterations = 3
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if res.Success {
+		t.Fatal("attack succeeded although the genuine response was never delayed")
+	}
+	// The genuine record is in the cache instead.
+	if !s.Resolver.Cache.Contains("www.vict.im.", dnswire.TypeA) || s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("genuine resolution did not complete")
+	}
+}
+
+// --- FragDNS ---
+
+func fragScenario(t *testing.T, seed int64, mutate func(*scenario.Config)) (*scenario.S, *core.FragDNS) {
+	t.Helper()
+	cfg := scenario.Config{Seed: seed}
+	cfg.ServerCfg = dnssrv.DefaultConfig()
+	cfg.ServerCfg.PadAnswersTo = 1200
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := scenario.New(cfg)
+	atk := &core.FragDNS{
+		Attacker:      s.Attacker,
+		ResolverAddr:  scenario.ResolverIP,
+		NSAddr:        scenario.NSIP,
+		QName:         "www.vict.im.",
+		QType:         dnswire.TypeA,
+		SpoofAddr:     scenario.AttackerIP,
+		ForcedMTU:     68, // clamped to the server's floor (552)
+		ResolverEDNS:  resolver.ProfileBIND.EDNSSize,
+		PredictIPID:   true,
+		IPIDGuesses:   64,
+		MaxIterations: 4,
+		CheckSuccess:  func() bool { return s.Poisoned("www.vict.im.", dnswire.TypeA) },
+	}
+	return s, atk
+}
+
+func TestFragDNSPoisonsGlobalIPIDServer(t *testing.T) {
+	s, atk := fragScenario(t, 41, nil)
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if !res.Success {
+		t.Fatalf("FragDNS failed: %+v", res)
+	}
+	if !s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("cache not poisoned")
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("predictable IPID should succeed on iteration 1, took %d", res.Iterations)
+	}
+	// Table 6 shape: FragDNS needs far fewer packets than SadDNS.
+	if res.AttackerPackets > 1000 {
+		t.Fatalf("FragDNS used %d packets", res.AttackerPackets)
+	}
+}
+
+func TestFragDNSRandomIPIDRarelySucceeds(t *testing.T) {
+	s, atk := fragScenario(t, 42, nil)
+	s.NSHost.Cfg.IPIDMode = netsim.IPIDRandom
+	atk.PredictIPID = false
+	atk.IPIDGuesses = 8
+	atk.MaxIterations = 2
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if res.Success {
+		t.Fatal("random-IPID attack succeeded with 16 guesses (p≈0.02%); suspicious")
+	}
+}
+
+func TestFragDNSDefeatedByUnfragmentableResponse(t *testing.T) {
+	// Small responses never fragment: no attack surface.
+	s, atk := fragScenario(t, 43, func(cfg *scenario.Config) {
+		cfg.ServerCfg.PadAnswersTo = 0
+	})
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if res.Success || s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("attack succeeded without fragmentation")
+	}
+}
+
+func TestFragDNSDefeatedByAnswerOrderRandomization(t *testing.T) {
+	s, atk := fragScenario(t, 44, func(cfg *scenario.Config) {
+		cfg.ServerCfg.RandomizeOrder = true
+	})
+	atk.MaxIterations = 3
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if res.Success || s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("randomised answer order should break checksum prediction")
+	}
+}
+
+func TestFragDNSDefeatedByFragmentDroppingResolver(t *testing.T) {
+	s, atk := fragScenario(t, 45, nil)
+	s.ResolverHost.Cfg.AcceptFragments = false
+	atk.MaxIterations = 2
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if res.Success || s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("frag-dropping resolver was poisoned")
+	}
+}
+
+func TestFragDNSDefeatedByPMTUDIgnoringServer(t *testing.T) {
+	s, atk := fragScenario(t, 46, nil)
+	s.NSHost.Cfg.HonorPMTUD = false
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if res.Success {
+		t.Fatal("server ignoring PTB still fragmented")
+	}
+}
+
+// --- CraftSecondFragment unit properties ---
+
+func TestCraftSecondFragmentPreservesChecksum(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 47, ServerCfg: func() dnssrv.Config {
+		c := dnssrv.DefaultConfig()
+		c.PadAnswersTo = 1200
+		return c
+	}()})
+	q := dnswire.NewQuery(0x7777, "www.vict.im.", dnswire.TypeA)
+	q.SetEDNS(4096, false)
+	resp := s.NS.BuildResponse(q)
+	dnsWire, err := resp.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Genuine UDP datagram as the server would send it.
+	u := &packet.UDP{SrcPort: 53, DstPort: 40000, Payload: dnsWire}
+	genuine, err := u.Serialize(nil, scenario.NSIP, scenario.ResolverIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mtu = 552
+	frag2, fragOff, ok := core.CraftSecondFragment(dnsWire, mtu, scenario.AttackerIP)
+	if !ok {
+		t.Fatal("craft failed")
+	}
+	if fragOff%8 != 0 {
+		t.Fatalf("fragment offset %d not 8-aligned", fragOff)
+	}
+	// Splice: genuine first fragment + crafted tail.
+	spliced := append(append([]byte(nil), genuine[:fragOff]...), frag2...)
+	if len(spliced) != len(genuine) {
+		t.Fatalf("length changed: %d vs %d", len(spliced), len(genuine))
+	}
+	out, err := packet.DecodeUDP(spliced, scenario.NSIP, scenario.ResolverIP, true)
+	if err != nil {
+		t.Fatalf("spliced datagram failed checksum: %v", err)
+	}
+	msg, err := dnswire.Unpack(out.Payload)
+	if err != nil {
+		t.Fatalf("spliced DNS unparseable: %v", err)
+	}
+	var lastA *dnswire.AData
+	for _, rr := range msg.Answers {
+		if rr.Type == dnswire.TypeA {
+			lastA = rr.Data.(*dnswire.AData)
+		}
+	}
+	if lastA == nil || lastA.Addr != scenario.AttackerIP {
+		t.Fatalf("spliced answer A = %v, want attacker", lastA)
+	}
+}
+
+func TestCraftRefusesWhenRecordInFirstFragment(t *testing.T) {
+	// A small response where the A record would sit in fragment 1.
+	s := scenario.New(scenario.Config{Seed: 48})
+	q := dnswire.NewQuery(1, "www.vict.im.", dnswire.TypeA)
+	resp := s.NS.BuildResponse(q)
+	wire, _ := resp.Pack()
+	if _, _, ok := core.CraftSecondFragment(wire, 552, scenario.AttackerIP); ok {
+		t.Fatal("craft should refuse unfragmentable/unreachable targets")
+	}
+}
+
+func TestSamePrefixInterceptionRateOnScenarioTopo(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 49})
+	pairs := [][2]bgp.ASN{{scenario.DomainAS, scenario.AttackerAS}}
+	rate := core.SamePrefixInterceptionRate(s.Topo, scenario.DomainPrefix, pairs)
+	if rate < 0 || rate > 1 {
+		t.Fatalf("rate = %f", rate)
+	}
+}

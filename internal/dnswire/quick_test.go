@@ -1,0 +1,114 @@
+package dnswire
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genMessage builds a random-but-valid message for property testing.
+func genMessage(rng *rand.Rand) *Message {
+	names := []string{"vict.im.", "www.vict.im.", "a.b.c.vict.im.", "atk.example.", "x.Y.Z.example."}
+	pick := func() string { return names[rng.Intn(len(names))] }
+	m := &Message{
+		ID:               uint16(rng.Uint32()),
+		Response:         rng.Intn(2) == 1,
+		Authoritative:    rng.Intn(2) == 1,
+		RecursionDesired: rng.Intn(2) == 1,
+		RCode:            RCode(rng.Intn(6)),
+		Questions:        []Question{{Name: pick(), Type: TypeA, Class: ClassIN}},
+	}
+	n := rng.Intn(8)
+	for i := 0; i < n; i++ {
+		name := pick()
+		switch rng.Intn(6) {
+		case 0:
+			m.Answers = append(m.Answers, NewA(name, uint32(rng.Intn(3600)), netip.AddrFrom4([4]byte{byte(rng.Intn(256)), 2, 3, 4})))
+		case 1:
+			m.Answers = append(m.Answers, NewMX(name, 60, uint16(rng.Intn(100)), pick()))
+		case 2:
+			m.Answers = append(m.Answers, NewTXT(name, 60, "some text", "more text"))
+		case 3:
+			m.Answers = append(m.Answers, NewCNAME(name, 60, pick()))
+		case 4:
+			m.Answers = append(m.Answers, NewSRV(name, 60, 1, 2, 5269, pick()))
+		default:
+			m.Answers = append(m.Answers, NewNS(name, 60, pick()))
+		}
+	}
+	if rng.Intn(3) == 0 {
+		m.Authority = append(m.Authority, NewSOA(pick(), 300, pick(), pick(), uint32(rng.Uint32())))
+	}
+	if rng.Intn(3) == 0 {
+		m.SetEDNS(uint16(512+rng.Intn(4096)), rng.Intn(2) == 1)
+	}
+	return m
+}
+
+// TestQuickPackUnpackIdentity: for any generated message, unpack(pack(m))
+// preserves header, question (byte case included), and the rendered
+// form of every record.
+func TestQuickPackUnpackIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func() bool {
+		m := genMessage(rng)
+		wire, err := m.Pack()
+		if err != nil {
+			t.Logf("pack: %v", err)
+			return false
+		}
+		out, err := Unpack(wire)
+		if err != nil {
+			t.Logf("unpack: %v", err)
+			return false
+		}
+		if out.ID != m.ID || out.Response != m.Response || out.RCode != m.RCode ||
+			out.Authoritative != m.Authoritative || out.RecursionDesired != m.RecursionDesired {
+			return false
+		}
+		if len(out.Questions) != 1 || out.Questions[0].Name != m.Questions[0].Name {
+			return false
+		}
+		if len(out.Answers) != len(m.Answers) {
+			return false
+		}
+		for i := range m.Answers {
+			if out.Answers[i].Type != m.Answers[i].Type ||
+				!EqualNames(out.Answers[i].Name, m.Answers[i].Name) ||
+				out.Answers[i].Data.String() != m.Answers[i].Data.String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDoublePackStable: packing the unpacked message again yields
+// identical bytes (a canonical-form property; compression decisions are
+// deterministic).
+func TestQuickDoublePackStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 300; i++ {
+		m := genMessage(rng)
+		w1, err := m.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Unpack(w1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := back.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(w1, w2) {
+			t.Fatalf("repack differs (%d vs %d bytes)", len(w1), len(w2))
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Type is a DNS RR/query type.
+type Type uint16
+
+// RR types used in this repository (Table 1's "Record Type" column).
+const (
+	TypeA        Type = 1
+	TypeNS       Type = 2
+	TypeCNAME    Type = 5
+	TypeSOA      Type = 6
+	TypePTR      Type = 12
+	TypeMX       Type = 15
+	TypeTXT      Type = 16
+	TypeAAAA     Type = 28
+	TypeSRV      Type = 33
+	TypeNAPTR    Type = 35
+	TypeOPT      Type = 41
+	TypeIPSECKEY Type = 45
+	TypeRRSIG    Type = 46
+	TypeDNSKEY   Type = 48
+	TypeANY      Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeA: "A", TypeNS: "NS", TypeCNAME: "CNAME", TypeSOA: "SOA",
+	TypePTR: "PTR", TypeMX: "MX", TypeTXT: "TXT", TypeAAAA: "AAAA",
+	TypeSRV: "SRV", TypeNAPTR: "NAPTR", TypeOPT: "OPT",
+	TypeIPSECKEY: "IPSECKEY", TypeRRSIG: "RRSIG", TypeDNSKEY: "DNSKEY",
+	TypeANY: "ANY",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class; only IN is used.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RR is a resource record. RData holds the type-specific data as one
+// of the concrete RData implementations below.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+func (rr *RR) String() string {
+	return fmt.Sprintf("%s %d IN %s %s", CanonicalName(rr.Name), rr.TTL, rr.Type, rr.Data)
+}
+
+// Copy returns a deep-enough copy safe to mutate (cache entries hand
+// out copies so TTL adjustment cannot corrupt the cache).
+func (rr *RR) Copy() *RR {
+	cp := *rr
+	return &cp
+}
+
+// RData is the type-specific payload of a resource record.
+type RData interface {
+	// appendTo appends the RDATA wire bytes (no length prefix).
+	// Compression inside RDATA is deliberately not used: modern
+	// servers avoid it for all types except the legacy ones, and it
+	// keeps lengths predictable for the fragmentation experiments.
+	appendTo(msg []byte) ([]byte, error)
+	String() string
+}
+
+// AData is an A record: a single IPv4 address.
+type AData struct{ Addr netip.Addr }
+
+func (d *AData) appendTo(msg []byte) ([]byte, error) {
+	if !d.Addr.Is4() {
+		return nil, fmt.Errorf("dnswire: A record with non-IPv4 address %v", d.Addr)
+	}
+	a := d.Addr.As4()
+	return append(msg, a[:]...), nil
+}
+func (d *AData) String() string { return d.Addr.String() }
+
+// AAAAData is an AAAA record: a single IPv6 address.
+type AAAAData struct{ Addr netip.Addr }
+
+func (d *AAAAData) appendTo(msg []byte) ([]byte, error) {
+	if !d.Addr.Is6() {
+		return nil, fmt.Errorf("dnswire: AAAA record with non-IPv6 address %v", d.Addr)
+	}
+	a := d.Addr.As16()
+	return append(msg, a[:]...), nil
+}
+func (d *AAAAData) String() string { return d.Addr.String() }
+
+// NSData is an NS record target.
+type NSData struct{ Host string }
+
+func (d *NSData) appendTo(msg []byte) ([]byte, error) { return appendName(msg, d.Host, nil) }
+func (d *NSData) String() string                      { return CanonicalName(d.Host) }
+
+// CNAMEData is a CNAME target.
+type CNAMEData struct{ Target string }
+
+func (d *CNAMEData) appendTo(msg []byte) ([]byte, error) { return appendName(msg, d.Target, nil) }
+func (d *CNAMEData) String() string                      { return CanonicalName(d.Target) }
+
+// PTRData is a PTR target.
+type PTRData struct{ Target string }
+
+func (d *PTRData) appendTo(msg []byte) ([]byte, error) { return appendName(msg, d.Target, nil) }
+func (d *PTRData) String() string                      { return CanonicalName(d.Target) }
+
+// SOAData is an SOA record.
+type SOAData struct {
+	MName, RName                            string
+	Serial, Refresh, Retry, Expire, Minimum uint32
+}
+
+func (d *SOAData) appendTo(msg []byte) ([]byte, error) {
+	var err error
+	if msg, err = appendName(msg, d.MName, nil); err != nil {
+		return nil, err
+	}
+	if msg, err = appendName(msg, d.RName, nil); err != nil {
+		return nil, err
+	}
+	var b [20]byte
+	binary.BigEndian.PutUint32(b[0:], d.Serial)
+	binary.BigEndian.PutUint32(b[4:], d.Refresh)
+	binary.BigEndian.PutUint32(b[8:], d.Retry)
+	binary.BigEndian.PutUint32(b[12:], d.Expire)
+	binary.BigEndian.PutUint32(b[16:], d.Minimum)
+	return append(msg, b[:]...), nil
+}
+func (d *SOAData) String() string {
+	return fmt.Sprintf("%s %s %d", CanonicalName(d.MName), CanonicalName(d.RName), d.Serial)
+}
+
+// MXData is an MX record.
+type MXData struct {
+	Pref uint16
+	Host string
+}
+
+func (d *MXData) appendTo(msg []byte) ([]byte, error) {
+	msg = binary.BigEndian.AppendUint16(msg, d.Pref)
+	return appendName(msg, d.Host, nil)
+}
+func (d *MXData) String() string { return fmt.Sprintf("%d %s", d.Pref, CanonicalName(d.Host)) }
+
+// TXTData is a TXT record: one or more character strings.
+type TXTData struct{ Strings []string }
+
+func (d *TXTData) appendTo(msg []byte) ([]byte, error) {
+	if len(d.Strings) == 0 {
+		return append(msg, 0), nil
+	}
+	for _, s := range d.Strings {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("dnswire: TXT string exceeds 255 bytes")
+		}
+		msg = append(msg, byte(len(s)))
+		msg = append(msg, s...)
+	}
+	return msg, nil
+}
+func (d *TXTData) String() string { return `"` + strings.Join(d.Strings, `" "`) + `"` }
+
+// Joined returns the concatenation of the TXT strings — how SPF/DKIM
+// consumers interpret multi-string TXT records.
+func (d *TXTData) Joined() string { return strings.Join(d.Strings, "") }
+
+// SRVData is an SRV record (RFC 2782), used by XMPP federation.
+type SRVData struct {
+	Priority, Weight, Port uint16
+	Target                 string
+}
+
+func (d *SRVData) appendTo(msg []byte) ([]byte, error) {
+	msg = binary.BigEndian.AppendUint16(msg, d.Priority)
+	msg = binary.BigEndian.AppendUint16(msg, d.Weight)
+	msg = binary.BigEndian.AppendUint16(msg, d.Port)
+	return appendName(msg, d.Target, nil)
+}
+func (d *SRVData) String() string {
+	return fmt.Sprintf("%d %d %d %s", d.Priority, d.Weight, d.Port, CanonicalName(d.Target))
+}
+
+// NAPTRData is a NAPTR record (RFC 3403), used by RADIUS/eduroam
+// dynamic peer discovery.
+type NAPTRData struct {
+	Order, Pref                         uint16
+	Flags, Service, Regexp, Replacement string
+}
+
+func (d *NAPTRData) appendTo(msg []byte) ([]byte, error) {
+	msg = binary.BigEndian.AppendUint16(msg, d.Order)
+	msg = binary.BigEndian.AppendUint16(msg, d.Pref)
+	for _, s := range []string{d.Flags, d.Service, d.Regexp} {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("dnswire: NAPTR string exceeds 255 bytes")
+		}
+		msg = append(msg, byte(len(s)))
+		msg = append(msg, s...)
+	}
+	return appendName(msg, d.Replacement, nil)
+}
+func (d *NAPTRData) String() string {
+	return fmt.Sprintf("%d %d %q %q %q %s", d.Order, d.Pref, d.Flags, d.Service, d.Regexp, CanonicalName(d.Replacement))
+}
+
+// IPSECKEYData is an IPSECKEY record (RFC 4025), used by opportunistic
+// IPsec (Table 1's IKE row).
+type IPSECKEYData struct {
+	Precedence  uint8
+	GatewayType uint8 // 0 none, 1 IPv4, 3 name
+	Algorithm   uint8
+	GatewayIP   netip.Addr
+	GatewayName string
+	PublicKey   []byte
+}
+
+func (d *IPSECKEYData) appendTo(msg []byte) ([]byte, error) {
+	msg = append(msg, d.Precedence, d.GatewayType, d.Algorithm)
+	switch d.GatewayType {
+	case 0:
+	case 1:
+		if !d.GatewayIP.Is4() {
+			return nil, fmt.Errorf("dnswire: IPSECKEY gateway type 1 needs IPv4")
+		}
+		a := d.GatewayIP.As4()
+		msg = append(msg, a[:]...)
+	case 3:
+		var err error
+		if msg, err = appendName(msg, d.GatewayName, nil); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("dnswire: IPSECKEY gateway type %d unsupported", d.GatewayType)
+	}
+	return append(msg, d.PublicKey...), nil
+}
+func (d *IPSECKEYData) String() string {
+	gw := "."
+	switch d.GatewayType {
+	case 1:
+		gw = d.GatewayIP.String()
+	case 3:
+		gw = CanonicalName(d.GatewayName)
+	}
+	return fmt.Sprintf("%d %d %d %s [%d-byte key]", d.Precedence, d.GatewayType, d.Algorithm, gw, len(d.PublicKey))
+}
+
+// RRSIGData is a simplified RRSIG presence marker: it carries the
+// covered type and signer name with a fixed-size placeholder signature.
+// It exists so signed zones produce realistically sized responses and
+// so validating resolvers can check "is this RRset signed by the zone I
+// expect"; real cryptography is out of scope (see DESIGN.md §5).
+type RRSIGData struct {
+	Covered Type
+	Signer  string
+	// Valid marks the signature as verifying correctly. A spoofed
+	// record injected by an attacker without the zone key carries
+	// Valid=false, which a validating resolver rejects.
+	Valid     bool
+	Signature []byte
+}
+
+func (d *RRSIGData) appendTo(msg []byte) ([]byte, error) {
+	msg = binary.BigEndian.AppendUint16(msg, uint16(d.Covered))
+	msg = append(msg, 8 /*alg*/, byte(CountLabels(d.Signer)))
+	valid := byte(0)
+	if d.Valid {
+		valid = 1
+	}
+	msg = append(msg, valid) // placeholder where TTL would start
+	msg = append(msg, make([]byte, 15)...)
+	var err error
+	if msg, err = appendName(msg, d.Signer, nil); err != nil {
+		return nil, err
+	}
+	sig := d.Signature
+	if len(sig) == 0 {
+		sig = make([]byte, 64)
+	}
+	return append(msg, sig...), nil
+}
+func (d *RRSIGData) String() string {
+	return fmt.Sprintf("RRSIG(%s) by %s valid=%v", d.Covered, CanonicalName(d.Signer), d.Valid)
+}
+
+// OPTData is the EDNS0 pseudo-record (RFC 6891). UDPSize is carried in
+// the RR CLASS field; DO in the TTL field.
+type OPTData struct {
+	UDPSize uint16
+	DO      bool // DNSSEC OK
+}
+
+func (d *OPTData) appendTo(msg []byte) ([]byte, error) { return msg, nil }
+func (d *OPTData) String() string                      { return fmt.Sprintf("EDNS0 udp=%d do=%v", d.UDPSize, d.DO) }
+
+// RawData carries undecoded RDATA for unknown types.
+type RawData struct{ Bytes []byte }
+
+func (d *RawData) appendTo(msg []byte) ([]byte, error) { return append(msg, d.Bytes...), nil }
+func (d *RawData) String() string                      { return fmt.Sprintf("\\# %d", len(d.Bytes)) }
+
+// Convenience constructors.
+
+// NewA builds an A record.
+func NewA(name string, ttl uint32, addr netip.Addr) *RR {
+	return &RR{Name: CanonicalName(name), Type: TypeA, Class: ClassIN, TTL: ttl, Data: &AData{Addr: addr}}
+}
+
+// NewNS builds an NS record.
+func NewNS(name string, ttl uint32, host string) *RR {
+	return &RR{Name: CanonicalName(name), Type: TypeNS, Class: ClassIN, TTL: ttl, Data: &NSData{Host: CanonicalName(host)}}
+}
+
+// NewCNAME builds a CNAME record.
+func NewCNAME(name string, ttl uint32, target string) *RR {
+	return &RR{Name: CanonicalName(name), Type: TypeCNAME, Class: ClassIN, TTL: ttl, Data: &CNAMEData{Target: CanonicalName(target)}}
+}
+
+// NewMX builds an MX record.
+func NewMX(name string, ttl uint32, pref uint16, host string) *RR {
+	return &RR{Name: CanonicalName(name), Type: TypeMX, Class: ClassIN, TTL: ttl, Data: &MXData{Pref: pref, Host: CanonicalName(host)}}
+}
+
+// NewTXT builds a TXT record.
+func NewTXT(name string, ttl uint32, strs ...string) *RR {
+	return &RR{Name: CanonicalName(name), Type: TypeTXT, Class: ClassIN, TTL: ttl, Data: &TXTData{Strings: strs}}
+}
+
+// NewSRV builds an SRV record.
+func NewSRV(name string, ttl uint32, prio, weight, port uint16, target string) *RR {
+	return &RR{Name: CanonicalName(name), Type: TypeSRV, Class: ClassIN, TTL: ttl,
+		Data: &SRVData{Priority: prio, Weight: weight, Port: port, Target: CanonicalName(target)}}
+}
+
+// NewNAPTR builds a NAPTR record.
+func NewNAPTR(name string, ttl uint32, order, pref uint16, flags, service, replacement string) *RR {
+	return &RR{Name: CanonicalName(name), Type: TypeNAPTR, Class: ClassIN, TTL: ttl,
+		Data: &NAPTRData{Order: order, Pref: pref, Flags: flags, Service: service, Replacement: CanonicalName(replacement)}}
+}
+
+// NewSOA builds an SOA record with standard timers.
+func NewSOA(name string, ttl uint32, mname, rname string, serial uint32) *RR {
+	return &RR{Name: CanonicalName(name), Type: TypeSOA, Class: ClassIN, TTL: ttl,
+		Data: &SOAData{MName: CanonicalName(mname), RName: CanonicalName(rname), Serial: serial,
+			Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300}}
+}

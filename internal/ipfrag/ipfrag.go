@@ -1,0 +1,196 @@
+// Package ipfrag implements an IPv4 defragmentation cache with
+// Linux-like semantics: reassembly keyed by (src, dst, protocol, IPID),
+// a bounded number of in-progress datagrams (64 by default, matching
+// the buffer FragDNS fills with candidate spoofed fragments), a
+// reassembly timeout, and first-fragment-wins overlap policy (the
+// post-"fragmentation considered poisonous" hardening; the attack in
+// the paper does not rely on overlaps, only on supplying the missing
+// second fragment).
+package ipfrag
+
+import (
+	"sort"
+	"time"
+
+	"crosslayer/internal/packet"
+)
+
+// Key identifies one in-progress reassembly.
+type Key struct {
+	Src, Dst [4]byte
+	Proto    uint8
+	ID       uint16
+}
+
+// KeyOf returns the reassembly key for a fragment.
+func KeyOf(ip *packet.IPv4) Key {
+	return Key{Src: ip.Src.As4(), Dst: ip.Dst.As4(), Proto: ip.Protocol, ID: ip.ID}
+}
+
+type hole struct{ first, last int } // byte range, inclusive first, exclusive last
+
+type reassembly struct {
+	key      Key
+	frags    []*packet.IPv4
+	arrived  time.Duration
+	total    int // total datagram payload length, -1 until final fragment seen
+	haveLast bool
+}
+
+// Stats counts cache activity, used by the measurement harness.
+type Stats struct {
+	Inserted    int // fragments accepted into the cache
+	Reassembled int
+	Evicted     int // reassemblies dropped for capacity
+	Expired     int
+	Duplicates  int // fragments dropped by first-wins overlap policy
+}
+
+// Cache is an IPv4 defragmentation cache. It is driven by virtual
+// time: callers pass the current time to Insert and Expire.
+type Cache struct {
+	capacity int
+	timeout  time.Duration
+	entries  map[Key]*reassembly
+	order    []Key // FIFO for capacity eviction
+	stats    Stats
+}
+
+// Defaults matching Linux: 64 datagrams in flight (the paper's "64
+// packets to fill the resolver IP-defragmentation buffer"), 30s timer.
+const (
+	DefaultCapacity = 64
+	DefaultTimeout  = 30 * time.Second
+)
+
+// New returns a cache with the given capacity and timeout; zero values
+// select the defaults.
+func New(capacity int, timeout time.Duration) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Cache{capacity: capacity, timeout: timeout, entries: make(map[Key]*reassembly)}
+}
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Len reports the number of in-progress reassemblies.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Insert adds a fragment at virtual time now. If the fragment
+// completes a datagram, the reassembled packet (with MF cleared and
+// FragOff zero) is returned and the reassembly is removed. A
+// non-fragment packet is returned unchanged.
+func (c *Cache) Insert(ip *packet.IPv4, now time.Duration) *packet.IPv4 {
+	if !ip.IsFragment() {
+		return ip
+	}
+	c.Expire(now)
+	k := KeyOf(ip)
+	r := c.entries[k]
+	if r == nil {
+		if len(c.entries) >= c.capacity {
+			c.evictOldest()
+		}
+		r = &reassembly{key: k, arrived: now, total: -1}
+		c.entries[k] = r
+		c.order = append(c.order, k)
+	}
+	// First-wins: drop a fragment whose byte range overlaps data we
+	// already hold.
+	start := int(ip.FragOff) * 8
+	end := start + len(ip.Payload)
+	for _, f := range r.frags {
+		fs := int(f.FragOff) * 8
+		fe := fs + len(f.Payload)
+		if start < fe && fs < end {
+			c.stats.Duplicates++
+			return nil
+		}
+	}
+	cp := *ip
+	r.frags = append(r.frags, &cp)
+	c.stats.Inserted++
+	if !ip.MF {
+		r.haveLast = true
+		r.total = end
+	}
+	if done := r.assemble(); done != nil {
+		delete(c.entries, k)
+		c.removeOrder(k)
+		c.stats.Reassembled++
+		return done
+	}
+	return nil
+}
+
+// assemble returns the reassembled datagram if all holes are filled.
+func (r *reassembly) assemble() *packet.IPv4 {
+	if !r.haveLast {
+		return nil
+	}
+	sort.Slice(r.frags, func(i, j int) bool { return r.frags[i].FragOff < r.frags[j].FragOff })
+	payload := make([]byte, 0, r.total)
+	next := 0
+	for _, f := range r.frags {
+		fs := int(f.FragOff) * 8
+		if fs != next {
+			return nil // hole
+		}
+		payload = append(payload, f.Payload...)
+		next = fs + len(f.Payload)
+	}
+	if next != r.total {
+		return nil
+	}
+	first := r.frags[0]
+	out := *first
+	out.MF = false
+	out.FragOff = 0
+	out.Payload = payload
+	return &out
+}
+
+// Expire drops reassemblies older than the timeout.
+func (c *Cache) Expire(now time.Duration) {
+	for k, r := range c.entries {
+		if now-r.arrived > c.timeout {
+			delete(c.entries, k)
+			c.removeOrder(k)
+			c.stats.Expired++
+		}
+	}
+}
+
+func (c *Cache) evictOldest() {
+	if len(c.order) == 0 {
+		return
+	}
+	k := c.order[0]
+	c.order = c.order[1:]
+	if _, ok := c.entries[k]; ok {
+		delete(c.entries, k)
+		c.stats.Evicted++
+	}
+}
+
+func (c *Cache) removeOrder(k Key) {
+	for i, o := range c.order {
+		if o == k {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Pending reports whether a reassembly for key k is in progress —
+// used by tests to observe planted attacker fragments waiting in the
+// cache.
+func (c *Cache) Pending(k Key) bool {
+	_, ok := c.entries[k]
+	return ok
+}

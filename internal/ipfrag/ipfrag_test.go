@@ -1,0 +1,223 @@
+package ipfrag
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"crosslayer/internal/packet"
+)
+
+var (
+	src = netip.MustParseAddr("123.0.0.53")
+	dst = netip.MustParseAddr("30.0.0.1")
+)
+
+func mkDatagram(id uint16, n int) *packet.IPv4 {
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	return &packet.IPv4{ID: id, TTL: 64, Protocol: packet.ProtoUDP, Src: src, Dst: dst, Payload: payload}
+}
+
+func TestReassembleInOrder(t *testing.T) {
+	c := New(0, 0)
+	orig := mkDatagram(42, 1200)
+	frags, _ := orig.Fragment(576)
+	var out *packet.IPv4
+	for _, f := range frags {
+		out = c.Insert(f, 0)
+	}
+	if out == nil {
+		t.Fatal("no reassembly after final fragment")
+	}
+	if !bytes.Equal(out.Payload, orig.Payload) || out.MF || out.FragOff != 0 {
+		t.Fatalf("bad reassembly: len=%d mf=%v off=%d", len(out.Payload), out.MF, out.FragOff)
+	}
+	if c.Len() != 0 {
+		t.Fatal("completed reassembly still cached")
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	c := New(0, 0)
+	orig := mkDatagram(42, 2000)
+	frags, _ := orig.Fragment(576)
+	rng := rand.New(rand.NewSource(5))
+	rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+	var out *packet.IPv4
+	for _, f := range frags {
+		if got := c.Insert(f, 0); got != nil {
+			out = got
+		}
+	}
+	if out == nil || !bytes.Equal(out.Payload, orig.Payload) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestSpoofedSecondFragmentWins(t *testing.T) {
+	// The FragDNS core move: attacker's second fragment sits in the
+	// cache first; the genuine first fragment completes it; the later
+	// genuine second fragment is orphaned.
+	c := New(0, 0)
+	orig := mkDatagram(0x1234, 1000)
+	frags, _ := orig.Fragment(576)
+	if len(frags) != 2 {
+		t.Fatalf("want 2 fragments, got %d", len(frags))
+	}
+	evil := *frags[1]
+	evilPayload := bytes.Repeat([]byte{0x66}, len(frags[1].Payload))
+	evil.Payload = evilPayload
+
+	if got := c.Insert(&evil, 0); got != nil {
+		t.Fatal("lone second fragment reassembled")
+	}
+	out := c.Insert(frags[0], 0)
+	if out == nil {
+		t.Fatal("genuine first + spoofed second did not reassemble")
+	}
+	if !bytes.Equal(out.Payload[len(frags[0].Payload):], evilPayload) {
+		t.Fatal("reassembly does not contain spoofed bytes")
+	}
+	// Genuine second fragment arrives late: starts a new (never
+	// completed) reassembly.
+	if got := c.Insert(frags[1], 0); got != nil {
+		t.Fatal("orphaned genuine fragment reassembled")
+	}
+}
+
+func TestDifferentIPIDsDoNotMix(t *testing.T) {
+	c := New(0, 0)
+	a := mkDatagram(1, 1000)
+	b := mkDatagram(2, 1000)
+	fa, _ := a.Fragment(576)
+	fb, _ := b.Fragment(576)
+	if got := c.Insert(fa[0], 0); got != nil {
+		t.Fatal("incomplete reassembled")
+	}
+	if got := c.Insert(fb[1], 0); got != nil {
+		t.Fatal("fragments with different IPID reassembled")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("want 2 pending reassemblies, got %d", c.Len())
+	}
+}
+
+func TestOverlapFirstWins(t *testing.T) {
+	c := New(0, 0)
+	orig := mkDatagram(9, 1000)
+	frags, _ := orig.Fragment(576)
+	evil := *frags[1]
+	evil.Payload = bytes.Repeat([]byte{0xEE}, len(frags[1].Payload))
+	c.Insert(frags[1], 0) // genuine second first
+	out := c.Insert(&evil, 0)
+	if out != nil {
+		t.Fatal("overlap insert completed a reassembly")
+	}
+	out = c.Insert(frags[0], 0)
+	if out == nil {
+		t.Fatal("reassembly failed")
+	}
+	if !bytes.Equal(out.Payload, orig.Payload) {
+		t.Fatal("later overlapping fragment overrode earlier data (first-wins violated)")
+	}
+	if c.Stats().Duplicates != 1 {
+		t.Fatalf("duplicates=%d, want 1", c.Stats().Duplicates)
+	}
+}
+
+func TestCapacityEvictionFIFO(t *testing.T) {
+	c := New(4, 0)
+	for id := uint16(1); id <= 5; id++ {
+		f, _ := mkDatagram(id, 1000).Fragment(576)
+		c.Insert(f[0], 0)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len=%d, want 4", c.Len())
+	}
+	if c.Pending(Key{Src: src.As4(), Dst: dst.As4(), Proto: packet.ProtoUDP, ID: 1}) {
+		t.Fatal("oldest reassembly not evicted")
+	}
+	if c.Stats().Evicted != 1 {
+		t.Fatalf("evicted=%d, want 1", c.Stats().Evicted)
+	}
+	// Completing an evicted datagram must now fail.
+	f, _ := mkDatagram(1, 1000).Fragment(576)
+	if got := c.Insert(f[1], 0); got != nil {
+		t.Fatal("evicted reassembly completed")
+	}
+}
+
+func TestTimeoutExpiry(t *testing.T) {
+	c := New(0, 10*time.Second)
+	f, _ := mkDatagram(7, 1000).Fragment(576)
+	c.Insert(f[0], 0)
+	if got := c.Insert(f[1], 11*time.Second); got != nil {
+		t.Fatal("fragment reassembled with expired sibling")
+	}
+	if c.Stats().Expired != 1 {
+		t.Fatalf("expired=%d, want 1", c.Stats().Expired)
+	}
+}
+
+func TestNonFragmentPassesThrough(t *testing.T) {
+	c := New(0, 0)
+	ip := mkDatagram(1, 100)
+	if got := c.Insert(ip, 0); got != ip {
+		t.Fatal("non-fragment did not pass through")
+	}
+	if c.Len() != 0 {
+		t.Fatal("non-fragment cached")
+	}
+}
+
+func TestHoleDetection(t *testing.T) {
+	c := New(0, 0)
+	orig := mkDatagram(3, 2000)
+	frags, _ := orig.Fragment(576)
+	if len(frags) < 4 {
+		t.Fatalf("need >=4 frags, got %d", len(frags))
+	}
+	// Insert all but one middle fragment.
+	for i, f := range frags {
+		if i == 1 {
+			continue
+		}
+		if got := c.Insert(f, 0); got != nil {
+			t.Fatal("reassembled with a hole")
+		}
+	}
+	if got := c.Insert(frags[1], 0); got == nil {
+		t.Fatal("filling the hole did not complete reassembly")
+	} else if !bytes.Equal(got.Payload, orig.Payload) {
+		t.Fatal("hole-filled reassembly corrupt")
+	}
+}
+
+func TestRandomizedReassemblyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		c := New(0, 0)
+		n := 100 + rng.Intn(4000)
+		mtu := 68 + rng.Intn(1000)
+		orig := mkDatagram(uint16(trial), n)
+		frags, err := orig.Fragment(mtu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+		var out *packet.IPv4
+		for _, f := range frags {
+			if got := c.Insert(f, 0); got != nil {
+				out = got
+			}
+		}
+		if out == nil || !bytes.Equal(out.Payload, orig.Payload) {
+			t.Fatalf("trial %d (n=%d mtu=%d): reassembly failed", trial, n, mtu)
+		}
+	}
+}

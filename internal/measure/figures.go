@@ -1,0 +1,132 @@
+package measure
+
+import (
+	"fmt"
+	"strings"
+
+	"crosslayer/internal/stats"
+)
+
+// Figure3 builds the announced-prefix-length CDFs for open-resolver
+// and ad-net resolver populations and the Alexa nameserver population
+// (paper Figure 3).
+func Figure3(sampleCap int, seed int64) (string, map[string]*stats.CDF) {
+	curves := map[string]*stats.CDF{}
+
+	build := func(label string, lens []float64) *stats.CDF {
+		c := stats.NewCDF(lens)
+		curves[label] = c
+		return c
+	}
+
+	specs := Table3Datasets()
+	var openLens, adnetLens []float64
+	for _, pick := range []struct {
+		idx  int
+		dst  *[]float64
+		name string
+	}{{7, &openLens, "open"}, {6, &adnetLens, "adnet"}} {
+		spec := specs[pick.idx]
+		n := spec.PaperSize
+		if n > sampleCap {
+			n = sampleCap
+		}
+		fleet := NewResolverFleet(spec, n, seed+int64(pick.idx))
+		for _, sr := range fleet.Resolvers {
+			*pick.dst = append(*pick.dst, float64(sr.AnnouncedPrefix.Bits()))
+		}
+	}
+	dspec := Table4Datasets()[1] // Alexa 1M nameservers
+	n := dspec.PaperSize
+	if n > sampleCap {
+		n = sampleCap
+	}
+	dfleet := NewDomainFleet(dspec, n, seed+100)
+	var nsLens []float64
+	for _, d := range dfleet.Domains {
+		nsLens = append(nsLens, float64(d.AnnouncedPrefix.Bits()))
+	}
+
+	var sb strings.Builder
+	sb.WriteString("== Figure 3: Announced prefixes (fraction per length) ==\n")
+	xs := make([]float64, 0, 14)
+	for b := 11; b <= 24; b++ {
+		xs = append(xs, float64(b))
+	}
+	for _, c := range []struct {
+		label string
+		cdf   *stats.CDF
+	}{
+		{"Resolvers: Open resolver", build("open", openLens)},
+		{"Resolvers: Adnet", build("adnet", adnetLens)},
+		{"Nameservers: Alexa", build("alexa-ns", nsLens)},
+	} {
+		prev := 0.0
+		fmt.Fprintf(&sb, "%s (n=%d)\n", c.label, c.cdf.Len())
+		for _, x := range xs {
+			p := c.cdf.At(x)
+			share := p - prev
+			prev = p
+			bar := strings.Repeat("#", int(share*100+0.5))
+			fmt.Fprintf(&sb, "  /%-2.0f |%-50s| %5.1f%%\n", x, bar, share*100)
+		}
+	}
+	return sb.String(), curves
+}
+
+// Figure4 renders resolver EDNS buffer sizes against nameserver
+// minimum fragment sizes (paper Figure 4).
+func Figure4(sampleCap int, seed int64) (string, *stats.CDF, *stats.CDF) {
+	// Resolver EDNS sizes: measured server-side during the frag scan of
+	// the open-resolver dataset.
+	spec := Table3Datasets()[7]
+	n := spec.PaperSize
+	if n > sampleCap {
+		n = sampleCap
+	}
+	fleet := NewResolverFleet(spec, n, seed)
+	rres := ScanResolverFleet(fleet)
+	edns := stats.NewCDF(rres.EDNSSizes)
+
+	// Nameserver min fragment sizes: PMTUD sweep over the eduroam
+	// dataset (the most fragmentation-prone one).
+	dspec := Table4Datasets()[0]
+	dn := dspec.PaperSize
+	if dn > sampleCap {
+		dn = sampleCap
+	}
+	dfleet := NewDomainFleet(dspec, dn, seed+1)
+	dres := ScanDomainFleet(dfleet)
+	frag := stats.NewCDF(dres.MinFragSizes)
+
+	xs := []float64{68, 292, 548, 1500, 2048, 3072, 4096}
+	var sb strings.Builder
+	sb.WriteString("== Figure 4: resolver EDNS UDP size vs minimum fragment size ==\n")
+	sb.WriteString(edns.RenderASCII("EDNS size of resolvers", xs, "%6.0f"))
+	sb.WriteString(frag.RenderASCII("minimum fragment size of nameservers", xs, "%6.0f"))
+	return sb.String(), edns, frag
+}
+
+// Figure5 builds the Venn partitions of vulnerable resolvers and
+// domains across the three methods (paper Figure 5).
+func Figure5(sampleCap int, seed int64) (string, stats.Venn3, stats.Venn3) {
+	var rMembers, dMembers []uint8
+	_, rres := Table3(sampleCap, seed)
+	for _, r := range rres {
+		rMembers = append(rMembers, r.Membership...)
+	}
+	_, dres := Table4(sampleCap, seed+50)
+	for _, d := range dres {
+		dMembers = append(dMembers, d.Membership...)
+	}
+	labels := [3]string{"HijackDNS", "SadDNS", "FragDNS"}
+	rv := stats.NewVenn3(labels, rMembers)
+	dv := stats.NewVenn3(labels, dMembers)
+	var sb strings.Builder
+	sb.WriteString("== Figure 5a: vulnerable resolvers (sampled) ==\n")
+	sb.WriteString(rv.String())
+	sb.WriteString("\n== Figure 5b: vulnerable domains (sampled) ==\n")
+	sb.WriteString(dv.String())
+	sb.WriteString("\n")
+	return sb.String(), rv, dv
+}

@@ -1,0 +1,345 @@
+package measure
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"crosslayer/internal/bgp"
+	"crosslayer/internal/dnssrv"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+	"crosslayer/internal/packet"
+	"crosslayer/internal/resolver"
+	"crosslayer/internal/sim"
+	"crosslayer/internal/stats"
+)
+
+// SimDomain is one synthesized domain with its authoritative server.
+type SimDomain struct {
+	Index  int
+	Name   string
+	NSHost *netsim.Host
+	Server *dnssrv.Server
+
+	AnnouncedPrefix netip.Prefix
+	// Ground truth.
+	TruthSubPrefix  bool
+	TruthRateLimit  bool
+	TruthFragAny    bool
+	TruthFragGlobal bool
+	TruthDNSSEC     bool
+	// MinFragSize is the smallest fragment the server will emit
+	// (Figure 4's right curve); 0 when it never fragments.
+	MinFragSize int
+}
+
+// DomainFleet is a synthesized nameserver population.
+type DomainFleet struct {
+	Spec    DomainDatasetSpec
+	Clock   *sim.Clock
+	Net     *netsim.Network
+	Prober  *netsim.Host
+	Prober2 *netsim.Host
+	Domains []*SimDomain
+	// BurstSize is the RRL probe volume (paper: 4000 queries/s; tests
+	// scale it down).
+	BurstSize int
+}
+
+func fleetNSAddr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 53})
+}
+
+// NewDomainFleet synthesizes n domains drawn from spec.
+func NewDomainFleet(spec DomainDatasetSpec, n int, seed int64) *DomainFleet {
+	clock := sim.NewClock(seed)
+	rng := clock.NewRand()
+	topo := bgp.NewTopology()
+	topo.AddAS(fleetTransitAS, 1)
+	for _, asn := range []bgp.ASN{fleetProbeAS, fleetNSAS} {
+		topo.AddAS(asn, 3)
+		topo.AddProviderCustomer(fleetTransitAS, asn)
+	}
+	rib := bgp.NewRIB(topo, nil)
+	net := netsim.New(clock, topo, rib)
+	rib.Announce(netip.MustParsePrefix("192.0.2.0/24"), fleetProbeAS)
+	rib.Announce(netip.MustParsePrefix("10.0.0.0/8"), fleetNSAS)
+
+	f := &DomainFleet{
+		Spec: spec, Clock: clock, Net: net,
+		Prober:    net.AddHost("prober", fleetProbeAS, netip.MustParseAddr("192.0.2.10")),
+		Prober2:   net.AddHost("prober2", fleetProbeAS, netip.MustParseAddr("192.0.2.11")),
+		BurstSize: 400,
+	}
+	net.AS(fleetProbeAS).EgressFiltering = false
+
+	for i := 0; i < n; i++ {
+		addr := fleetNSAddr(i)
+		h := net.AddHost(fmt.Sprintf("ns-%d", i), fleetNSAS, addr)
+		name := fmt.Sprintf("dom-%d.example.", i)
+
+		truthSub := rng.Float64() < spec.SubPrefixRate
+		plen := 24
+		if truthSub {
+			plen = samplePrefixLen(rng, 1.0)
+			if plen == 24 {
+				plen = 22
+			}
+		}
+		prefix, _ := addr.Prefix(plen)
+
+		cfg := dnssrv.DefaultConfig()
+		truthRRL := rng.Float64() < spec.SadDNSRate
+		if truthRRL {
+			cfg.RateLimit = true
+			cfg.RateLimitQPS = 100
+		}
+		truthFragAny := rng.Float64() < spec.FragAnyRate
+		minFrag := 0
+		if truthFragAny {
+			h.Cfg.HonorPMTUD = true
+			minFrag = sampleMinFragSize(rng)
+			h.Cfg.PMTUFloor = minFrag
+			cfg.PadAnswersTo = 1400 // big ANY responses
+		} else {
+			h.Cfg.HonorPMTUD = false
+		}
+		truthFragGlobal := false
+		if truthFragAny && spec.FragAnyRate > 0 {
+			// Conditional probability: global-IPID given fragmentable.
+			truthFragGlobal = rng.Float64() < spec.FragGlobalRate/spec.FragAnyRate
+		}
+		if truthFragGlobal {
+			h.Cfg.IPIDMode = netsim.IPIDGlobalCounter
+		} else if rng.Float64() < 0.5 {
+			h.Cfg.IPIDMode = netsim.IPIDRandom
+		} else {
+			h.Cfg.IPIDMode = netsim.IPIDPerDestCounter
+		}
+		truthSigned := rng.Float64() < spec.DNSSECRate
+
+		zone := dnssrv.NewZone(name)
+		zone.Signed = truthSigned
+		zone.Add(
+			dnswire.NewSOA(name, 3600, "ns."+name, "root."+name, 1),
+			dnswire.NewNS(name, 3600, "ns."+name),
+			dnswire.NewA("ns."+name, 3600, addr),
+			dnswire.NewA(name, 300, addr),
+			dnswire.NewMX(name, 300, 10, "mail."+name),
+			dnswire.NewA("mail."+name, 300, addr),
+			dnswire.NewTXT(name, 300, "v=spf1 ip4:10.0.0.0/8 -all"),
+		)
+		srv := dnssrv.New(h, cfg)
+		srv.AddZone(zone)
+
+		f.Domains = append(f.Domains, &SimDomain{
+			Index: i, Name: name, NSHost: h, Server: srv,
+			AnnouncedPrefix: prefix,
+			TruthSubPrefix:  truthSub, TruthRateLimit: truthRRL,
+			TruthFragAny: truthFragAny, TruthFragGlobal: truthFragGlobal,
+			TruthDNSSEC: truthSigned, MinFragSize: minFrag,
+		})
+	}
+	return f
+}
+
+// DomainScanResult is the measured Table 4 row.
+type DomainScanResult struct {
+	Spec       DomainDatasetSpec
+	Scanned    int
+	SubPrefix  int
+	SadDNS     int
+	FragAny    int
+	FragGlobal int
+	DNSSEC     int
+	// MinFragSizes holds, per fragmenting server, the smallest
+	// fragment observed (Figure 4's right curve).
+	MinFragSizes []float64
+	Membership   []uint8 // bit0 hijack, bit1 saddns, bit2 frag-any
+}
+
+// ScanDomainFleet runs the §5.2.2 nameserver measurements.
+func ScanDomainFleet(f *DomainFleet) DomainScanResult {
+	res := DomainScanResult{Spec: f.Spec, Scanned: len(f.Domains)}
+	for _, d := range f.Domains {
+		var bits uint8
+		if d.AnnouncedPrefix.Bits() < 24 {
+			res.SubPrefix++
+			bits |= 1
+		}
+		if scanRateLimit(f, d) {
+			res.SadDNS++
+			bits |= 2
+		}
+		if size, ok := scanPMTUD(f, d); ok {
+			res.FragAny++
+			bits |= 4
+			res.MinFragSizes = append(res.MinFragSizes, float64(size))
+			if scanGlobalIPID(f, d) {
+				res.FragGlobal++
+			}
+		}
+		if scanDNSSEC(f, d) {
+			res.DNSSEC++
+		}
+		res.Membership = append(res.Membership, bits)
+	}
+	return res
+}
+
+// scanRateLimit is the 4000-query burst test: blast queries within one
+// second and check whether responses are suppressed.
+func scanRateLimit(f *DomainFleet, d *SimDomain) bool {
+	// Fresh second so the server's RRL window is clean.
+	f.Clock.RunUntil((f.Clock.Now()/time.Second + 1) * time.Second)
+	got := 0
+	q := dnswire.NewQuery(9, d.Name, dnswire.TypeA)
+	wire, _ := q.Pack()
+	port := f.Prober.BindUDP(0, func(dg netsim.Datagram) {
+		if dg.Src == d.NSHost.Addr {
+			got++
+		}
+	})
+	for i := 0; i < f.BurstSize; i++ {
+		f.Prober.SendUDP(port, d.NSHost.Addr, 53, wire)
+	}
+	f.Net.RunFor(4 * f.Net.Latency())
+	f.Prober.CloseUDP(port)
+	// "We consider a nameserver vulnerable if we can measure a
+	// reduction in responses after the burst."
+	return got < f.BurstSize
+}
+
+// scanPMTUD sends a spoofed PTB then a padded query and watches for
+// fragments, returning the smallest observed fragment size.
+func scanPMTUD(f *DomainFleet, d *SimDomain) (minSize int, fragmented bool) {
+	// Fresh second: the preceding burst test may have muted an
+	// RRL-enabled server for the remainder of its window.
+	f.Clock.RunUntil((f.Clock.Now()/time.Second + 1) * time.Second)
+	// PTB: pretend the path to the prober only carries 292 bytes; the
+	// server clamps to its own floor.
+	quoted := &packet.IPv4{ID: 1, TTL: 64, Protocol: packet.ProtoUDP,
+		Src: d.NSHost.Addr, Dst: f.Prober.Addr, Payload: make([]byte, 16)}
+	quote, err := packet.QuoteDatagram(quoted)
+	if err != nil {
+		return 0, false
+	}
+	f.Prober.SendICMPSpoofed(f.Prober.Addr, d.NSHost.Addr, &packet.ICMP{
+		Type: packet.ICMPTypeDestUnreach, Code: packet.ICMPCodeFragNeeded,
+		MTU: 292, Payload: quote,
+	})
+	f.Net.RunFor(4 * f.Net.Latency())
+
+	minSize = 1 << 20
+	f.Prober.OnRaw(func(ip *packet.IPv4) {
+		if ip.Src != d.NSHost.Addr || !ip.IsFragment() {
+			return
+		}
+		fragmented = true
+		if ip.TotalLen() < minSize {
+			minSize = ip.TotalLen()
+		}
+	})
+	q := dnswire.NewQuery(10, d.Name, dnswire.TypeANY)
+	q.SetEDNS(4096, false)
+	wire, _ := q.Pack()
+	port := f.Prober.BindUDP(0, func(netsim.Datagram) {})
+	f.Prober.SendUDP(port, d.NSHost.Addr, 53, wire)
+	f.Net.RunFor(6 * f.Net.Latency())
+	f.Prober.CloseUDP(port)
+	f.Prober.OnRaw(nil)
+	if !fragmented {
+		return 0, false
+	}
+	return minSize, true
+}
+
+// scanGlobalIPID interleaves queries from two probe addresses and
+// checks whether the response IPIDs form one consecutive sequence —
+// the signature of a single global counter.
+func scanGlobalIPID(f *DomainFleet, d *SimDomain) bool {
+	f.Clock.RunUntil((f.Clock.Now()/time.Second + 1) * time.Second)
+	var ids []uint16
+	capture := func(h *netsim.Host) func(*packet.IPv4) {
+		return func(ip *packet.IPv4) {
+			if ip.Src == d.NSHost.Addr && ip.Protocol == packet.ProtoUDP && !ip.IsFragment() {
+				ids = append(ids, ip.ID)
+			}
+		}
+	}
+	f.Prober.OnRaw(capture(f.Prober))
+	f.Prober2.OnRaw(capture(f.Prober2))
+	q := dnswire.NewQuery(11, d.Name, dnswire.TypeA)
+	wire, _ := q.Pack()
+	p1 := f.Prober.BindUDP(0, func(netsim.Datagram) {})
+	p2 := f.Prober2.BindUDP(0, func(netsim.Datagram) {})
+	for i := 0; i < 2; i++ {
+		f.Prober.SendUDP(p1, d.NSHost.Addr, 53, wire)
+		f.Net.RunFor(4 * f.Net.Latency())
+		f.Prober2.SendUDP(p2, d.NSHost.Addr, 53, wire)
+		f.Net.RunFor(4 * f.Net.Latency())
+	}
+	f.Prober.CloseUDP(p1)
+	f.Prober2.CloseUDP(p2)
+	f.Prober.OnRaw(nil)
+	f.Prober2.OnRaw(nil)
+	if len(ids) < 4 {
+		return false
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1]+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// scanDNSSEC checks whether answers carry RRSIGs.
+func scanDNSSEC(f *DomainFleet, d *SimDomain) bool {
+	f.Clock.RunUntil((f.Clock.Now()/time.Second + 1) * time.Second)
+	signed := false
+	done := false
+	resolver.StubQuery(f.Prober, d.NSHost.Addr, d.Name, dnswire.TypeA, 5*time.Second,
+		func(m *dnswire.Message, err error) {
+			done = true
+			if err != nil {
+				return
+			}
+			for _, rr := range m.Answers {
+				if rr.Type == dnswire.TypeRRSIG {
+					signed = true
+				}
+			}
+		})
+	f.Net.RunFor(6 * f.Net.Latency())
+	_ = done
+	return signed
+}
+
+// Table4 runs the full Table 4 reproduction.
+func Table4(sampleCap int, seed int64) (*stats.Table, []DomainScanResult) {
+	tbl := &stats.Table{
+		Title:  "Table 4: Vulnerable domains",
+		Header: []string{"Dataset", "Protocol", "BGP sub-prefix", "SadDNS", "Frag any", "Frag global", "DNSSEC", "Sampled", "Paper size"},
+	}
+	var results []DomainScanResult
+	for i, spec := range Table4Datasets() {
+		n := spec.PaperSize
+		if n > sampleCap {
+			n = sampleCap
+		}
+		fleet := NewDomainFleet(spec, n, seed+int64(i))
+		r := ScanDomainFleet(fleet)
+		results = append(results, r)
+		tbl.Add(spec.Name, spec.Protocols,
+			stats.Pct(r.SubPrefix, r.Scanned),
+			stats.Pct(r.SadDNS, r.Scanned),
+			stats.Pct(r.FragAny, r.Scanned),
+			stats.Pct(r.FragGlobal, r.Scanned),
+			stats.Pct(r.DNSSEC, r.Scanned),
+			fmt.Sprint(r.Scanned),
+			fmt.Sprint(spec.PaperSize))
+	}
+	return tbl, results
+}

@@ -1,0 +1,183 @@
+package measure
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/packet"
+	"crosslayer/internal/resolver"
+	"crosslayer/internal/stats"
+)
+
+// ResolverScanResult is the measured vulnerability of one fleet.
+type ResolverScanResult struct {
+	Spec      ResolverDatasetSpec
+	Scanned   int
+	SubPrefix int
+	SadDNS    int
+	Frag      int
+	// EDNSSizes holds the EDNS buffer size each resolver advertised
+	// toward the test nameserver (Figure 4's left curve).
+	EDNSSizes []float64
+	// Membership bit-vectors for Figure 5 (bit0 hijack, bit1 saddns,
+	// bit2 frag).
+	Membership []uint8
+}
+
+// ScanResolverFleet runs the three §5.1.2 measurements against every
+// resolver in the fleet.
+func ScanResolverFleet(f *ResolverFleet) ResolverScanResult {
+	res := ResolverScanResult{Spec: f.Spec, Scanned: len(f.Resolvers)}
+
+	// Server-side EDNS observation during the frag scan.
+	ednsByResolver := map[netip.Addr]float64{}
+	f.TestSrv.Observe = func(q *dnswire.Message, src netip.Addr, transport string) {
+		if transport != "udp" {
+			return
+		}
+		size := 512.0
+		if sz, _, ok := q.EDNS(); ok {
+			size = float64(sz)
+		}
+		ednsByResolver[src] = size
+	}
+
+	for _, sr := range f.Resolvers {
+		var bits uint8
+		if scanSubPrefix(sr) {
+			res.SubPrefix++
+			bits |= 1
+		}
+		if scanSadDNS(f, sr) {
+			res.SadDNS++
+			bits |= 2
+		}
+		if scanFrag(f, sr) {
+			res.Frag++
+			bits |= 4
+		}
+		res.Membership = append(res.Membership, bits)
+	}
+	for _, sz := range ednsByResolver {
+		res.EDNSSizes = append(res.EDNSSizes, sz)
+	}
+	f.TestSrv.Observe = nil
+	return res
+}
+
+// scanSubPrefix is the paper's RouteViews analysis: a resolver is
+// sub-prefix hijackable iff the covering announcement is shorter than
+// /24 (a /24 or longer cannot be out-specificed through common
+// filters).
+func scanSubPrefix(sr *SimResolver) bool {
+	return sr.AnnouncedPrefix.Bits() < 24
+}
+
+// scanSadDNS tests the global ICMP rate limit: first an ICMP echo for
+// liveness, then one full bucket of spoofed probes to closed ports
+// followed by a verification probe from the prober's own address. A
+// suppressed verification means the spoofed probes and the prober
+// share one global bucket — the side channel exists.
+func scanSadDNS(f *ResolverFleet, sr *SimResolver) bool {
+	target := sr.Host.Addr
+	// Align to a fresh ICMP window so earlier scans cannot interfere.
+	win := sr.Host.ICMPWindow()
+	f.Clock.RunUntil((f.Clock.Now()/win + 1) * win)
+
+	alive := false
+	f.Prober.OnICMP(func(src netip.Addr, msg *packet.ICMP) {
+		if src == target && msg.Type == packet.ICMPTypeEchoReply {
+			alive = true
+		}
+	})
+	f.Prober.Ping(target, uint16(sr.Index), 1)
+	f.Net.RunFor(4 * f.Net.Latency())
+	if !alive {
+		f.Prober.OnICMP(nil)
+		return false
+	}
+
+	verified := false
+	f.Prober.OnICMP(func(src netip.Addr, msg *packet.ICMP) {
+		if src == target && msg.IsPortUnreachable() {
+			verified = true
+		}
+	})
+	// 50 spoofed probes (source = test NS) to closed low ports, then
+	// the verification probe, all within one window (FIFO ordering).
+	for p := uint16(700); p < 750; p++ {
+		f.Prober.SendUDPSpoofed(f.TestNS.Addr, 53, target, p, []byte("probe"))
+	}
+	f.Prober.SendUDP(999, target, 751, []byte("verify"))
+	f.Net.RunFor(4 * f.Net.Latency())
+	f.Prober.OnICMP(nil)
+	return !verified
+}
+
+// scanFrag is the paper's custom-nameserver probe: the test NS
+// fragments a padded CNAME response toward the resolver; only a
+// resolver that reassembles AND accepts it over UDP will come back
+// with a query for the CNAME target. A TCP re-query means truncation
+// fallback, not fragment acceptance.
+func scanFrag(f *ResolverFleet, sr *SimResolver) bool {
+	aliasName := fmt.Sprintf("frag-%d.test.example.", sr.Index)
+	targetName := fmt.Sprintf("target-%d.test.example.", sr.Index)
+
+	sawTargetUDP := false
+	sawAliasTCP := false
+	prevObserve := f.TestSrv.Observe
+	f.TestSrv.Observe = func(q *dnswire.Message, src netip.Addr, transport string) {
+		if prevObserve != nil {
+			prevObserve(q, src, transport)
+		}
+		if src != sr.Host.Addr {
+			return
+		}
+		name := q.Question().Name
+		if transport == "udp" && dnswire.EqualNames(name, targetName) {
+			sawTargetUDP = true
+		}
+		if transport == "tcp" && dnswire.EqualNames(name, aliasName) {
+			sawAliasTCP = true
+		}
+	}
+	// Force fragmentation toward this resolver (the measurement owns
+	// the NS, §5.1.2).
+	f.TestNS.SetPMTU(sr.Host.Addr, 576)
+
+	done := false
+	resolver.StubLookup(f.Prober, sr.Host.Addr, aliasName, dnswire.TypeA, 15*time.Second,
+		func([]*dnswire.RR, error) { done = true })
+	f.Net.Run()
+	_ = done
+	f.TestSrv.Observe = prevObserve
+	return sawTargetUDP && !sawAliasTCP
+}
+
+// Table3 runs the full Table 3 reproduction: every dataset scaled to
+// at most sampleCap resolvers, scanned with the three probes.
+func Table3(sampleCap int, seed int64) (*stats.Table, []ResolverScanResult) {
+	tbl := &stats.Table{
+		Title:  "Table 3: Vulnerable resolvers",
+		Header: []string{"Dataset", "Protocol", "BGP sub-prefix", "SadDNS", "Fragment", "Sampled", "Paper size"},
+	}
+	var results []ResolverScanResult
+	for i, spec := range Table3Datasets() {
+		n := spec.PaperSize
+		if n > sampleCap {
+			n = sampleCap
+		}
+		fleet := NewResolverFleet(spec, n, seed+int64(i))
+		r := ScanResolverFleet(fleet)
+		results = append(results, r)
+		tbl.Add(spec.Name, spec.Protocols,
+			stats.Pct(r.SubPrefix, r.Scanned),
+			stats.Pct(r.SadDNS, r.Scanned),
+			stats.Pct(r.Frag, r.Scanned),
+			fmt.Sprint(r.Scanned),
+			fmt.Sprint(spec.PaperSize))
+	}
+	return tbl, results
+}

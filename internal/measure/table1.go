@@ -1,0 +1,80 @@
+package measure
+
+import (
+	"crosslayer/internal/stats"
+)
+
+// Table1Row is one application row of the paper's Table 1.
+type Table1Row struct {
+	Category   string
+	Protocol   string
+	UseCase    string
+	QueryName  string // "target", "known", "config"
+	Trigger    string // direct / bounce / authentication / waiting / on-demand / connection DoS
+	Records    string
+	DNSUsedFor string // loc / fed / auth combinations
+	Hijack     bool
+	SadDNS     bool
+	Frag       bool
+	Impact     string
+	// DemoName links to the runnable demonstration in internal/apps's
+	// test suite / the examples.
+	DemoName string
+}
+
+// Table1Rows returns the paper's application matrix. The ✓/✗ cells
+// are reproduced from the paper; every Impact is demonstrated live by
+// the apps test suite and the attack chains in internal/core.
+func Table1Rows() []Table1Row {
+	return []Table1Row{
+		{"Authentication", "Radius", "Peer discovery", "target", "direct", "NAPTR, SRV, A", "loc+fed", true, true, true, "DoS: no network access", "TestRadiusDoS"},
+		{"Online Chat", "XMPP", "Chat+VoIP", "target", "bounce", "A, SRV", "loc+fed", true, true, true, "Hijack: eavesdropping", "TestXMPPEavesdropping"},
+		{"Email", "SMTP", "Mail", "target", "direct/bounce", "A, MX", "loc+fed", true, true, true, "Hijack: eavesdropping", "TestSMTPBounceStealsMailViaPoisonedMX"},
+		{"Email", "SPF,DMARC", "Anti-Spam", "target", "authentication", "TXT", "auth", true, true, true, "Downgrade: spoofing", "TestSPFDowngradeViaPoisonedTXT"},
+		{"Email", "DKIM", "Integrity Checking", "target", "direct/bounce", "TXT", "auth", true, true, true, "Downgrade: spoofing", "TestDKIMDowngrade"},
+		{"Web", "HTTP", "Web sites", "target", "direct", "A", "loc", true, true, true, "Hijack: eavesdropping", "TestWebHijackPlainHTTP"},
+		{"Web", "SMTP", "Password recovery", "target", "direct", "A, MX, TXT", "loc", true, true, true, "Hijack: account hijack", "TestPasswordRecoveryAccountTakeover"},
+		{"Sync", "NTP", "Time synchronisation", "known", "connection DoS", "A", "loc", true, false, true, "Hijack: change time", "TestNTPTimeShift"},
+		{"Crypto-currency", "Bitcoin", "Peer discovery", "known", "waiting", "A", "loc", true, false, false, "Hijack: fake blockchain", "TestBitcoinEclipse"},
+		{"Tunnelling", "OpenVPN", "VPN", "config", "connection DoS", "A", "loc", true, true, true, "DoS: no VPN access", "TestVPNDoSAndOpportunisticIPsecHijack"},
+		{"Tunnelling", "IKE", "VPN", "config", "connection DoS", "A", "loc", true, true, true, "DoS: no VPN access", "TestVPNDoSAndOpportunisticIPsecHijack"},
+		{"Tunnelling", "IKE", "Opportunistic Enc.", "target", "bounce", "IPSECKEY", "loc+auth", true, true, true, "Hijack: eavesdropping", "TestVPNDoSAndOpportunisticIPsecHijack"},
+		{"PKI", "DV", "Domain Validation", "target", "authentication", "A, MX, TXT", "loc+auth", true, false, false, "Hijack: fraud. certificate", "TestFraudulentCertificateViaPoisonedCAResolver"},
+		{"PKI", "OCSP", "Revocation checking", "target", "direct", "A", "loc", true, true, true, "Downgrade: no check", "TestOCSPSoftFailDowngrade"},
+		{"PKI", "RPKI", "Repository sync.", "known", "waiting", "A", "loc", true, false, false, "Downgrade: no ROV", "examples/rpki_downgrade"},
+		{"Intermediate devices", "Firewall filters", "config", "config", "waiting", "A", "loc", true, true, true, "Downgrade: no filters", "TestMiddleboxTimerRefresh"},
+		{"Intermediate devices", "Loadbalancers", "HTTP/...", "config", "on-demand", "A", "loc", true, true, true, "Hijack: eavesdropping", "TestMiddleboxOnDemandIsAttackerTriggerable"},
+		{"Intermediate devices", "CDN's", "HTTP", "config", "on-demand", "A", "loc", true, false, true, "Hijack: eavesdropping", "TestMiddleboxOnDemandIsAttackerTriggerable"},
+		{"Intermediate devices", "ANAME/ALIAS", "DNS", "config", "on-demand", "A", "loc", true, true, true, "Hijack: eavesdropping", "TestMiddleboxOnDemandIsAttackerTriggerable"},
+		{"Intermediate devices", "Proxies", "HTTP/Socks", "target", "direct", "A", "loc", true, true, true, "Hijack: eavesdropping", "TestProxyTriggersQueriesOnItsResolver"},
+	}
+}
+
+// Table1 renders the application matrix.
+func Table1() *stats.Table {
+	tbl := &stats.Table{
+		Title:  "Table 1: Attacks against popular systems leveraging a poisoned DNS cache",
+		Header: []string{"Category", "Protocol", "Use case", "Query name", "Trigger", "Records", "DNS use", "Hijack", "SadDNS", "Frag", "Impact"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, r := range Table1Rows() {
+		tbl.Add(r.Category, r.Protocol, r.UseCase, r.QueryName, r.Trigger, r.Records, r.DNSUsedFor,
+			mark(r.Hijack), mark(r.SadDNS), mark(r.Frag), r.Impact)
+	}
+	return tbl
+}
+
+// Table2 renders the middlebox survey (the rows live in internal/apps
+// next to the Middlebox implementation).
+func Table2() *stats.Table {
+	tbl := &stats.Table{
+		Title:  "Table 2: Query triggering behaviour at middleboxes",
+		Header: []string{"Type", "Provider", "Trigger query", "Caching time", "Websites in 100K-top Alexa"},
+	}
+	return tbl
+}

@@ -1,0 +1,451 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"crosslayer/internal/bgp"
+	"crosslayer/internal/ipfrag"
+	"crosslayer/internal/packet"
+)
+
+// IPIDMode selects how a host assigns IPv4 identification values —
+// the property that decides whether FragDNS is deterministic (global
+// counter, paper hitrate ~20%) or probabilistic (random, ~0.1%).
+type IPIDMode int8
+
+// IPIDMode values.
+const (
+	// IPIDGlobalCounter is one counter shared across destinations
+	// (old Linux, many embedded stacks): trivially predictable.
+	IPIDGlobalCounter IPIDMode = iota
+	// IPIDPerDestCounter is a per-destination counter (modern Linux):
+	// predictable only to an attacker sharing the path.
+	IPIDPerDestCounter
+	// IPIDRandom draws every ID uniformly.
+	IPIDRandom
+)
+
+// ICMPLimitMode selects the ICMP error rate-limiting architecture.
+type ICMPLimitMode int8
+
+// ICMPLimitMode values.
+const (
+	// ICMPLimitGlobal is the single global token bucket (unpatched
+	// Linux): the SadDNS side channel.
+	ICMPLimitGlobal ICMPLimitMode = iota
+	// ICMPLimitPerIP rate-limits per source address (the CVE-2020-25705
+	// fix): verification probes are answered independently of spoofed
+	// probes, closing the side channel.
+	ICMPLimitPerIP
+	// ICMPLimitNone sends every error (no side channel either: the
+	// verification probe is always answered).
+	ICMPLimitNone
+)
+
+// HostConfig captures the per-host behaviours the measurements test.
+type HostConfig struct {
+	IPIDMode      IPIDMode
+	ICMPLimitMode ICMPLimitMode
+	// ICMPBurst/ICMPRate parameterise the token bucket; Linux defaults
+	// are burst 50, 50 tokens/s.
+	ICMPBurst int
+	ICMPRate  float64
+	// HonorPMTUD: accept ICMP Fragmentation Needed and fragment
+	// subsequent UDP datagrams. Hosts that ignore PTB never fragment.
+	HonorPMTUD bool
+	// PMTUFloor is the lowest path MTU the host will accept from a PTB
+	// (Linux: min_pmtu 552; some stacks accept down to 68).
+	PMTUFloor int
+	// AcceptFragments: reassemble fragmented datagrams. Resolvers
+	// behind frag-dropping firewalls have this false.
+	AcceptFragments bool
+	// EphemeralPortRange for source-port randomisation.
+	PortMin, PortMax uint16
+	// RandomizePorts false models ancient resolvers with a fixed
+	// source port.
+	RandomizePorts bool
+}
+
+// DefaultHostConfig is an unpatched-Linux-like host: the most
+// attackable configuration, matching the paper's vulnerable baseline.
+func DefaultHostConfig() HostConfig {
+	return HostConfig{
+		IPIDMode:        IPIDGlobalCounter,
+		ICMPLimitMode:   ICMPLimitGlobal,
+		ICMPBurst:       50,
+		ICMPRate:        1000,
+		HonorPMTUD:      true,
+		PMTUFloor:       552,
+		AcceptFragments: true,
+		PortMin:         32768,
+		PortMax:         60999,
+		RandomizePorts:  true,
+	}
+}
+
+// Datagram is a received UDP payload with its addressing.
+type Datagram struct {
+	Src     netip.Addr
+	SrcPort uint16
+	Dst     netip.Addr
+	DstPort uint16
+	Payload []byte
+}
+
+// UDPHandler consumes datagrams delivered to a bound port.
+type UDPHandler func(dg Datagram)
+
+// ICMPHandler observes ICMP messages delivered to the host.
+type ICMPHandler func(src netip.Addr, msg *packet.ICMP)
+
+// Host is one simulated machine.
+type Host struct {
+	Name string
+	ASN  bgp.ASN
+	Addr netip.Addr
+	Cfg  HostConfig
+
+	net      *Network
+	rng      *rand.Rand
+	udpPorts map[uint16]UDPHandler
+	tcpPorts map[uint16]TCPHandler
+	onICMP   ICMPHandler
+	onRaw    func(*packet.IPv4)
+	frag     *ipfrag.Cache
+	pmtu     map[netip.Addr]int
+
+	ipidGlobal  uint16
+	ipidPerDest map[netip.Addr]uint16
+
+	icmpBucket float64
+	icmpWindow time.Duration
+	icmpPerIP  map[netip.Addr]*bucketState
+
+	// Counters.
+	Sent, Received    uint64
+	ICMPSent          uint64
+	ICMPSuppressed    uint64
+	UDPDeliveredLocal uint64
+}
+
+type bucketState struct {
+	tokens float64
+	window time.Duration
+}
+
+func newHost(n *Network, name string, asn bgp.ASN, addr netip.Addr) *Host {
+	cfg := DefaultHostConfig()
+	h := &Host{
+		Name:        name,
+		ASN:         asn,
+		Addr:        addr,
+		Cfg:         cfg,
+		net:         n,
+		rng:         n.Clock.NewRand(),
+		udpPorts:    make(map[uint16]UDPHandler),
+		frag:        ipfrag.New(0, 0),
+		pmtu:        make(map[netip.Addr]int),
+		ipidPerDest: make(map[netip.Addr]uint16),
+		icmpBucket:  float64(cfg.ICMPBurst),
+		icmpPerIP:   make(map[netip.Addr]*bucketState),
+	}
+	h.ipidGlobal = uint16(h.rng.Uint32())
+	return h
+}
+
+// Rand returns the host's deterministic random stream.
+func (h *Host) Rand() *rand.Rand { return h.rng }
+
+// Network returns the network the host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
+// FragCache exposes the host's defragmentation cache (tests observe
+// planted fragments through it).
+func (h *Host) FragCache() *ipfrag.Cache { return h.frag }
+
+// --- socket API ---
+
+// BindUDP installs a handler for a UDP port. Binding port 0 picks an
+// ephemeral port per the host's configuration and returns it.
+func (h *Host) BindUDP(port uint16, fn UDPHandler) uint16 {
+	if port == 0 {
+		port = h.EphemeralPort()
+		for h.udpPorts[port] != nil {
+			port = h.EphemeralPort()
+		}
+	}
+	h.udpPorts[port] = fn
+	return port
+}
+
+// CloseUDP releases a bound port.
+func (h *Host) CloseUDP(port uint16) { delete(h.udpPorts, port) }
+
+// PortOpen reports whether a UDP port is bound (ground truth the
+// SadDNS scan tries to infer remotely).
+func (h *Host) PortOpen(port uint16) bool { return h.udpPorts[port] != nil }
+
+// OpenPorts returns the number of bound UDP ports.
+func (h *Host) OpenPorts() int { return len(h.udpPorts) }
+
+// EphemeralPort draws a source port from the configured range; with
+// RandomizePorts off the lowest port of the range is always used.
+func (h *Host) EphemeralPort() uint16 {
+	if !h.Cfg.RandomizePorts {
+		return h.Cfg.PortMin
+	}
+	span := int(h.Cfg.PortMax) - int(h.Cfg.PortMin) + 1
+	return h.Cfg.PortMin + uint16(h.rng.Intn(span))
+}
+
+// OnICMP installs an observer for ICMP messages addressed to the host.
+func (h *Host) OnICMP(fn ICMPHandler) { h.onICMP = fn }
+
+// OnRaw installs a packet-capture observer seeing every IP packet the
+// host receives, headers included (tcpdump on the measurement probe:
+// how the IPID experiments of §5.2.2 read identification values).
+func (h *Host) OnRaw(fn func(*packet.IPv4)) { h.onRaw = fn }
+
+// --- send paths ---
+
+// NextIPID returns the identification value for a datagram to dst,
+// advancing the relevant counter.
+func (h *Host) NextIPID(dst netip.Addr) uint16 {
+	switch h.Cfg.IPIDMode {
+	case IPIDGlobalCounter:
+		h.ipidGlobal++
+		return h.ipidGlobal
+	case IPIDPerDestCounter:
+		h.ipidPerDest[dst]++
+		return h.ipidPerDest[dst]
+	default:
+		return uint16(h.rng.Uint32())
+	}
+}
+
+// PeekIPID returns the next identification value without consuming it
+// (used by measurement probes that infer counter behaviour).
+func (h *Host) PeekIPID(dst netip.Addr) uint16 {
+	switch h.Cfg.IPIDMode {
+	case IPIDGlobalCounter:
+		return h.ipidGlobal + 1
+	case IPIDPerDestCounter:
+		return h.ipidPerDest[dst] + 1
+	default:
+		return 0
+	}
+}
+
+// PMTUTo returns the path MTU the host currently believes applies
+// toward dst (learned from PTB messages; default 1500).
+func (h *Host) PMTUTo(dst netip.Addr) int {
+	if m, ok := h.pmtu[dst]; ok {
+		return m
+	}
+	return 1500
+}
+
+// SetPMTU pins the path MTU toward dst — how an operator-controlled
+// test nameserver "always emits fragmented responses padded to a
+// certain size" (§5.1.2) without waiting for PTB messages.
+func (h *Host) SetPMTU(dst netip.Addr, mtu int) { h.pmtu[dst] = mtu }
+
+// SendUDP sends a UDP datagram from the host's own address.
+func (h *Host) SendUDP(srcPort uint16, dst netip.Addr, dstPort uint16, payload []byte) {
+	h.SendUDPSpoofed(h.Addr, srcPort, dst, dstPort, payload)
+}
+
+// SendUDPSpoofed sends a UDP datagram with an arbitrary source address
+// (delivery subject to the AS's egress filtering). The datagram is
+// fragmented if it exceeds the learned path MTU.
+func (h *Host) SendUDPSpoofed(src netip.Addr, srcPort uint16, dst netip.Addr, dstPort uint16, payload []byte) {
+	u := &packet.UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	wire, err := u.Serialize(nil, src, dst)
+	if err != nil {
+		panic(fmt.Sprintf("netsim: udp serialize: %v", err))
+	}
+	ip := &packet.IPv4{ID: h.NextIPID(dst), TTL: 64, Protocol: packet.ProtoUDP, Src: src, Dst: dst, Payload: wire}
+	h.sendMaybeFragmented(ip)
+}
+
+func (h *Host) sendMaybeFragmented(ip *packet.IPv4) {
+	mtu := h.PMTUTo(ip.Dst)
+	if ip.TotalLen() <= mtu {
+		h.net.Send(h, ip)
+		return
+	}
+	frags, err := ip.Fragment(mtu)
+	if err != nil {
+		// DF set and over MTU: the packet is dropped at origin (a PTB
+		// would come back from a router in reality; sending hosts know
+		// their own PMTU already).
+		h.net.Dropped++
+		return
+	}
+	for _, f := range frags {
+		h.net.Send(h, f)
+	}
+}
+
+// SendRawIP injects an arbitrary pre-built IPv4 packet (the attacker's
+// raw socket: spoofed fragments, crafted ICMP, anything).
+func (h *Host) SendRawIP(ip *packet.IPv4) { h.net.Send(h, ip) }
+
+// SendICMP sends an ICMP message from the host's own address.
+func (h *Host) SendICMP(dst netip.Addr, msg *packet.ICMP) {
+	h.SendICMPSpoofed(h.Addr, dst, msg)
+}
+
+// SendICMPSpoofed sends an ICMP message with an arbitrary source.
+func (h *Host) SendICMPSpoofed(src, dst netip.Addr, msg *packet.ICMP) {
+	wire, err := msg.Serialize(nil)
+	if err != nil {
+		panic(fmt.Sprintf("netsim: icmp serialize: %v", err))
+	}
+	ip := &packet.IPv4{ID: h.NextIPID(dst), TTL: 64, Protocol: packet.ProtoICMP, Src: src, Dst: dst, Payload: wire}
+	h.net.Send(h, ip)
+}
+
+// Ping sends an ICMP echo request.
+func (h *Host) Ping(dst netip.Addr, id, seq uint16) {
+	h.SendICMP(dst, &packet.ICMP{Type: packet.ICMPTypeEcho, ID: id, Seq: seq, Payload: []byte("ping")})
+}
+
+// --- receive path ---
+
+func (h *Host) receive(ip *packet.IPv4) {
+	h.Received++
+	if h.onRaw != nil {
+		h.onRaw(ip)
+	}
+	if ip.IsFragment() {
+		if !h.Cfg.AcceptFragments {
+			return
+		}
+		ip = h.frag.Insert(ip, h.net.Clock.Now())
+		if ip == nil {
+			return
+		}
+	}
+	switch ip.Protocol {
+	case packet.ProtoUDP:
+		h.receiveUDP(ip)
+	case packet.ProtoICMP:
+		h.receiveICMP(ip)
+	}
+}
+
+func (h *Host) receiveUDP(ip *packet.IPv4) {
+	u, err := packet.DecodeUDP(ip.Payload, ip.Src, ip.Dst, true)
+	if err != nil {
+		return // bad checksum: silently dropped, like real stacks
+	}
+	handler := h.udpPorts[u.DstPort]
+	if handler == nil {
+		h.maybeSendPortUnreachable(ip)
+		return
+	}
+	h.UDPDeliveredLocal++
+	handler(Datagram{Src: ip.Src, SrcPort: u.SrcPort, Dst: ip.Dst, DstPort: u.DstPort, Payload: u.Payload})
+}
+
+func (h *Host) receiveICMP(ip *packet.IPv4) {
+	msg, err := packet.DecodeICMP(ip.Payload)
+	if err != nil {
+		return
+	}
+	switch {
+	case msg.Type == packet.ICMPTypeEcho:
+		h.SendICMP(ip.Src, &packet.ICMP{Type: packet.ICMPTypeEchoReply, ID: msg.ID, Seq: msg.Seq, Payload: msg.Payload})
+	case msg.IsFragNeeded():
+		if !h.Cfg.HonorPMTUD {
+			return
+		}
+		// The quoted datagram tells us which destination path shrank.
+		quoted, err := packet.DecodeIPv4(msg.Payload)
+		if err != nil || quoted.Src != h.Addr {
+			return // not about a packet we sent
+		}
+		mtu := int(msg.MTU)
+		if mtu < h.Cfg.PMTUFloor {
+			mtu = h.Cfg.PMTUFloor
+		}
+		if mtu < h.PMTUTo(quoted.Dst) {
+			h.pmtu[quoted.Dst] = mtu
+		}
+	}
+	if h.onICMP != nil {
+		h.onICMP(ip.Src, msg)
+	}
+}
+
+// maybeSendPortUnreachable generates the ICMP error for a closed UDP
+// port, subject to the host's rate-limit architecture. This is the
+// SadDNS oracle.
+func (h *Host) maybeSendPortUnreachable(ip *packet.IPv4) {
+	if !h.takeICMPToken(ip.Src) {
+		h.ICMPSuppressed++
+		return
+	}
+	quote, err := packet.QuoteDatagram(ip)
+	if err != nil {
+		return
+	}
+	h.ICMPSent++
+	h.SendICMP(ip.Src, &packet.ICMP{
+		Type: packet.ICMPTypeDestUnreach, Code: packet.ICMPCodePortUnreach, Payload: quote,
+	})
+}
+
+// ICMPWindow returns the length of one rate-limit window: the bucket
+// holds ICMPBurst tokens and refills in full every burst/rate seconds
+// (Linux: burst 50, 1000 msgs/s ⇒ 50ms windows — the granularity the
+// SadDNS scan clocks itself to).
+func (h *Host) ICMPWindow() time.Duration {
+	if h.Cfg.ICMPRate <= 0 || h.Cfg.ICMPBurst <= 0 {
+		return time.Second
+	}
+	return time.Duration(float64(h.Cfg.ICMPBurst) / h.Cfg.ICMPRate * float64(time.Second))
+}
+
+// takeICMPToken implements the global ICMP error quota ("the
+// operating systems have a constant, global limit of how many ICMP
+// port unreachable messages they will return", §3.2): the bucket holds
+// ICMPBurst tokens and is reset at every window boundary. Within one
+// window, exhausting the quota with spoofed probes makes the host
+// silent to everyone — the side channel.
+func (h *Host) takeICMPToken(src netip.Addr) bool {
+	window := h.net.Clock.Now() / h.ICMPWindow()
+	switch h.Cfg.ICMPLimitMode {
+	case ICMPLimitNone:
+		return true
+	case ICMPLimitPerIP:
+		b := h.icmpPerIP[src]
+		if b == nil {
+			b = &bucketState{tokens: float64(h.Cfg.ICMPBurst), window: window}
+			h.icmpPerIP[src] = b
+		}
+		if window > b.window {
+			b.tokens = float64(h.Cfg.ICMPBurst)
+			b.window = window
+		}
+		if b.tokens >= 1 {
+			b.tokens--
+			return true
+		}
+		return false
+	default: // global
+		if window > h.icmpWindow {
+			h.icmpBucket = float64(h.Cfg.ICMPBurst)
+			h.icmpWindow = window
+		}
+		if h.icmpBucket >= 1 {
+			h.icmpBucket--
+			return true
+		}
+		return false
+	}
+}

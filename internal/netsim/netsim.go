@@ -1,0 +1,181 @@
+// Package netsim is a packet-level Internet simulator: hosts with
+// IPv4/UDP/ICMP stacks attached to autonomous systems, forwarding
+// decided by a BGP RIB (so prefix hijacks divert real packets), source
+// spoofing subject to per-AS egress filtering, link latency on a
+// virtual clock, and per-host Linux-like behaviours the paper's
+// attacks exploit: the global ICMP rate-limit side channel, IP
+// defragmentation caches, IPID assignment modes, and path-MTU
+// learning from ICMP Fragmentation Needed.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"crosslayer/internal/bgp"
+	"crosslayer/internal/packet"
+	"crosslayer/internal/sim"
+)
+
+// Network ties hosts, ASes and routing together.
+type Network struct {
+	Clock *sim.Clock
+	RIB   *bgp.RIB
+	Topo  *bgp.Topology
+
+	hosts   map[netip.Addr]*Host
+	asHosts map[bgp.ASN][]*Host
+	asInfo  map[bgp.ASN]*ASInfo
+	latency time.Duration
+	// lossRate drops each sent packet independently with this
+	// probability (failure injection; 0 = lossless). TCP exchanges are
+	// unaffected (the abstraction models a reliable transport).
+	lossRate float64
+	lossRng  *rand.Rand
+	// Trace, when non-nil, observes every delivered packet; the
+	// example programs use it to print Figure 1/2-style sequences.
+	Trace func(ev TraceEvent)
+
+	// Counters.
+	Delivered uint64
+	Dropped   uint64
+}
+
+// ASInfo carries per-AS simulator state.
+type ASInfo struct {
+	ASN bgp.ASN
+	// EgressFiltering drops packets whose source address does not
+	// belong to the sending host (BCP 38). Per the paper ~70% of
+	// networks enforce it; attackers operate from the ~30% that do not.
+	EgressFiltering bool
+	// Interceptor receives packets routed to this AS for addresses no
+	// local host owns — the attacker's view after a successful hijack.
+	Interceptor func(ip *packet.IPv4)
+	// TCPInterceptor lets a hijacker terminate TCP exchanges for
+	// hijacked addresses (e.g. to serve a fake HTTP page after
+	// diverting a prefix).
+	TCPInterceptor func(src, dst netip.Addr, port uint16, req []byte) []byte
+}
+
+// TraceEvent describes one packet delivery.
+type TraceEvent struct {
+	At        time.Duration
+	From, To  netip.Addr
+	Proto     uint8
+	Info      string
+	Intercept bool
+}
+
+// New creates a network over the given topology and RIB.
+func New(clock *sim.Clock, topo *bgp.Topology, rib *bgp.RIB) *Network {
+	return &Network{
+		Clock:   clock,
+		RIB:     rib,
+		Topo:    topo,
+		hosts:   make(map[netip.Addr]*Host),
+		asHosts: make(map[bgp.ASN][]*Host),
+		asInfo:  make(map[bgp.ASN]*ASInfo),
+		latency: 10 * time.Millisecond,
+	}
+}
+
+// SetLatency sets the one-way delivery latency (default 10ms).
+func (n *Network) SetLatency(d time.Duration) { n.latency = d }
+
+// SetLossRate enables random packet loss at the given probability —
+// the failure-injection knob used to check that retransmission logic
+// (resolver retries, attack iterations) survives an imperfect network.
+func (n *Network) SetLossRate(p float64) {
+	n.lossRate = p
+	if n.lossRng == nil {
+		n.lossRng = n.Clock.NewRand()
+	}
+}
+
+// Latency returns the one-way delivery latency.
+func (n *Network) Latency() time.Duration { return n.latency }
+
+// ASInfo returns (creating if needed) the simulator state for an AS.
+func (n *Network) AS(asn bgp.ASN) *ASInfo {
+	info := n.asInfo[asn]
+	if info == nil {
+		info = &ASInfo{ASN: asn, EgressFiltering: true}
+		n.asInfo[asn] = info
+	}
+	return info
+}
+
+// HostByAddr returns the host owning addr, or nil.
+func (n *Network) HostByAddr(addr netip.Addr) *Host { return n.hosts[addr] }
+
+// HostsInAS lists the hosts attached to an AS.
+func (n *Network) HostsInAS(asn bgp.ASN) []*Host { return n.asHosts[asn] }
+
+// AddHost creates a host in asn owning addr. Host names are purely
+// cosmetic (tracing).
+func (n *Network) AddHost(name string, asn bgp.ASN, addr netip.Addr) *Host {
+	if _, dup := n.hosts[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate host address %v", addr))
+	}
+	h := newHost(n, name, asn, addr)
+	n.hosts[addr] = h
+	n.asHosts[asn] = append(n.asHosts[asn], h)
+	n.AS(asn) // ensure ASInfo exists
+	return h
+}
+
+// Send routes one IPv4 packet from the given host. The packet is
+// delivered after the network latency, or dropped (egress filtering,
+// no route, no receiving host and no interceptor).
+func (n *Network) Send(from *Host, ip *packet.IPv4) {
+	// Egress filtering: a spoofed source only escapes ASes that do not
+	// filter.
+	if ip.Src != from.Addr && n.AS(from.ASN).EgressFiltering {
+		n.Dropped++
+		return
+	}
+	from.Sent++
+	if n.lossRate > 0 && n.lossRng.Float64() < n.lossRate {
+		n.Dropped++
+		return
+	}
+	origin, ok := n.RIB.Resolve(from.ASN, ip.Dst)
+	if !ok {
+		n.Dropped++
+		return
+	}
+	cp := *ip
+	cp.Payload = append([]byte(nil), ip.Payload...)
+	n.Clock.After(n.latency, func() { n.deliver(origin, &cp) })
+}
+
+func (n *Network) deliver(origin bgp.ASN, ip *packet.IPv4) {
+	dst := n.hosts[ip.Dst]
+	if dst != nil && dst.ASN == origin {
+		n.Delivered++
+		if n.Trace != nil {
+			n.Trace(TraceEvent{At: n.Clock.Now(), From: ip.Src, To: ip.Dst, Proto: ip.Protocol})
+		}
+		dst.receive(ip)
+		return
+	}
+	// Routed into an AS that does not host the address: a hijacker's
+	// interceptor may claim it.
+	if info := n.asInfo[origin]; info != nil && info.Interceptor != nil {
+		n.Delivered++
+		if n.Trace != nil {
+			n.Trace(TraceEvent{At: n.Clock.Now(), From: ip.Src, To: ip.Dst, Proto: ip.Protocol, Intercept: true})
+		}
+		info.Interceptor(ip)
+		return
+	}
+	n.Dropped++
+}
+
+// Run processes all pending events.
+func (n *Network) Run() { n.Clock.Run() }
+
+// RunFor processes events for a span of virtual time.
+func (n *Network) RunFor(d time.Duration) { n.Clock.RunFor(d) }

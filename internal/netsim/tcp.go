@@ -1,0 +1,58 @@
+package netsim
+
+import "net/netip"
+
+// TCPHandler serves one request/response exchange over the simulated
+// reliable channel.
+type TCPHandler func(src netip.Addr, req []byte) []byte
+
+// tcpPorts lives on Host (see below); the simulator models TCP as a
+// reliable, non-spoofable request/response call with two network
+// round-trip latencies (SYN handshake folded in). Off-path attackers
+// gain nothing here: there is no payload injection without being
+// on-path, which is exactly why DNS-over-TCP defeats the paper's
+// attacks and why truncated UDP responses that fall back to TCP are
+// counted as "not vulnerable" in the measurements.
+
+// BindTCP installs a request handler on a TCP port.
+func (h *Host) BindTCP(port uint16, fn TCPHandler) {
+	if h.tcpPorts == nil {
+		h.tcpPorts = make(map[uint16]TCPHandler)
+	}
+	h.tcpPorts[port] = fn
+}
+
+// CallTCP performs a reliable request/response to dst:port. The
+// response callback receives nil if the port is closed or the
+// destination is unreachable from this host. Routing still follows the
+// RIB — a prefix hijacker terminates the connection instead (receives
+// the plaintext; cb gets nil unless the hijacker installs a TCP
+// interceptor via ASInfo.TCPInterceptor).
+func (h *Host) CallTCP(dst netip.Addr, port uint16, req []byte, cb func(resp []byte)) {
+	n := h.net
+	origin, ok := n.RIB.Resolve(h.ASN, dst)
+	if !ok {
+		n.Clock.After(n.latency, func() { cb(nil) })
+		return
+	}
+	reqCopy := append([]byte(nil), req...)
+	n.Clock.After(2*n.latency, func() {
+		dstHost := n.hosts[dst]
+		if dstHost == nil || dstHost.ASN != origin {
+			if info := n.asInfo[origin]; info != nil && info.TCPInterceptor != nil {
+				resp := info.TCPInterceptor(h.Addr, dst, port, reqCopy)
+				n.Clock.After(2*n.latency, func() { cb(resp) })
+				return
+			}
+			n.Clock.After(2*n.latency, func() { cb(nil) })
+			return
+		}
+		fn := dstHost.tcpPorts[port]
+		if fn == nil {
+			n.Clock.After(2*n.latency, func() { cb(nil) })
+			return
+		}
+		resp := fn(h.Addr, reqCopy)
+		n.Clock.After(2*n.latency, func() { cb(resp) })
+	})
+}

@@ -1,0 +1,237 @@
+// Package packet implements the wire formats the attacks in this
+// repository manipulate: IPv4 (including fragments), UDP and ICMP,
+// with real header layouts and internet checksums. The API follows the
+// gopacket convention of explicit Serialize/Decode pairs over []byte.
+//
+// Everything here is byte-accurate: FragDNS depends on fragment
+// offsets, IPID values and UDP checksum compensation behaving exactly
+// as RFC 791/768 prescribe.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// IP protocol numbers used in this repository.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// IPv4 header flag bits (in the Flags/FragOff word).
+const (
+	FlagDF = 0x2 // don't fragment
+	FlagMF = 0x1 // more fragments
+)
+
+// IPv4HeaderLen is the length of a header without options. Options are
+// not used by any protocol in this repository.
+const IPv4HeaderLen = 20
+
+var (
+	// ErrTruncated is returned when a buffer is too short for the
+	// layer being decoded.
+	ErrTruncated = errors.New("packet: truncated")
+	// ErrBadChecksum is returned by Decode functions when checksum
+	// verification is requested and fails.
+	ErrBadChecksum = errors.New("packet: bad checksum")
+)
+
+// IPv4 is a decoded or to-be-serialized IPv4 header plus payload.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	DF       bool
+	MF       bool
+	FragOff  uint16 // in 8-byte units, as on the wire
+	TTL      uint8
+	Protocol uint8
+	Src      netip.Addr
+	Dst      netip.Addr
+	Payload  []byte
+}
+
+// TotalLen returns the on-wire total length field value.
+func (ip *IPv4) TotalLen() int { return IPv4HeaderLen + len(ip.Payload) }
+
+// IsFragment reports whether this packet is one fragment of a larger
+// datagram (either a non-final or a non-first fragment).
+func (ip *IPv4) IsFragment() bool { return ip.MF || ip.FragOff != 0 }
+
+// Serialize appends the wire representation (header with computed
+// checksum, then payload) to dst and returns the extended slice.
+func (ip *IPv4) Serialize(dst []byte) ([]byte, error) {
+	if !ip.Src.Is4() || !ip.Dst.Is4() {
+		return nil, fmt.Errorf("packet: IPv4 serialize: src/dst must be IPv4 (src=%v dst=%v)", ip.Src, ip.Dst)
+	}
+	total := ip.TotalLen()
+	if total > 0xffff {
+		return nil, fmt.Errorf("packet: IPv4 payload too large: %d", total)
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, IPv4HeaderLen)...)
+	h := dst[off:]
+	h[0] = 0x45 // version 4, IHL 5
+	h[1] = ip.TOS
+	binary.BigEndian.PutUint16(h[2:], uint16(total))
+	binary.BigEndian.PutUint16(h[4:], ip.ID)
+	var ff uint16
+	if ip.DF {
+		ff |= uint16(FlagDF) << 13
+	}
+	if ip.MF {
+		ff |= uint16(FlagMF) << 13
+	}
+	ff |= ip.FragOff & 0x1fff
+	binary.BigEndian.PutUint16(h[6:], ff)
+	ttl := ip.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	h[8] = ttl
+	h[9] = ip.Protocol
+	src := ip.Src.As4()
+	dst4 := ip.Dst.As4()
+	copy(h[12:16], src[:])
+	copy(h[16:20], dst4[:])
+	binary.BigEndian.PutUint16(h[10:], Checksum(h, 0))
+	return append(dst, ip.Payload...), nil
+}
+
+// DecodeIPv4 parses an IPv4 packet. The returned Payload aliases data.
+// The header checksum is verified.
+func DecodeIPv4(data []byte) (*IPv4, error) {
+	if len(data) < IPv4HeaderLen {
+		return nil, fmt.Errorf("%w: IPv4 header needs %d bytes, have %d", ErrTruncated, IPv4HeaderLen, len(data))
+	}
+	if v := data[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("packet: IPv4 version %d", v)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(data) < ihl {
+		return nil, fmt.Errorf("%w: IPv4 IHL %d", ErrTruncated, ihl)
+	}
+	if Checksum(data[:ihl], 0) != 0 {
+		return nil, fmt.Errorf("%w: IPv4 header", ErrBadChecksum)
+	}
+	total := int(binary.BigEndian.Uint16(data[2:]))
+	if total < ihl || total > len(data) {
+		return nil, fmt.Errorf("%w: IPv4 total length %d of %d", ErrTruncated, total, len(data))
+	}
+	ff := binary.BigEndian.Uint16(data[6:])
+	ip := &IPv4{
+		TOS:      data[1],
+		ID:       binary.BigEndian.Uint16(data[4:]),
+		DF:       ff&(uint16(FlagDF)<<13) != 0,
+		MF:       ff&(uint16(FlagMF)<<13) != 0,
+		FragOff:  ff & 0x1fff,
+		TTL:      data[8],
+		Protocol: data[9],
+		Src:      netip.AddrFrom4([4]byte(data[12:16])),
+		Dst:      netip.AddrFrom4([4]byte(data[16:20])),
+		Payload:  data[ihl:total],
+	}
+	return ip, nil
+}
+
+// Fragment splits the packet's payload into IPv4 fragments, each with
+// at most mtu bytes of total packet length. The payload length of every
+// non-final fragment is rounded down to a multiple of 8 as RFC 791
+// requires. A packet with DF set is never fragmented: the caller is
+// expected to have generated an ICMP Fragmentation Needed instead.
+func (ip *IPv4) Fragment(mtu int) ([]*IPv4, error) {
+	if mtu < IPv4HeaderLen+8 {
+		return nil, fmt.Errorf("packet: mtu %d too small to fragment", mtu)
+	}
+	if ip.TotalLen() <= mtu {
+		cp := *ip
+		return []*IPv4{&cp}, nil
+	}
+	if ip.DF {
+		return nil, fmt.Errorf("packet: DF set, cannot fragment %d-byte packet for mtu %d", ip.TotalLen(), mtu)
+	}
+	chunk := (mtu - IPv4HeaderLen) &^ 7
+	var frags []*IPv4
+	payload := ip.Payload
+	off := int(ip.FragOff) // support re-fragmenting a fragment
+	for len(payload) > 0 {
+		n := chunk
+		last := false
+		if n >= len(payload) {
+			n = len(payload)
+			last = true
+		}
+		f := &IPv4{
+			TOS:      ip.TOS,
+			ID:       ip.ID,
+			MF:       !last || ip.MF,
+			FragOff:  uint16(off),
+			TTL:      ip.TTL,
+			Protocol: ip.Protocol,
+			Src:      ip.Src,
+			Dst:      ip.Dst,
+			Payload:  payload[:n:n],
+		}
+		frags = append(frags, f)
+		payload = payload[n:]
+		off += n / 8
+	}
+	return frags, nil
+}
+
+// Checksum computes the RFC 1071 internet checksum of data, starting
+// from the partial sum initial (useful for pseudo-headers). The result
+// is the one's-complement value ready to be stored in a header.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	for len(data) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(data))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumPartial accumulates data into a partial sum without folding
+// or complementing, for multi-buffer checksum computation.
+func ChecksumPartial(data []byte, initial uint32) uint32 {
+	sum := initial
+	for len(data) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(data))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	return sum
+}
+
+// FoldChecksum folds a partial sum and returns the one's-complement
+// checksum value.
+func FoldChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// PseudoHeaderSum returns the partial checksum of the IPv4
+// pseudo-header used by UDP and TCP.
+func PseudoHeaderSum(src, dst netip.Addr, proto uint8, length int) uint32 {
+	var b [12]byte
+	s, d := src.As4(), dst.As4()
+	copy(b[0:4], s[:])
+	copy(b[4:8], d[:])
+	b[9] = proto
+	binary.BigEndian.PutUint16(b[10:], uint16(length))
+	return ChecksumPartial(b[:], 0)
+}

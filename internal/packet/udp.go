@@ -1,0 +1,79 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// UDPHeaderLen is the fixed UDP header length.
+const UDPHeaderLen = 8
+
+// UDP is a decoded or to-be-serialized UDP datagram.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	// Checksum as seen on the wire when decoding; ignored when
+	// serializing (it is recomputed) unless ForceChecksum is set.
+	Checksum uint16
+	// ForceChecksum makes Serialize emit Checksum verbatim instead of
+	// computing it. FragDNS uses this to craft second fragments whose
+	// bytes compensate a checksum chosen in the first fragment.
+	ForceChecksum bool
+	Payload       []byte
+}
+
+// Serialize appends the UDP header and payload to dst, computing the
+// checksum over the IPv4 pseudo-header for src/dst.
+func (u *UDP) Serialize(dst []byte, src, dstIP netip.Addr) ([]byte, error) {
+	length := UDPHeaderLen + len(u.Payload)
+	if length > 0xffff {
+		return nil, fmt.Errorf("packet: UDP payload too large: %d", length)
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, UDPHeaderLen)...)
+	h := dst[off:]
+	binary.BigEndian.PutUint16(h[0:], u.SrcPort)
+	binary.BigEndian.PutUint16(h[2:], u.DstPort)
+	binary.BigEndian.PutUint16(h[4:], uint16(length))
+	dst = append(dst, u.Payload...)
+	var ck uint16
+	if u.ForceChecksum {
+		ck = u.Checksum
+	} else {
+		sum := PseudoHeaderSum(src, dstIP, ProtoUDP, length)
+		sum = ChecksumPartial(dst[off:], sum)
+		ck = FoldChecksum(sum)
+		if ck == 0 {
+			ck = 0xffff // RFC 768: transmitted zero means "no checksum"
+		}
+	}
+	binary.BigEndian.PutUint16(dst[off+6:], ck)
+	return dst, nil
+}
+
+// DecodeUDP parses a UDP datagram and, when verify is true, checks the
+// checksum against the given pseudo-header addresses. A wire checksum
+// of zero means "not computed" and always verifies.
+func DecodeUDP(data []byte, src, dst netip.Addr, verify bool) (*UDP, error) {
+	if len(data) < UDPHeaderLen {
+		return nil, fmt.Errorf("%w: UDP header needs %d bytes, have %d", ErrTruncated, UDPHeaderLen, len(data))
+	}
+	length := int(binary.BigEndian.Uint16(data[4:]))
+	if length < UDPHeaderLen || length > len(data) {
+		return nil, fmt.Errorf("%w: UDP length %d of %d", ErrTruncated, length, len(data))
+	}
+	u := &UDP{
+		SrcPort:  binary.BigEndian.Uint16(data[0:]),
+		DstPort:  binary.BigEndian.Uint16(data[2:]),
+		Checksum: binary.BigEndian.Uint16(data[6:]),
+		Payload:  data[UDPHeaderLen:length],
+	}
+	if verify && u.Checksum != 0 {
+		sum := PseudoHeaderSum(src, dst, ProtoUDP, length)
+		if FoldChecksum(ChecksumPartial(data[:length], sum)) != 0 {
+			return nil, fmt.Errorf("%w: UDP %d->%d", ErrBadChecksum, u.SrcPort, u.DstPort)
+		}
+	}
+	return u, nil
+}

@@ -1,0 +1,136 @@
+package resolver
+
+import (
+	"net/netip"
+	"time"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+)
+
+// Forwarder is an open DNS forwarder: it relays queries to an upstream
+// recursive resolver from its own address. Forwarders "make up the
+// majority of open resolvers in the internet" (§4.3.3) and are the
+// lever that lets an attacker trigger queries at otherwise closed
+// recursive resolvers.
+type Forwarder struct {
+	Host     *netsim.Host
+	Upstream netip.Addr
+	Timeout  time.Duration
+
+	Forwarded uint64
+	Returned  uint64
+}
+
+// NewForwarder creates a forwarder on host relaying to upstream,
+// listening on UDP 53.
+func NewForwarder(host *netsim.Host, upstream netip.Addr) *Forwarder {
+	f := &Forwarder{Host: host, Upstream: upstream, Timeout: 5 * time.Second}
+	host.BindUDP(53, f.handle)
+	return f
+}
+
+func (f *Forwarder) handle(dg netsim.Datagram) {
+	query, err := dnswire.Unpack(dg.Payload)
+	if err != nil || query.Response {
+		return
+	}
+	f.Forwarded++
+	client := dg
+	upTXID := uint16(f.Host.Rand().Uint32())
+	fwd := *query
+	fwd.ID = upTXID
+	wire, err := fwd.Pack()
+	if err != nil {
+		return
+	}
+	done := false
+	var port uint16
+	port = f.Host.BindUDP(0, func(resp netsim.Datagram) {
+		if done || resp.Src != f.Upstream || resp.SrcPort != 53 {
+			return
+		}
+		msg, err := dnswire.Unpack(resp.Payload)
+		if err != nil || msg.ID != upTXID {
+			return
+		}
+		done = true
+		f.Host.CloseUDP(port)
+		msg.ID = query.ID
+		back, err := msg.Pack()
+		if err != nil {
+			return
+		}
+		f.Returned++
+		f.Host.SendUDP(53, client.Src, client.SrcPort, back)
+	})
+	f.Host.SendUDP(port, f.Upstream, 53, wire)
+	f.Host.Network().Clock.After(f.Timeout, func() {
+		if !done {
+			done = true
+			f.Host.CloseUDP(port)
+		}
+	})
+}
+
+// StubQuery sends a one-shot DNS query from host to a server and
+// invokes cb with the response or an error. It is the minimal stub
+// resolver every application in internal/apps uses.
+func StubQuery(host *netsim.Host, server netip.Addr, name string, typ dnswire.Type, timeout time.Duration, cb func(*dnswire.Message, error)) {
+	txid := uint16(host.Rand().Uint32())
+	q := dnswire.NewQuery(txid, name, typ)
+	wire, err := q.Pack()
+	if err != nil {
+		cb(nil, err)
+		return
+	}
+	done := false
+	var port uint16
+	port = host.BindUDP(0, func(dg netsim.Datagram) {
+		if done || dg.Src != server || dg.SrcPort != 53 {
+			return
+		}
+		msg, err := dnswire.Unpack(dg.Payload)
+		if err != nil || msg.ID != txid {
+			return
+		}
+		done = true
+		host.CloseUDP(port)
+		cb(msg, nil)
+	})
+	host.SendUDP(port, server, 53, wire)
+	host.Network().Clock.After(timeout, func() {
+		if !done {
+			done = true
+			host.CloseUDP(port)
+			cb(nil, ErrTimeout)
+		}
+	})
+}
+
+// StubLookup is StubQuery specialised to return just the answer
+// RRset, mapping RCodes to the resolver errors.
+func StubLookup(host *netsim.Host, server netip.Addr, name string, typ dnswire.Type, timeout time.Duration, cb Callback) {
+	StubQuery(host, server, name, typ, timeout, func(msg *dnswire.Message, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		switch msg.RCode {
+		case dnswire.RCodeNoError:
+			if len(msg.Answers) == 0 {
+				cb(nil, ErrNoData)
+				return
+			}
+			cb(msg.Answers, nil)
+		case dnswire.RCodeNXDomain:
+			cb(nil, ErrNXDomain)
+		case dnswire.RCodeNotImp:
+			cb(nil, ErrNotImp)
+		case dnswire.RCodeRefused:
+			cb(nil, ErrRefused)
+		default:
+			cb(nil, ErrServFail)
+		}
+	})
+}

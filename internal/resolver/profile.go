@@ -1,0 +1,76 @@
+// Package resolver implements the recursive DNS resolver under
+// attack: TTL cache with bailiwick checking, source-port and TXID
+// randomisation, optional 0x20 encoding, EDNS buffer advertisement,
+// truncation fallback to TCP, CNAME chasing, negative caching, and
+// per-implementation behaviour profiles (BIND, Unbound, PowerDNS
+// Recursor, systemd-resolved, dnsmasq) whose observable differences
+// reproduce the paper's Table 5.
+package resolver
+
+import "time"
+
+// Profile captures the implementation-specific behaviours the paper
+// measures.
+type Profile struct {
+	Name string
+	// CachesANY: contents of an ANY response are used to answer
+	// subsequent single-type queries without re-querying (Table 5:
+	// BIND, PowerDNS, systemd-resolved yes; dnsmasq no).
+	CachesANY bool
+	// SupportsANY: forwards/answers ANY queries at all (Unbound: no).
+	SupportsANY bool
+	// Use0x20 randomises query-name case and requires the response to
+	// echo it exactly.
+	Use0x20 bool
+	// EDNSSize is the UDP payload size advertised in queries; 0 sends
+	// no EDNS (effective 512).
+	EDNSSize uint16
+	// ValidateDNSSEC rejects unsigned/invalid answers for zones the
+	// resolver knows to be signed.
+	ValidateDNSSEC bool
+	// Timeout and Retries control the retransmission schedule; every
+	// retry draws a fresh source port and TXID.
+	Timeout time.Duration
+	Retries int
+}
+
+// Profiles of the five implementations in Table 5. Version strings
+// match the ones the paper tested. EDNS sizes use each
+// implementation's contemporary default.
+var (
+	ProfileBIND = Profile{
+		Name: "BIND 9.14.0", CachesANY: true, SupportsANY: true,
+		EDNSSize: 4096, Timeout: 2 * time.Second, Retries: 2,
+	}
+	ProfileUnbound = Profile{
+		Name: "Unbound 1.9.1", CachesANY: false, SupportsANY: false,
+		Use0x20: false, EDNSSize: 4096, Timeout: 2 * time.Second, Retries: 2,
+	}
+	ProfilePowerDNS = Profile{
+		Name: "PowerDNS Recursor 4.3.0", CachesANY: true, SupportsANY: true,
+		EDNSSize: 1680, Timeout: 2 * time.Second, Retries: 2,
+	}
+	ProfileSystemd = Profile{
+		Name: "systemd resolved 245", CachesANY: true, SupportsANY: true,
+		EDNSSize: 4096, Timeout: 2 * time.Second, Retries: 2,
+	}
+	ProfileDnsmasq = Profile{
+		Name: "dnsmasq-2.79", CachesANY: false, SupportsANY: true,
+		EDNSSize: 1280, Timeout: 2 * time.Second, Retries: 2,
+	}
+)
+
+// AllProfiles lists the Table 5 implementations in paper order.
+func AllProfiles() []Profile {
+	return []Profile{ProfileBIND, ProfileUnbound, ProfilePowerDNS, ProfileSystemd, ProfileDnsmasq}
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.Timeout == 0 {
+		p.Timeout = 2 * time.Second
+	}
+	if p.Name == "" {
+		p.Name = "generic"
+	}
+	return p
+}

@@ -1,0 +1,506 @@
+package resolver
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+)
+
+// Lookup errors.
+var (
+	ErrTimeout  = errors.New("resolver: query timed out")
+	ErrNXDomain = errors.New("resolver: no such domain")
+	ErrNoData   = errors.New("resolver: no records of requested type")
+	ErrServFail = errors.New("resolver: server failure")
+	ErrRefused  = errors.New("resolver: refused")
+	ErrBogus    = errors.New("resolver: DNSSEC validation failed")
+)
+
+// Callback receives the outcome of a lookup.
+type Callback func(rrs []*dnswire.RR, err error)
+
+// Resolver is a recursive resolver bound to a netsim host. It serves
+// clients on UDP port 53 and resolves against configured authoritative
+// servers, applying the challenge-response defences of RFC 5452.
+type Resolver struct {
+	Host  *netsim.Host
+	Prof  Profile
+	Cache *Cache
+	// Open answers queries from any source ("open resolver"); closed
+	// resolvers only answer hosts in their own AS.
+	Open bool
+
+	zones       map[string][]netip.Addr
+	knownSigned map[string]bool
+	inflight    map[cacheKey]*inflight
+	nextSock    int
+
+	// Counters observable by the measurements.
+	ClientQueries    uint64
+	UpstreamQueries  uint64
+	Accepted         uint64
+	SpoofRejected    uint64 // right socket, wrong TXID/question
+	ValidationFailed uint64
+	Timeouts         uint64
+	TCPFallbacks     uint64
+
+	// TestHookQuerySent observes outgoing upstream queries (port and
+	// TXID included) for white-box tests; attack code must not use it.
+	TestHookQuerySent func(name string, typ dnswire.Type, ns netip.Addr, port, txid uint16)
+}
+
+type inflight struct {
+	key     cacheKey
+	qname   string // possibly 0x20-encoded, as sent
+	zone    string // bailiwick for this query
+	ns      netip.Addr
+	port    uint16
+	txid    uint16
+	wire    []byte // packed query (for TCP fallback retransmission)
+	attempt int
+	done    bool
+	depth   int
+	cbs     []Callback
+}
+
+// New creates a resolver on host with the given profile and binds UDP
+// port 53 for client queries.
+func New(host *netsim.Host, prof Profile) *Resolver {
+	r := &Resolver{
+		Host:        host,
+		Prof:        prof.withDefaults(),
+		Cache:       NewCache(host.Network().Clock.Now),
+		zones:       make(map[string][]netip.Addr),
+		knownSigned: make(map[string]bool),
+		inflight:    make(map[cacheKey]*inflight),
+	}
+	host.BindUDP(53, r.handleClient)
+	return r
+}
+
+// AddZoneServer configures the authoritative addresses for a zone
+// (longest-suffix match selects the zone for each query; "." is the
+// default route for everything).
+func (r *Resolver) AddZoneServer(zone string, addrs ...netip.Addr) *Resolver {
+	z := dnswire.CanonicalName(zone)
+	r.zones[z] = append(r.zones[z], addrs...)
+	return r
+}
+
+// SetKnownSigned marks a zone as DNSSEC-signed from the resolver's
+// point of view (a trust-anchor/DS-chain stand-in): if the profile
+// validates, answers for this zone must carry a valid RRSIG.
+func (r *Resolver) SetKnownSigned(zone string, signed bool) {
+	r.knownSigned[dnswire.CanonicalName(zone)] = signed
+}
+
+// zoneFor returns the configured zone and servers for name.
+func (r *Resolver) zoneFor(name string) (string, []netip.Addr) {
+	name = dnswire.CanonicalName(name)
+	bestLen := -1
+	best := ""
+	for z := range r.zones {
+		if dnswire.InBailiwick(name, z) && len(z) > bestLen {
+			bestLen, best = len(z), z
+		}
+	}
+	if bestLen < 0 {
+		return "", nil
+	}
+	return best, r.zones[best]
+}
+
+// Lookup resolves (name, typ), consulting the cache first. cb runs on
+// the simulator's virtual time, possibly synchronously on cache hits.
+func (r *Resolver) Lookup(name string, typ dnswire.Type, cb Callback) {
+	name = dnswire.CanonicalName(name)
+	key := cacheKey{name, typ}
+	if rrs, neg, ok := r.cacheLookup(name, typ); ok {
+		if neg {
+			cb(nil, ErrNXDomain)
+			return
+		}
+		cb(rrs, nil)
+		return
+	}
+	if typ == dnswire.TypeANY && !r.Prof.SupportsANY {
+		cb(nil, ErrNotImp)
+		return
+	}
+	if inf := r.inflight[key]; inf != nil {
+		inf.cbs = append(inf.cbs, cb)
+		return
+	}
+	r.startQuery(key, 0, cb)
+}
+
+// ErrNotImp is returned for ANY lookups on profiles that refuse ANY.
+var ErrNotImp = errors.New("resolver: query type not implemented")
+
+// cacheLookup consults the cache, including the ANY-derived entries of
+// Table 5: a profile that caches ANY can satisfy an A query from a
+// previously fetched ANY response.
+func (r *Resolver) cacheLookup(name string, typ dnswire.Type) (rrs []*dnswire.RR, negative, ok bool) {
+	if rrs, neg, ok := r.Cache.Get(name, typ); ok {
+		return rrs, neg, true
+	}
+	if typ != dnswire.TypeANY && r.Prof.CachesANY {
+		if all, neg, ok := r.Cache.Get(name, dnswire.TypeANY); ok && !neg {
+			var match []*dnswire.RR
+			for _, rr := range all {
+				if rr.Type == typ {
+					match = append(match, rr)
+				}
+			}
+			if len(match) > 0 {
+				return match, false, true
+			}
+		}
+	}
+	return nil, false, false
+}
+
+func (r *Resolver) startQuery(key cacheKey, depth int, cbs ...Callback) {
+	zone, servers := r.zoneFor(key.name)
+	if len(servers) == 0 {
+		for _, cb := range cbs {
+			cb(nil, ErrServFail)
+		}
+		return
+	}
+	inf := &inflight{key: key, zone: zone, depth: depth, cbs: cbs}
+	r.inflight[key] = inf
+	r.sendAttempt(inf, servers)
+}
+
+func (r *Resolver) sendAttempt(inf *inflight, servers []netip.Addr) {
+	rng := r.Host.Rand()
+	inf.ns = servers[rng.Intn(len(servers))]
+	inf.txid = uint16(rng.Uint32())
+	inf.qname = inf.key.name
+	if r.Prof.Use0x20 {
+		inf.qname = dnswire.Encode0x20(inf.key.name, rng)
+	}
+	q := dnswire.NewQuery(inf.txid, inf.qname, inf.key.typ)
+	if r.Prof.EDNSSize > 0 {
+		q.SetEDNS(r.Prof.EDNSSize, r.Prof.ValidateDNSSEC)
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		r.finish(inf, nil, fmt.Errorf("resolver: pack: %w", err))
+		return
+	}
+	inf.wire = wire
+	attempt := inf.attempt
+	inf.port = r.Host.BindUDP(0, func(dg netsim.Datagram) { r.handleUpstream(inf, attempt, dg) })
+	r.UpstreamQueries++
+	if r.TestHookQuerySent != nil {
+		r.TestHookQuerySent(inf.qname, inf.key.typ, inf.ns, inf.port, inf.txid)
+	}
+	r.Host.SendUDP(inf.port, inf.ns, 53, wire)
+	r.Host.Network().Clock.After(r.Prof.Timeout, func() { r.onTimeout(inf, attempt) })
+}
+
+func (r *Resolver) onTimeout(inf *inflight, attempt int) {
+	if inf.done || inf.attempt != attempt {
+		return
+	}
+	r.Host.CloseUDP(inf.port)
+	if inf.attempt >= r.Prof.Retries {
+		r.Timeouts++
+		r.finish(inf, nil, ErrTimeout)
+		return
+	}
+	inf.attempt++
+	_, servers := r.zoneFor(inf.key.name)
+	r.sendAttempt(inf, servers)
+}
+
+func (r *Resolver) handleUpstream(inf *inflight, attempt int, dg netsim.Datagram) {
+	if inf.done || inf.attempt != attempt {
+		return
+	}
+	// Address/port check: the response must come from the server we
+	// asked (RFC 5452 §3).
+	if dg.Src != inf.ns || dg.SrcPort != 53 {
+		r.SpoofRejected++
+		return
+	}
+	msg, err := dnswire.Unpack(dg.Payload)
+	if err != nil {
+		r.SpoofRejected++
+		return
+	}
+	if msg.ID != inf.txid || !msg.Response || len(msg.Questions) == 0 {
+		r.SpoofRejected++
+		return
+	}
+	q := msg.Questions[0]
+	if q.Type != inf.key.typ {
+		r.SpoofRejected++
+		return
+	}
+	if r.Prof.Use0x20 {
+		if q.Name != inf.qname {
+			r.SpoofRejected++
+			return
+		}
+	} else if !dnswire.EqualNames(q.Name, inf.key.name) {
+		r.SpoofRejected++
+		return
+	}
+	if msg.Truncated {
+		// Fall back to TCP: reliable, unspoofable.
+		r.TCPFallbacks++
+		ns := inf.ns
+		r.Host.CloseUDP(inf.port)
+		inf.attempt++ // invalidate the pending UDP timeout
+		r.Host.CallTCP(ns, 53, inf.wire, func(resp []byte) {
+			if inf.done {
+				return
+			}
+			if resp == nil {
+				r.finish(inf, nil, ErrServFail)
+				return
+			}
+			m, err := dnswire.Unpack(resp)
+			if err != nil || m.ID != inf.txid {
+				r.finish(inf, nil, ErrServFail)
+				return
+			}
+			r.processResponse(inf, m)
+		})
+		return
+	}
+	r.processResponse(inf, msg)
+}
+
+// processResponse applies bailiwick and DNSSEC checks, caches, chases
+// CNAMEs, and completes the lookup.
+func (r *Resolver) processResponse(inf *inflight, msg *dnswire.Message) {
+	switch msg.RCode {
+	case dnswire.RCodeNoError:
+	case dnswire.RCodeNXDomain:
+		ttl := negativeTTL(msg)
+		r.Cache.PutNegative(inf.key.name, inf.key.typ, ttl)
+		r.acceptAndClose(inf)
+		r.finish(inf, nil, ErrNXDomain)
+		return
+	case dnswire.RCodeRefused:
+		r.acceptAndClose(inf)
+		r.finish(inf, nil, ErrRefused)
+		return
+	default:
+		r.acceptAndClose(inf)
+		r.finish(inf, nil, ErrServFail)
+		return
+	}
+
+	// Bailiwick: only records inside the zone we asked may enter the
+	// cache.
+	var answers []*dnswire.RR
+	for _, rr := range msg.Answers {
+		if dnswire.InBailiwick(rr.Name, inf.zone) {
+			answers = append(answers, rr)
+		}
+	}
+
+	// DNSSEC: a zone we know to be signed must prove its answers.
+	if r.Prof.ValidateDNSSEC && r.knownSigned[inf.zone] && len(answers) > 0 {
+		if !hasValidSig(answers, inf.zone) {
+			// Bogus: ignore this response and keep waiting; the
+			// genuine (signed) response can still arrive.
+			r.ValidationFailed++
+			return
+		}
+	}
+
+	// Strip RRSIG markers from what we hand to applications.
+	answers = withoutType(answers, dnswire.TypeRRSIG)
+
+	// Group answers per (name, type) and cache each RRset.
+	groups := map[cacheKey][]*dnswire.RR{}
+	var orderKeys []cacheKey
+	for _, rr := range answers {
+		k := cacheKey{dnswire.CanonicalName(rr.Name), rr.Type}
+		if groups[k] == nil {
+			orderKeys = append(orderKeys, k)
+		}
+		groups[k] = append(groups[k], rr)
+	}
+	if inf.key.typ == dnswire.TypeANY {
+		if r.Prof.CachesANY {
+			r.Cache.Put(inf.key.name, dnswire.TypeANY, answers)
+		}
+	} else {
+		for _, k := range orderKeys {
+			r.Cache.Put(k.name, k.typ, groups[k])
+		}
+	}
+
+	// Direct answers for the question?
+	direct := groups[cacheKey{inf.key.name, inf.key.typ}]
+	if inf.key.typ == dnswire.TypeANY {
+		direct = answers
+	}
+	if len(direct) > 0 {
+		r.acceptAndClose(inf)
+		r.finish(inf, direct, nil)
+		return
+	}
+
+	// CNAME chasing.
+	if cn := groups[cacheKey{inf.key.name, dnswire.TypeCNAME}]; len(cn) > 0 && inf.key.typ != dnswire.TypeCNAME {
+		target := dnswire.CanonicalName(cn[0].Data.(*dnswire.CNAMEData).Target)
+		// The response may already carry the target records.
+		if tr := groups[cacheKey{target, inf.key.typ}]; len(tr) > 0 {
+			r.acceptAndClose(inf)
+			r.finish(inf, tr, nil)
+			return
+		}
+		if inf.depth >= 8 {
+			r.acceptAndClose(inf)
+			r.finish(inf, nil, ErrServFail)
+			return
+		}
+		r.acceptAndClose(inf)
+		cbs := inf.cbs
+		delete(r.inflight, inf.key)
+		inf.done = true
+		r.Lookup(target, inf.key.typ, func(rrs []*dnswire.RR, err error) {
+			for _, cb := range cbs {
+				cb(rrs, err)
+			}
+		})
+		return
+	}
+
+	// NODATA.
+	r.Cache.PutNegative(inf.key.name, inf.key.typ, negativeTTL(msg))
+	r.acceptAndClose(inf)
+	r.finish(inf, nil, ErrNoData)
+}
+
+func (r *Resolver) acceptAndClose(inf *inflight) {
+	r.Accepted++
+	r.Host.CloseUDP(inf.port)
+}
+
+func (r *Resolver) finish(inf *inflight, rrs []*dnswire.RR, err error) {
+	if inf.done {
+		return
+	}
+	inf.done = true
+	delete(r.inflight, inf.key)
+	for _, cb := range inf.cbs {
+		cb(rrs, err)
+	}
+}
+
+func negativeTTL(msg *dnswire.Message) uint32 {
+	for _, rr := range msg.Authority {
+		if soa, ok := rr.Data.(*dnswire.SOAData); ok {
+			ttl := soa.Minimum
+			if rr.TTL < ttl {
+				ttl = rr.TTL
+			}
+			return ttl
+		}
+	}
+	return 60
+}
+
+func hasValidSig(answers []*dnswire.RR, zone string) bool {
+	covered := map[dnswire.Type]bool{}
+	for _, rr := range answers {
+		if rr.Type != dnswire.TypeRRSIG {
+			continue
+		}
+		sig, ok := rr.Data.(*dnswire.RRSIGData)
+		if !ok || !sig.Valid || !dnswire.InBailiwick(sig.Signer, zone) {
+			continue
+		}
+		covered[sig.Covered] = true
+	}
+	for _, rr := range answers {
+		if rr.Type == dnswire.TypeRRSIG {
+			continue
+		}
+		if !covered[rr.Type] {
+			return false
+		}
+	}
+	return len(covered) > 0
+}
+
+func withoutType(rrs []*dnswire.RR, t dnswire.Type) []*dnswire.RR {
+	out := rrs[:0:0]
+	for _, rr := range rrs {
+		if rr.Type != t {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// --- client-facing side ---
+
+func (r *Resolver) handleClient(dg netsim.Datagram) {
+	query, err := dnswire.Unpack(dg.Payload)
+	if err != nil || query.Response || len(query.Questions) == 0 {
+		return
+	}
+	if !r.Open && !r.sameAS(dg.Src) {
+		return // closed resolvers ignore external clients
+	}
+	r.ClientQueries++
+	q := query.Question()
+	respond := func(rrs []*dnswire.RR, lookupErr error) {
+		resp := &dnswire.Message{
+			ID: query.ID, Response: true, RecursionAvailable: true,
+			RecursionDesired: query.RecursionDesired,
+			Questions:        query.Questions,
+			Answers:          rrs,
+		}
+		switch {
+		case lookupErr == nil:
+		case errors.Is(lookupErr, ErrNXDomain):
+			resp.RCode = dnswire.RCodeNXDomain
+		case errors.Is(lookupErr, ErrNoData):
+		case errors.Is(lookupErr, ErrNotImp):
+			resp.RCode = dnswire.RCodeNotImp
+		case errors.Is(lookupErr, ErrRefused):
+			resp.RCode = dnswire.RCodeRefused
+		default:
+			resp.RCode = dnswire.RCodeServFail
+		}
+		wire, err := resp.Pack()
+		if err != nil {
+			return
+		}
+		r.Host.SendUDP(53, dg.Src, dg.SrcPort, wire)
+	}
+	r.Lookup(q.Name, q.Type, respond)
+}
+
+func (r *Resolver) sameAS(src netip.Addr) bool {
+	h := r.Host.Network().HostByAddr(src)
+	return h != nil && h.ASN == r.Host.ASN
+}
+
+// ZoneNames lists configured zones (diagnostics).
+func (r *Resolver) ZoneNames() []string {
+	out := make([]string, 0, len(r.zones))
+	for z := range r.zones {
+		out = append(out, z)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InflightCount reports the number of outstanding upstream queries.
+func (r *Resolver) InflightCount() int { return len(r.inflight) }

@@ -1,0 +1,108 @@
+package rpki_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"crosslayer/internal/bgp"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/rpki"
+	"crosslayer/internal/scenario"
+)
+
+func TestSyncFetchesROAs(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 1})
+	roas := []bgp.ROA{{Prefix: scenario.DomainPrefix, Origin: scenario.DomainAS, MaxLength: 22}}
+	repo := rpki.NewRepository(s.WWWHost, roas) // repo at rpki.vict.im -> 123.0.0.80
+	rp := rpki.NewRelyingParty(s.ServiceHost, scenario.ResolverIP, "rpki.vict.im.")
+	var ok bool
+	rp.Sync(func(o bool) { ok = o })
+	s.Run()
+	if !ok || !rp.HaveData() {
+		t.Fatalf("sync failed: ok=%v haveData=%v", ok, rp.HaveData())
+	}
+	if repo.Fetches != 1 {
+		t.Fatalf("repo fetches = %d", repo.Fetches)
+	}
+	ann := bgp.Announcement{Prefix: scenario.DomainPrefix, Origin: scenario.DomainAS}
+	if rp.Validity(ann) != bgp.ValidityValid {
+		t.Fatalf("genuine announcement validity = %v", rp.Validity(ann))
+	}
+	hijack := bgp.Announcement{Prefix: netip.MustParsePrefix("123.0.1.0/24"), Origin: scenario.AttackerAS}
+	if rp.Validity(hijack) != bgp.ValidityInvalid {
+		t.Fatalf("hijack validity = %v", rp.Validity(hijack))
+	}
+}
+
+func TestPoisonedResolverDowngradesValidation(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 2})
+	rpki.NewRepository(s.WWWHost, []bgp.ROA{{Prefix: scenario.DomainPrefix, Origin: scenario.DomainAS, MaxLength: 22}})
+	rpki.EmptyRepository(s.Attacker) // attacker serves an empty repo
+	rp := rpki.NewRelyingParty(s.ServiceHost, scenario.ResolverIP, "rpki.vict.im.")
+
+	// Plant the poisoned A record directly (the attack chains that
+	// plant it live in internal/core and are tested there).
+	s.Resolver.Cache.Put("rpki.vict.im.", dnswire.TypeA,
+		[]*dnswire.RR{dnswire.NewA("rpki.vict.im.", 300, scenario.AttackerIP)})
+
+	var ok bool
+	rp.Sync(func(o bool) { ok = o })
+	s.Run()
+	if !ok {
+		t.Fatal("sync against attacker repo should 'succeed' (that is the stealth)")
+	}
+	hijack := bgp.Announcement{Prefix: netip.MustParsePrefix("123.0.1.0/24"), Origin: scenario.AttackerAS}
+	if rp.Validity(hijack) != bgp.ValidityUnknown {
+		t.Fatalf("hijack validity = %v, want unknown after downgrade", rp.Validity(hijack))
+	}
+}
+
+func TestSyncFailureLeavesNoData(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 3})
+	rp := rpki.NewRelyingParty(s.ServiceHost, scenario.ResolverIP, "rpki.vict.im.")
+	// No repository bound on the target: TCP connect fails.
+	var ok bool
+	rp.Sync(func(o bool) { ok = o })
+	s.Run()
+	if ok || rp.HaveData() {
+		t.Fatal("sync should have failed")
+	}
+	if rp.SyncFailures != 1 {
+		t.Fatalf("SyncFailures = %d", rp.SyncFailures)
+	}
+	ann := bgp.Announcement{Prefix: scenario.DomainPrefix, Origin: scenario.DomainAS}
+	if rp.Validity(ann) != bgp.ValidityUnknown {
+		t.Fatal("validator without data must return unknown")
+	}
+}
+
+func TestPeriodicSync(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 4})
+	rpki.NewRepository(s.WWWHost, []bgp.ROA{{Prefix: scenario.DomainPrefix, Origin: scenario.DomainAS, MaxLength: 22}})
+	rp := rpki.NewRelyingParty(s.ServiceHost, scenario.ResolverIP, "rpki.vict.im.")
+	rp.StartPeriodicSync()
+	s.Clock.RunUntil(35 * 60 * 1e9) // 35 minutes
+	if rp.Syncs < 3 {
+		t.Fatalf("Syncs = %d, want >=3 over 35min at 10min cadence", rp.Syncs)
+	}
+}
+
+func TestViewFeedsROVRouter(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 5})
+	rpki.NewRepository(s.WWWHost, []bgp.ROA{{Prefix: scenario.DomainPrefix, Origin: scenario.DomainAS, MaxLength: 22}})
+	rp := rpki.NewRelyingParty(s.ServiceHost, scenario.ResolverIP, "rpki.vict.im.")
+	rp.Sync(nil)
+	s.Run()
+	// Wire the relying party into the RIB and enable ROV everywhere.
+	for _, asn := range s.Topo.ASNs() {
+		s.Topo.AS(asn).ROV = true
+	}
+	s.RIB.SetROAView(rp.View())
+	// Attacker tries a sub-prefix hijack of the protected prefix.
+	if !s.RIB.Announce(netip.MustParsePrefix("123.0.0.0/24"), scenario.AttackerAS) {
+		t.Fatal("announcement filtered before ROV (prefix len)")
+	}
+	if origin, _ := s.RIB.Resolve(scenario.VictimAS, scenario.NSIP); origin != scenario.DomainAS {
+		t.Fatalf("ROV failed to protect: traffic goes to AS%d", origin)
+	}
+}

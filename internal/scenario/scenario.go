@@ -1,0 +1,200 @@
+// Package scenario assembles the canonical testbed the paper's §3
+// describes: a victim AS operating a recursive resolver and
+// application servers, a target domain (vict.im) served by an
+// authoritative nameserver in another AS, and an adversarial AS whose
+// network does not enforce egress filtering. Attack implementations,
+// application victims, measurements and examples all build on it.
+package scenario
+
+import (
+	"net/netip"
+
+	"crosslayer/internal/bgp"
+	"crosslayer/internal/dnssrv"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+	"crosslayer/internal/resolver"
+	"crosslayer/internal/sim"
+)
+
+// Well-known addresses of the canonical scenario (mirroring the
+// paper's Figures 1 and 2).
+var (
+	ResolverIP = netip.MustParseAddr("30.0.0.1")
+	ServiceIP  = netip.MustParseAddr("30.0.0.25")
+	ClientIP   = netip.MustParseAddr("30.0.0.30")
+	NSIP       = netip.MustParseAddr("123.0.0.53")
+	VictimWWW  = netip.MustParseAddr("123.0.0.80")
+	VictimMail = netip.MustParseAddr("123.0.0.25")
+	AttackerIP = netip.MustParseAddr("6.6.6.6")
+	AtkNSIP    = netip.MustParseAddr("6.6.6.53")
+
+	VictimPrefix   = netip.MustParsePrefix("30.0.0.0/22")
+	DomainPrefix   = netip.MustParsePrefix("123.0.0.0/22")
+	AttackerPrefix = netip.MustParsePrefix("6.6.6.0/24")
+)
+
+// AS numbers of the canonical scenario.
+const (
+	TransitAS  bgp.ASN = 1
+	Transit2AS bgp.ASN = 2
+	VictimAS   bgp.ASN = 10
+	DomainAS   bgp.ASN = 20
+	AttackerAS bgp.ASN = 66
+)
+
+// Config tunes scenario construction.
+type Config struct {
+	Seed int64
+	// Profile of the victim resolver (default: BIND).
+	Profile resolver.Profile
+	// ServerCfg of the target domain's nameserver.
+	ServerCfg dnssrv.Config
+	// SignVictimZone publishes the victim zone with DNSSEC markers.
+	SignVictimZone bool
+	// OpenResolver makes the victim resolver answer external clients.
+	OpenResolver bool
+}
+
+// S is an assembled scenario.
+type S struct {
+	Clock *sim.Clock
+	Topo  *bgp.Topology
+	RIB   *bgp.RIB
+	Net   *netsim.Network
+
+	ResolverHost *netsim.Host
+	Resolver     *resolver.Resolver
+	NSHost       *netsim.Host
+	NS           *dnssrv.Server
+	VictimZone   *dnssrv.Zone
+	ServiceHost  *netsim.Host // application server in the victim AS
+	ClientHost   *netsim.Host // end user in the victim AS
+	WWWHost      *netsim.Host // genuine web server of vict.im
+	MailHost     *netsim.Host // genuine mail server of vict.im
+	Attacker     *netsim.Host
+	AtkNSHost    *netsim.Host
+	AtkNS        *dnssrv.Server
+}
+
+// New assembles the canonical scenario.
+func New(cfg Config) *S {
+	if cfg.Profile.Name == "" {
+		cfg.Profile = resolver.ProfileBIND
+	}
+	if cfg.ServerCfg == (dnssrv.Config{}) {
+		cfg.ServerCfg = dnssrv.DefaultConfig()
+	}
+	clock := sim.NewClock(cfg.Seed)
+	topo := bgp.NewTopology()
+	topo.AddAS(TransitAS, 1)
+	topo.AddAS(Transit2AS, 1)
+	topo.AddPeering(TransitAS, Transit2AS)
+	topo.AddAS(VictimAS, 3)
+	topo.AddAS(DomainAS, 3)
+	topo.AddAS(AttackerAS, 3)
+	topo.AddProviderCustomer(TransitAS, VictimAS)
+	topo.AddProviderCustomer(TransitAS, DomainAS)
+	topo.AddProviderCustomer(Transit2AS, AttackerAS)
+	topo.AddProviderCustomer(Transit2AS, DomainAS)
+
+	rib := bgp.NewRIB(topo, nil)
+	net := netsim.New(clock, topo, rib)
+	rib.Announce(VictimPrefix, VictimAS)
+	rib.Announce(DomainPrefix, DomainAS)
+	rib.Announce(AttackerPrefix, AttackerAS)
+
+	s := &S{Clock: clock, Topo: topo, RIB: rib, Net: net}
+	s.ResolverHost = net.AddHost("resolver.victim-net", VictimAS, ResolverIP)
+	s.ServiceHost = net.AddHost("service.victim-net", VictimAS, ServiceIP)
+	s.ClientHost = net.AddHost("client.victim-net", VictimAS, ClientIP)
+	s.NSHost = net.AddHost("ns1.vict.im", DomainAS, NSIP)
+	s.WWWHost = net.AddHost("www.vict.im", DomainAS, VictimWWW)
+	s.MailHost = net.AddHost("mail.vict.im", DomainAS, VictimMail)
+	s.Attacker = net.AddHost("attacker", AttackerAS, AttackerIP)
+	s.AtkNSHost = net.AddHost("ns.atk.example", AttackerAS, AtkNSIP)
+	net.AS(AttackerAS).EgressFiltering = false
+
+	s.VictimZone = BuildVictimZone(cfg.SignVictimZone)
+	s.NS = dnssrv.New(s.NSHost, cfg.ServerCfg)
+	s.NS.AddZone(s.VictimZone)
+
+	atkZone := dnssrv.NewZone("atk.example.")
+	atkZone.Add(
+		dnswire.NewSOA("atk.example.", 3600, "ns.atk.example.", "root.atk.example.", 1),
+		dnswire.NewNS("atk.example.", 3600, "ns.atk.example."),
+		dnswire.NewA("ns.atk.example.", 3600, AtkNSIP),
+		dnswire.NewA("atk.example.", 60, AttackerIP),
+		dnswire.NewMX("atk.example.", 60, 10, "mail.atk.example."),
+		dnswire.NewA("mail.atk.example.", 60, AttackerIP),
+	)
+	s.AtkNS = dnssrv.New(s.AtkNSHost, dnssrv.DefaultConfig())
+	s.AtkNS.AddZone(atkZone)
+
+	s.Resolver = resolver.New(s.ResolverHost, cfg.Profile)
+	s.Resolver.Open = cfg.OpenResolver
+	s.Resolver.AddZoneServer("vict.im.", NSIP)
+	s.Resolver.AddZoneServer("atk.example.", AtkNSIP)
+	if cfg.SignVictimZone {
+		s.Resolver.SetKnownSigned("vict.im.", true)
+	}
+	return s
+}
+
+// BuildVictimZone constructs vict.im with the record types Table 1's
+// applications consume.
+func BuildVictimZone(signed bool) *dnssrv.Zone {
+	z := dnssrv.NewZone("vict.im.")
+	z.Signed = signed
+	z.Add(
+		dnswire.NewSOA("vict.im.", 3600, "ns1.vict.im.", "hostmaster.vict.im.", 2021082301),
+		dnswire.NewNS("vict.im.", 3600, "ns1.vict.im."),
+		dnswire.NewA("ns1.vict.im.", 3600, NSIP),
+		dnswire.NewA("vict.im.", 300, VictimWWW),
+		dnswire.NewA("www.vict.im.", 300, VictimWWW),
+		dnswire.NewMX("vict.im.", 300, 10, "mail.vict.im."),
+		dnswire.NewA("mail.vict.im.", 300, VictimMail),
+		dnswire.NewTXT("vict.im.", 300, "v=spf1 ip4:123.0.0.0/22 -all"),
+		dnswire.NewTXT("_dmarc.vict.im.", 300, "v=DMARC1; p=reject"),
+		dnswire.NewTXT("sel1._domainkey.vict.im.", 300, "v=DKIM1; k=rsa; p=MIGfMA0GCSq"),
+		dnswire.NewSRV("_xmpp-server._tcp.vict.im.", 300, 5, 0, 5269, "www.vict.im."),
+		dnswire.NewNAPTR("vict.im.", 300, 100, 10, "s", "x-eduroam:radius.tls", "_radsec._tcp.vict.im."),
+		dnswire.NewSRV("_radsec._tcp.vict.im.", 300, 0, 0, 2083, "www.vict.im."),
+		dnswire.NewA("ntp.vict.im.", 300, VictimWWW),
+		dnswire.NewA("vpn.vict.im.", 300, VictimWWW),
+		dnswire.NewA("ocsp.vict.im.", 300, VictimWWW),
+		dnswire.NewA("rpki.vict.im.", 300, VictimWWW),
+		dnswire.NewA("seed.vict.im.", 300, VictimWWW),
+	)
+	return z
+}
+
+// Run drains the event queue.
+func (s *S) Run() { s.Net.Run() }
+
+// Poisoned reports whether (name, typ) in the victim resolver's cache
+// resolves to an attacker-controlled address — the ground-truth check
+// every experiment uses.
+func (s *S) Poisoned(name string, typ dnswire.Type) bool {
+	rrs, neg, ok := s.Resolver.Cache.Get(name, typ)
+	if !ok || neg {
+		return false
+	}
+	for _, rr := range rrs {
+		switch d := rr.Data.(type) {
+		case *dnswire.AData:
+			if AttackerPrefix.Contains(d.Addr) {
+				return true
+			}
+		case *dnswire.MXData:
+			if dnswire.InBailiwick(d.Host, "atk.example.") {
+				return true
+			}
+		case *dnswire.NSData:
+			if dnswire.InBailiwick(d.Host, "atk.example.") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+package scenario_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/resolver"
+	"crosslayer/internal/scenario"
+)
+
+func TestScenarioWiring(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 1})
+	if s.Net.HostByAddr(scenario.ResolverIP) != s.ResolverHost {
+		t.Fatal("resolver host not registered")
+	}
+	if s.Net.HostByAddr(scenario.AttackerIP).ASN != scenario.AttackerAS {
+		t.Fatal("attacker AS wrong")
+	}
+	// The attacker AS must be able to spoof; the victim AS must not.
+	if s.Net.AS(scenario.AttackerAS).EgressFiltering {
+		t.Fatal("attacker AS filters egress")
+	}
+	if !s.Net.AS(scenario.VictimAS).EgressFiltering {
+		t.Fatal("victim AS does not filter egress")
+	}
+}
+
+func TestVictimZoneServesAllTable1RecordTypes(t *testing.T) {
+	z := scenario.BuildVictimZone(false)
+	for _, q := range []struct {
+		name string
+		typ  dnswire.Type
+	}{
+		{"vict.im.", dnswire.TypeA},
+		{"vict.im.", dnswire.TypeMX},
+		{"vict.im.", dnswire.TypeTXT},
+		{"vict.im.", dnswire.TypeNAPTR},
+		{"_xmpp-server._tcp.vict.im.", dnswire.TypeSRV},
+		{"_radsec._tcp.vict.im.", dnswire.TypeSRV},
+		{"ntp.vict.im.", dnswire.TypeA},
+		{"vpn.vict.im.", dnswire.TypeA},
+		{"ocsp.vict.im.", dnswire.TypeA},
+		{"rpki.vict.im.", dnswire.TypeA},
+		{"seed.vict.im.", dnswire.TypeA},
+		{"_dmarc.vict.im.", dnswire.TypeTXT},
+		{"sel1._domainkey.vict.im.", dnswire.TypeTXT},
+	} {
+		if rrs, ok := z.Lookup(q.name, q.typ); !ok || len(rrs) == 0 {
+			t.Errorf("zone missing %s %v", q.name, q.typ)
+		}
+	}
+}
+
+func TestPoisonedDetectsAttackerRecords(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 2})
+	if s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("fresh scenario reports poisoned")
+	}
+	s.Resolver.Cache.Put("www.vict.im.", dnswire.TypeA,
+		[]*dnswire.RR{dnswire.NewA("www.vict.im.", 300, scenario.VictimWWW)})
+	if s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("genuine record reported poisoned")
+	}
+	s.Resolver.Cache.Put("mail-route.vict.im.", dnswire.TypeMX,
+		[]*dnswire.RR{dnswire.NewMX("mail-route.vict.im.", 300, 5, "mail.atk.example.")})
+	if !s.Poisoned("mail-route.vict.im.", dnswire.TypeMX) {
+		t.Fatal("attacker MX not detected")
+	}
+}
+
+func TestResolutionSurvivesPacketLoss(t *testing.T) {
+	// Failure injection: with 20% loss the resolver's retransmissions
+	// still complete most lookups; with 100% loss everything times out.
+	s := scenario.New(scenario.Config{Seed: 3})
+	s.Net.SetLossRate(0.20)
+	ok, fail := 0, 0
+	for i := 0; i < 30; i++ {
+		name := dnswire.CanonicalName("www.vict.im.")
+		done := false
+		s.Resolver.Lookup(name, dnswire.TypeA, func(rrs []*dnswire.RR, err error) {
+			done = true
+			if err == nil && len(rrs) > 0 {
+				ok++
+			} else {
+				fail++
+			}
+		})
+		s.Run()
+		if !done {
+			t.Fatal("lookup hung")
+		}
+		s.Resolver.Cache.Flush()
+		s.Clock.RunFor(time.Second)
+	}
+	if ok < 20 {
+		t.Fatalf("only %d/30 lookups survived 20%% loss (retries broken?)", ok)
+	}
+
+	s2 := scenario.New(scenario.Config{Seed: 4})
+	s2.Net.SetLossRate(1.0)
+	var got error
+	s2.Resolver.Lookup("www.vict.im.", dnswire.TypeA, func(_ []*dnswire.RR, err error) { got = err })
+	s2.Run()
+	if !errors.Is(got, resolver.ErrTimeout) {
+		t.Fatalf("total loss returned %v, want timeout", got)
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		s := scenario.New(scenario.Config{Seed: 99})
+		for i := 0; i < 5; i++ {
+			s.Resolver.Lookup("www.vict.im.", dnswire.TypeA, func([]*dnswire.RR, error) {})
+			s.Run()
+		}
+		return s.Net.Delivered, s.Resolver.UpstreamQueries
+	}
+	d1, q1 := run()
+	d2, q2 := run()
+	if d1 != d2 || q1 != q2 {
+		t.Fatalf("same seed diverged: %d/%d vs %d/%d", d1, q1, d2, q2)
+	}
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockOrdering(t *testing.T) {
+	c := NewClock(1)
+	var order []int
+	c.At(30*time.Millisecond, func() { order = append(order, 3) })
+	c.At(10*time.Millisecond, func() { order = append(order, 1) })
+	c.At(20*time.Millisecond, func() { order = append(order, 2) })
+	if n := c.Run(); n != 3 {
+		t.Fatalf("Run processed %d events, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if c.Now() != 30*time.Millisecond {
+		t.Fatalf("clock at %v, want 30ms", c.Now())
+	}
+}
+
+func TestClockFIFOAtSameTime(t *testing.T) {
+	c := NewClock(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(time.Second, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockAfterAndNesting(t *testing.T) {
+	c := NewClock(1)
+	var hit []time.Duration
+	c.After(time.Second, func() {
+		hit = append(hit, c.Now())
+		c.After(2*time.Second, func() { hit = append(hit, c.Now()) })
+	})
+	c.Run()
+	if len(hit) != 2 || hit[0] != time.Second || hit[1] != 3*time.Second {
+		t.Fatalf("nested scheduling produced %v", hit)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	c := NewClock(1)
+	ran := false
+	c.At(5*time.Second, func() { ran = true })
+	c.RunUntil(2 * time.Second)
+	if ran {
+		t.Fatal("event at 5s ran during RunUntil(2s)")
+	}
+	if c.Now() != 2*time.Second {
+		t.Fatalf("clock at %v, want 2s", c.Now())
+	}
+	c.RunUntil(10 * time.Second)
+	if !ran {
+		t.Fatal("event at 5s did not run by 10s")
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending %d, want 0", c.Pending())
+	}
+}
+
+func TestRunForRelative(t *testing.T) {
+	c := NewClock(1)
+	c.RunFor(time.Minute)
+	c.RunFor(time.Minute)
+	if c.Now() != 2*time.Minute {
+		t.Fatalf("clock at %v, want 2m", c.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	c := NewClock(1)
+	c.At(time.Second, func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.At(time.Millisecond, func() {})
+}
+
+func TestEventLimit(t *testing.T) {
+	c := NewClock(1)
+	c.SetEventLimit(100)
+	var bomb func()
+	n := 0
+	bomb = func() { n++; c.After(time.Millisecond, bomb) }
+	c.After(0, bomb)
+	c.Run()
+	if n != 100 {
+		t.Fatalf("event limit let %d events run, want 100", n)
+	}
+}
+
+func TestDeterministicRandStreams(t *testing.T) {
+	a := NewClock(42)
+	b := NewClock(42)
+	ra, rb := a.NewRand(), b.NewRand()
+	for i := 0; i < 100; i++ {
+		if ra.Uint64() != rb.Uint64() {
+			t.Fatal("same-seed clocks produced different rand streams")
+		}
+	}
+	// A second derived stream must differ from the first.
+	ra2 := a.NewRand()
+	same := 0
+	rb2 := NewClock(42)
+	_ = rb2
+	for i := 0; i < 32; i++ {
+		if ra2.Uint64() == rb.Uint64() {
+			same++
+		}
+	}
+	if same == 32 {
+		t.Fatal("derived streams are identical")
+	}
+}

@@ -1,0 +1,202 @@
+// Package stats provides the small statistical and rendering toolkit
+// the measurement harness uses: empirical CDFs, quantiles, Venn
+// partitions of vulnerability sets, and ASCII tables/plots matching
+// the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied, then sorted).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th (0..1) quantile.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(q * float64(len(c.sorted)))
+	if i >= len(c.sorted) {
+		i = len(c.sorted) - 1
+	}
+	return c.sorted[i]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range c.sorted {
+		s += v
+	}
+	return s / float64(len(c.sorted))
+}
+
+// Median returns the 0.5 quantile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// RenderASCII draws the CDF at the given x breakpoints, like the
+// paper's Figure 3/4 step plots.
+func (c *CDF) RenderASCII(label string, xs []float64, format string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (n=%d)\n", label, c.Len())
+	for _, x := range xs {
+		p := c.At(x)
+		bar := strings.Repeat("#", int(p*40+0.5))
+		fmt.Fprintf(&sb, "  "+format+" |%-40s| %5.1f%%\n", x, bar, p*100)
+	}
+	return sb.String()
+}
+
+// Venn3 is the three-set partition of Figure 5.
+type Venn3 struct {
+	Labels [3]string
+	// Region counts: OnlyA, OnlyB, OnlyC, AB, AC, BC, ABC.
+	OnlyA, OnlyB, OnlyC, AB, AC, BC, ABC int
+}
+
+// NewVenn3 partitions membership bit-vectors (bit0=A, bit1=B, bit2=C).
+func NewVenn3(labels [3]string, membership []uint8) Venn3 {
+	v := Venn3{Labels: labels}
+	for _, m := range membership {
+		switch m & 7 {
+		case 1:
+			v.OnlyA++
+		case 2:
+			v.OnlyB++
+		case 3:
+			v.AB++
+		case 4:
+			v.OnlyC++
+		case 5:
+			v.AC++
+		case 6:
+			v.BC++
+		case 7:
+			v.ABC++
+		}
+	}
+	return v
+}
+
+// Total returns the number of elements in the union.
+func (v Venn3) Total() int {
+	return v.OnlyA + v.OnlyB + v.OnlyC + v.AB + v.AC + v.BC + v.ABC
+}
+
+// InA returns |A|.
+func (v Venn3) InA() int { return v.OnlyA + v.AB + v.AC + v.ABC }
+
+// InB returns |B|.
+func (v Venn3) InB() int { return v.OnlyB + v.AB + v.BC + v.ABC }
+
+// InC returns |C|.
+func (v Venn3) InC() int { return v.OnlyC + v.AC + v.BC + v.ABC }
+
+// String renders the region counts.
+func (v Venn3) String() string {
+	return fmt.Sprintf(
+		"%s only: %d\n%s only: %d\n%s only: %d\n%s∩%s: %d\n%s∩%s: %d\n%s∩%s: %d\nall three: %d\nunion: %d",
+		v.Labels[0], v.OnlyA, v.Labels[1], v.OnlyB, v.Labels[2], v.OnlyC,
+		v.Labels[0], v.Labels[1], v.AB,
+		v.Labels[0], v.Labels[2], v.AC,
+		v.Labels[1], v.Labels[2], v.BC,
+		v.ABC, v.Total())
+}
+
+// Table renders rows of cells with aligned columns, pipe-separated —
+// the output format of every regenerated paper table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("-+-")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage cell.
+func Pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(num)/float64(den))
+}
+
+// Pct1 formats with one decimal.
+func Pct1(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.At(0); got != 0 {
+		t.Fatalf("At(0)=%f", got)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Fatalf("At(2)=%f", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10)=%f", got)
+	}
+	if c.Median() != 3 { // upper median for even n with index floor(q*n)
+		t.Fatalf("Median=%f", c.Median())
+	}
+	if c.Mean() != 2.5 {
+		t.Fatalf("Mean=%f", c.Mean())
+	}
+	if c.Quantile(0) != 1 || c.Quantile(1) != 4 {
+		t.Fatalf("extreme quantiles: %f %f", c.Quantile(0), c.Quantile(1))
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		c := NewCDF(raw)
+		prev := -1.0
+		for _, x := range []float64{-100, -1, 0, 0.5, 1, 10, 1e6} {
+			p := c.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVenn3Partition(t *testing.T) {
+	membership := []uint8{1, 1, 2, 4, 3, 5, 6, 7, 7, 0}
+	v := NewVenn3([3]string{"H", "S", "F"}, membership)
+	if v.OnlyA != 2 || v.OnlyB != 1 || v.OnlyC != 1 || v.AB != 1 || v.AC != 1 || v.BC != 1 || v.ABC != 2 {
+		t.Fatalf("partition wrong: %+v", v)
+	}
+	if v.Total() != 9 { // the 0 element is in no set
+		t.Fatalf("Total=%d", v.Total())
+	}
+	if v.InA() != 6 || v.InB() != 5 || v.InC() != 5 {
+		t.Fatalf("set sizes: %d %d %d", v.InA(), v.InB(), v.InC())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.Add("xxx", "y")
+	out := tb.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "xxx | y") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(1, 4) != "25%" || Pct(0, 0) != "n/a" {
+		t.Fatalf("Pct wrong: %s %s", Pct(1, 4), Pct(0, 0))
+	}
+	if Pct1(0.123) != "12.3%" {
+		t.Fatal(Pct1(0.123))
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	c := NewCDF([]float64{512, 512, 4096})
+	out := c.RenderASCII("EDNS", []float64{512, 4096}, "%6.0f")
+	if !strings.Contains(out, "66.7%") || !strings.Contains(out, "100.0%") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
