@@ -13,6 +13,7 @@ package crosslayer_test
 import (
 	"fmt"
 	"net/netip"
+	"runtime"
 	"testing"
 
 	"crosslayer"
@@ -77,6 +78,52 @@ func BenchmarkTable4Domains(b *testing.B) {
 			b.Fatal("datasets missing")
 		}
 	}
+}
+
+// BenchmarkTable3Parallel measures the sharded engine against the
+// serial path on one 5k-resolver population (the open-resolver
+// dataset): sub-benchmark p1 is the serial baseline, pN uses every
+// core. At 4+ cores pN should show the >=2x speedup the engine's
+// shard fan-out exists for; results are byte-identical either way.
+func BenchmarkTable3Parallel(b *testing.B) {
+	spec := measure.Table3Datasets()[7]
+	for _, p := range parallelismLevels() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := measure.Config{Seed: int64(i), Parallelism: p}
+				if r := measure.ScanResolverDataset(spec, 5000, cfg); r.Scanned != 5000 {
+					b.Fatalf("scanned %d", r.Scanned)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Parallel is the domain-side counterpart on the RIR
+// whois dataset. Domain scans are far heavier per item (each RRL probe
+// is a 400-query burst), so the population is smaller.
+func BenchmarkTable4Parallel(b *testing.B) {
+	spec := measure.Table4Datasets()[4]
+	for _, p := range parallelismLevels() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := measure.Config{Seed: int64(i), Parallelism: p, ShardSize: 64}
+				if r := measure.ScanDomainDataset(spec, 512, cfg); r.Scanned != 512 {
+					b.Fatalf("scanned %d", r.Scanned)
+				}
+			}
+		})
+	}
+}
+
+// parallelismLevels returns the serial baseline plus the full-machine
+// level (when the machine has more than one core to show).
+func parallelismLevels() []int {
+	levels := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		levels = append(levels, n)
+	}
+	return levels
 }
 
 func BenchmarkTable5ANYCaching(b *testing.B) {

@@ -2,11 +2,18 @@
 // every table (1–6) and figure (1–5) of "From IP to Transport and
 // Beyond" on the synthetic populations described in DESIGN.md.
 //
+// Population scans fan out over the sharded experiment engine, so the
+// default sample cap is 10k items per dataset (the paper's populations
+// reach 1.58M; raise -n to scan more). Output depends only on -n,
+// -seed and -shard-size: any -parallel value produces byte-identical
+// tables.
+//
 // Usage:
 //
 //	xlmeasure [-exp all|table1|table2|table3|table4|table5|table6|
 //	           fig1|fig2|fig3|fig4|fig5|samehijack|forwarders]
-//	          [-n sampleCap] [-seed N]
+//	          [-n sampleCap] [-seed N] [-parallel workers]
+//	          [-shard-size items] [-quiet]
 package main
 
 import (
@@ -22,9 +29,27 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate")
-	n := flag.Int("n", 300, "sample cap per dataset (paper sizes reach 1.58M; see DESIGN.md)")
+	n := flag.Int("n", 10000, "sample cap per dataset; 0 = full paper-size populations, up to 1.58M (see DESIGN.md)")
 	seed := flag.Int64("seed", 42, "population seed")
+	parallel := flag.Int("parallel", 0, "shard workers; 0 = GOMAXPROCS (never changes results)")
+	shardSize := flag.Int("shard-size", 0, "population items per simulation shard; 0 = engine default")
+	quiet := flag.Bool("quiet", false, "suppress per-dataset progress on stderr")
 	flag.Parse()
+
+	// cfg executes one experiment under the engine, labelling progress
+	// lines with the experiment name.
+	cfg := func(experiment string) measure.Config {
+		c := measure.Config{
+			SampleCap:   *n,
+			Seed:        *seed,
+			Parallelism: *parallel,
+			ShardSize:   *shardSize,
+		}
+		if !*quiet {
+			c.Progress = progressPrinter(experiment)
+		}
+		return c
+	}
 
 	run := map[string]func(){
 		"table1": func() { fmt.Println(measure.Table1()) },
@@ -47,27 +72,27 @@ func main() {
 			fmt.Println(tbl)
 		},
 		"table3": func() {
-			tbl, _ := measure.Table3(*n, *seed)
+			tbl, _ := measure.Table3Run(cfg("table3"))
 			fmt.Println(tbl)
 		},
 		"table4": func() {
-			tbl, _ := measure.Table4(*n, *seed)
+			tbl, _ := measure.Table4Run(cfg("table4"))
 			fmt.Println(tbl)
 		},
 		"table5": func() {
-			tbl, _ := measure.Table5(*seed)
+			tbl, _ := measure.Table5Run(cfg("table5"))
 			fmt.Println(tbl)
 		},
 		"table6": func() {
 			fmt.Println("running the three attacks end-to-end (SadDNS scans a 2000-port range)...")
-			cmp := measure.RunComparison(*seed, 2000)
-			_, rres := measure.Table3(*n, *seed)
-			_, dres := measure.Table4(*n, *seed)
+			cmp := measure.RunComparisonWith(measure.Config{Seed: *seed, Parallelism: *parallel}, 2000)
+			_, rres := measure.Table3Run(cfg("table6/table3"))
+			_, dres := measure.Table4Run(cfg("table6/table4"))
 			ad := rres[6]
 			al := dres[1]
 			tbl := measure.Table6(cmp,
-				[3]float64{frac(ad.SubPrefix, ad.Scanned), frac(ad.SadDNS, ad.Scanned), frac(ad.Frag, ad.Scanned)},
-				[3]float64{frac(al.SubPrefix, al.Scanned), frac(al.SadDNS, al.Scanned), frac(al.FragAny, al.Scanned)})
+				[3]float64{ad.SubPrefix.Frac(), ad.SadDNS.Frac(), ad.Frag.Frac()},
+				[3]float64{al.SubPrefix.Frac(), al.SadDNS.Frac(), al.FragAny.Frac()})
 			fmt.Println(tbl)
 			fmt.Printf("same-prefix interception (simulated, paper ~80%%): %.0f%%\n", cmp.SamePrefixRate*100)
 		},
@@ -78,19 +103,19 @@ func main() {
 			fmt.Println("Figure 2 is the FragDNS message sequence; run:  go run ./examples/fragdns")
 		},
 		"fig3": func() {
-			out, _ := measure.Figure3(*n, *seed)
+			out, _ := measure.Figure3Run(cfg("fig3"))
 			fmt.Println(out)
 		},
 		"fig4": func() {
-			out, _, _ := measure.Figure4(*n, *seed)
+			out, _, _ := measure.Figure4Run(cfg("fig4"))
 			fmt.Println(out)
 		},
 		"fig5": func() {
-			out, _, _ := measure.Figure5(*n, *seed)
+			out, _, _ := measure.Figure5Run(cfg("fig5"))
 			fmt.Println(out)
 		},
 		"samehijack": func() {
-			cmp := measure.RunComparison(*seed, 400)
+			cmp := measure.RunComparisonWith(measure.Config{Seed: *seed, Parallelism: *parallel}, 400)
 			fmt.Printf("same-prefix hijack interception over random (stub victim, carrier attacker) pairs: %.0f%% (paper: ~80%%)\n",
 				cmp.SamePrefixRate*100)
 		},
@@ -118,9 +143,16 @@ func main() {
 	fn()
 }
 
-func frac(a, b int) float64 {
-	if b == 0 {
-		return 0
+// progressPrinter renders per-dataset shard completions on stderr: a
+// carriage-return ticker while a dataset scan is in flight, finalized
+// with a newline when its last shard lands. Progress goes to stderr so
+// redirected table output stays clean and byte-stable.
+func progressPrinter(experiment string) func(measure.ProgressEvent) {
+	return func(ev measure.ProgressEvent) {
+		fmt.Fprintf(os.Stderr, "\r[%s] %-22s %d items, shard %d/%d",
+			experiment, ev.Dataset, ev.Items, ev.DoneShards, ev.TotalShards)
+		if ev.DoneShards == ev.TotalShards {
+			fmt.Fprintln(os.Stderr)
+		}
 	}
-	return float64(a) / float64(b)
 }

@@ -21,6 +21,20 @@
 // exposes one-call attack runners; the example programs under
 // examples/ show typical use, and cmd/xlmeasure regenerates the
 // paper's tables.
+//
+// # Parallel runs
+//
+// The measurement harness executes on a sharded experiment engine
+// (internal/engine): each population is cut into fixed-size shards,
+// every shard owns a private simulated network on its own virtual
+// clock, and shards run concurrently on a worker pool sized by
+// GOMAXPROCS. Shard seeds derive deterministically from the base
+// seed, and shard results merge in shard order, so a given
+// ExperimentConfig{SampleCap, Seed, ShardSize} produces byte-identical
+// tables and figures for ANY Parallelism — parallelism buys wall-clock
+// time, never different numbers. This is what lifts the practical
+// sample cap from a few hundred to tens of thousands of simulated
+// resolvers/domains per dataset; see DESIGN.md for the full contract.
 package crosslayer
 
 import (
@@ -151,31 +165,44 @@ func Poisoned(s *Scenario, name string) bool {
 	return s.Poisoned(name, dnswire.TypeA)
 }
 
+// ExperimentConfig controls how a measurement experiment executes:
+// SampleCap bounds the population sampled per dataset (<= 0 scans the
+// full paper-size populations, up to 1.58M items), Seed selects the
+// synthesized population, and Parallelism/ShardSize tune the sharded
+// engine (both may be left zero for GOMAXPROCS workers and the
+// default shard size). Output depends only on SampleCap, Seed and
+// ShardSize — never on Parallelism.
+type ExperimentConfig = measure.Config
+
+// ExperimentProgress is the per-shard progress event an
+// ExperimentConfig.Progress callback receives.
+type ExperimentProgress = measure.ProgressEvent
+
 // Experiments re-exports the measurement entry points that regenerate
 // the paper's tables and figures; see cmd/xlmeasure for the CLI.
 var Experiments = struct {
-	Table3  func(sampleCap int, seed int64) (TableResult, []measure.ResolverScanResult)
-	Table4  func(sampleCap int, seed int64) (TableResult, []measure.DomainScanResult)
-	Table5  func(seed int64) (TableResult, map[string]bool)
-	Figure3 func(sampleCap int, seed int64) string
-	Figure4 func(sampleCap int, seed int64) string
-	Figure5 func(sampleCap int, seed int64) string
+	Table3  func(cfg ExperimentConfig) (TableResult, []measure.ResolverScanResult)
+	Table4  func(cfg ExperimentConfig) (TableResult, []measure.DomainScanResult)
+	Table5  func(cfg ExperimentConfig) (TableResult, map[string]bool)
+	Figure3 func(cfg ExperimentConfig) string
+	Figure4 func(cfg ExperimentConfig) string
+	Figure5 func(cfg ExperimentConfig) string
 }{
-	Table3: func(n int, seed int64) (TableResult, []measure.ResolverScanResult) {
-		t, r := measure.Table3(n, seed)
+	Table3: func(cfg ExperimentConfig) (TableResult, []measure.ResolverScanResult) {
+		t, r := measure.Table3Run(cfg)
 		return t, r
 	},
-	Table4: func(n int, seed int64) (TableResult, []measure.DomainScanResult) {
-		t, r := measure.Table4(n, seed)
+	Table4: func(cfg ExperimentConfig) (TableResult, []measure.DomainScanResult) {
+		t, r := measure.Table4Run(cfg)
 		return t, r
 	},
-	Table5: func(seed int64) (TableResult, map[string]bool) {
-		t, r := measure.Table5(seed)
+	Table5: func(cfg ExperimentConfig) (TableResult, map[string]bool) {
+		t, r := measure.Table5Run(cfg)
 		return t, r
 	},
-	Figure3: func(n int, seed int64) string { s, _ := measure.Figure3(n, seed); return s },
-	Figure4: func(n int, seed int64) string { s, _, _ := measure.Figure4(n, seed); return s },
-	Figure5: func(n int, seed int64) string { s, _, _ := measure.Figure5(n, seed); return s },
+	Figure3: func(cfg ExperimentConfig) string { s, _ := measure.Figure3Run(cfg); return s },
+	Figure4: func(cfg ExperimentConfig) string { s, _, _ := measure.Figure4Run(cfg); return s },
+	Figure5: func(cfg ExperimentConfig) string { s, _, _ := measure.Figure5Run(cfg); return s },
 }
 
 // TableResult is a rendered experiment table.

@@ -67,8 +67,31 @@ func TestFullCrossLayerChain(t *testing.T) {
 }
 
 func TestExperimentsFacade(t *testing.T) {
-	tbl, res := crosslayer.Experiments.Table5(1)
+	tbl, res := crosslayer.Experiments.Table5(crosslayer.ExperimentConfig{Seed: 1})
 	if len(res) != 5 || tbl.String() == "" {
 		t.Fatalf("table5 facade: %d rows", len(res))
+	}
+}
+
+// TestExperimentsFacadeParallel exercises a sharded table through the
+// public facade with explicit parallelism and progress reporting.
+func TestExperimentsFacadeParallel(t *testing.T) {
+	events := 0
+	cfg := crosslayer.ExperimentConfig{
+		SampleCap:   60,
+		Seed:        2,
+		Parallelism: 4,
+		ShardSize:   16,
+		Progress:    func(crosslayer.ExperimentProgress) { events++ },
+	}
+	tbl, res := crosslayer.Experiments.Table3(cfg)
+	if len(res) != 9 {
+		t.Fatalf("table3 facade: %d datasets", len(res))
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty table")
+	}
+	if events == 0 {
+		t.Fatal("no progress events")
 	}
 }

@@ -1,0 +1,3 @@
+module crosslayer
+
+go 1.24

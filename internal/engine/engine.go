@@ -1,0 +1,200 @@
+// Package engine is the parallel experiment-execution subsystem: it
+// decomposes a population-scale experiment (a Job) into independent
+// deterministic simulation shards, binds each shard to the function
+// that simulates it (a Trial), and executes the trials on a worker
+// pool sized by GOMAXPROCS.
+//
+// The determinism contract every caller relies on:
+//
+//   - The shard plan (how a population is cut into shards, and each
+//     shard's derived seed) depends only on Job.Items, Job.ShardSize
+//     and Job.Seed — never on Parallelism or scheduling.
+//   - Each trial must be self-contained: its own sim.Clock, its own
+//     netsim.Network, its own rand streams, all derived from the
+//     shard's seed. Trials share no mutable state.
+//   - Results are returned indexed by shard, regardless of the order
+//     trials finish in.
+//
+// Together these guarantee that the same seed produces byte-identical
+// merged output for any worker count.
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultShardSize is the population-items-per-shard used when a Job
+// does not specify one. It balances scheduling granularity against the
+// per-shard cost of building a fresh simulated network.
+const DefaultShardSize = 256
+
+// Shard is one independently simulable slice of a job's population:
+// the half-open item range [Start, Start+Count) plus the seed every
+// random stream inside the shard must derive from.
+type Shard struct {
+	Index int // position in the job's shard plan
+	Start int // first population item covered
+	Count int // number of items covered
+	Seed  int64
+}
+
+// Job describes a population-scale experiment to be decomposed into
+// shards.
+type Job struct {
+	// Name labels the job in progress reporting (cosmetic).
+	Name string
+	// Items is the total population size.
+	Items int
+	// ShardSize caps the items per shard; 0 means DefaultShardSize.
+	ShardSize int
+	// Seed is the base seed; per-shard seeds are derived from it with
+	// DeriveSeed.
+	Seed int64
+	// Parallelism is the worker count; 0 means GOMAXPROCS. It affects
+	// only wall-clock time, never results.
+	Parallelism int
+	// OnTrialDone, when non-nil, observes trial completions. Calls are
+	// serialized and done is monotonic, but which shard completed is
+	// deliberately not reported: completion order depends on
+	// scheduling.
+	OnTrialDone func(done, total int)
+}
+
+func (j Job) shardSize() int {
+	if j.ShardSize > 0 {
+		return j.ShardSize
+	}
+	return DefaultShardSize
+}
+
+// Shards returns the job's deterministic shard plan: contiguous item
+// ranges of at most ShardSize items, seeded by DeriveSeed(Seed, index).
+func (j Job) Shards() []Shard {
+	size := j.shardSize()
+	var shards []Shard
+	for start := 0; start < j.Items; start += size {
+		count := j.Items - start
+		if count > size {
+			count = size
+		}
+		shards = append(shards, Shard{
+			Index: len(shards),
+			Start: start,
+			Count: count,
+			Seed:  DeriveSeed(j.Seed, len(shards)),
+		})
+	}
+	return shards
+}
+
+// DeriveSeed maps (base seed, shard index) to the shard's seed with a
+// splitmix64 finalizer, so neighbouring shard indices get statistically
+// independent streams while the mapping stays pure and portable.
+func DeriveSeed(base int64, shard int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(uint64(shard)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Trial is one executable unit of a job: a shard bound to the function
+// that simulates it.
+type Trial[T any] struct {
+	Shard Shard
+	Fn    func(Shard) T
+}
+
+// Trials binds every shard of the job to fn.
+func Trials[T any](j Job, fn func(Shard) T) []Trial[T] {
+	shards := j.Shards()
+	trials := make([]Trial[T], len(shards))
+	for i, sh := range shards {
+		trials[i] = Trial[T]{Shard: sh, Fn: fn}
+	}
+	return trials
+}
+
+// Workers resolves a requested parallelism: values <= 0 mean
+// GOMAXPROCS.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Execute runs the trials on a pool of Workers(parallelism) goroutines
+// and returns their results in trial order, regardless of completion
+// order. onDone, when non-nil, is invoked (serialized) after each
+// trial completes.
+func Execute[T any](parallelism int, trials []Trial[T], onDone func(done, total int)) []T {
+	results := make([]T, len(trials))
+	workers := Workers(parallelism)
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+	if workers <= 1 {
+		for i, tr := range trials {
+			results[i] = tr.Fn(tr.Shard)
+			if onDone != nil {
+				onDone(i+1, len(trials))
+			}
+		}
+		return results
+	}
+
+	var (
+		idx  = make(chan int)
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = trials[i].Fn(trials[i].Shard)
+				if onDone != nil {
+					// Increment under the same mutex that serializes
+					// the callback, so observed done values are
+					// strictly monotonic.
+					mu.Lock()
+					done++
+					onDone(done, len(trials))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range trials {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// Run plans the job's shards, binds them to fn and executes them on
+// the pool: the one-call form of Trials + Execute.
+func Run[T any](j Job, fn func(Shard) T) []T {
+	return Execute(j.Parallelism, Trials(j, fn), j.OnTrialDone)
+}
+
+// Parallel executes independent heterogeneous thunks on the pool —
+// for experiment suites whose trials are a fixed set of dissimilar
+// simulations (e.g. the Table 6 attack comparison) rather than shards
+// of one population. Each thunk must be self-contained like any other
+// trial.
+func Parallel(parallelism int, fns ...func()) {
+	trials := make([]Trial[struct{}], len(fns))
+	for i, fn := range fns {
+		fn := fn
+		trials[i] = Trial[struct{}]{
+			Shard: Shard{Index: i, Start: i, Count: 1},
+			Fn:    func(Shard) struct{} { fn(); return struct{}{} },
+		}
+	}
+	Execute(parallelism, trials, nil)
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardPlanCoversPopulation(t *testing.T) {
+	for _, tc := range []struct {
+		items, size int
+		wantShards  int
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{256, 0, 1},
+		{257, 0, 2},
+		{1000, 100, 10},
+		{1001, 100, 11},
+		{5, 2, 3},
+	} {
+		j := Job{Items: tc.items, ShardSize: tc.size, Seed: 42}
+		shards := j.Shards()
+		if len(shards) != tc.wantShards {
+			t.Fatalf("items=%d size=%d: %d shards, want %d", tc.items, tc.size, len(shards), tc.wantShards)
+		}
+		next := 0
+		for i, sh := range shards {
+			if sh.Index != i {
+				t.Fatalf("shard %d has Index %d", i, sh.Index)
+			}
+			if sh.Start != next {
+				t.Fatalf("shard %d starts at %d, want %d", i, sh.Start, next)
+			}
+			if sh.Count <= 0 {
+				t.Fatalf("shard %d empty", i)
+			}
+			next = sh.Start + sh.Count
+		}
+		if next != tc.items {
+			t.Fatalf("plan covers %d items, want %d", next, tc.items)
+		}
+	}
+}
+
+func TestShardPlanIgnoresParallelism(t *testing.T) {
+	a := Job{Items: 1000, ShardSize: 64, Seed: 7, Parallelism: 1}.Shards()
+	b := Job{Items: 1000, ShardSize: 64, Seed: 7, Parallelism: 16}.Shards()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("shard plan depends on parallelism")
+	}
+}
+
+func TestDeriveSeedDeterministicAndSpread(t *testing.T) {
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(1, i)
+		if seen[s] {
+			t.Fatalf("seed collision at shard %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("base seed ignored")
+	}
+}
+
+func TestRunResultsIndependentOfWorkerCount(t *testing.T) {
+	fn := func(sh Shard) []int64 {
+		out := make([]int64, sh.Count)
+		for k := range out {
+			out[k] = sh.Seed + int64(sh.Start+k)
+		}
+		return out
+	}
+	var reference [][]int64
+	for _, p := range []int{1, 2, 8} {
+		j := Job{Items: 333, ShardSize: 16, Seed: 99, Parallelism: p}
+		got := Run(j, fn)
+		if reference == nil {
+			reference = got
+			continue
+		}
+		if !reflect.DeepEqual(got, reference) {
+			t.Fatalf("parallelism %d changed results", p)
+		}
+	}
+}
+
+func TestExecuteReportsProgress(t *testing.T) {
+	var calls int
+	last := 0
+	j := Job{Items: 50, ShardSize: 10, Seed: 1, Parallelism: 4,
+		OnTrialDone: func(done, total int) {
+			calls++
+			if total != 5 {
+				t.Errorf("total %d, want 5", total)
+			}
+			if done <= last {
+				t.Errorf("done not monotonic: %d after %d", done, last)
+			}
+			last = done
+		}}
+	Run(j, func(sh Shard) int { return sh.Index })
+	if calls != 5 || last != 5 {
+		t.Fatalf("progress calls=%d last=%d, want 5/5", calls, last)
+	}
+}
+
+func TestParallelRunsAllThunks(t *testing.T) {
+	var n atomic.Int64
+	fns := make([]func(), 17)
+	for i := range fns {
+		fns[i] = func() { n.Add(1) }
+	}
+	Parallel(4, fns...)
+	if n.Load() != 17 {
+		t.Fatalf("ran %d thunks, want 17", n.Load())
+	}
+}
+
+func TestEmptyJob(t *testing.T) {
+	if got := Run(Job{Items: 0, Seed: 1}, func(Shard) int { return 1 }); len(got) != 0 {
+		t.Fatalf("empty job produced %d results", len(got))
+	}
+}

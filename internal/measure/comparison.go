@@ -10,6 +10,7 @@ import (
 	"crosslayer/internal/core"
 	"crosslayer/internal/dnssrv"
 	"crosslayer/internal/dnswire"
+	"crosslayer/internal/engine"
 	"crosslayer/internal/resolver"
 	"crosslayer/internal/scenario"
 	"crosslayer/internal/stats"
@@ -29,11 +30,23 @@ type Comparison struct {
 // scenario and the same-prefix simulation on a synthetic topology.
 // sadPorts bounds the SadDNS scan range (the paper's resolvers expose
 // ~28k ports; tests use less).
+//
+// The five measurements are independent trials — each builds its own
+// scenario or topology from its own seed offset — so they fan out
+// through the experiment engine's worker pool; results are identical
+// to a serial run.
 func RunComparison(seed int64, sadPorts int) Comparison {
+	return RunComparisonWith(Config{Seed: seed}, sadPorts)
+}
+
+// RunComparisonWith is RunComparison under an explicit execution
+// Config (only Seed and Parallelism apply; the comparison has no
+// population to cap or shard).
+func RunComparisonWith(cfg Config, sadPorts int) Comparison {
+	seed := cfg.Seed
 	var cmp Comparison
 
-	// HijackDNS.
-	{
+	hijack := func() {
 		s := scenario.New(scenario.Config{Seed: seed})
 		atk := &core.HijackDNS{
 			Attacker:     s.Attacker,
@@ -46,7 +59,7 @@ func RunComparison(seed int64, sadPorts int) Comparison {
 	}
 
 	// SadDNS against an RRL-muted nameserver.
-	{
+	saddns := func() {
 		cfg := scenario.Config{Seed: seed + 1}
 		cfg.ServerCfg = dnssrv.DefaultConfig()
 		cfg.ServerCfg.RateLimit = true
@@ -68,7 +81,7 @@ func RunComparison(seed int64, sadPorts int) Comparison {
 	}
 
 	// FragDNS, predictable (global counter) IPID.
-	{
+	fragGlobal := func() {
 		cfg := scenario.Config{Seed: seed + 2}
 		cfg.ServerCfg = dnssrv.DefaultConfig()
 		cfg.ServerCfg.PadAnswersTo = 1200
@@ -84,7 +97,7 @@ func RunComparison(seed int64, sadPorts int) Comparison {
 	}
 
 	// FragDNS, random IPID (probabilistic; bounded iterations).
-	{
+	fragRandom := func() {
 		cfg := scenario.Config{Seed: seed + 3}
 		cfg.ServerCfg = dnssrv.DefaultConfig()
 		cfg.ServerCfg.PadAnswersTo = 1200
@@ -105,7 +118,7 @@ func RunComparison(seed int64, sadPorts int) Comparison {
 	// the populations the paper draws victims from; attackers announce
 	// from well-connected (transit/tier-1) ASes, which is the rational
 	// adversary placement. The paper reports ~80% interception.
-	{
+	samePrefix := func() {
 		rng := rand.New(rand.NewSource(seed + 4))
 		topo := bgp.Generate(bgp.GenConfig{}, rng)
 		var stubs, carriers []bgp.ASN
@@ -126,6 +139,8 @@ func RunComparison(seed int64, sadPorts int) Comparison {
 		}
 		cmp.SamePrefixRate = core.SamePrefixInterceptionRate(topo, netip.MustParsePrefix("10.0.0.0/22"), pairs)
 	}
+
+	engine.Parallel(cfg.Parallelism, hijack, saddns, fragGlobal, fragRandom, samePrefix)
 	return cmp
 }
 
@@ -174,39 +189,61 @@ func max(a, b int) int {
 // implementations by querying ANY then A through each profile and
 // checking whether the A query was served from the ANY answer.
 func Table5(seed int64) (*stats.Table, map[string]bool) {
+	return Table5Run(Config{Seed: seed})
+}
+
+// Table5Run is Table5 under an explicit execution Config: one trial
+// per implementation profile, each on its own scenario, executed on
+// the engine's worker pool and rendered in profile order.
+func Table5Run(cfg Config) (*stats.Table, map[string]bool) {
 	tbl := &stats.Table{
 		Title:  "Table 5: ANY caching results of popular resolvers",
 		Header: []string{"Implementation", "Vulnerable", "Note"},
 	}
-	results := map[string]bool{}
-	for i, prof := range resolver.AllProfiles() {
-		s := scenario.New(scenario.Config{Seed: seed + int64(i), Profile: prof})
-		vulnerable := false
-		note := "not cached"
+	profiles := resolver.AllProfiles()
+	type anyCaching struct {
+		vulnerable bool
+		note       string
+	}
+	// ShardSize is pinned to 1 (one trial per profile) regardless of
+	// cfg.ShardSize: the trial body indexes profiles by shard start.
+	job := engine.Job{Name: "table5", Items: len(profiles), ShardSize: 1,
+		Seed: cfg.Seed, Parallelism: cfg.Parallelism}
+	cfg.wireProgress(&job, "resolver profiles", len(profiles))
+	rows := engine.Run(job, func(sh engine.Shard) anyCaching {
+		// Per-profile seeds keep the serial harness's seed+i offsets
+		// (sh.Start == profile index with ShardSize 1).
+		prof := profiles[sh.Start]
+		s := scenario.New(scenario.Config{Seed: cfg.Seed + int64(sh.Start), Profile: prof})
+		out := anyCaching{note: "not cached"}
 		if !prof.SupportsANY {
-			note = "doesn't support ANY at all"
-		} else {
-			anyOK := false
-			s.Resolver.Lookup("vict.im.", dnswire.TypeANY, func(rrs []*dnswire.RR, err error) {
-				anyOK = err == nil && len(rrs) > 0
-			})
+			out.note = "doesn't support ANY at all"
+			return out
+		}
+		anyOK := false
+		s.Resolver.Lookup("vict.im.", dnswire.TypeANY, func(rrs []*dnswire.RR, err error) {
+			anyOK = err == nil && len(rrs) > 0
+		})
+		s.Run()
+		if anyOK {
+			before := s.NS.Queries
+			s.Resolver.Lookup("vict.im.", dnswire.TypeA, func([]*dnswire.RR, error) {})
 			s.Run()
-			if anyOK {
-				before := s.NS.Queries
-				s.Resolver.Lookup("vict.im.", dnswire.TypeA, func([]*dnswire.RR, error) {})
-				s.Run()
-				if s.NS.Queries == before {
-					vulnerable = true
-					note = "cached"
-				}
+			if s.NS.Queries == before {
+				out.vulnerable = true
+				out.note = "cached"
 			}
 		}
-		results[prof.Name] = vulnerable
+		return out
+	})
+	results := map[string]bool{}
+	for i, prof := range profiles {
+		results[prof.Name] = rows[i].vulnerable
 		yn := "no"
-		if vulnerable {
+		if rows[i].vulnerable {
 			yn = "yes"
 		}
-		tbl.Add(prof.Name, yn, note)
+		tbl.Add(prof.Name, yn, rows[i].note)
 	}
 	return tbl, results
 }

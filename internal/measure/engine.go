@@ -1,0 +1,96 @@
+package measure
+
+import "crosslayer/internal/engine"
+
+// Config controls how an experiment regeneration executes. The zero
+// value means: full paper-size populations, seed 0, one shard per
+// DefaultShardSize items, GOMAXPROCS workers, no progress reporting.
+//
+// Determinism contract: SampleCap, Seed and ShardSize select WHICH
+// population is synthesized and how it is cut into shards, so they
+// change results; Parallelism and Progress only schedule and observe
+// the work, so for a fixed (SampleCap, Seed, ShardSize) every
+// Parallelism value yields byte-identical tables and figures.
+type Config struct {
+	// SampleCap bounds the population sampled per dataset; <= 0 means
+	// no cap, i.e. the full paper-size population (which reaches
+	// 1.58M resolvers; see DESIGN.md for calibration).
+	SampleCap int
+	// Seed is the base population seed. Per-dataset seeds are offset
+	// from it exactly as the serial harness always did, and per-shard
+	// seeds are derived with engine.DeriveSeed.
+	Seed int64
+	// Parallelism is the worker count; 0 means GOMAXPROCS.
+	Parallelism int
+	// ShardSize is the population items simulated per shard; 0 means
+	// engine.DefaultShardSize.
+	ShardSize int
+	// Progress, when non-nil, observes shard completions per dataset.
+	// Calls are serialized.
+	Progress func(ev ProgressEvent)
+}
+
+// ProgressEvent reports one shard completion within a dataset scan.
+type ProgressEvent struct {
+	Dataset     string
+	DoneShards  int
+	TotalShards int
+	// Items is the sampled population size of the dataset.
+	Items int
+}
+
+// forDataset returns the config with the seed offset for the i-th
+// dataset of a table — the same +i offsets the serial harness used,
+// kept so dataset populations stay decoupled from each other.
+func (cfg Config) forDataset(i int) Config {
+	cfg.Seed += int64(i)
+	return cfg
+}
+
+// cap returns the population size to sample from a dataset of
+// paperSize items: SampleCap bounds it, and SampleCap <= 0 means the
+// full population.
+func (cfg Config) cap(paperSize int) int {
+	if cfg.SampleCap > 0 && paperSize > cfg.SampleCap {
+		return cfg.SampleCap
+	}
+	return paperSize
+}
+
+// maxShardSize caps how many population items one fleet may hold: the
+// 10.x.y.z fleet address scheme packs the item index into two address
+// bytes, so a single simulated network can host at most 2^16 items
+// before addresses would collide. Shards above the cap are clamped
+// (still deterministically — the clamp depends only on the requested
+// shard size).
+const maxShardSize = 1 << 16
+
+// job builds the engine job for scanning n items of the named dataset,
+// wiring the progress callback through.
+func (cfg Config) job(dataset string, n int) engine.Job {
+	size := cfg.ShardSize
+	if size > maxShardSize {
+		size = maxShardSize
+	}
+	j := engine.Job{
+		Name:        dataset,
+		Items:       n,
+		ShardSize:   size,
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
+	}
+	cfg.wireProgress(&j, dataset, n)
+	return j
+}
+
+// wireProgress points the job's completion hook at cfg.Progress (a
+// no-op when no progress callback is configured).
+func (cfg Config) wireProgress(j *engine.Job, dataset string, items int) {
+	if cfg.Progress == nil {
+		return
+	}
+	progress := cfg.Progress
+	j.OnTrialDone = func(done, total int) {
+		progress(ProgressEvent{Dataset: dataset, DoneShards: done, TotalShards: total, Items: items})
+	}
+}

@@ -4,48 +4,59 @@ import (
 	"fmt"
 	"strings"
 
+	"crosslayer/internal/engine"
 	"crosslayer/internal/stats"
 )
 
+// prefixLenCDF synthesizes (without scanning) the resolver population
+// of one dataset shard-by-shard and returns the CDF of announced
+// covering-prefix lengths, merged in shard order.
+func prefixLenCDF(spec ResolverDatasetSpec, n int, cfg Config) *stats.CDF {
+	parts := engine.Run(cfg.job(spec.Name, n), func(sh engine.Shard) *stats.CDF {
+		fleet := NewResolverFleetShard(spec, sh)
+		lens := make([]float64, 0, len(fleet.Resolvers))
+		for _, sr := range fleet.Resolvers {
+			lens = append(lens, float64(sr.AnnouncedPrefix.Bits()))
+		}
+		return stats.NewCDF(lens)
+	})
+	return stats.MergeCDFs(parts...)
+}
+
+// nsPrefixLenCDF is prefixLenCDF for a domain (nameserver) dataset.
+func nsPrefixLenCDF(spec DomainDatasetSpec, n int, cfg Config) *stats.CDF {
+	parts := engine.Run(cfg.job(spec.Name, n), func(sh engine.Shard) *stats.CDF {
+		fleet := NewDomainFleetShard(spec, sh)
+		lens := make([]float64, 0, len(fleet.Domains))
+		for _, d := range fleet.Domains {
+			lens = append(lens, float64(d.AnnouncedPrefix.Bits()))
+		}
+		return stats.NewCDF(lens)
+	})
+	return stats.MergeCDFs(parts...)
+}
+
 // Figure3 builds the announced-prefix-length CDFs for open-resolver
 // and ad-net resolver populations and the Alexa nameserver population
-// (paper Figure 3).
+// (paper Figure 3) with default execution settings.
 func Figure3(sampleCap int, seed int64) (string, map[string]*stats.CDF) {
-	curves := map[string]*stats.CDF{}
+	return Figure3Run(Config{SampleCap: sampleCap, Seed: seed})
+}
 
-	build := func(label string, lens []float64) *stats.CDF {
-		c := stats.NewCDF(lens)
-		curves[label] = c
-		return c
-	}
-
+// Figure3Run is Figure3 under an explicit execution Config.
+func Figure3Run(cfg Config) (string, map[string]*stats.CDF) {
 	specs := Table3Datasets()
-	var openLens, adnetLens []float64
-	for _, pick := range []struct {
-		idx  int
-		dst  *[]float64
-		name string
-	}{{7, &openLens, "open"}, {6, &adnetLens, "adnet"}} {
-		spec := specs[pick.idx]
-		n := spec.PaperSize
-		if n > sampleCap {
-			n = sampleCap
-		}
-		fleet := NewResolverFleet(spec, n, seed+int64(pick.idx))
-		for _, sr := range fleet.Resolvers {
-			*pick.dst = append(*pick.dst, float64(sr.AnnouncedPrefix.Bits()))
-		}
-	}
+	// The resolver curves use the datasets' Table 3 seed offsets (6, 7)
+	// so they describe the same populations Table 3 scans; the
+	// nameserver curve keeps its historical +100 offset and is an
+	// independent draw from the Alexa spec, NOT the population of
+	// Table 4's row 1 (offset +1).
+	openCDF := prefixLenCDF(specs[7], cfg.cap(specs[7].PaperSize), cfg.forDataset(7))
+	adnetCDF := prefixLenCDF(specs[6], cfg.cap(specs[6].PaperSize), cfg.forDataset(6))
 	dspec := Table4Datasets()[1] // Alexa 1M nameservers
-	n := dspec.PaperSize
-	if n > sampleCap {
-		n = sampleCap
-	}
-	dfleet := NewDomainFleet(dspec, n, seed+100)
-	var nsLens []float64
-	for _, d := range dfleet.Domains {
-		nsLens = append(nsLens, float64(d.AnnouncedPrefix.Bits()))
-	}
+	nsCDF := nsPrefixLenCDF(dspec, cfg.cap(dspec.PaperSize), cfg.forDataset(100))
+
+	curves := map[string]*stats.CDF{"open": openCDF, "adnet": adnetCDF, "alexa-ns": nsCDF}
 
 	var sb strings.Builder
 	sb.WriteString("== Figure 3: Announced prefixes (fraction per length) ==\n")
@@ -57,9 +68,9 @@ func Figure3(sampleCap int, seed int64) (string, map[string]*stats.CDF) {
 		label string
 		cdf   *stats.CDF
 	}{
-		{"Resolvers: Open resolver", build("open", openLens)},
-		{"Resolvers: Adnet", build("adnet", adnetLens)},
-		{"Nameservers: Alexa", build("alexa-ns", nsLens)},
+		{"Resolvers: Open resolver", openCDF},
+		{"Resolvers: Adnet", adnetCDF},
+		{"Nameservers: Alexa", nsCDF},
 	} {
 		prev := 0.0
 		fmt.Fprintf(&sb, "%s (n=%d)\n", c.label, c.cdf.Len())
@@ -75,28 +86,24 @@ func Figure3(sampleCap int, seed int64) (string, map[string]*stats.CDF) {
 }
 
 // Figure4 renders resolver EDNS buffer sizes against nameserver
-// minimum fragment sizes (paper Figure 4).
+// minimum fragment sizes (paper Figure 4) with default execution
+// settings.
 func Figure4(sampleCap int, seed int64) (string, *stats.CDF, *stats.CDF) {
+	return Figure4Run(Config{SampleCap: sampleCap, Seed: seed})
+}
+
+// Figure4Run is Figure4 under an explicit execution Config.
+func Figure4Run(cfg Config) (string, *stats.CDF, *stats.CDF) {
 	// Resolver EDNS sizes: measured server-side during the frag scan of
 	// the open-resolver dataset.
 	spec := Table3Datasets()[7]
-	n := spec.PaperSize
-	if n > sampleCap {
-		n = sampleCap
-	}
-	fleet := NewResolverFleet(spec, n, seed)
-	rres := ScanResolverFleet(fleet)
+	rres := ScanResolverDataset(spec, cfg.cap(spec.PaperSize), cfg)
 	edns := stats.NewCDF(rres.EDNSSizes)
 
 	// Nameserver min fragment sizes: PMTUD sweep over the eduroam
 	// dataset (the most fragmentation-prone one).
 	dspec := Table4Datasets()[0]
-	dn := dspec.PaperSize
-	if dn > sampleCap {
-		dn = sampleCap
-	}
-	dfleet := NewDomainFleet(dspec, dn, seed+1)
-	dres := ScanDomainFleet(dfleet)
+	dres := ScanDomainDataset(dspec, cfg.cap(dspec.PaperSize), cfg.forDataset(1))
 	frag := stats.NewCDF(dres.MinFragSizes)
 
 	xs := []float64{68, 292, 548, 1500, 2048, 3072, 4096}
@@ -108,20 +115,26 @@ func Figure4(sampleCap int, seed int64) (string, *stats.CDF, *stats.CDF) {
 }
 
 // Figure5 builds the Venn partitions of vulnerable resolvers and
-// domains across the three methods (paper Figure 5).
+// domains across the three methods (paper Figure 5) with default
+// execution settings.
 func Figure5(sampleCap int, seed int64) (string, stats.Venn3, stats.Venn3) {
-	var rMembers, dMembers []uint8
-	_, rres := Table3(sampleCap, seed)
-	for _, r := range rres {
-		rMembers = append(rMembers, r.Membership...)
-	}
-	_, dres := Table4(sampleCap, seed+50)
-	for _, d := range dres {
-		dMembers = append(dMembers, d.Membership...)
-	}
+	return Figure5Run(Config{SampleCap: sampleCap, Seed: seed})
+}
+
+// Figure5Run is Figure5 under an explicit execution Config: the
+// per-dataset Venn partitions are computed independently and merged.
+func Figure5Run(cfg Config) (string, stats.Venn3, stats.Venn3) {
 	labels := [3]string{"HijackDNS", "SadDNS", "FragDNS"}
-	rv := stats.NewVenn3(labels, rMembers)
-	dv := stats.NewVenn3(labels, dMembers)
+	rv := stats.Venn3{Labels: labels}
+	_, rres := Table3Run(cfg)
+	for _, r := range rres {
+		rv = rv.Merge(stats.NewVenn3(labels, r.Membership))
+	}
+	dv := stats.Venn3{Labels: labels}
+	_, dres := Table4Run(cfg.forDataset(50))
+	for _, d := range dres {
+		dv = dv.Merge(stats.NewVenn3(labels, d.Membership))
+	}
 	var sb strings.Builder
 	sb.WriteString("== Figure 5a: vulnerable resolvers (sampled) ==\n")
 	sb.WriteString(rv.String())

@@ -50,10 +50,10 @@ func TestDomainScannersRecoverGroundTruth(t *testing.T) {
 			fragGlobalTruth++
 		}
 	}
-	if r.FragGlobal != fragGlobalTruth {
-		t.Errorf("frag-global measured %d, truth %d", r.FragGlobal, fragGlobalTruth)
+	if r.FragGlobal.Hits != fragGlobalTruth {
+		t.Errorf("frag-global measured %d, truth %d", r.FragGlobal.Hits, fragGlobalTruth)
 	}
-	if r.DNSSEC == 0 {
+	if r.DNSSEC.Hits == 0 {
 		t.Error("DNSSEC scan found nothing in a 10-percent-signed population")
 	}
 }
@@ -77,9 +77,9 @@ func TestTable3RatesMatchPaperShape(t *testing.T) {
 					t.Errorf("%s/%s: measured %.2f, paper %.2f", r.Spec.Name, label, got, rate)
 				}
 			}
-			within(r.SubPrefix, r.Spec.SubPrefixRate, "sub-prefix")
-			within(r.SadDNS, r.Spec.SadDNSRate, "saddns")
-			within(r.Frag, r.Spec.FragRate, "frag")
+			within(r.SubPrefix.Hits, r.Spec.SubPrefixRate, "sub-prefix")
+			within(r.SadDNS.Hits, r.Spec.SadDNSRate, "saddns")
+			within(r.Frag.Hits, r.Spec.FragRate, "frag")
 		}
 	}
 }
@@ -91,7 +91,7 @@ func TestTable4RatesMatchPaperShape(t *testing.T) {
 	}
 	for _, r := range results {
 		if r.Scanned >= 100 {
-			got := float64(r.SubPrefix) / float64(r.Scanned)
+			got := float64(r.SubPrefix.Hits) / float64(r.Scanned)
 			if got < r.Spec.SubPrefixRate-0.15 || got > r.Spec.SubPrefixRate+0.15 {
 				t.Errorf("%s sub-prefix: measured %.2f, paper %.2f", r.Spec.Name, got, r.Spec.SubPrefixRate)
 			}

@@ -1,0 +1,117 @@
+package measure
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTable3ByteIdenticalAcrossParallelism is the engine's determinism
+// contract end-to-end: the same (SampleCap, Seed, ShardSize) must
+// render byte-identical Table 3 output — and identical raw scan
+// results — for any worker count.
+func TestTable3ByteIdenticalAcrossParallelism(t *testing.T) {
+	base := Config{SampleCap: 90, Seed: 11, ShardSize: 16, Parallelism: 1}
+	refTbl, refRes := Table3Run(base)
+	ref := refTbl.String()
+	if ref == "" {
+		t.Fatal("empty reference table")
+	}
+	for _, p := range []int{2, 8} {
+		cfg := base
+		cfg.Parallelism = p
+		tbl, res := Table3Run(cfg)
+		if got := tbl.String(); got != ref {
+			t.Fatalf("parallelism %d changed Table 3 bytes:\n--- p=1\n%s\n--- p=%d\n%s", p, ref, p, got)
+		}
+		if !reflect.DeepEqual(res, refRes) {
+			t.Fatalf("parallelism %d changed raw scan results", p)
+		}
+	}
+}
+
+func TestFigure4ByteIdenticalAcrossParallelism(t *testing.T) {
+	base := Config{SampleCap: 90, Seed: 12, ShardSize: 16, Parallelism: 1}
+	ref, _, _ := Figure4Run(base)
+	if ref == "" {
+		t.Fatal("empty reference figure")
+	}
+	for _, p := range []int{2, 8} {
+		cfg := base
+		cfg.Parallelism = p
+		got, _, _ := Figure4Run(cfg)
+		if got != ref {
+			t.Fatalf("parallelism %d changed Figure 4 bytes:\n--- p=1\n%s\n--- p=%d\n%s", p, ref, p, got)
+		}
+	}
+}
+
+// TestShardedScanMatchesSingleShard pins the decomposition itself: a
+// sharded dataset scan must agree with scanning each shard's fleet
+// serially by hand, so parallel fan-out is pure plumbing.
+func TestShardedScanMatchesSingleShard(t *testing.T) {
+	spec := Table3Datasets()[7]
+	cfg := Config{Seed: 13, ShardSize: 25, Parallelism: 4}
+	got := ScanResolverDataset(spec, 70, cfg)
+	if got.Scanned != 70 {
+		t.Fatalf("scanned %d, want 70", got.Scanned)
+	}
+	want := ResolverScanResult{Spec: spec}
+	for _, sh := range cfg.job(spec.Name, 70).Shards() {
+		part := ScanResolverFleet(NewResolverFleetShard(spec, sh))
+		want.Merge(part)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("engine scan disagrees with manual shard merge:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestConfigCap(t *testing.T) {
+	if got := (Config{SampleCap: 100}).cap(500); got != 100 {
+		t.Fatalf("cap(500) with SampleCap 100 = %d", got)
+	}
+	if got := (Config{SampleCap: 100}).cap(50); got != 50 {
+		t.Fatalf("cap(50) with SampleCap 100 = %d", got)
+	}
+	// SampleCap <= 0 means the full population, not an empty scan.
+	if got := (Config{}).cap(500); got != 500 {
+		t.Fatalf("cap(500) with zero SampleCap = %d", got)
+	}
+	if got := (Config{SampleCap: -1}).cap(500); got != 500 {
+		t.Fatalf("cap(500) with SampleCap -1 = %d", got)
+	}
+}
+
+// TestJobClampsOversizedShards guards the fleet address space: one
+// network can host at most 2^16 population items, so a larger
+// requested shard size must be clamped, not passed through to panic
+// on a duplicate address.
+func TestJobClampsOversizedShards(t *testing.T) {
+	j := Config{ShardSize: 1 << 20}.job("x", 200000)
+	if j.ShardSize != maxShardSize {
+		t.Fatalf("shard size %d, want clamp to %d", j.ShardSize, maxShardSize)
+	}
+	shards := j.Shards()
+	if len(shards) != 4 { // ceil(200000 / 65536)
+		t.Fatalf("%d shards, want 4", len(shards))
+	}
+	for _, sh := range shards {
+		if sh.Count > maxShardSize {
+			t.Fatalf("shard %d covers %d items", sh.Index, sh.Count)
+		}
+	}
+}
+
+func TestDomainShardMergeCounts(t *testing.T) {
+	spec := Table4Datasets()[0]
+	cfg := Config{Seed: 14, ShardSize: 20, Parallelism: 3}
+	r := ScanDomainDataset(spec, 55, cfg)
+	if r.Scanned != 55 || r.SubPrefix.Total != 55 || r.DNSSEC.Total != 55 {
+		t.Fatalf("denominators wrong: %+v", r)
+	}
+	if len(r.Membership) != 55 {
+		t.Fatalf("membership %d, want 55", len(r.Membership))
+	}
+	if len(r.MinFragSizes) != r.FragAny.Hits {
+		t.Fatalf("%d frag sizes for %d fragmenting servers", len(r.MinFragSizes), r.FragAny.Hits)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"crosslayer/internal/bgp"
 	"crosslayer/internal/dnssrv"
 	"crosslayer/internal/dnswire"
+	"crosslayer/internal/engine"
 	"crosslayer/internal/netsim"
 	"crosslayer/internal/resolver"
 	"crosslayer/internal/sim"
@@ -150,10 +151,13 @@ type SimResolver struct {
 	TruthFrag      bool
 }
 
-// ResolverFleet is a synthesized population plus its probing
-// infrastructure, all on one simulated network.
+// ResolverFleet is a synthesized population shard plus its probing
+// infrastructure. Each fleet owns its clock and network outright, so
+// fleets for different shards simulate concurrently without sharing
+// any state.
 type ResolverFleet struct {
 	Spec      ResolverDatasetSpec
+	Shard     engine.Shard
 	Clock     *sim.Clock
 	Net       *netsim.Network
 	Prober    *netsim.Host
@@ -176,9 +180,23 @@ func fleetAddr(i int) netip.Addr {
 	return netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1})
 }
 
-// NewResolverFleet synthesizes n resolvers drawn from spec using seed.
+// NewResolverFleet synthesizes n resolvers drawn from spec using seed,
+// as a single shard covering indices [0, n). The engine-driven scans
+// instead build one fleet per shard with NewResolverFleetShard.
 func NewResolverFleet(spec ResolverDatasetSpec, n int, seed int64) *ResolverFleet {
-	clock := sim.NewClock(seed)
+	return NewResolverFleetShard(spec, engine.Shard{Start: 0, Count: n, Seed: seed})
+}
+
+// NewResolverFleetShard synthesizes the shard's slice of the
+// population: resolvers with global indices [sh.Start, sh.Start+
+// sh.Count), drawn from spec's calibrated marginals with the shard's
+// derived seed, on a clock and network owned by the shard alone.
+// A shard may cover at most 2^16 items — the fleet address scheme
+// packs the item index into two address bytes, and a larger shard
+// panics on the first duplicate address (Config.job clamps shard
+// sizes accordingly).
+func NewResolverFleetShard(spec ResolverDatasetSpec, sh engine.Shard) *ResolverFleet {
+	clock := sim.NewClock(sh.Seed)
 	rng := clock.NewRand()
 	topo := bgp.NewTopology()
 	topo.AddAS(fleetTransitAS, 1)
@@ -194,6 +212,7 @@ func NewResolverFleet(spec ResolverDatasetSpec, n int, seed int64) *ResolverFlee
 
 	f := &ResolverFleet{
 		Spec:    spec,
+		Shard:   sh,
 		Clock:   clock,
 		Net:     net,
 		Prober:  net.AddHost("prober", fleetProbeAS, netip.MustParseAddr("192.0.2.10")),
@@ -210,7 +229,8 @@ func NewResolverFleet(spec ResolverDatasetSpec, n int, seed int64) *ResolverFlee
 	f.TestSrv.AddZone(zone)
 
 	nsAddr := f.TestNS.Addr
-	for i := 0; i < n; i++ {
+	for k := 0; k < sh.Count; k++ {
+		i := sh.Start + k
 		addr := fleetAddr(i)
 		h := net.AddHost(fmt.Sprintf("resolver-%d", i), fleetResolvAS, addr)
 

@@ -8,6 +8,7 @@ import (
 	"crosslayer/internal/bgp"
 	"crosslayer/internal/dnssrv"
 	"crosslayer/internal/dnswire"
+	"crosslayer/internal/engine"
 	"crosslayer/internal/netsim"
 	"crosslayer/internal/packet"
 	"crosslayer/internal/resolver"
@@ -34,9 +35,12 @@ type SimDomain struct {
 	MinFragSize int
 }
 
-// DomainFleet is a synthesized nameserver population.
+// DomainFleet is a synthesized nameserver population shard. Like
+// ResolverFleet, each fleet owns its clock and network outright so
+// shards simulate concurrently without shared state.
 type DomainFleet struct {
 	Spec    DomainDatasetSpec
+	Shard   engine.Shard
 	Clock   *sim.Clock
 	Net     *netsim.Network
 	Prober  *netsim.Host
@@ -51,9 +55,17 @@ func fleetNSAddr(i int) netip.Addr {
 	return netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 53})
 }
 
-// NewDomainFleet synthesizes n domains drawn from spec.
+// NewDomainFleet synthesizes n domains drawn from spec as a single
+// shard covering indices [0, n).
 func NewDomainFleet(spec DomainDatasetSpec, n int, seed int64) *DomainFleet {
-	clock := sim.NewClock(seed)
+	return NewDomainFleetShard(spec, engine.Shard{Start: 0, Count: n, Seed: seed})
+}
+
+// NewDomainFleetShard synthesizes the shard's slice of the domain
+// population (global indices [sh.Start, sh.Start+sh.Count)) on a clock
+// and network owned by the shard alone.
+func NewDomainFleetShard(spec DomainDatasetSpec, sh engine.Shard) *DomainFleet {
+	clock := sim.NewClock(sh.Seed)
 	rng := clock.NewRand()
 	topo := bgp.NewTopology()
 	topo.AddAS(fleetTransitAS, 1)
@@ -67,14 +79,15 @@ func NewDomainFleet(spec DomainDatasetSpec, n int, seed int64) *DomainFleet {
 	rib.Announce(netip.MustParsePrefix("10.0.0.0/8"), fleetNSAS)
 
 	f := &DomainFleet{
-		Spec: spec, Clock: clock, Net: net,
+		Spec: spec, Shard: sh, Clock: clock, Net: net,
 		Prober:    net.AddHost("prober", fleetProbeAS, netip.MustParseAddr("192.0.2.10")),
 		Prober2:   net.AddHost("prober2", fleetProbeAS, netip.MustParseAddr("192.0.2.11")),
 		BurstSize: 400,
 	}
 	net.AS(fleetProbeAS).EgressFiltering = false
 
-	for i := 0; i < n; i++ {
+	for k := 0; k < sh.Count; k++ {
+		i := sh.Start + k
 		addr := fleetNSAddr(i)
 		h := net.AddHost(fmt.Sprintf("ns-%d", i), fleetNSAS, addr)
 		name := fmt.Sprintf("dom-%d.example.", i)
@@ -144,19 +157,33 @@ func NewDomainFleet(spec DomainDatasetSpec, n int, seed int64) *DomainFleet {
 	return f
 }
 
-// DomainScanResult is the measured Table 4 row.
+// DomainScanResult is the measured vulnerability of one domain fleet
+// shard, or — after Merge — of a whole Table 4 dataset.
 type DomainScanResult struct {
 	Spec       DomainDatasetSpec
 	Scanned    int
-	SubPrefix  int
-	SadDNS     int
-	FragAny    int
-	FragGlobal int
-	DNSSEC     int
+	SubPrefix  stats.Counter
+	SadDNS     stats.Counter
+	FragAny    stats.Counter
+	FragGlobal stats.Counter
+	DNSSEC     stats.Counter
 	// MinFragSizes holds, per fragmenting server, the smallest
-	// fragment observed (Figure 4's right curve).
+	// fragment observed (Figure 4's right curve), in domain order.
 	MinFragSizes []float64
 	Membership   []uint8 // bit0 hijack, bit1 saddns, bit2 frag-any
+}
+
+// Merge folds another shard's result (covering a disjoint slice of the
+// same dataset) into r; see ResolverScanResult.Merge.
+func (r *DomainScanResult) Merge(o DomainScanResult) {
+	r.Scanned += o.Scanned
+	r.SubPrefix = r.SubPrefix.Plus(o.SubPrefix)
+	r.SadDNS = r.SadDNS.Plus(o.SadDNS)
+	r.FragAny = r.FragAny.Plus(o.FragAny)
+	r.FragGlobal = r.FragGlobal.Plus(o.FragGlobal)
+	r.DNSSEC = r.DNSSEC.Plus(o.DNSSEC)
+	r.MinFragSizes = append(r.MinFragSizes, o.MinFragSizes...)
+	r.Membership = append(r.Membership, o.Membership...)
 }
 
 // ScanDomainFleet runs the §5.2.2 nameserver measurements.
@@ -164,25 +191,26 @@ func ScanDomainFleet(f *DomainFleet) DomainScanResult {
 	res := DomainScanResult{Spec: f.Spec, Scanned: len(f.Domains)}
 	for _, d := range f.Domains {
 		var bits uint8
-		if d.AnnouncedPrefix.Bits() < 24 {
-			res.SubPrefix++
+		sub := d.AnnouncedPrefix.Bits() < 24
+		res.SubPrefix.Observe(sub)
+		if sub {
 			bits |= 1
 		}
-		if scanRateLimit(f, d) {
-			res.SadDNS++
+		rrl := scanRateLimit(f, d)
+		res.SadDNS.Observe(rrl)
+		if rrl {
 			bits |= 2
 		}
-		if size, ok := scanPMTUD(f, d); ok {
-			res.FragAny++
+		size, fragAny := scanPMTUD(f, d)
+		res.FragAny.Observe(fragAny)
+		global := false
+		if fragAny {
 			bits |= 4
 			res.MinFragSizes = append(res.MinFragSizes, float64(size))
-			if scanGlobalIPID(f, d) {
-				res.FragGlobal++
-			}
+			global = scanGlobalIPID(f, d)
 		}
-		if scanDNSSEC(f, d) {
-			res.DNSSEC++
-		}
+		res.FragGlobal.Observe(global)
+		res.DNSSEC.Observe(scanDNSSEC(f, d))
 		res.Membership = append(res.Membership, bits)
 	}
 	return res
@@ -299,10 +327,8 @@ func scanGlobalIPID(f *DomainFleet, d *SimDomain) bool {
 func scanDNSSEC(f *DomainFleet, d *SimDomain) bool {
 	f.Clock.RunUntil((f.Clock.Now()/time.Second + 1) * time.Second)
 	signed := false
-	done := false
 	resolver.StubQuery(f.Prober, d.NSHost.Addr, d.Name, dnswire.TypeA, 5*time.Second,
 		func(m *dnswire.Message, err error) {
-			done = true
 			if err != nil {
 				return
 			}
@@ -313,31 +339,47 @@ func scanDNSSEC(f *DomainFleet, d *SimDomain) bool {
 			}
 		})
 	f.Net.RunFor(6 * f.Net.Latency())
-	_ = done
 	return signed
 }
 
-// Table4 runs the full Table 4 reproduction.
+// ScanDomainDataset synthesizes and scans one Table 4 dataset of n
+// domains by fanning population shards out through the experiment
+// engine and merging the per-shard results in shard order.
+func ScanDomainDataset(spec DomainDatasetSpec, n int, cfg Config) DomainScanResult {
+	job := cfg.job(spec.Name, n)
+	parts := engine.Run(job, func(sh engine.Shard) DomainScanResult {
+		return ScanDomainFleet(NewDomainFleetShard(spec, sh))
+	})
+	res := DomainScanResult{Spec: spec}
+	for _, p := range parts {
+		res.Merge(p)
+	}
+	return res
+}
+
+// Table4 runs the full Table 4 reproduction with default execution
+// settings.
 func Table4(sampleCap int, seed int64) (*stats.Table, []DomainScanResult) {
+	return Table4Run(Config{SampleCap: sampleCap, Seed: seed})
+}
+
+// Table4Run is Table4 under an explicit execution Config; output is
+// byte-identical for any Parallelism.
+func Table4Run(cfg Config) (*stats.Table, []DomainScanResult) {
 	tbl := &stats.Table{
 		Title:  "Table 4: Vulnerable domains",
 		Header: []string{"Dataset", "Protocol", "BGP sub-prefix", "SadDNS", "Frag any", "Frag global", "DNSSEC", "Sampled", "Paper size"},
 	}
 	var results []DomainScanResult
 	for i, spec := range Table4Datasets() {
-		n := spec.PaperSize
-		if n > sampleCap {
-			n = sampleCap
-		}
-		fleet := NewDomainFleet(spec, n, seed+int64(i))
-		r := ScanDomainFleet(fleet)
+		r := ScanDomainDataset(spec, cfg.cap(spec.PaperSize), cfg.forDataset(i))
 		results = append(results, r)
 		tbl.Add(spec.Name, spec.Protocols,
-			stats.Pct(r.SubPrefix, r.Scanned),
-			stats.Pct(r.SadDNS, r.Scanned),
-			stats.Pct(r.FragAny, r.Scanned),
-			stats.Pct(r.FragGlobal, r.Scanned),
-			stats.Pct(r.DNSSEC, r.Scanned),
+			r.SubPrefix.Cell(),
+			r.SadDNS.Cell(),
+			r.FragAny.Cell(),
+			r.FragGlobal.Cell(),
+			r.DNSSEC.Cell(),
 			fmt.Sprint(r.Scanned),
 			fmt.Sprint(spec.PaperSize))
 	}

@@ -6,28 +6,46 @@ import (
 	"time"
 
 	"crosslayer/internal/dnswire"
+	"crosslayer/internal/engine"
 	"crosslayer/internal/packet"
 	"crosslayer/internal/resolver"
 	"crosslayer/internal/stats"
 )
 
-// ResolverScanResult is the measured vulnerability of one fleet.
+// ResolverScanResult is the measured vulnerability of one fleet shard,
+// or — after Merge — of a whole dataset. All fields combine across
+// shards: counters add, sample vectors concatenate in shard order.
 type ResolverScanResult struct {
 	Spec      ResolverDatasetSpec
 	Scanned   int
-	SubPrefix int
-	SadDNS    int
-	Frag      int
+	SubPrefix stats.Counter
+	SadDNS    stats.Counter
+	Frag      stats.Counter
 	// EDNSSizes holds the EDNS buffer size each resolver advertised
-	// toward the test nameserver (Figure 4's left curve).
+	// toward the test nameserver (Figure 4's left curve), in resolver
+	// order; resolvers that never queried the test NS contribute
+	// nothing.
 	EDNSSizes []float64
 	// Membership bit-vectors for Figure 5 (bit0 hijack, bit1 saddns,
 	// bit2 frag).
 	Membership []uint8
 }
 
+// Merge folds another shard's result (covering a disjoint slice of the
+// same dataset) into r. Counters merge order-independently; sample
+// vectors concatenate, so merging shards in index order keeps output
+// deterministic for any worker count.
+func (r *ResolverScanResult) Merge(o ResolverScanResult) {
+	r.Scanned += o.Scanned
+	r.SubPrefix = r.SubPrefix.Plus(o.SubPrefix)
+	r.SadDNS = r.SadDNS.Plus(o.SadDNS)
+	r.Frag = r.Frag.Plus(o.Frag)
+	r.EDNSSizes = append(r.EDNSSizes, o.EDNSSizes...)
+	r.Membership = append(r.Membership, o.Membership...)
+}
+
 // ScanResolverFleet runs the three §5.1.2 measurements against every
-// resolver in the fleet.
+// resolver in the fleet shard.
 func ScanResolverFleet(f *ResolverFleet) ResolverScanResult {
 	res := ResolverScanResult{Spec: f.Spec, Scanned: len(f.Resolvers)}
 
@@ -46,22 +64,29 @@ func ScanResolverFleet(f *ResolverFleet) ResolverScanResult {
 
 	for _, sr := range f.Resolvers {
 		var bits uint8
-		if scanSubPrefix(sr) {
-			res.SubPrefix++
+		sub := scanSubPrefix(sr)
+		res.SubPrefix.Observe(sub)
+		if sub {
 			bits |= 1
 		}
-		if scanSadDNS(f, sr) {
-			res.SadDNS++
+		sad := scanSadDNS(f, sr)
+		res.SadDNS.Observe(sad)
+		if sad {
 			bits |= 2
 		}
-		if scanFrag(f, sr) {
-			res.Frag++
+		frag := scanFrag(f, sr)
+		res.Frag.Observe(frag)
+		if frag {
 			bits |= 4
 		}
 		res.Membership = append(res.Membership, bits)
 	}
-	for _, sz := range ednsByResolver {
-		res.EDNSSizes = append(res.EDNSSizes, sz)
+	// Collect in resolver order (not map order) so the merged sample
+	// vector — and everything rendered from it — is deterministic.
+	for _, sr := range f.Resolvers {
+		if sz, ok := ednsByResolver[sr.Host.Addr]; ok {
+			res.EDNSSizes = append(res.EDNSSizes, sz)
+		}
 	}
 	f.TestSrv.Observe = nil
 	return res
@@ -80,11 +105,14 @@ func scanSubPrefix(sr *SimResolver) bool {
 // followed by a verification probe from the prober's own address. A
 // suppressed verification means the spoofed probes and the prober
 // share one global bucket — the side channel exists.
+//
+// No clock alignment is needed between resolvers: each resolver host
+// has its own token bucket, echo replies consume no tokens, and the
+// probe burst plus verification are all sent at one virtual instant,
+// so they arrive — and draw tokens — inside a single rate-limit
+// window wherever that instant falls.
 func scanSadDNS(f *ResolverFleet, sr *SimResolver) bool {
 	target := sr.Host.Addr
-	// Align to a fresh ICMP window so earlier scans cannot interfere.
-	win := sr.Host.ICMPWindow()
-	f.Clock.RunUntil((f.Clock.Now()/win + 1) * win)
 
 	alive := false
 	f.Prober.OnICMP(func(src netip.Addr, msg *packet.ICMP) {
@@ -147,35 +175,51 @@ func scanFrag(f *ResolverFleet, sr *SimResolver) bool {
 	// the NS, §5.1.2).
 	f.TestNS.SetPMTU(sr.Host.Addr, 576)
 
-	done := false
 	resolver.StubLookup(f.Prober, sr.Host.Addr, aliasName, dnswire.TypeA, 15*time.Second,
-		func([]*dnswire.RR, error) { done = true })
+		func([]*dnswire.RR, error) {})
 	f.Net.Run()
-	_ = done
 	f.TestSrv.Observe = prevObserve
 	return sawTargetUDP && !sawAliasTCP
 }
 
-// Table3 runs the full Table 3 reproduction: every dataset scaled to
-// at most sampleCap resolvers, scanned with the three probes.
+// ScanResolverDataset synthesizes and scans one Table 3 dataset of n
+// resolvers by fanning population shards out through the experiment
+// engine and merging the per-shard results in shard order.
+func ScanResolverDataset(spec ResolverDatasetSpec, n int, cfg Config) ResolverScanResult {
+	job := cfg.job(spec.Name, n)
+	parts := engine.Run(job, func(sh engine.Shard) ResolverScanResult {
+		return ScanResolverFleet(NewResolverFleetShard(spec, sh))
+	})
+	res := ResolverScanResult{Spec: spec}
+	for _, p := range parts {
+		res.Merge(p)
+	}
+	return res
+}
+
+// Table3 runs the full Table 3 reproduction with default execution
+// settings: every dataset scaled to at most sampleCap resolvers,
+// scanned with the three probes.
 func Table3(sampleCap int, seed int64) (*stats.Table, []ResolverScanResult) {
+	return Table3Run(Config{SampleCap: sampleCap, Seed: seed})
+}
+
+// Table3Run is Table3 under an explicit execution Config: each dataset
+// is sharded and scanned in parallel, with byte-identical output for
+// any Parallelism.
+func Table3Run(cfg Config) (*stats.Table, []ResolverScanResult) {
 	tbl := &stats.Table{
 		Title:  "Table 3: Vulnerable resolvers",
 		Header: []string{"Dataset", "Protocol", "BGP sub-prefix", "SadDNS", "Fragment", "Sampled", "Paper size"},
 	}
 	var results []ResolverScanResult
 	for i, spec := range Table3Datasets() {
-		n := spec.PaperSize
-		if n > sampleCap {
-			n = sampleCap
-		}
-		fleet := NewResolverFleet(spec, n, seed+int64(i))
-		r := ScanResolverFleet(fleet)
+		r := ScanResolverDataset(spec, cfg.cap(spec.PaperSize), cfg.forDataset(i))
 		results = append(results, r)
 		tbl.Add(spec.Name, spec.Protocols,
-			stats.Pct(r.SubPrefix, r.Scanned),
-			stats.Pct(r.SadDNS, r.Scanned),
-			stats.Pct(r.Frag, r.Scanned),
+			r.SubPrefix.Cell(),
+			r.SadDNS.Cell(),
+			r.Frag.Cell(),
 			fmt.Sprint(r.Scanned),
 			fmt.Sprint(spec.PaperSize))
 	}

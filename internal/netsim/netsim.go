@@ -97,7 +97,7 @@ func (n *Network) SetLossRate(p float64) {
 // Latency returns the one-way delivery latency.
 func (n *Network) Latency() time.Duration { return n.latency }
 
-// ASInfo returns (creating if needed) the simulator state for an AS.
+// AS returns (creating if needed) the simulator state for an AS.
 func (n *Network) AS(asn bgp.ASN) *ASInfo {
 	info := n.asInfo[asn]
 	if info == nil {

@@ -124,16 +124,19 @@ func (c *Clock) Run() int {
 
 // RunUntil processes events with timestamps <= deadline, then advances
 // the clock to deadline. It returns the number of events processed.
+// If the event limit stops processing early, the clock stays at the
+// last processed event instead of jumping to the deadline, so the
+// still-queued events are not stranded in the clock's past.
 func (c *Clock) RunUntil(deadline time.Duration) int {
 	n := 0
 	for len(c.queue) > 0 && c.queue[0].at <= deadline {
+		if c.limit > 0 && n >= c.limit {
+			return n
+		}
 		if !c.Step() {
 			break
 		}
 		n++
-		if c.limit > 0 && n >= c.limit {
-			break
-		}
 	}
 	if c.now < deadline {
 		c.now = deadline

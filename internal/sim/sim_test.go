@@ -104,6 +104,54 @@ func TestEventLimit(t *testing.T) {
 	}
 }
 
+func TestRunUntilRespectsEventLimit(t *testing.T) {
+	c := NewClock(1)
+	c.SetEventLimit(3)
+	for i := 1; i <= 5; i++ {
+		c.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if n := c.RunUntil(10 * time.Millisecond); n != 3 {
+		t.Fatalf("RunUntil processed %d events, want 3", n)
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", c.Pending())
+	}
+	// The clock must NOT have jumped to the deadline: the 4ms and 5ms
+	// events are still queued and scheduling relative to a clock past
+	// them would strand them in the past.
+	if c.Now() != 3*time.Millisecond {
+		t.Fatalf("clock at %v, want 3ms", c.Now())
+	}
+	// Lifting the limit lets the remaining events drain and the clock
+	// reach the deadline.
+	c.SetEventLimit(0)
+	if n := c.RunUntil(10 * time.Millisecond); n != 2 {
+		t.Fatalf("drain processed %d events, want 2", n)
+	}
+	if c.Now() != 10*time.Millisecond || c.Pending() != 0 {
+		t.Fatalf("clock at %v with %d pending, want 10ms/0", c.Now(), c.Pending())
+	}
+}
+
+func TestRunUntilLimitCountsPerCall(t *testing.T) {
+	// The limit bounds each Run/RunUntil call separately, so repeated
+	// RunFor windows (the scanners' idiom) each get a fresh budget.
+	c := NewClock(1)
+	c.SetEventLimit(2)
+	for i := 1; i <= 4; i++ {
+		c.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if n := c.RunUntil(2 * time.Millisecond); n != 2 {
+		t.Fatalf("first window ran %d, want 2", n)
+	}
+	if n := c.RunUntil(4 * time.Millisecond); n != 2 {
+		t.Fatalf("second window ran %d, want 2", n)
+	}
+	if c.Now() != 4*time.Millisecond {
+		t.Fatalf("clock at %v, want 4ms", c.Now())
+	}
+}
+
 func TestDeterministicRandStreams(t *testing.T) {
 	a := NewClock(42)
 	b := NewClock(42)

@@ -2,6 +2,13 @@
 // the measurement harness uses: empirical CDFs, quantiles, Venn
 // partitions of vulnerability sets, and ASCII tables/plots matching
 // the paper's figures.
+//
+// Every accumulator in the package is mergeable: Counter, CDF and
+// Venn3 values computed independently per population shard combine
+// into the whole-population value (Counter.Plus, MergeCDFs and
+// Venn3.Merge respectively), and merging is order-independent. This
+// is what lets the experiment engine fan a scan out over parallel
+// shards and still render identical tables.
 package stats
 
 import (
@@ -24,6 +31,28 @@ func NewCDF(samples []float64) *CDF {
 
 // Len returns the sample count.
 func (c *CDF) Len() int { return len(c.sorted) }
+
+// MergeCDFs folds per-shard CDFs into the whole-population CDF in one
+// concat-and-sort pass (a pairwise merge fold would re-copy the
+// accumulated samples per shard — quadratic at full-population shard
+// counts). Operands are not modified; nil operands are treated as
+// empty.
+func MergeCDFs(cs ...*CDF) *CDF {
+	total := 0
+	for _, c := range cs {
+		if c != nil {
+			total += len(c.sorted)
+		}
+	}
+	all := make([]float64, 0, total)
+	for _, c := range cs {
+		if c != nil {
+			all = append(all, c.sorted...)
+		}
+	}
+	sort.Float64s(all)
+	return &CDF{sorted: all}
+}
 
 // At returns P(X <= x).
 func (c *CDF) At(x float64) float64 {
@@ -114,6 +143,24 @@ func NewVenn3(labels [3]string, membership []uint8) Venn3 {
 	return v
 }
 
+// Merge returns the partition of the union of both (disjoint)
+// populations: region counts add field-wise. Empty labels take the
+// other operand's labels, so a zero Venn3 is a valid merge identity.
+func (v Venn3) Merge(o Venn3) Venn3 {
+	out := v
+	if out.Labels == ([3]string{}) {
+		out.Labels = o.Labels
+	}
+	out.OnlyA += o.OnlyA
+	out.OnlyB += o.OnlyB
+	out.OnlyC += o.OnlyC
+	out.AB += o.AB
+	out.AC += o.AC
+	out.BC += o.BC
+	out.ABC += o.ABC
+	return out
+}
+
 // Total returns the number of elements in the union.
 func (v Venn3) Total() int {
 	return v.OnlyA + v.OnlyB + v.OnlyC + v.AB + v.AC + v.BC + v.ABC
@@ -189,6 +236,39 @@ func (t *Table) String() string {
 	}
 	return sb.String()
 }
+
+// Counter is a mergeable hits-over-population accumulator: the value
+// behind every percentage cell of the regenerated tables. Shard scans
+// Observe each population item once; per-shard counters then Plus
+// together into the dataset total.
+type Counter struct {
+	Hits  int
+	Total int
+}
+
+// Observe records one scanned item.
+func (c *Counter) Observe(hit bool) {
+	c.Total++
+	if hit {
+		c.Hits++
+	}
+}
+
+// Plus returns the merged counter of two disjoint population slices.
+func (c Counter) Plus(o Counter) Counter {
+	return Counter{Hits: c.Hits + o.Hits, Total: c.Total + o.Total}
+}
+
+// Frac returns the hit fraction (0 when nothing was scanned).
+func (c Counter) Frac() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Total)
+}
+
+// Cell renders the counter as a table percentage cell.
+func (c Counter) Cell() string { return Pct(c.Hits, c.Total) }
 
 // Pct formats a fraction as a percentage cell.
 func Pct(num, den int) string {

@@ -61,6 +61,63 @@ func TestVenn3Partition(t *testing.T) {
 	}
 }
 
+func TestCDFMerge(t *testing.T) {
+	whole := NewCDF([]float64{5, 1, 4, 2, 3, 9, 7})
+	a := NewCDF([]float64{5, 1, 4})
+	b := NewCDF([]float64{2, 3})
+	c := NewCDF([]float64{9, 7})
+	merged := MergeCDFs(a, b, c)
+	if merged.Len() != whole.Len() {
+		t.Fatalf("merged %d samples, want %d", merged.Len(), whole.Len())
+	}
+	for _, x := range []float64{0, 1, 2.5, 4, 8, 10} {
+		if merged.At(x) != whole.At(x) {
+			t.Fatalf("At(%v): merged %v, whole %v", x, merged.At(x), whole.At(x))
+		}
+	}
+	// MergeCDFs must not mutate its operands.
+	if a.Len() != 3 || b.Len() != 2 {
+		t.Fatal("MergeCDFs mutated an operand")
+	}
+	if MergeCDFs(nil, a).Len() != 3 {
+		t.Fatal("nil operand not treated as empty")
+	}
+}
+
+func TestVenn3Merge(t *testing.T) {
+	labels := [3]string{"H", "S", "F"}
+	membership := []uint8{1, 1, 2, 4, 3, 5, 6, 7, 7, 0}
+	whole := NewVenn3(labels, membership)
+	merged := Venn3{}
+	for _, part := range [][]uint8{membership[:3], membership[3:7], membership[7:]} {
+		merged = merged.Merge(NewVenn3(labels, part))
+	}
+	if merged != whole {
+		t.Fatalf("merged %+v, whole %+v", merged, whole)
+	}
+	if merged.Labels != labels {
+		t.Fatalf("labels lost: %v", merged.Labels)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var a, b Counter
+	a.Observe(true)
+	a.Observe(false)
+	b.Observe(true)
+	b.Observe(true)
+	sum := a.Plus(b)
+	if sum.Hits != 3 || sum.Total != 4 {
+		t.Fatalf("sum %+v", sum)
+	}
+	if sum.Frac() != 0.75 || sum.Cell() != "75%" {
+		t.Fatalf("frac %v cell %s", sum.Frac(), sum.Cell())
+	}
+	if (Counter{}).Frac() != 0 || (Counter{}).Cell() != "n/a" {
+		t.Fatal("zero counter")
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
 	tb.Add("xxx", "y")
