@@ -19,6 +19,7 @@ import (
 	"crosslayer"
 	"crosslayer/internal/apps"
 	"crosslayer/internal/bgp"
+	"crosslayer/internal/campaign"
 	"crosslayer/internal/core"
 	"crosslayer/internal/dnssrv"
 	"crosslayer/internal/dnswire"
@@ -139,6 +140,26 @@ func BenchmarkTable6Comparison(b *testing.B) {
 		cmp := measure.RunComparison(int64(i), 800)
 		if !cmp.Hijack.Success || !cmp.FragGlobal.Success {
 			b.Fatal("deterministic attacks failed")
+		}
+	}
+}
+
+// BenchmarkCampaign measures one representative campaign slice per
+// iteration: every method and defense against the web victim on the
+// BIND profile (15 cells, one trial each) — the cost profile of the
+// matrix's dominant cell kinds without the full 750-cell sweep.
+func BenchmarkCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(campaign.Config{
+			Exec:   measure.Config{Seed: int64(i)},
+			Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"}},
+			Trials: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 15 {
+			b.Fatalf("%d cells", len(res))
 		}
 	}
 }

@@ -1,19 +1,28 @@
 // Command xlmeasure regenerates the paper's evaluation artifacts:
 // every table (1–6) and figure (1–5) of "From IP to Transport and
-// Beyond" on the synthetic populations described in DESIGN.md.
+// Beyond" on the synthetic populations described in DESIGN.md, plus
+// the campaign matrix — the method × victim × profile × defense
+// cross-product the paper only samples.
 //
 // Population scans fan out over the sharded experiment engine, so the
 // default sample cap is 10k items per dataset (the paper's populations
 // reach 1.58M; raise -n to scan more). Output depends only on -n,
-// -seed and -shard-size: any -parallel value produces byte-identical
-// tables.
+// -seed and -shard-size (and, for campaign, the filters and -trials):
+// any -parallel value produces byte-identical tables.
 //
 // Usage:
 //
 //	xlmeasure [-exp all|table1|table2|table3|table4|table5|table6|
-//	           fig1|fig2|fig3|fig4|fig5|samehijack|forwarders]
+//	           fig1|fig2|fig3|fig4|fig5|samehijack|forwarders|campaign]
 //	          [-n sampleCap] [-seed N] [-parallel workers]
 //	          [-shard-size items] [-quiet]
+//	          [-methods m,...] [-victims v,...] [-profiles p,...]
+//	          [-defenses d,...] [-trials N]
+//
+// Campaign filters take registry keys (empty means the full axis):
+// methods hijack,saddns,frag; victims radius,xmpp,smtp,web,ntp,
+// bitcoin,vpn,pki,ocsp,cdn; profiles bind,unbound,powerdns,systemd,
+// dnsmasq; defenses none,dnssec,0x20,no-rrl,shuffle.
 package main
 
 import (
@@ -22,9 +31,8 @@ import (
 	"os"
 	"strings"
 
-	"crosslayer/internal/apps"
+	"crosslayer/internal/campaign"
 	"crosslayer/internal/measure"
-	"crosslayer/internal/stats"
 )
 
 func main() {
@@ -34,6 +42,11 @@ func main() {
 	parallel := flag.Int("parallel", 0, "shard workers; 0 = GOMAXPROCS (never changes results)")
 	shardSize := flag.Int("shard-size", 0, "population items per simulation shard; 0 = engine default")
 	quiet := flag.Bool("quiet", false, "suppress per-dataset progress on stderr")
+	methods := flag.String("methods", "", "campaign: comma-separated method keys (empty = all)")
+	victims := flag.String("victims", "", "campaign: comma-separated victim keys (empty = all)")
+	profiles := flag.String("profiles", "", "campaign: comma-separated resolver profile keys (empty = all)")
+	defenses := flag.String("defenses", "", "campaign: comma-separated defense keys (empty = all)")
+	trials := flag.Int("trials", 0, "campaign: attack trials per cell; 0 = default (3)")
 	flag.Parse()
 
 	// cfg executes one experiment under the engine, labelling progress
@@ -53,24 +66,7 @@ func main() {
 
 	run := map[string]func(){
 		"table1": func() { fmt.Println(measure.Table1()) },
-		"table2": func() {
-			tbl := &stats.Table{
-				Title:  "Table 2: Query triggering behaviour at middleboxes",
-				Header: []string{"Type", "Provider", "Trigger query", "Caching time", "Alexa 100K sites"},
-			}
-			for _, p := range apps.Table2Profiles() {
-				cache := "TTL"
-				if p.CacheTime > 0 {
-					cache = p.CacheTime.String()
-				}
-				sites := "-"
-				if p.AlexaSites > 0 {
-					sites = fmt.Sprint(p.AlexaSites)
-				}
-				tbl.Add(p.Type, p.Provider, string(p.Trigger), cache, sites)
-			}
-			fmt.Println(tbl)
-		},
+		"table2": func() { fmt.Println(measure.Table2()) },
 		"table3": func() {
 			tbl, _ := measure.Table3Run(cfg("table3"))
 			fmt.Println(tbl)
@@ -85,16 +81,28 @@ func main() {
 		},
 		"table6": func() {
 			fmt.Println("running the three attacks end-to-end (SadDNS scans a 2000-port range)...")
-			cmp := measure.RunComparisonWith(measure.Config{Seed: *seed, Parallelism: *parallel}, 2000)
-			_, rres := measure.Table3Run(cfg("table6/table3"))
-			_, dres := measure.Table4Run(cfg("table6/table4"))
-			ad := rres[6]
-			al := dres[1]
-			tbl := measure.Table6(cmp,
-				[3]float64{ad.SubPrefix.Frac(), ad.SadDNS.Frac(), ad.Frag.Frac()},
-				[3]float64{al.SubPrefix.Frac(), al.SadDNS.Frac(), al.FragAny.Frac()})
+			tbl, cmp := measure.Table6Run(cfg("table6"), 2000)
 			fmt.Println(tbl)
 			fmt.Printf("same-prefix interception (simulated, paper ~80%%): %.0f%%\n", cmp.SamePrefixRate*100)
+		},
+		"campaign": func() {
+			ccfg := campaign.Config{
+				Exec:   cfg("campaign"),
+				Trials: *trials,
+				Filter: campaign.Filter{
+					Methods:  splitKeys(*methods),
+					Victims:  splitKeys(*victims),
+					Profiles: splitKeys(*profiles),
+					Defenses: splitKeys(*defenses),
+				},
+			}
+			res, err := campaign.Run(ccfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Println(campaign.Matrix(res))
+			fmt.Println(campaign.Summary(res))
 		},
 		"fig1": func() {
 			fmt.Println("Figure 1 is the SadDNS message sequence; run:  go run ./examples/saddns")
@@ -129,7 +137,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"table1", "table2", "table3", "table4", "table5", "table6",
-			"fig3", "fig4", "fig5", "samehijack", "forwarders"} {
+			"fig3", "fig4", "fig5", "samehijack", "forwarders", "campaign"} {
 			fmt.Printf("\n######## %s ########\n", strings.ToUpper(name))
 			run[name]()
 		}
@@ -141,6 +149,20 @@ func main() {
 		os.Exit(2)
 	}
 	fn()
+}
+
+// splitKeys parses a comma-separated filter flag; empty means "all".
+func splitKeys(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // progressPrinter renders per-dataset shard completions on stderr: a

@@ -40,6 +40,7 @@ package crosslayer
 import (
 	"net/netip"
 
+	"crosslayer/internal/campaign"
 	"crosslayer/internal/core"
 	"crosslayer/internal/dnssrv"
 	"crosslayer/internal/dnswire"
@@ -178,6 +179,18 @@ type ExperimentConfig = measure.Config
 // ExperimentConfig.Progress callback receives.
 type ExperimentProgress = measure.ProgressEvent
 
+// CampaignConfig controls a campaign sweep: the execution knobs (its
+// Exec field is an ExperimentConfig), the method/app/profile/defense
+// filters, and the per-cell trial count. See Experiments.Campaign.
+type CampaignConfig = campaign.Config
+
+// CampaignFilter restricts a campaign sweep to the named registry
+// keys (empty dimensions mean "all").
+type CampaignFilter = campaign.Filter
+
+// CampaignCell is one measured cell of the campaign matrix.
+type CampaignCell = campaign.CellResult
+
 // Experiments re-exports the measurement entry points that regenerate
 // the paper's tables and figures; see cmd/xlmeasure for the CLI.
 var Experiments = struct {
@@ -187,6 +200,12 @@ var Experiments = struct {
 	Figure3 func(cfg ExperimentConfig) string
 	Figure4 func(cfg ExperimentConfig) string
 	Figure5 func(cfg ExperimentConfig) string
+	// Campaign executes the method × victim × profile × defense
+	// cross-product (optionally filtered) and returns the rendered
+	// matrix plus the raw cells; render an aggregate with
+	// CampaignSummary. Output is byte-identical for any Parallelism,
+	// and filtered sweeps reproduce the full sweep's cells exactly.
+	Campaign func(cfg CampaignConfig) (TableResult, []CampaignCell, error)
 }{
 	Table3: func(cfg ExperimentConfig) (TableResult, []measure.ResolverScanResult) {
 		t, r := measure.Table3Run(cfg)
@@ -203,7 +222,18 @@ var Experiments = struct {
 	Figure3: func(cfg ExperimentConfig) string { s, _ := measure.Figure3Run(cfg); return s },
 	Figure4: func(cfg ExperimentConfig) string { s, _, _ := measure.Figure4Run(cfg); return s },
 	Figure5: func(cfg ExperimentConfig) string { s, _, _ := measure.Figure5Run(cfg); return s },
+	Campaign: func(cfg CampaignConfig) (TableResult, []CampaignCell, error) {
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return campaign.Matrix(res), res, nil
+	},
 }
+
+// CampaignSummary renders the method × defense poisoning-rate
+// aggregate of a campaign run's cells.
+func CampaignSummary(cells []CampaignCell) TableResult { return campaign.Summary(cells) }
 
 // TableResult is a rendered experiment table.
 type TableResult interface{ String() string }

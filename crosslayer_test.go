@@ -95,3 +95,31 @@ func TestExperimentsFacadeParallel(t *testing.T) {
 		t.Fatal("no progress events")
 	}
 }
+
+// TestExperimentsFacadeCampaign exercises the campaign sweep through
+// the public facade: filtered cross-product, rendered matrix and
+// summary, and filter validation.
+func TestExperimentsFacadeCampaign(t *testing.T) {
+	cfg := crosslayer.CampaignConfig{
+		Exec: crosslayer.ExperimentConfig{Seed: 5},
+		Filter: crosslayer.CampaignFilter{
+			Methods: []string{"hijack"}, Victims: []string{"web", "vpn"},
+			Profiles: []string{"bind"},
+		},
+		Trials: 2,
+	}
+	tbl, cells, err := crosslayer.Experiments.Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 10 { // 1 method × 2 victims × 1 profile × 5 defenses
+		t.Fatalf("campaign facade: %d cells", len(cells))
+	}
+	if tbl.String() == "" || crosslayer.CampaignSummary(cells).String() == "" {
+		t.Fatal("empty campaign rendering")
+	}
+	cfg.Filter.Defenses = []string{"bogus"}
+	if _, _, err := crosslayer.Experiments.Campaign(cfg); err == nil {
+		t.Fatal("unknown defense key accepted")
+	}
+}

@@ -28,14 +28,27 @@ func main() {
 	s.ResolverHost.Cfg.PortMin = 32768
 	s.ResolverHost.Cfg.PortMax = 32768 + 499
 
-	// Print a few interesting packets (Figure 1's arrows).
+	// Print a few of each interesting packet kind (Figure 1's arrows):
+	// the spoofed NS→resolver traffic is either a tiny port probe or a
+	// full DNS response of the TXID flood, told apart by payload size.
 	probes, floods := 0, 0
 	s.Net.Trace = func(ev netsim.TraceEvent) {
-		if ev.To == scenario.ResolverIP && ev.From == scenario.NSIP && ev.Proto == packet.ProtoUDP {
-			if floods < 3 || probes < 3 {
-				// sampled: both port probes and TXID flood share this shape
-			}
+		if ev.To != scenario.ResolverIP || ev.From != scenario.NSIP || ev.Proto != packet.ProtoUDP {
+			return
+		}
+		const udpHeader = 8
+		if ev.Size <= udpHeader+16 { // "probe"/"pad" payloads
 			probes++
+			if probes <= 3 {
+				fmt.Printf("  [%8v] spoofed port probe #%d  %v -> %v (%d bytes)\n",
+					ev.At, probes, ev.From, ev.To, ev.Size)
+			}
+		} else { // a forged DNS response of the TXID flood
+			floods++
+			if floods <= 3 {
+				fmt.Printf("  [%8v] TXID-flood response #%d %v -> %v (%d bytes)\n",
+					ev.At, floods, ev.From, ev.To, ev.Size)
+			}
 		}
 	}
 
@@ -57,6 +70,7 @@ func main() {
 
 	fmt.Printf("\nresult: success=%v iterations=%d attacker packets=%d duration=%v\n",
 		res.Success, res.Iterations, res.AttackerPackets, res.Duration)
+	fmt.Printf("trace saw %d spoofed port probes and %d TXID-flood responses\n", probes, floods)
 	fmt.Printf("spoofed datagrams the resolver rejected (wrong TXID): %d\n", s.Resolver.SpoofRejected)
 	fmt.Printf("cache now says www.vict.im = attacker: %v\n", s.Poisoned("www.vict.im.", dnswire.TypeA))
 	_ = netip.Addr{}

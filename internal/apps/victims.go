@@ -1,0 +1,266 @@
+package apps
+
+import (
+	"net/netip"
+	"time"
+
+	"crosslayer/internal/scenario"
+)
+
+// Victim is a registrable application victim: one Table 1 row turned
+// into a runnable harness the campaign sweep (internal/campaign) can
+// deploy into any scenario, attack, and then exercise to observe the
+// application-level outcome. The same demonstrations exist as the
+// apps test suite (see DemoName); the registry makes them first-class
+// runners instead of test-only code.
+type Victim struct {
+	// Key is the stable short identifier used in campaign filters and
+	// rendered matrices ("web", "smtp", ...).
+	Key string
+	// Name is the display form (Table 1's protocol/use-case).
+	Name string
+	// DemoName is the Table1Row.DemoName this victim reenacts; the
+	// consistency tests pin the mapping in both directions.
+	DemoName string
+	// QName is the domain name whose A record a poisoning methodology
+	// must plant for the attack on this victim to land. All registry
+	// victims are reachable through an A-record poison (the common
+	// denominator of the three §3 methodologies: FragDNS can only
+	// patch A rdata).
+	QName string
+	// AttackOutcome is the outcome the Table 1 row promises once QName
+	// is poisoned (the matrix's impact column checks it).
+	AttackOutcome Outcome
+	// Deploy installs the genuine and adversarial application
+	// endpoints into the scenario and returns the exercise function:
+	// calling it performs one application transaction (draining the
+	// scenario's event queue) and classifies what happened.
+	Deploy func(s *scenario.S) func() Outcome
+}
+
+// Victims returns the application victim registry in Table 1 order.
+func Victims() []Victim {
+	return []Victim{
+		{
+			Key: "radius", Name: "RADIUS/eduroam peer discovery",
+			DemoName: "TestRadiusDoS", QName: "www.vict.im.",
+			AttackOutcome: OutcomeDoS,
+			Deploy: func(s *scenario.S) func() Outcome {
+				NewFederationServer(s.WWWHost, Identity{Subject: "www.vict.im.", Issuer: TrustedCA})
+				NewFederationServer(s.Attacker, SelfSigned("www.vict.im."))
+				rc := &RadiusClient{Host: s.ServiceHost, ResolverAddr: scenario.ResolverIP}
+				return func() Outcome {
+					out := OutcomeDoS
+					rc.Authenticate("student@vict.im", func(o Outcome) { out = o })
+					s.Run()
+					return out
+				}
+			},
+		},
+		{
+			Key: "xmpp", Name: "XMPP federation",
+			DemoName: "TestXMPPEavesdropping", QName: "www.vict.im.",
+			AttackOutcome: OutcomeHijack,
+			Deploy: func(s *scenario.S) func() Outcome {
+				NewFederationServer(s.WWWHost, Identity{Subject: "www.vict.im.", Issuer: TrustedCA})
+				evil := NewFederationServer(s.Attacker, SelfSigned("www.vict.im."))
+				xp := &XMPPServerPeer{Host: s.ServiceHost, ResolverAddr: scenario.ResolverIP}
+				return func() Outcome {
+					out := OutcomeDoS
+					var at netip.Addr
+					xp.SendMessage("friend@vict.im", "secret", func(o Outcome, addr netip.Addr) { out, at = o, addr })
+					s.Run()
+					if at == scenario.AttackerIP && len(evil.Transcript) > 0 {
+						return OutcomeHijack
+					}
+					return out
+				}
+			},
+		},
+		{
+			Key: "smtp", Name: "SMTP bounce interception",
+			DemoName: "TestSMTPBounceStealsMailViaPoisonedMX", QName: "mail.vict.im.",
+			AttackOutcome: OutcomeHijack,
+			Deploy: func(s *scenario.S) func() Outcome {
+				ms := NewMailServer(s.ServiceHost, scenario.ResolverIP, "victim-net.example.")
+				NewMailSink(s.MailHost)
+				sink := NewMailSink(s.Attacker)
+				return func() Outcome {
+					// A bounce to an unknown local user resolves the
+					// sender domain's MX then its A: the poisoned
+					// mail.vict.im. A hands the DSN to the attacker.
+					before := len(sink.Received)
+					ms.Deliver(Mail{From: "alice@vict.im", To: "ghost@victim-net.example.",
+						Body: "secret", SenderIP: scenario.VictimMail}, nil)
+					s.Run()
+					if len(sink.Received) > before {
+						return OutcomeHijack
+					}
+					if ms.BouncesLost > 0 {
+						return OutcomeDoS
+					}
+					return OutcomeOK
+				}
+			},
+		},
+		{
+			Key: "web", Name: "Plain-HTTP web fetch",
+			DemoName: "TestWebHijackPlainHTTP", QName: "www.vict.im.",
+			AttackOutcome: OutcomeHijack,
+			Deploy: func(s *scenario.S) func() Outcome {
+				NewWebServer(s.WWWHost, Identity{Subject: "www.vict.im.", Issuer: TrustedCA}).Pages["/"] = "genuine"
+				NewWebServer(s.Attacker, SelfSigned("www.vict.im.")).Pages["/"] = "evil"
+				wc := &WebClient{Host: s.ClientHost, ResolverAddr: scenario.ResolverIP}
+				return func() Outcome {
+					var res FetchResult
+					wc.Get("www.vict.im.", "/", func(r FetchResult) { res = r })
+					s.Run()
+					switch {
+					case res.ServerAddr == scenario.AttackerIP:
+						return OutcomeHijack
+					case res.Err != nil:
+						return OutcomeDoS
+					default:
+						return OutcomeOK
+					}
+				}
+			},
+		},
+		{
+			Key: "ntp", Name: "NTP time shift",
+			DemoName: "TestNTPTimeShift", QName: "ntp.vict.im.",
+			AttackOutcome: OutcomeHijack,
+			Deploy: func(s *scenario.S) func() Outcome {
+				NewNTPServer(s.WWWHost, 0)
+				NewNTPServer(s.Attacker, 10*365*24*time.Hour)
+				c := NewNTPClient(s.ClientHost, scenario.ResolverIP, "ntp.vict.im.")
+				return func() Outcome {
+					out := OutcomeDoS
+					c.SyncOnce(func(o Outcome) { out = o })
+					s.Run()
+					return out
+				}
+			},
+		},
+		{
+			Key: "bitcoin", Name: "Bitcoin peer bootstrap",
+			DemoName: "TestBitcoinEclipse", QName: "seed.vict.im.",
+			AttackOutcome: OutcomeHijack,
+			Deploy: func(s *scenario.S) func() Outcome {
+				NewBitcoinNode(s.WWWHost, "block-800000-genuine")
+				NewBitcoinNode(s.Attacker, "block-799000-fake")
+				return func() Outcome {
+					// A node restart bootstraps from the DNS seed; an
+					// eclipsed node adopts the attacker's fake chain.
+					bc := &BitcoinClient{Host: s.ClientHost, ResolverAddr: scenario.ResolverIP, SeedName: "seed.vict.im."}
+					out := OutcomeDoS
+					bc.Bootstrap(func(o Outcome) { out = o })
+					s.Run()
+					if bc.Eclipsed("block-799000-fake") {
+						return OutcomeHijack
+					}
+					return out
+				}
+			},
+		},
+		{
+			Key: "vpn", Name: "VPN gateway connect",
+			DemoName: "TestVPNDoSAndOpportunisticIPsecHijack", QName: "vpn.vict.im.",
+			AttackOutcome: OutcomeDoS,
+			Deploy: func(s *scenario.S) func() Outcome {
+				NewVPNServer(s.WWWHost, Identity{Subject: "vpn.vict.im.", Issuer: TrustedCA})
+				NewVPNServer(s.Attacker, SelfSigned("vpn.vict.im."))
+				vc := &VPNClient{Host: s.ClientHost, ResolverAddr: scenario.ResolverIP, Gateway: "vpn.vict.im."}
+				return func() Outcome {
+					out := OutcomeDoS
+					vc.Connect(func(o Outcome) { out = o })
+					s.Run()
+					return out
+				}
+			},
+		},
+		{
+			Key: "pki", Name: "PKI domain validation",
+			DemoName: "TestFraudulentCertificateViaPoisonedCAResolver", QName: "www.vict.im.",
+			AttackOutcome: OutcomeHijack,
+			Deploy: func(s *scenario.S) func() Outcome {
+				NewWebServer(s.WWWHost, Identity{Subject: "www.vict.im.", Issuer: TrustedCA})
+				evil := NewWebServer(s.Attacker, SelfSigned("attacker"))
+				evil.Pages["/.well-known/acme"] = "token-ATTACK"
+				ca := &CertificateAuthority{Host: s.ServiceHost, ResolverAddr: scenario.ResolverIP}
+				return func() Outcome {
+					// The attacker requests a certificate for the victim
+					// domain; issuance means the DV check validated
+					// against the attacker's host — a fraudulent cert.
+					var issueErr error
+					issued := false
+					ca.RequestCertificate("www.vict.im.", "token-ATTACK",
+						func(_ Identity, err error) { issued, issueErr = err == nil, err })
+					s.Run()
+					_ = issueErr
+					if issued {
+						return OutcomeHijack
+					}
+					return OutcomeOK
+				}
+			},
+		},
+		{
+			Key: "ocsp", Name: "OCSP revocation check",
+			DemoName: "TestOCSPSoftFailDowngrade", QName: "ocsp.vict.im.",
+			AttackOutcome: OutcomeDowngrade,
+			Deploy: func(s *scenario.S) func() Outcome {
+				responder := NewOCSPResponder(s.WWWHost)
+				responder.Revoked["compromised.vict.im."] = true
+				oc := &OCSPClient{Host: s.ClientHost, ResolverAddr: scenario.ResolverIP, ResponderName: "ocsp.vict.im."}
+				revoked := Identity{Subject: "compromised.vict.im.", Issuer: TrustedCA}
+				return func() Outcome {
+					accept, out := false, OutcomeDoS
+					oc.CheckRevocation(revoked, func(a bool, o Outcome) { accept, out = a, o })
+					s.Run()
+					if accept && out == OutcomeDowngrade {
+						return OutcomeDowngrade
+					}
+					if !accept {
+						return OutcomeOK // revoked cert correctly refused
+					}
+					return out
+				}
+			},
+		},
+		{
+			Key: "cdn", Name: "On-demand CDN backend",
+			DemoName: "TestMiddleboxOnDemandIsAttackerTriggerable", QName: "www.vict.im.",
+			AttackOutcome: OutcomeHijack,
+			Deploy: func(s *scenario.S) func() Outcome {
+				NewWebServer(s.WWWHost, Identity{Subject: "www.vict.im.", Issuer: TrustedCA}).Pages["/"] = "backend"
+				NewWebServer(s.Attacker, SelfSigned("cdn")).Pages["/"] = "evil-backend"
+				prof := Table2Profiles()[6] // AWS CDN: on-demand trigger
+				mb := NewMiddlebox(s.ServiceHost, scenario.ResolverIP, prof, "www.vict.im.")
+				return func() Outcome {
+					var res FetchResult
+					mb.HandleClientRequest("/", func(r FetchResult) { res = r })
+					s.Run()
+					switch {
+					case res.ServerAddr == scenario.AttackerIP:
+						return OutcomeHijack
+					case res.Err != nil:
+						return OutcomeDoS
+					default:
+						return OutcomeOK
+					}
+				}
+			},
+		},
+	}
+}
+
+// VictimByKey returns the registered victim with the given key.
+func VictimByKey(key string) (Victim, bool) {
+	for _, v := range Victims() {
+		if v.Key == key {
+			return v, true
+		}
+	}
+	return Victim{}, false
+}

@@ -1,0 +1,60 @@
+package apps_test
+
+import (
+	"testing"
+
+	"crosslayer/internal/apps"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/scenario"
+)
+
+// TestVictimRegistryOutcomes drives every registered victim through
+// its two canonical states: a clean scenario must NOT yield the attack
+// outcome, and a scenario whose QName A record is poisoned must yield
+// exactly the outcome the Table 1 row promises. This is the contract
+// the campaign matrix's impact column relies on.
+func TestVictimRegistryOutcomes(t *testing.T) {
+	for i, v := range apps.Victims() {
+		v := v
+		seed := int64(200 + i)
+		t.Run(v.Key+"/clean", func(t *testing.T) {
+			s := scenario.New(scenario.Config{Seed: seed})
+			exercise := v.Deploy(s)
+			if got := exercise(); got == v.AttackOutcome {
+				t.Fatalf("clean scenario already shows the attack outcome %v", got)
+			}
+		})
+		t.Run(v.Key+"/poisoned", func(t *testing.T) {
+			s := scenario.New(scenario.Config{Seed: seed + 1000})
+			exercise := v.Deploy(s)
+			poisonA(s, v.QName)
+			if got := exercise(); got != v.AttackOutcome {
+				t.Fatalf("poisoned %s outcome = %v, want %v", v.QName, got, v.AttackOutcome)
+			}
+		})
+	}
+}
+
+// TestVictimRegistryKeysUniqueAndResolvable pins the registry's lookup
+// invariants: unique keys, resolvable via VictimByKey, and a QName the
+// victim zone actually serves (so an un-poisoned scenario resolves it).
+func TestVictimRegistryKeysUniqueAndResolvable(t *testing.T) {
+	zone := scenario.BuildVictimZone(false)
+	seen := map[string]bool{}
+	for _, v := range apps.Victims() {
+		if seen[v.Key] {
+			t.Fatalf("duplicate victim key %q", v.Key)
+		}
+		seen[v.Key] = true
+		got, ok := apps.VictimByKey(v.Key)
+		if !ok || got.DemoName != v.DemoName {
+			t.Fatalf("VictimByKey(%q) = %+v, %v", v.Key, got, ok)
+		}
+		if rrs, _ := zone.Lookup(v.QName, dnswire.TypeA); len(rrs) == 0 {
+			t.Fatalf("victim %q QName %q has no A record in the victim zone", v.Key, v.QName)
+		}
+	}
+	if _, ok := apps.VictimByKey("no-such-victim"); ok {
+		t.Fatal("VictimByKey invented a victim")
+	}
+}

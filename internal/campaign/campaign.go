@@ -1,0 +1,301 @@
+// Package campaign sweeps the full attack space the paper only
+// samples: every §3 methodology against every Table 1 application
+// victim, under every Table 5 resolver implementation profile, for
+// every defense configuration — a method × victim × profile × defense
+// cross-product executed as independent simulation cells on the
+// sharded experiment engine.
+//
+// The paper demonstrates each victim against one hand-picked method
+// (Table 1) and compares the methods on one canonical scenario
+// (Table 6); the interesting results live in the combinations. Each
+// cell of the sweep builds a private scenario (its own clock,
+// network, BGP topology), deploys the victim application, runs the
+// attack end-to-end, checks the cache ground truth, and then
+// exercises the application to observe the actual impact.
+//
+// Determinism contract: a cell's seed derives from the BASE SEED and
+// the cell's identity key (method/victim/profile/defense), never from
+// its position in the sweep. Output is therefore byte-identical for
+// any Parallelism, and a filtered sweep reproduces exactly the cells
+// of the full sweep.
+package campaign
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"crosslayer/internal/apps"
+	"crosslayer/internal/core"
+	"crosslayer/internal/dnssrv"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/measure"
+	"crosslayer/internal/resolver"
+	"crosslayer/internal/scenario"
+)
+
+// Attack-effort knobs shared by every cell. They bound the per-cell
+// simulation cost so the full 750-cell product stays tractable; the
+// bounds are generous enough that every method converges on its
+// vulnerable cells.
+const (
+	// sadPortRange is the resolver ephemeral-port span SadDNS scans
+	// per cell (the paper's resolvers expose ~28k ports; the scan cost
+	// is linear in the range and the side channel identical).
+	sadPortRange = 256
+	// sadMaxIterations bounds SadDNS query triggers per trial.
+	sadMaxIterations = 3
+	// fragIPIDGuesses is the planted-fragment window per iteration.
+	fragIPIDGuesses = 16
+	// fragMaxIterations bounds FragDNS triggers per trial.
+	fragMaxIterations = 4
+)
+
+// Method is one registered poisoning methodology: how to open its
+// attack surface on a scenario under construction, and how to build
+// the runnable attack against a target name.
+type Method struct {
+	// Key is the stable identifier used in filters and matrices.
+	Key string
+	// Name is the display form.
+	Name string
+	// Prepare mutates the scenario config to open the method's attack
+	// surface (e.g. SadDNS needs the nameserver's RRL as its muting
+	// lever, FragDNS needs responses large enough to fragment). It
+	// runs BEFORE the cell's defense is applied, so defenses always
+	// get the last word.
+	Prepare func(cfg *scenario.Config)
+	// New builds the attack against qname on an assembled scenario.
+	New func(s *scenario.S, qname string) core.Attack
+}
+
+// Methods returns the methodology registry in paper order (§3.1-3.3).
+func Methods() []Method {
+	return []Method{
+		{
+			Key: "hijack", Name: "HijackDNS",
+			Prepare: func(cfg *scenario.Config) {},
+			New: func(s *scenario.S, qname string) core.Attack {
+				return &core.HijackDNS{
+					Attacker:     s.Attacker,
+					HijackPrefix: netip.MustParsePrefix("123.0.0.0/24"),
+					NSAddr:       scenario.NSIP,
+					Spoof: core.Spoof{QName: qname, QType: dnswire.TypeA,
+						Records: []*dnswire.RR{dnswire.NewA(qname, 300, scenario.AttackerIP)}},
+				}
+			},
+		},
+		{
+			Key: "saddns", Name: "SadDNS",
+			Prepare: func(cfg *scenario.Config) {
+				cfg.ServerCfg.RateLimit = true
+				cfg.ServerCfg.RateLimitQPS = 10
+			},
+			New: func(s *scenario.S, qname string) core.Attack {
+				s.ResolverHost.Cfg.PortMin = 32768
+				s.ResolverHost.Cfg.PortMax = 32768 + sadPortRange - 1
+				return &core.SadDNS{
+					Attacker:     s.Attacker,
+					ResolverAddr: scenario.ResolverIP,
+					NSAddr:       scenario.NSIP,
+					Spoof: core.Spoof{QName: qname, QType: dnswire.TypeA,
+						Records: []*dnswire.RR{dnswire.NewA(qname, 300, scenario.AttackerIP)}},
+					PortMin: 32768, PortMax: 32768 + sadPortRange - 1,
+					MuteQPS:       2 * s.NS.Cfg.RateLimitQPS,
+					MaxIterations: sadMaxIterations,
+					CheckSuccess:  func() bool { return s.Poisoned(qname, dnswire.TypeA) },
+				}
+			},
+		},
+		{
+			Key: "frag", Name: "FragDNS",
+			Prepare: func(cfg *scenario.Config) {
+				cfg.ServerCfg.PadAnswersTo = 1200
+			},
+			New: func(s *scenario.S, qname string) core.Attack {
+				return &core.FragDNS{
+					Attacker:     s.Attacker,
+					ResolverAddr: scenario.ResolverIP,
+					NSAddr:       scenario.NSIP,
+					QName:        qname, QType: dnswire.TypeA,
+					SpoofAddr:    scenario.AttackerIP,
+					ForcedMTU:    68,
+					ResolverEDNS: s.Resolver.Prof.EDNSSize,
+					ResolverDO:   s.Resolver.Prof.ValidateDNSSEC,
+					PredictIPID:  true, IPIDGuesses: fragIPIDGuesses,
+					MaxIterations: fragMaxIterations,
+					CheckSuccess:  func() bool { return s.Poisoned(qname, dnswire.TypeA) },
+				}
+			},
+		},
+	}
+}
+
+// Defense is one registered defense configuration, applied to the
+// scenario config after the method's Prepare.
+type Defense struct {
+	Key   string
+	Name  string
+	Apply func(cfg *scenario.Config)
+}
+
+// Defenses returns the defense registry: the §6 countermeasures (plus
+// the undefended baseline), each switchable per cell.
+func Defenses() []Defense {
+	return []Defense{
+		{Key: "none", Name: "undefended baseline",
+			Apply: func(cfg *scenario.Config) {}},
+		{Key: "dnssec", Name: "signed zone + validating resolver",
+			Apply: func(cfg *scenario.Config) {
+				cfg.SignVictimZone = true
+				cfg.ValidateDNSSEC = true
+			}},
+		{Key: "0x20", Name: "0x20 query-name encoding",
+			Apply: func(cfg *scenario.Config) { cfg.Force0x20 = true }},
+		{Key: "no-rrl", Name: "response-rate limiting disabled",
+			Apply: func(cfg *scenario.Config) { cfg.ServerCfg.RateLimit = false }},
+		{Key: "shuffle", Name: "randomized answer-record order",
+			Apply: func(cfg *scenario.Config) { cfg.ServerCfg.RandomizeOrder = true }},
+	}
+}
+
+// ProfileEntry binds a filter key to a Table 5 resolver profile.
+type ProfileEntry struct {
+	Key     string
+	Profile resolver.Profile
+}
+
+// Profiles returns the resolver implementation registry in Table 5
+// order.
+func Profiles() []ProfileEntry {
+	return []ProfileEntry{
+		{Key: "bind", Profile: resolver.ProfileBIND},
+		{Key: "unbound", Profile: resolver.ProfileUnbound},
+		{Key: "powerdns", Profile: resolver.ProfilePowerDNS},
+		{Key: "systemd", Profile: resolver.ProfileSystemd},
+		{Key: "dnsmasq", Profile: resolver.ProfileDnsmasq},
+	}
+}
+
+// Filter restricts the cross-product to the named registry keys; an
+// empty dimension means "all". Keys are matched case-insensitively.
+type Filter struct {
+	Methods  []string
+	Victims  []string
+	Profiles []string
+	Defenses []string
+}
+
+// Config controls a campaign sweep.
+type Config struct {
+	// Exec carries the engine execution knobs. Seed selects the
+	// population of per-cell trials, Parallelism/Progress schedule and
+	// observe the sweep, and SampleCap caps Trials. ShardSize is
+	// ignored: every cell is its own shard by construction.
+	Exec measure.Config
+	// Filter restricts the cross-product.
+	Filter Filter
+	// Trials is the number of independently seeded attack runs per
+	// cell (the sample behind the success-rate and cost percentiles);
+	// 0 means DefaultTrials.
+	Trials int
+}
+
+// DefaultTrials is the per-cell sample size used when Config.Trials
+// is zero.
+const DefaultTrials = 3
+
+// Cell is one point of the cross-product.
+type Cell struct {
+	Method  Method
+	Victim  apps.Victim
+	Profile ProfileEntry
+	Defense Defense
+}
+
+// Key returns the cell's stable identity
+// ("method/victim/profile/defense") — the string its seed derives
+// from.
+func (c Cell) Key() string {
+	return c.Method.Key + "/" + c.Victim.Key + "/" + c.Profile.Key + "/" + c.Defense.Key
+}
+
+// Cells plans the (filtered) cross-product in deterministic order:
+// methods, then victims, then profiles, then defenses, each in
+// registry order. Unknown filter keys are an error, not a silent
+// empty sweep.
+func Cells(f Filter) ([]Cell, error) {
+	methods, err := selected("method", Methods(), func(m Method) string { return m.Key }, f.Methods)
+	if err != nil {
+		return nil, err
+	}
+	victims, err := selected("victim", apps.Victims(), func(v apps.Victim) string { return v.Key }, f.Victims)
+	if err != nil {
+		return nil, err
+	}
+	profiles, err := selected("profile", Profiles(), func(p ProfileEntry) string { return p.Key }, f.Profiles)
+	if err != nil {
+		return nil, err
+	}
+	defenses, err := selected("defense", Defenses(), func(d Defense) string { return d.Key }, f.Defenses)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, m := range methods {
+		for _, v := range victims {
+			for _, p := range profiles {
+				for _, d := range defenses {
+					cells = append(cells, Cell{Method: m, Victim: v, Profile: p, Defense: d})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// selected returns the registry entries matching the wanted keys (all
+// entries when want is empty), preserving registry order.
+func selected[T any](dim string, all []T, key func(T) string, want []string) ([]T, error) {
+	if len(want) == 0 {
+		return all, nil
+	}
+	wanted := map[string]bool{}
+	for _, w := range want {
+		w = strings.ToLower(strings.TrimSpace(w))
+		if w != "" {
+			wanted[w] = true
+		}
+	}
+	if len(wanted) == 0 {
+		// Non-empty filter whose every entry trimmed away: reject
+		// rather than silently sweep zero cells.
+		return nil, fmt.Errorf("campaign: %s filter has no usable keys", dim)
+	}
+	var out []T
+	for _, e := range all {
+		if wanted[strings.ToLower(key(e))] {
+			out = append(out, e)
+			delete(wanted, strings.ToLower(key(e)))
+		}
+	}
+	if len(wanted) > 0 {
+		unknown := make([]string, 0, len(wanted))
+		for k := range wanted {
+			unknown = append(unknown, k)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("campaign: unknown %s key(s): %s", dim, strings.Join(unknown, ", "))
+	}
+	return out, nil
+}
+
+// baseScenarioConfig is the per-trial starting point every cell
+// specialises: explicit server defaults so method Prepare and defense
+// Apply both mutate fields of a known baseline.
+func baseScenarioConfig(seed int64, prof resolver.Profile) scenario.Config {
+	cfg := scenario.Config{Seed: seed, Profile: prof}
+	cfg.ServerCfg = dnssrv.DefaultConfig()
+	return cfg
+}

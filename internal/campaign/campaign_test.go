@@ -1,0 +1,240 @@
+package campaign_test
+
+import (
+	"reflect"
+	"testing"
+
+	"crosslayer/internal/apps"
+	"crosslayer/internal/campaign"
+	"crosslayer/internal/measure"
+)
+
+func TestCellPlanFullProductAndOrder(t *testing.T) {
+	cells, err := campaign.Cells(campaign.Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(campaign.Methods()) * len(apps.Victims()) * len(campaign.Profiles()) * len(campaign.Defenses())
+	if len(cells) != want {
+		t.Fatalf("full product has %d cells, want %d", len(cells), want)
+	}
+	// Deterministic order: defenses vary fastest, methods slowest.
+	if cells[0].Key() != "hijack/radius/bind/none" {
+		t.Fatalf("first cell %q", cells[0].Key())
+	}
+	if cells[1].Defense.Key == cells[0].Defense.Key {
+		t.Fatal("defense dimension does not vary fastest")
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		k := c.Key()
+		if seen[k] {
+			t.Fatalf("duplicate cell %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestCellFilterSelectsAndRejects(t *testing.T) {
+	cells, err := campaign.Cells(campaign.Filter{
+		Methods: []string{"FRAG"}, Victims: []string{" web "},
+		Profiles: []string{"bind", "dnsmasq"}, Defenses: []string{"none"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("filtered plan has %d cells, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if c.Method.Key != "frag" || c.Victim.Key != "web" || c.Defense.Key != "none" {
+			t.Fatalf("stray cell %q", c.Key())
+		}
+	}
+	if _, err := campaign.Cells(campaign.Filter{Victims: []string{"nosuch"}}); err == nil {
+		t.Fatal("unknown victim key accepted")
+	}
+	if _, err := campaign.Cells(campaign.Filter{Methods: []string{"hijack", "typo"}}); err == nil {
+		t.Fatal("unknown method key accepted")
+	}
+}
+
+// TestCampaignByteIdenticalAcrossParallelism is the acceptance
+// contract end-to-end: the same (Seed, Trials, Filter) must render a
+// byte-identical matrix — and identical raw cell results — for any
+// worker count.
+func TestCampaignByteIdenticalAcrossParallelism(t *testing.T) {
+	base := campaign.Config{
+		Exec: measure.Config{Seed: 11, Parallelism: 1},
+		Filter: campaign.Filter{
+			Methods:  []string{"hijack", "frag"},
+			Victims:  []string{"web", "ocsp"},
+			Profiles: []string{"bind", "dnsmasq"},
+		},
+		Trials: 2,
+	}
+	refRes, err := campaign.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := campaign.Matrix(refRes).String()
+	if ref == "" {
+		t.Fatal("empty reference matrix")
+	}
+	for _, p := range []int{2, 8} {
+		cfg := base
+		cfg.Exec.Parallelism = p
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := campaign.Matrix(res).String(); got != ref {
+			t.Fatalf("parallelism %d changed matrix bytes:\n--- p=1\n%s\n--- p=%d\n%s", p, ref, p, got)
+		}
+		if !reflect.DeepEqual(res, refRes) {
+			t.Fatalf("parallelism %d changed raw cell results", p)
+		}
+	}
+}
+
+// TestCampaignFilterStability pins the identity-seeding property: a
+// filtered sweep must reproduce exactly the numbers of a broader
+// sweep for the cells they share — filtering never renumbers, so it
+// never reseeds.
+func TestCampaignFilterStability(t *testing.T) {
+	broad, err := campaign.Run(campaign.Config{
+		Exec: measure.Config{Seed: 12},
+		Filter: campaign.Filter{Methods: []string{"hijack", "frag"},
+			Victims: []string{"web", "ntp"}, Profiles: []string{"bind"}},
+		Trials: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := campaign.Run(campaign.Config{
+		Exec: measure.Config{Seed: 12},
+		Filter: campaign.Filter{Methods: []string{"frag"},
+			Victims: []string{"ntp"}, Profiles: []string{"bind"}, Defenses: []string{"none", "dnssec"}},
+		Trials: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]campaign.CellResult{}
+	for _, r := range broad {
+		byKey[r.Method+"/"+r.Victim+"/"+r.Profile+"/"+r.Defense] = r
+	}
+	for _, r := range narrow {
+		b, ok := byKey[r.Method+"/"+r.Victim+"/"+r.Profile+"/"+r.Defense]
+		if !ok {
+			t.Fatalf("narrow cell %s/%s/%s/%s missing from broad sweep", r.Method, r.Victim, r.Profile, r.Defense)
+		}
+		if !reflect.DeepEqual(r, b) {
+			t.Fatalf("filtering changed cell %s/%s/%s/%s:\n%+v\n%+v", r.Method, r.Victim, r.Profile, r.Defense, r, b)
+		}
+	}
+}
+
+// TestCampaignDefenseStory pins the matrix semantics on one victim ×
+// profile column: each §6 defense stops exactly the methods the paper
+// says it stops.
+func TestCampaignDefenseStory(t *testing.T) {
+	res, err := campaign.Run(campaign.Config{
+		Exec:   measure.Config{Seed: 1},
+		Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"}},
+		Trials: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := map[string]float64{}
+	for _, r := range res {
+		rate[r.Method+"/"+r.Defense] = r.Poisoned.Frac()
+	}
+	want := map[string]bool{ // does the method still poison under the defense?
+		"hijack/none": true, "hijack/dnssec": false, "hijack/0x20": true, "hijack/no-rrl": true, "hijack/shuffle": true,
+		"saddns/none": true, "saddns/dnssec": false, "saddns/0x20": false, "saddns/no-rrl": false, "saddns/shuffle": true,
+		"frag/none": true, "frag/dnssec": false, "frag/0x20": true, "frag/no-rrl": true, "frag/shuffle": false,
+	}
+	for k, poisons := range want {
+		got, ok := rate[k]
+		if !ok {
+			t.Fatalf("cell %s missing", k)
+		}
+		if poisons && got == 0 {
+			t.Errorf("%s: method should still poison, rate 0", k)
+		}
+		if !poisons && got > 0 {
+			t.Errorf("%s: defense should stop the method, rate %.0f%%", k, got*100)
+		}
+	}
+	// Impact must track poisoning: a poisoned web cell yields the
+	// Table 1 hijack outcome, a defended one does not.
+	for _, r := range res {
+		if r.Impact.Hits > r.Poisoned.Hits {
+			t.Errorf("%s/%s: impact (%d) exceeds poisoned (%d)", r.Method, r.Defense, r.Impact.Hits, r.Poisoned.Hits)
+		}
+	}
+}
+
+// TestCampaignTrialsCappedBySampleCap: the measure.Config SampleCap
+// bounds the per-cell sample like it bounds every other population.
+func TestCampaignTrialsCappedBySampleCap(t *testing.T) {
+	res, err := campaign.Run(campaign.Config{
+		Exec: measure.Config{Seed: 3, SampleCap: 1},
+		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web"},
+			Profiles: []string{"bind"}, Defenses: []string{"none"}},
+		Trials: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Trials != 1 || res[0].Poisoned.Total != 1 {
+		t.Fatalf("SampleCap did not cap trials: %+v", res)
+	}
+}
+
+// TestCampaignVictimsMapToTable1 closes the registry ↔ Table 1 loop:
+// every campaign victim reenacts a demonstration named by a Table 1
+// row (the reverse direction — DemoNames naming real test functions —
+// lives in internal/measure's consistency test).
+func TestCampaignVictimsMapToTable1(t *testing.T) {
+	demos := map[string]bool{}
+	for _, row := range measure.Table1Rows() {
+		demos[row.DemoName] = true
+	}
+	for _, v := range apps.Victims() {
+		if !demos[v.DemoName] {
+			t.Errorf("victim %q demo %q not named by any Table 1 row", v.Key, v.DemoName)
+		}
+	}
+}
+
+func TestCampaignProgressEvents(t *testing.T) {
+	var events []measure.ProgressEvent
+	_, err := campaign.Run(campaign.Config{
+		Exec: measure.Config{Seed: 4, Parallelism: 1,
+			Progress: func(ev measure.ProgressEvent) { events = append(events, ev) }},
+		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web", "ntp"},
+			Profiles: []string{"bind"}, Defenses: []string{"none", "0x20"}},
+		Trials: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("%d progress events, want 4 (one per cell)", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Dataset != "campaign" || last.DoneShards != 4 || last.TotalShards != 4 || last.Items != 4 {
+		t.Fatalf("final event %+v", last)
+	}
+}
+
+// TestCellFilterRejectsWhitespaceOnly: a filter dimension whose every
+// key trims away must error, not silently plan zero cells.
+func TestCellFilterRejectsWhitespaceOnly(t *testing.T) {
+	if _, err := campaign.Cells(campaign.Filter{Victims: []string{" ", ""}}); err == nil {
+		t.Fatal("whitespace-only filter accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package campaign
+
+import (
+	"fmt"
+
+	"crosslayer/internal/stats"
+)
+
+// Matrix renders the full per-cell success-rate/cost matrix: the
+// campaign's extension of Tables 1 and 6. Poisoned is the cache
+// ground truth over the cell's trials, Impact the application-level
+// outcome check, and the cost columns are per-trial percentiles of
+// attack rounds, attacker packets and virtual attack time.
+func Matrix(results []CellResult) *stats.Table {
+	tbl := &stats.Table{
+		Title: "Campaign matrix: method × victim × profile × defense",
+		Header: []string{"Method", "Victim", "Profile", "Defense",
+			"Poisoned", "Impact", "Iter p50", "Pkts p50", "Time p50", "Time p95"},
+	}
+	for _, r := range results {
+		tbl.Add(r.Method, r.Victim, r.Profile, r.Defense,
+			r.Poisoned.Cell(), r.Impact.Cell(),
+			fmt.Sprintf("%.0f", r.Iterations.Quantile(0.5)),
+			fmt.Sprintf("%.0f", r.Packets.Quantile(0.5)),
+			fmtSeconds(r.Seconds.Quantile(0.5)),
+			fmtSeconds(r.Seconds.Quantile(0.95)))
+	}
+	return tbl
+}
+
+// Summary renders the method × defense poisoning-rate matrix,
+// aggregated over every victim and profile in the results — the
+// one-screen answer to "which defense stops which method".
+func Summary(results []CellResult) *stats.Table {
+	type mk struct{ method, defense string }
+	agg := map[mk]stats.Counter{}
+	var methods, defenses []string
+	seenM, seenD := map[string]bool{}, map[string]bool{}
+	for _, r := range results {
+		if !seenM[r.Method] {
+			seenM[r.Method] = true
+			methods = append(methods, r.Method)
+		}
+		if !seenD[r.Defense] {
+			seenD[r.Defense] = true
+			defenses = append(defenses, r.Defense)
+		}
+		k := mk{r.Method, r.Defense}
+		agg[k] = agg[k].Plus(r.Poisoned)
+	}
+	tbl := &stats.Table{
+		Title:  "Campaign summary: poisoning success by method × defense (over victims × profiles)",
+		Header: append([]string{"Method"}, defenses...),
+	}
+	for _, m := range methods {
+		row := []string{m}
+		for _, d := range defenses {
+			row = append(row, agg[mk{m, d}].Cell())
+		}
+		tbl.Add(row...)
+	}
+	return tbl
+}
+
+// fmtSeconds renders a virtual-time sample with millisecond
+// resolution (attack times range from tens of milliseconds for a
+// hijack to tens of seconds for a SadDNS scan).
+func fmtSeconds(s float64) string { return fmt.Sprintf("%.3fs", s) }

@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"crosslayer/internal/core"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/engine"
+	"crosslayer/internal/scenario"
+	"crosslayer/internal/stats"
+)
+
+// CellResult is the measured outcome of one cross-product cell over
+// its trials.
+type CellResult struct {
+	// Method/Victim/Profile/Defense are the cell's registry keys.
+	Method, Victim, Profile, Defense string
+	// Trials is the per-cell sample size.
+	Trials int
+	// Poisoned counts trials whose attack actually planted the
+	// malicious record (cache ground truth, not the method's own
+	// success claim).
+	Poisoned stats.Counter
+	// Impact counts trials whose application exercise produced the
+	// outcome the Table 1 row promises for this victim.
+	Impact stats.Counter
+	// Iterations/Packets/Seconds are per-trial cost samples: attack
+	// rounds, attacker packets sent, and elapsed virtual seconds.
+	Iterations *stats.CDF
+	Packets    *stats.CDF
+	Seconds    *stats.CDF
+}
+
+// Run executes the (filtered) cross-product on the experiment engine:
+// every cell is one shard, every trial inside a cell builds a private
+// scenario from an identity-derived seed. Results come back in cell
+// order regardless of scheduling.
+func Run(cfg Config) ([]CellResult, error) {
+	cells, err := Cells(cfg.Filter)
+	if err != nil {
+		return nil, err
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = DefaultTrials
+	}
+	if cfg.Exec.SampleCap > 0 && trials > cfg.Exec.SampleCap {
+		trials = cfg.Exec.SampleCap
+	}
+	job := engine.Job{
+		Name:        "campaign",
+		Items:       len(cells),
+		ShardSize:   1,
+		Seed:        cfg.Exec.Seed,
+		Parallelism: cfg.Exec.Parallelism,
+	}
+	cfg.Exec.WireProgress(&job, "campaign", len(cells))
+	return engine.Run(job, func(sh engine.Shard) CellResult {
+		// One shard == one cell (ShardSize 1, so sh.Start indexes the
+		// plan). The shard's positional seed is deliberately unused:
+		// the cell's trials derive from its identity key instead, so
+		// filtering the sweep never reseeds surviving cells.
+		return runCell(cells[sh.Start], cfg.Exec.Seed, trials)
+	}), nil
+}
+
+// runCell executes the cell's trials and folds them into a CellResult.
+func runCell(c Cell, baseSeed int64, trials int) CellResult {
+	res := CellResult{
+		Method: c.Method.Key, Victim: c.Victim.Key,
+		Profile: c.Profile.Key, Defense: c.Defense.Key,
+		Trials: trials,
+	}
+	cellSeed := engine.DeriveSeedKey(baseSeed, c.Key())
+	iters := make([]float64, 0, trials)
+	pkts := make([]float64, 0, trials)
+	secs := make([]float64, 0, trials)
+	for t := 0; t < trials; t++ {
+		poisoned, impact, r := runTrial(c, engine.DeriveSeed(cellSeed, t))
+		res.Poisoned.Observe(poisoned)
+		res.Impact.Observe(impact)
+		iters = append(iters, float64(r.Iterations))
+		pkts = append(pkts, float64(r.AttackerPackets))
+		secs = append(secs, r.Duration.Seconds())
+	}
+	res.Iterations = stats.NewCDF(iters)
+	res.Packets = stats.NewCDF(pkts)
+	res.Seconds = stats.NewCDF(secs)
+	return res
+}
+
+// runTrial builds the cell's private world and plays it end to end:
+// deploy the victim, run the attack against the victim's query name,
+// read the cache ground truth, then exercise the application.
+func runTrial(c Cell, seed int64) (poisoned, impact bool, r core.Result) {
+	scfg := baseScenarioConfig(seed, c.Profile.Profile)
+	c.Method.Prepare(&scfg)
+	c.Defense.Apply(&scfg)
+	s := scenario.New(scfg)
+	exercise := c.Victim.Deploy(s)
+	atk := c.Method.New(s, c.Victim.QName)
+	r = atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, c.Victim.QName, dnswire.TypeA))
+	poisoned = s.Poisoned(c.Victim.QName, dnswire.TypeA)
+	impact = exercise() == c.Victim.AttackOutcome
+	return poisoned, impact, r
+}

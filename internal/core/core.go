@@ -59,3 +59,17 @@ type Result struct {
 // lookup, an open forwarder, and the application-level triggers
 // (email bounce etc.) in internal/apps.
 type Trigger func(done func())
+
+// Attack is the shared contract of the three methodologies: run the
+// attack against a triggered query and report the Table 6 telemetry.
+// The campaign sweep (internal/campaign) drives every methodology
+// through this interface.
+type Attack interface {
+	Run(trigger Trigger) Result
+}
+
+var (
+	_ Attack = (*HijackDNS)(nil)
+	_ Attack = (*SadDNS)(nil)
+	_ Attack = (*FragDNS)(nil)
+)

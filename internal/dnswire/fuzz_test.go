@@ -1,0 +1,74 @@
+package dnswire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Native fuzz targets for the wire-format parsers — the code every
+// spoofed, crafted, or reassembled packet in the simulator flows
+// through. Seeds come from the same generator the quick_test property
+// suite uses, so the corpus starts on valid messages and the fuzzer
+// mutates outward from there. CI runs a short -fuzz smoke; local runs
+// can go longer:
+//
+//	go test -fuzz=FuzzParseMessage -fuzztime=30s ./internal/dnswire
+
+// FuzzParseMessage: Unpack must never panic, and any message it
+// accepts must re-pack and re-parse (the canonical-form property the
+// FragDNS template prediction relies on).
+func FuzzParseMessage(f *testing.F) {
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 24; i++ {
+		if wire, err := genMessage(rng).Pack(); err == nil {
+			f.Add(wire)
+		}
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen))
+	f.Add([]byte{0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 3, 'w', 'w', 'w', 0, 0, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			// Unpack accepted a message Pack cannot re-encode: the
+			// two ends of the codec disagree about validity.
+			t.Fatalf("accepted message does not re-pack: %v", err)
+		}
+		if _, err := Unpack(wire); err != nil {
+			t.Fatalf("re-packed message does not re-parse: %v", err)
+		}
+	})
+}
+
+// FuzzParseName: the domain-name decoder must never panic, must keep
+// its returned offset inside the buffer, and must only produce names
+// the encoder accepts back (length limits included).
+func FuzzParseName(f *testing.F) {
+	for _, name := range []string{".", "vict.im.", "www.vict.im.", "a.b.c.vict.im.", "x.Y.Z.example."} {
+		if wire, err := appendName(nil, name, nil); err == nil {
+			f.Add(wire)
+		}
+	}
+	// A compression pointer into the header area and a pointer loop.
+	f.Add([]byte{0xc0, 0x00})
+	f.Add([]byte{3, 'w', 'w', 'w', 0xc0, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, off, err := readName(data, 0)
+		if err != nil {
+			return
+		}
+		if off < 0 || off > len(data) {
+			t.Fatalf("offset %d outside buffer of %d bytes", off, len(data))
+		}
+		if len(name) > MaxNameLen+1 { // +1: trailing dot of the presentation form
+			t.Fatalf("decoded name of %d chars exceeds the %d limit", len(name), MaxNameLen)
+		}
+		if _, err := appendName(nil, name, nil); err != nil {
+			t.Fatalf("decoded name %q does not re-encode: %v", name, err)
+		}
+	})
+}

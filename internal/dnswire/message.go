@@ -401,6 +401,9 @@ func decodeRData(typ Type, whole []byte, rdOff int, rd []byte) (RData, error) {
 			if err != nil {
 				return nil, err
 			}
+			if off > rdOff+len(rd) {
+				return nil, fmt.Errorf("%w: IPSECKEY gateway name overruns rdata", ErrTruncatedMsg)
+			}
 			d.GatewayName = name
 			i = off - rdOff
 		default:
@@ -416,6 +419,9 @@ func decodeRData(typ Type, whole []byte, rdOff int, rd []byte) (RData, error) {
 		signer, off, err := readName(whole, rdOff+20)
 		if err != nil {
 			return nil, err
+		}
+		if off > rdOff+len(rd) {
+			return nil, fmt.Errorf("%w: RRSIG signer name overruns rdata", ErrTruncatedMsg)
 		}
 		d.Signer = signer
 		d.Signature = append([]byte(nil), whole[off:rdOff+len(rd)]...)

@@ -8,6 +8,7 @@
 package dnswire
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -180,9 +181,22 @@ func readName(msg []byte, off int) (string, int, error) {
 			if off+1+l > len(msg) {
 				return "", 0, fmt.Errorf("%w: label at %d", ErrTruncatedMsg, off)
 			}
+			// The wire format technically permits '.' inside a label,
+			// but the simulator identifies names by their presentation
+			// form (CanonicalName), where such a label is
+			// indistinguishable from a label split. Reject it so
+			// decoding stays injective — a name that parses always
+			// re-encodes to the same wire labels.
+			if bytes.IndexByte(msg[off+1:off+1+l], '.') >= 0 {
+				return "", 0, fmt.Errorf("%w: '.' inside label", ErrBadName)
+			}
 			sb.Write(msg[off+1 : off+1+l])
 			sb.WriteByte('.')
-			if sb.Len() > MaxNameLen+16 {
+			// The presentation form of a maximal legal wire name
+			// (MaxNameLen octets including the root terminator) is
+			// MaxNameLen-1 characters; enforcing the same bound the
+			// encoder enforces keeps decode/encode symmetric.
+			if sb.Len() > MaxNameLen-1 {
 				return "", 0, fmt.Errorf("%w: name too long", ErrBadName)
 			}
 			off += 1 + l

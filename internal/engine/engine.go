@@ -98,6 +98,30 @@ func DeriveSeed(base int64, shard int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// DeriveSeedKey maps (base seed, identity key) to a seed the same way
+// DeriveSeed does, but keyed by a stable string identity instead of a
+// positional index. Experiments whose work units have names (e.g. the
+// campaign matrix's method/victim/profile/defense cells) derive their
+// seeds from the identity so a FILTERED run reproduces exactly the
+// numbers of the full run: dropping cells never renumbers — and so
+// never reseeds — the cells that remain.
+func DeriveSeedKey(base int64, key string) int64 {
+	// FNV-1a over the key folds the identity into 64 bits; the same
+	// splitmix64 finalizer DeriveSeed applies then decorrelates
+	// neighbours. The full 64-bit hash feeds the mix directly — going
+	// through DeriveSeed's int parameter would truncate it on 32-bit
+	// platforms and break seed portability.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	z := uint64(base) + 0x9e3779b97f4a7c15*(h+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // Trial is one executable unit of a job: a shard bound to the function
 // that simulates it.
 type Trial[T any] struct {

@@ -127,3 +127,26 @@ func TestEmptyJob(t *testing.T) {
 		t.Fatalf("empty job produced %d results", len(got))
 	}
 }
+
+// TestDeriveSeedKeyStableAndDistinct pins the identity-keyed seed
+// derivation: deterministic for the same (base, key), different for
+// different keys or bases, and independent of any positional index —
+// the property that keeps filtered campaign runs cell-for-cell
+// identical to full runs.
+func TestDeriveSeedKeyStableAndDistinct(t *testing.T) {
+	a := DeriveSeedKey(42, "saddns/web/bind/0x20")
+	if b := DeriveSeedKey(42, "saddns/web/bind/0x20"); a != b {
+		t.Fatalf("unstable: %d vs %d", a, b)
+	}
+	seen := map[int64]string{}
+	for _, key := range []string{"a", "b", "ab", "ba", "hijack/web/bind/none", "hijack/web/bind/dnssec"} {
+		s := DeriveSeedKey(7, key)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("collision between %q and %q", prev, key)
+		}
+		seen[s] = key
+	}
+	if DeriveSeedKey(1, "x") == DeriveSeedKey(2, "x") {
+		t.Fatal("base seed ignored")
+	}
+}

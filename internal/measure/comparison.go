@@ -185,6 +185,24 @@ func max(a, b int) int {
 	return b
 }
 
+// Table6Run regenerates the full Table 6 under one execution Config:
+// it runs the three attacks end-to-end (SadDNS scanning sadPorts
+// resolver ports), scans the Table 3 ad-net and Table 4 Alexa
+// populations for the vulnerable-fraction rows, and assembles the
+// comparison table. This is the one-call form cmd/xlmeasure and the
+// golden-artifact suite share.
+func Table6Run(cfg Config, sadPorts int) (*stats.Table, Comparison) {
+	cmp := RunComparisonWith(Config{Seed: cfg.Seed, Parallelism: cfg.Parallelism}, sadPorts)
+	_, rres := Table3Run(cfg)
+	_, dres := Table4Run(cfg)
+	ad := rres[6]
+	al := dres[1]
+	tbl := Table6(cmp,
+		[3]float64{ad.SubPrefix.Frac(), ad.SadDNS.Frac(), ad.Frag.Frac()},
+		[3]float64{al.SubPrefix.Frac(), al.SadDNS.Frac(), al.FragAny.Frac()})
+	return tbl, cmp
+}
+
 // Table5 reproduces the ANY-caching comparison across resolver
 // implementations by querying ANY then A through each profile and
 // checking whether the A query was served from the ANY answer.
@@ -209,7 +227,7 @@ func Table5Run(cfg Config) (*stats.Table, map[string]bool) {
 	// cfg.ShardSize: the trial body indexes profiles by shard start.
 	job := engine.Job{Name: "table5", Items: len(profiles), ShardSize: 1,
 		Seed: cfg.Seed, Parallelism: cfg.Parallelism}
-	cfg.wireProgress(&job, "resolver profiles", len(profiles))
+	cfg.WireProgress(&job, "resolver profiles", len(profiles))
 	rows := engine.Run(job, func(sh engine.Shard) anyCaching {
 		// Per-profile seeds keep the serial harness's seed+i offsets
 		// (sh.Start == profile index with ShardSize 1).

@@ -79,13 +79,15 @@ func (cfg Config) job(dataset string, n int) engine.Job {
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
 	}
-	cfg.wireProgress(&j, dataset, n)
+	cfg.WireProgress(&j, dataset, n)
 	return j
 }
 
-// wireProgress points the job's completion hook at cfg.Progress (a
-// no-op when no progress callback is configured).
-func (cfg Config) wireProgress(j *engine.Job, dataset string, items int) {
+// WireProgress points the job's completion hook at cfg.Progress (a
+// no-op when no progress callback is configured). It is exported for
+// experiment packages that plan their own engine jobs (e.g. the
+// campaign sweep) but report progress through the same channel.
+func (cfg Config) WireProgress(j *engine.Job, dataset string, items int) {
 	if cfg.Progress == nil {
 		return
 	}

@@ -1,6 +1,9 @@
 package measure
 
 import (
+	"fmt"
+
+	"crosslayer/internal/apps"
 	"crosslayer/internal/stats"
 )
 
@@ -74,7 +77,18 @@ func Table1() *stats.Table {
 func Table2() *stats.Table {
 	tbl := &stats.Table{
 		Title:  "Table 2: Query triggering behaviour at middleboxes",
-		Header: []string{"Type", "Provider", "Trigger query", "Caching time", "Websites in 100K-top Alexa"},
+		Header: []string{"Type", "Provider", "Trigger query", "Caching time", "Alexa 100K sites"},
+	}
+	for _, p := range apps.Table2Profiles() {
+		cache := "TTL"
+		if p.CacheTime > 0 {
+			cache = p.CacheTime.String()
+		}
+		sites := "-"
+		if p.AlexaSites > 0 {
+			sites = fmt.Sprint(p.AlexaSites)
+		}
+		tbl.Add(p.Type, p.Provider, string(p.Trigger), cache, sites)
 	}
 	return tbl
 }

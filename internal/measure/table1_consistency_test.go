@@ -1,0 +1,68 @@
+package measure_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crosslayer/internal/measure"
+)
+
+// TestTable1DemoNamesExist pins the "every Impact is demonstrated
+// live" claim: each Table1Row.DemoName must name a test function that
+// actually exists in internal/apps (parsed from source, so a renamed
+// or deleted demo fails here), or an example program directory for
+// the rows demonstrated by examples/.
+func TestTable1DemoNamesExist(t *testing.T) {
+	appsTests := testFuncNames(t, filepath.Join("..", "apps"))
+	for _, row := range measure.Table1Rows() {
+		demo := row.DemoName
+		switch {
+		case demo == "":
+			t.Errorf("row %s/%s has no demo", row.Category, row.Protocol)
+		case strings.HasPrefix(demo, "Test"):
+			if !appsTests[demo] {
+				t.Errorf("row %s/%s names demo %q, but internal/apps has no such test function",
+					row.Category, row.Protocol, demo)
+			}
+		default:
+			// Example-program demos are repo-relative paths.
+			if fi, err := os.Stat(filepath.Join("..", "..", demo)); err != nil || !fi.IsDir() {
+				t.Errorf("row %s/%s names demo %q, but no such example directory exists",
+					row.Category, row.Protocol, demo)
+			}
+		}
+	}
+}
+
+// testFuncNames parses every _test.go file in dir and returns the set
+// of declared Test* function names.
+func testFuncNames(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", dir, err)
+	}
+	names := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil &&
+					strings.HasPrefix(fd.Name.Name, "Test") {
+					names[fd.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("no test functions found under %s — wrong directory?", dir)
+	}
+	return names
+}

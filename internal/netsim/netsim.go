@@ -61,9 +61,13 @@ type ASInfo struct {
 
 // TraceEvent describes one packet delivery.
 type TraceEvent struct {
-	At        time.Duration
-	From, To  netip.Addr
-	Proto     uint8
+	At       time.Duration
+	From, To netip.Addr
+	Proto    uint8
+	// Size is the transport payload length in bytes (the IP payload:
+	// UDP/TCP header plus data) — enough for trace consumers to tell
+	// tiny side-channel probes from full DNS responses.
+	Size      int
 	Info      string
 	Intercept bool
 }
@@ -156,7 +160,7 @@ func (n *Network) deliver(origin bgp.ASN, ip *packet.IPv4) {
 	if dst != nil && dst.ASN == origin {
 		n.Delivered++
 		if n.Trace != nil {
-			n.Trace(TraceEvent{At: n.Clock.Now(), From: ip.Src, To: ip.Dst, Proto: ip.Protocol})
+			n.Trace(TraceEvent{At: n.Clock.Now(), From: ip.Src, To: ip.Dst, Proto: ip.Protocol, Size: len(ip.Payload)})
 		}
 		dst.receive(ip)
 		return
@@ -166,7 +170,7 @@ func (n *Network) deliver(origin bgp.ASN, ip *packet.IPv4) {
 	if info := n.asInfo[origin]; info != nil && info.Interceptor != nil {
 		n.Delivered++
 		if n.Trace != nil {
-			n.Trace(TraceEvent{At: n.Clock.Now(), From: ip.Src, To: ip.Dst, Proto: ip.Protocol, Intercept: true})
+			n.Trace(TraceEvent{At: n.Clock.Now(), From: ip.Src, To: ip.Dst, Proto: ip.Protocol, Size: len(ip.Payload), Intercept: true})
 		}
 		info.Interceptor(ip)
 		return

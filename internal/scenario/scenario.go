@@ -54,6 +54,19 @@ type Config struct {
 	SignVictimZone bool
 	// OpenResolver makes the victim resolver answer external clients.
 	OpenResolver bool
+
+	// Defense knobs (the campaign matrix's defense dimension). Each
+	// overrides the corresponding Profile behaviour, so a defense can
+	// be switched on for any implementation profile without editing the
+	// profile itself.
+
+	// Force0x20 makes the resolver 0x20-encode query names and require
+	// the response to echo the exact case.
+	Force0x20 bool
+	// ValidateDNSSEC makes the resolver reject answers without a valid
+	// RRSIG for zones it knows to be signed; pair with SignVictimZone
+	// for the victim zone to be protected.
+	ValidateDNSSEC bool
 }
 
 // S is an assembled scenario.
@@ -81,6 +94,12 @@ type S struct {
 func New(cfg Config) *S {
 	if cfg.Profile.Name == "" {
 		cfg.Profile = resolver.ProfileBIND
+	}
+	if cfg.Force0x20 {
+		cfg.Profile.Use0x20 = true
+	}
+	if cfg.ValidateDNSSEC {
+		cfg.Profile.ValidateDNSSEC = true
 	}
 	if cfg.ServerCfg == (dnssrv.Config{}) {
 		cfg.ServerCfg = dnssrv.DefaultConfig()

@@ -123,3 +123,27 @@ func TestScenarioDeterminism(t *testing.T) {
 		t.Fatalf("same seed diverged: %d/%d vs %d/%d", d1, q1, d2, q2)
 	}
 }
+
+// TestDefenseKnobOverrides pins the campaign defense knobs: Force0x20
+// and ValidateDNSSEC override the selected profile without editing it.
+func TestDefenseKnobOverrides(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 90, Profile: resolver.ProfileBIND,
+		Force0x20: true, ValidateDNSSEC: true, SignVictimZone: true})
+	if !s.Resolver.Prof.Use0x20 {
+		t.Fatal("Force0x20 did not reach the resolver profile")
+	}
+	if !s.Resolver.Prof.ValidateDNSSEC {
+		t.Fatal("ValidateDNSSEC did not reach the resolver profile")
+	}
+	if resolver.ProfileBIND.Use0x20 || resolver.ProfileBIND.ValidateDNSSEC {
+		t.Fatal("knobs mutated the shared profile value")
+	}
+	// A validating resolver must still resolve the genuine signed zone.
+	var rrs []*dnswire.RR
+	var err error
+	s.Resolver.Lookup("www.vict.im.", dnswire.TypeA, func(r []*dnswire.RR, e error) { rrs, err = r, e })
+	s.Run()
+	if err != nil || len(rrs) == 0 {
+		t.Fatalf("signed-zone lookup under both defenses: rrs=%d err=%v", len(rrs), err)
+	}
+}
