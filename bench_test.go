@@ -26,7 +26,6 @@ import (
 	"crosslayer/internal/ipfrag"
 	"crosslayer/internal/measure"
 	"crosslayer/internal/packet"
-	"crosslayer/internal/resolver"
 	"crosslayer/internal/scenario"
 	"crosslayer/internal/sim"
 )
@@ -146,19 +145,43 @@ func BenchmarkTable6Comparison(b *testing.B) {
 
 // BenchmarkCampaign measures one representative campaign slice per
 // iteration: every method and defense against the web victim on the
-// BIND profile (15 cells, one trial each) — the cost profile of the
-// matrix's dominant cell kinds without the full 750-cell sweep.
+// BIND profile over the direct path (15 cells, one trial each) — the
+// cost profile of the matrix's dominant cell kinds without the full
+// cross-product sweep.
 func BenchmarkCampaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := campaign.Run(campaign.Config{
-			Exec:   measure.Config{Seed: int64(i)},
-			Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"}},
+			Exec: measure.Config{Seed: int64(i)},
+			Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"},
+				ChainDepths: []string{"0"}, Placements: []string{"stub"}},
 			Trials: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(res) != 15 {
+			b.Fatalf("%d cells", len(res))
+		}
+	}
+}
+
+// BenchmarkCampaignChain measures the forwarder-chain cell kinds:
+// every method at every chain depth from both placements against the
+// undefended web victim on BIND (24 cells, one trial each) — the cost
+// the two new axes add per cell, including chain construction and
+// weakest-hop scans.
+func BenchmarkCampaignChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(campaign.Config{
+			Exec: measure.Config{Seed: int64(i)},
+			Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"},
+				Defenses: []string{"none"}},
+			Trials: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 24 {
 			b.Fatalf("%d cells", len(res))
 		}
 	}
@@ -367,8 +390,6 @@ func BenchmarkResolverCacheHit(b *testing.B) {
 	if !done {
 		b.Fatal("priming failed")
 	}
-	var prof resolver.Profile
-	_ = prof
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

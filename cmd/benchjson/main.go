@@ -1,0 +1,86 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout mapping each benchmark to its ns/op — the
+// machine-readable perf record CI uploads as BENCH_ci.json so the
+// repository accumulates a benchmark trajectory across commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=1x ./... | benchjson > BENCH_ci.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line, e.g.
+//
+//	BenchmarkCampaign-8   1   123456789 ns/op   512 B/op   7 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// Result is one parsed benchmark measurement.
+type Result struct {
+	// Name is the benchmark with its GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the b.N the measurement ran.
+	Iterations int `json:"iterations"`
+	// NsPerOp is the reported nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Parse extracts benchmark results from go-test bench output.
+func Parse(r *bufio.Scanner) ([]Result, error) {
+	var out []Result
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(r.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", r.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", r.Text(), err)
+		}
+		out = append(out, Result{Name: stripProcs(m[1]), Iterations: iters, NsPerOp: ns})
+	}
+	return out, r.Err()
+}
+
+// stripProcs drops the -N GOMAXPROCS suffix so records compare across
+// machines.
+func stripProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results, err := Parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

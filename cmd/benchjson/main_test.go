@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: crosslayer
+BenchmarkTable1Applications-8        	       1	   1234567 ns/op
+BenchmarkCampaign-8                  	       1	998877665 ns/op	  512 B/op	       7 allocs/op
+BenchmarkTable3Parallel/serial-16    	       2	 42000000.5 ns/op
+PASS
+ok  	crosslayer	2.345s
+`
+	got, err := Parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Result{
+		{Name: "BenchmarkTable1Applications", Iterations: 1, NsPerOp: 1234567},
+		{Name: "BenchmarkCampaign", Iterations: 1, NsPerOp: 998877665},
+		{Name: "BenchmarkTable3Parallel/serial", Iterations: 2, NsPerOp: 42000000.5},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseIgnoresNonBenchLines(t *testing.T) {
+	got, err := Parse(bufio.NewScanner(strings.NewReader("PASS\nok x 1s\n--- FAIL: TestY\n")))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":        "BenchmarkX",
+		"BenchmarkX-16":       "BenchmarkX",
+		"BenchmarkX":          "BenchmarkX",
+		"BenchmarkX/sub-4":    "BenchmarkX/sub",
+		"BenchmarkX/n-1000-8": "BenchmarkX/n-1000",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -17,12 +17,15 @@
 //	          [-n sampleCap] [-seed N] [-parallel workers]
 //	          [-shard-size items] [-quiet]
 //	          [-methods m,...] [-victims v,...] [-profiles p,...]
-//	          [-defenses d,...] [-trials N]
+//	          [-defenses d,...] [-chain-depths n,...] [-placement p,...]
+//	          [-trials N]
 //
 // Campaign filters take registry keys (empty means the full axis):
 // methods hijack,saddns,frag; victims radius,xmpp,smtp,web,ntp,
 // bitcoin,vpn,pki,ocsp,cdn; profiles bind,unbound,powerdns,systemd,
-// dnsmasq; defenses none,dnssec,0x20,no-rrl,shuffle.
+// dnsmasq; defenses none,dnssec,0x20,no-rrl,shuffle; chain-depths
+// 0,1,2,3 (forwarder hops between client and resolver); placement
+// stub,carrier (where the attacker operates from).
 package main
 
 import (
@@ -46,6 +49,8 @@ func main() {
 	victims := flag.String("victims", "", "campaign: comma-separated victim keys (empty = all)")
 	profiles := flag.String("profiles", "", "campaign: comma-separated resolver profile keys (empty = all)")
 	defenses := flag.String("defenses", "", "campaign: comma-separated defense keys (empty = all)")
+	chainDepths := flag.String("chain-depths", "", "campaign: comma-separated forwarder-chain depths 0-3 (empty = all)")
+	placement := flag.String("placement", "", "campaign: comma-separated attacker placements stub,carrier (empty = all)")
 	trials := flag.Int("trials", 0, "campaign: attack trials per cell; 0 = default (3)")
 	flag.Parse()
 
@@ -90,10 +95,12 @@ func main() {
 				Exec:   cfg("campaign"),
 				Trials: *trials,
 				Filter: campaign.Filter{
-					Methods:  splitKeys(*methods),
-					Victims:  splitKeys(*victims),
-					Profiles: splitKeys(*profiles),
-					Defenses: splitKeys(*defenses),
+					Methods:     splitKeys(*methods),
+					Victims:     splitKeys(*victims),
+					Profiles:    splitKeys(*profiles),
+					Defenses:    splitKeys(*defenses),
+					ChainDepths: splitKeys(*chainDepths),
+					Placements:  splitKeys(*placement),
 				},
 			}
 			res, err := campaign.Run(ccfg)
@@ -103,6 +110,7 @@ func main() {
 			}
 			fmt.Println(campaign.Matrix(res))
 			fmt.Println(campaign.Summary(res))
+			fmt.Println(campaign.DepthTable(res))
 		},
 		"fig1": func() {
 			fmt.Println("Figure 1 is the SadDNS message sequence; run:  go run ./examples/saddns")
@@ -132,6 +140,7 @@ func main() {
 			fmt.Printf("recursive resolvers reachable via an open forwarder: %.0f%% (paper: 79%%)\n", reach*100)
 			fmt.Printf("open resolvers with cross-application shared caches:  %.0f%% (paper: 69%%)\n", shared*100)
 			fmt.Printf("dynamic end-to-end forwarder trigger check: %v\n", measure.VerifyForwarderPath(*seed))
+			fmt.Printf("dynamic depth-3 forwarder chain check:      %v\n", measure.VerifyForwarderChain(*seed, 3))
 		},
 	}
 

@@ -180,8 +180,9 @@ type ExperimentConfig = measure.Config
 type ExperimentProgress = measure.ProgressEvent
 
 // CampaignConfig controls a campaign sweep: the execution knobs (its
-// Exec field is an ExperimentConfig), the method/app/profile/defense
-// filters, and the per-cell trial count. See Experiments.Campaign.
+// Exec field is an ExperimentConfig), the method/app/profile/defense/
+// chain-depth/placement filters, and the per-cell trial count. See
+// Experiments.Campaign.
 type CampaignConfig = campaign.Config
 
 // CampaignFilter restricts a campaign sweep to the named registry
@@ -200,11 +201,12 @@ var Experiments = struct {
 	Figure3 func(cfg ExperimentConfig) string
 	Figure4 func(cfg ExperimentConfig) string
 	Figure5 func(cfg ExperimentConfig) string
-	// Campaign executes the method × victim × profile × defense
-	// cross-product (optionally filtered) and returns the rendered
-	// matrix plus the raw cells; render an aggregate with
-	// CampaignSummary. Output is byte-identical for any Parallelism,
-	// and filtered sweeps reproduce the full sweep's cells exactly.
+	// Campaign executes the method × victim × profile × defense ×
+	// chain-depth × placement cross-product (optionally filtered) and
+	// returns the rendered matrix plus the raw cells; render aggregates
+	// with CampaignSummary and CampaignDepthTable. Output is
+	// byte-identical for any Parallelism, and filtered sweeps reproduce
+	// the full sweep's cells exactly.
 	Campaign func(cfg CampaignConfig) (TableResult, []CampaignCell, error)
 }{
 	Table3: func(cfg ExperimentConfig) (TableResult, []measure.ResolverScanResult) {
@@ -234,6 +236,11 @@ var Experiments = struct {
 // CampaignSummary renders the method × defense poisoning-rate
 // aggregate of a campaign run's cells.
 func CampaignSummary(cells []CampaignCell) TableResult { return campaign.Summary(cells) }
+
+// CampaignDepthTable renders the method × placement × chain-depth
+// poisoning-rate aggregate of a campaign run's cells — the §4.3
+// depth-vs-success view.
+func CampaignDepthTable(cells []CampaignCell) TableResult { return campaign.DepthTable(cells) }
 
 // TableResult is a rendered experiment table.
 type TableResult interface{ String() string }

@@ -104,7 +104,8 @@ func TestExperimentsFacadeCampaign(t *testing.T) {
 		Exec: crosslayer.ExperimentConfig{Seed: 5},
 		Filter: crosslayer.CampaignFilter{
 			Methods: []string{"hijack"}, Victims: []string{"web", "vpn"},
-			Profiles: []string{"bind"},
+			Profiles: []string{"bind"}, ChainDepths: []string{"0", "1"},
+			Placements: []string{"stub"},
 		},
 		Trials: 2,
 	}
@@ -112,7 +113,7 @@ func TestExperimentsFacadeCampaign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cells) != 10 { // 1 method × 2 victims × 1 profile × 5 defenses
+	if len(cells) != 20 { // 1 method × 2 victims × 1 profile × 5 defenses × 2 depths × 1 placement
 		t.Fatalf("campaign facade: %d cells", len(cells))
 	}
 	if tbl.String() == "" || crosslayer.CampaignSummary(cells).String() == "" {

@@ -1,8 +1,9 @@
 package crosslayer_test
 
 // Golden-artifact regression suite: every rendered artifact — Tables
-// 1–6, Figures 3–5, and the campaign matrix — is pinned byte-for-byte
-// against testdata/golden/*.txt at one small fixed execution config
+// 1–6, Figures 3–5, the campaign matrix, and the forwarder-chain
+// matrix with its depth table — is pinned byte-for-byte against
+// testdata/golden/*.txt at one small fixed execution config
 // (ExperimentConfig{SampleCap: 50, Seed: 1}). Any refactor that
 // changes a single rendered byte fails here first.
 //
@@ -33,24 +34,46 @@ func goldenConfig() measure.Config { return measure.Config{SampleCap: 50, Seed: 
 // goldenCampaignConfig is the campaign slice pinned by the suite: all
 // methods and defenses against a representative victim × profile
 // corner (dnsmasq included because its small EDNS buffer flips the
-// FragDNS column). The slice keeps the suite fast; identity-derived
-// cell seeds guarantee these cells render identically inside any
-// larger sweep.
+// FragDNS column), on the direct path (depth 0, stub attacker). The
+// slice keeps the suite fast; identity-derived cell seeds guarantee
+// these cells render identically inside any larger sweep.
 func goldenCampaignConfig() campaign.Config {
 	return campaign.Config{
 		Exec: goldenConfig(),
 		Filter: campaign.Filter{
-			Victims:  []string{"web", "smtp"},
-			Profiles: []string{"bind", "dnsmasq"},
+			Victims:     []string{"web", "smtp"},
+			Profiles:    []string{"bind", "dnsmasq"},
+			ChainDepths: []string{"0"},
+			Placements:  []string{"stub"},
 		},
 		Trials: 2,
 	}
 }
 
-// goldenCampaign runs the pinned sweep once; the matrix and summary
-// artifacts render from the same cells.
+// goldenChainConfig is the forwarder-chain slice: every method at
+// every chain depth from both attacker placements, against one victim
+// × profile corner, undefended and 0x20-hardened (the defense the
+// chain axis bypasses — the §4.3 story the depth table renders).
+func goldenChainConfig() campaign.Config {
+	return campaign.Config{
+		Exec: goldenConfig(),
+		Filter: campaign.Filter{
+			Victims:  []string{"web"},
+			Profiles: []string{"bind"},
+			Defenses: []string{"none", "0x20"},
+		},
+		Trials: 2,
+	}
+}
+
+// goldenCampaign / goldenChain run each pinned sweep once; matrix,
+// summary and depth-table artifacts render from the same cells.
 var goldenCampaign = sync.OnceValues(func() ([]campaign.CellResult, error) {
 	return campaign.Run(goldenCampaignConfig())
+})
+
+var goldenChain = sync.OnceValues(func() ([]campaign.CellResult, error) {
+	return campaign.Run(goldenChainConfig())
 })
 
 func TestGoldenArtifacts(t *testing.T) {
@@ -101,6 +124,20 @@ func TestGoldenArtifacts(t *testing.T) {
 				t.Fatal(err)
 			}
 			return campaign.Summary(res).String()
+		}},
+		{"campaign_chain", func(t *testing.T) string {
+			res, err := goldenChain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return campaign.Matrix(res).String()
+		}},
+		{"campaign_depth", func(t *testing.T) string {
+			res, err := goldenChain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return campaign.DepthTable(res).String()
 		}},
 	}
 	for _, a := range artifacts {

@@ -54,8 +54,7 @@ func TestSPFDowngradeViaPoisonedTXT(t *testing.T) {
 
 	// Normal: mail claiming to be from vict.im but sent from the
 	// attacker IP fails SPF (policy allows only 123.0.0.0/22).
-	var out apps.Outcome
-	ms.Deliver(apps.Mail{From: "ceo@vict.im", To: "bob@victim-net.example.", Body: "wire money", SenderIP: scenario.AttackerIP}, func(o apps.Outcome) { out = o })
+	ms.Deliver(apps.Mail{From: "ceo@vict.im", To: "bob@victim-net.example.", Body: "wire money", SenderIP: scenario.AttackerIP}, nil)
 	s.Run()
 	if len(ms.Spam) != 1 || len(ms.Inbox) != 0 {
 		t.Fatalf("SPF did not reject spoofed mail: spam=%d inbox=%d", len(ms.Spam), len(ms.Inbox))
@@ -63,12 +62,11 @@ func TestSPFDowngradeViaPoisonedTXT(t *testing.T) {
 
 	// Attack 1: poison the SPF TXT with an attacker-friendly policy.
 	poison(s, "vict.im.", dnswire.TypeTXT, dnswire.NewTXT("vict.im.", 300, "v=spf1 ip4:6.6.6.0/24 -all"))
-	ms.Deliver(apps.Mail{From: "ceo@vict.im", To: "bob@victim-net.example.", Body: "wire money v2", SenderIP: scenario.AttackerIP}, func(o apps.Outcome) { out = o })
+	ms.Deliver(apps.Mail{From: "ceo@vict.im", To: "bob@victim-net.example.", Body: "wire money v2", SenderIP: scenario.AttackerIP}, nil)
 	s.Run()
 	if len(ms.Inbox) != 1 {
 		t.Fatalf("poisoned SPF should let phishing through: inbox=%d", len(ms.Inbox))
 	}
-	_ = out
 }
 
 func TestSPFFailOpenWhenLookupBlocked(t *testing.T) {

@@ -34,7 +34,10 @@ type Victim struct {
 	// Deploy installs the genuine and adversarial application
 	// endpoints into the scenario and returns the exercise function:
 	// calling it performs one application transaction (draining the
-	// scenario's event queue) and classifies what happened.
+	// scenario's event queue) and classifies what happened. Clients
+	// resolve through s.DNSAddr(), so a configured forwarder chain
+	// carries the application's DNS traffic like the paper's §4.3
+	// victims.
 	Deploy func(s *scenario.S) func() Outcome
 }
 
@@ -48,7 +51,7 @@ func Victims() []Victim {
 			Deploy: func(s *scenario.S) func() Outcome {
 				NewFederationServer(s.WWWHost, Identity{Subject: "www.vict.im.", Issuer: TrustedCA})
 				NewFederationServer(s.Attacker, SelfSigned("www.vict.im."))
-				rc := &RadiusClient{Host: s.ServiceHost, ResolverAddr: scenario.ResolverIP}
+				rc := &RadiusClient{Host: s.ServiceHost, ResolverAddr: s.DNSAddr()}
 				return func() Outcome {
 					out := OutcomeDoS
 					rc.Authenticate("student@vict.im", func(o Outcome) { out = o })
@@ -64,7 +67,7 @@ func Victims() []Victim {
 			Deploy: func(s *scenario.S) func() Outcome {
 				NewFederationServer(s.WWWHost, Identity{Subject: "www.vict.im.", Issuer: TrustedCA})
 				evil := NewFederationServer(s.Attacker, SelfSigned("www.vict.im."))
-				xp := &XMPPServerPeer{Host: s.ServiceHost, ResolverAddr: scenario.ResolverIP}
+				xp := &XMPPServerPeer{Host: s.ServiceHost, ResolverAddr: s.DNSAddr()}
 				return func() Outcome {
 					out := OutcomeDoS
 					var at netip.Addr
@@ -82,7 +85,7 @@ func Victims() []Victim {
 			DemoName: "TestSMTPBounceStealsMailViaPoisonedMX", QName: "mail.vict.im.",
 			AttackOutcome: OutcomeHijack,
 			Deploy: func(s *scenario.S) func() Outcome {
-				ms := NewMailServer(s.ServiceHost, scenario.ResolverIP, "victim-net.example.")
+				ms := NewMailServer(s.ServiceHost, s.DNSAddr(), "victim-net.example.")
 				NewMailSink(s.MailHost)
 				sink := NewMailSink(s.Attacker)
 				return func() Outcome {
@@ -110,7 +113,7 @@ func Victims() []Victim {
 			Deploy: func(s *scenario.S) func() Outcome {
 				NewWebServer(s.WWWHost, Identity{Subject: "www.vict.im.", Issuer: TrustedCA}).Pages["/"] = "genuine"
 				NewWebServer(s.Attacker, SelfSigned("www.vict.im.")).Pages["/"] = "evil"
-				wc := &WebClient{Host: s.ClientHost, ResolverAddr: scenario.ResolverIP}
+				wc := &WebClient{Host: s.ClientHost, ResolverAddr: s.DNSAddr()}
 				return func() Outcome {
 					var res FetchResult
 					wc.Get("www.vict.im.", "/", func(r FetchResult) { res = r })
@@ -133,7 +136,7 @@ func Victims() []Victim {
 			Deploy: func(s *scenario.S) func() Outcome {
 				NewNTPServer(s.WWWHost, 0)
 				NewNTPServer(s.Attacker, 10*365*24*time.Hour)
-				c := NewNTPClient(s.ClientHost, scenario.ResolverIP, "ntp.vict.im.")
+				c := NewNTPClient(s.ClientHost, s.DNSAddr(), "ntp.vict.im.")
 				return func() Outcome {
 					out := OutcomeDoS
 					c.SyncOnce(func(o Outcome) { out = o })
@@ -152,7 +155,7 @@ func Victims() []Victim {
 				return func() Outcome {
 					// A node restart bootstraps from the DNS seed; an
 					// eclipsed node adopts the attacker's fake chain.
-					bc := &BitcoinClient{Host: s.ClientHost, ResolverAddr: scenario.ResolverIP, SeedName: "seed.vict.im."}
+					bc := &BitcoinClient{Host: s.ClientHost, ResolverAddr: s.DNSAddr(), SeedName: "seed.vict.im."}
 					out := OutcomeDoS
 					bc.Bootstrap(func(o Outcome) { out = o })
 					s.Run()
@@ -170,7 +173,7 @@ func Victims() []Victim {
 			Deploy: func(s *scenario.S) func() Outcome {
 				NewVPNServer(s.WWWHost, Identity{Subject: "vpn.vict.im.", Issuer: TrustedCA})
 				NewVPNServer(s.Attacker, SelfSigned("vpn.vict.im."))
-				vc := &VPNClient{Host: s.ClientHost, ResolverAddr: scenario.ResolverIP, Gateway: "vpn.vict.im."}
+				vc := &VPNClient{Host: s.ClientHost, ResolverAddr: s.DNSAddr(), Gateway: "vpn.vict.im."}
 				return func() Outcome {
 					out := OutcomeDoS
 					vc.Connect(func(o Outcome) { out = o })
@@ -187,17 +190,15 @@ func Victims() []Victim {
 				NewWebServer(s.WWWHost, Identity{Subject: "www.vict.im.", Issuer: TrustedCA})
 				evil := NewWebServer(s.Attacker, SelfSigned("attacker"))
 				evil.Pages["/.well-known/acme"] = "token-ATTACK"
-				ca := &CertificateAuthority{Host: s.ServiceHost, ResolverAddr: scenario.ResolverIP}
+				ca := &CertificateAuthority{Host: s.ServiceHost, ResolverAddr: s.DNSAddr()}
 				return func() Outcome {
 					// The attacker requests a certificate for the victim
 					// domain; issuance means the DV check validated
 					// against the attacker's host — a fraudulent cert.
-					var issueErr error
 					issued := false
 					ca.RequestCertificate("www.vict.im.", "token-ATTACK",
-						func(_ Identity, err error) { issued, issueErr = err == nil, err })
+						func(_ Identity, err error) { issued = err == nil })
 					s.Run()
-					_ = issueErr
 					if issued {
 						return OutcomeHijack
 					}
@@ -212,7 +213,7 @@ func Victims() []Victim {
 			Deploy: func(s *scenario.S) func() Outcome {
 				responder := NewOCSPResponder(s.WWWHost)
 				responder.Revoked["compromised.vict.im."] = true
-				oc := &OCSPClient{Host: s.ClientHost, ResolverAddr: scenario.ResolverIP, ResponderName: "ocsp.vict.im."}
+				oc := &OCSPClient{Host: s.ClientHost, ResolverAddr: s.DNSAddr(), ResponderName: "ocsp.vict.im."}
 				revoked := Identity{Subject: "compromised.vict.im.", Issuer: TrustedCA}
 				return func() Outcome {
 					accept, out := false, OutcomeDoS
@@ -236,7 +237,7 @@ func Victims() []Victim {
 				NewWebServer(s.WWWHost, Identity{Subject: "www.vict.im.", Issuer: TrustedCA}).Pages["/"] = "backend"
 				NewWebServer(s.Attacker, SelfSigned("cdn")).Pages["/"] = "evil-backend"
 				prof := Table2Profiles()[6] // AWS CDN: on-demand trigger
-				mb := NewMiddlebox(s.ServiceHost, scenario.ResolverIP, prof, "www.vict.im.")
+				mb := NewMiddlebox(s.ServiceHost, s.DNSAddr(), prof, "www.vict.im.")
 				return func() Outcome {
 					var res FetchResult
 					mb.HandleClientRequest("/", func(r FetchResult) { res = r })

@@ -304,7 +304,6 @@ func (t *Topology) Propagate(anns []Announcement, roaView ROAView) map[ASN]Route
 	}
 
 	// Phase 2: ASes with origin/customer routes export to peers.
-	var peerGain []ASN
 	for asn := range has {
 		r := best[asn]
 		if r.Kind != KindOrigin && r.Kind != KindCustomer {
@@ -312,9 +311,7 @@ func (t *Topology) Propagate(anns []Announcement, roaView ROAView) map[ASN]Route
 		}
 		for _, p := range t.ases[asn].peers {
 			nr := Route{Origin: r.Origin, NextHop: asn, Kind: KindPeer, PathLen: r.PathLen + 1}
-			if consider(cand{p, nr, annOf(r.Origin)}) {
-				peerGain = append(peerGain, p)
-			}
+			consider(cand{p, nr, annOf(r.Origin)})
 		}
 	}
 
@@ -324,7 +321,6 @@ func (t *Topology) Propagate(anns []Announcement, roaView ROAView) map[ASN]Route
 		queue = append(queue, asn)
 	}
 	sort.Slice(queue, func(i, j int) bool { return best[queue[i]].PathLen < best[queue[j]].PathLen })
-	_ = peerGain
 	for len(queue) > 0 {
 		var next []ASN
 		for _, asn := range queue {

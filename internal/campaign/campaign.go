@@ -1,9 +1,10 @@
 // Package campaign sweeps the full attack space the paper only
 // samples: every §3 methodology against every Table 1 application
 // victim, under every Table 5 resolver implementation profile, for
-// every defense configuration — a method × victim × profile × defense
-// cross-product executed as independent simulation cells on the
-// sharded experiment engine.
+// every defense configuration, at every forwarder-chain depth, from
+// both attacker placements — a method × victim × profile × defense ×
+// chain-depth × placement cross-product executed as independent
+// simulation cells on the sharded experiment engine.
 //
 // The paper demonstrates each victim against one hand-picked method
 // (Table 1) and compares the methods on one canonical scenario
@@ -95,16 +96,23 @@ func Methods() []Method {
 			New: func(s *scenario.S, qname string) core.Attack {
 				s.ResolverHost.Cfg.PortMin = 32768
 				s.ResolverHost.Cfg.PortMax = 32768 + sadPortRange - 1
+				// Target the chain's weakest hop: a forwarder's tiny
+				// ephemeral range beats the resolver's, and injecting
+				// there bypasses every resolver-side defense. The
+				// nameserver stays the mute target either way — with it
+				// silenced the whole chain keeps its sockets open.
+				target := core.WeakestPortHop(chainHops(s))
 				return &core.SadDNS{
 					Attacker:     s.Attacker,
-					ResolverAddr: scenario.ResolverIP,
+					ResolverAddr: target.Addr,
 					NSAddr:       scenario.NSIP,
+					SpoofSource:  target.Upstream,
 					Spoof: core.Spoof{QName: qname, QType: dnswire.TypeA,
 						Records: []*dnswire.RR{dnswire.NewA(qname, 300, scenario.AttackerIP)}},
-					PortMin: 32768, PortMax: 32768 + sadPortRange - 1,
+					PortMin: target.Host.Cfg.PortMin, PortMax: target.Host.Cfg.PortMax,
 					MuteQPS:       2 * s.NS.Cfg.RateLimitQPS,
 					MaxIterations: sadMaxIterations,
-					CheckSuccess:  func() bool { return s.Poisoned(qname, dnswire.TypeA) },
+					CheckSuccess:  func() bool { return s.ChainPoisoned(qname, dnswire.TypeA) },
 				}
 			},
 		},
@@ -114,10 +122,15 @@ func Methods() []Method {
 				cfg.ServerCfg.PadAnswersTo = 1200
 			},
 			New: func(s *scenario.S, qname string) core.Attack {
+				// Fragmentation only pays at the hop whose upstream emits
+				// padded authoritative responses — the recursive resolver
+				// (core.FragmentationHop); the poisoned record still
+				// floods every per-hop cache on the way back down.
+				target := core.FragmentationHop(chainHops(s))
 				return &core.FragDNS{
 					Attacker:     s.Attacker,
-					ResolverAddr: scenario.ResolverIP,
-					NSAddr:       scenario.NSIP,
+					ResolverAddr: target.Addr,
+					NSAddr:       target.Upstream,
 					QName:        qname, QType: dnswire.TypeA,
 					SpoofAddr:    scenario.AttackerIP,
 					ForcedMTU:    68,
@@ -125,11 +138,22 @@ func Methods() []Method {
 					ResolverDO:   s.Resolver.Prof.ValidateDNSSEC,
 					PredictIPID:  true, IPIDGuesses: fragIPIDGuesses,
 					MaxIterations: fragMaxIterations,
-					CheckSuccess:  func() bool { return s.Poisoned(qname, dnswire.TypeA) },
+					CheckSuccess:  func() bool { return s.ChainPoisoned(qname, dnswire.TypeA) },
 				}
 			},
 		},
 	}
+}
+
+// chainHops converts the scenario's resolution chain into the attack
+// layer's hop model.
+func chainHops(s *scenario.S) []core.Hop {
+	sh := s.Hops()
+	hops := make([]core.Hop, len(sh))
+	for i, h := range sh {
+		hops[i] = core.Hop{Host: h.Host, Addr: h.Addr, Upstream: h.Upstream, Last: i == len(sh)-1}
+	}
+	return hops
 }
 
 // Defense is one registered defense configuration, applied to the
@@ -178,13 +202,71 @@ func Profiles() []ProfileEntry {
 	}
 }
 
+// DepthEntry binds a filter key to a forwarder-chain configuration:
+// how many open forwarders the victim's queries ride through before
+// the recursive resolver, and each hop's behaviour. The canonical
+// chains model the §4.3 population: entry hops are bigger boxes
+// (larger port spans, name-match filtering), inner hops are embedded
+// CPE devices with tiny port spans and no filtering — the weakest-hop
+// candidates the attacks hunt for.
+type DepthEntry struct {
+	// Key is the stable identifier used in filters and seeds ("0".."3").
+	Key string
+	// Depth is the number of forwarder hops.
+	Depth int
+	// Chain is the per-hop specification handed to the scenario
+	// (Chain[0] is the entry hop the client queries).
+	Chain []scenario.ForwarderSpec
+}
+
+// ChainDepths returns the chain-depth registry: depth 0 (the client
+// queries the resolver directly — every pre-chain campaign cell) up to
+// depth 3.
+func ChainDepths() []DepthEntry {
+	return []DepthEntry{
+		{Key: "0", Depth: 0},
+		{Key: "1", Depth: 1, Chain: []scenario.ForwarderSpec{
+			{}, // one CPE hop: default tiny port span, no bailiwick filter
+		}},
+		{Key: "2", Depth: 2, Chain: []scenario.ForwarderSpec{
+			{PortSpan: 512, CheckBailiwick: true}, // entry: bigger box, filters
+			{},                                    // inner CPE: the weak hop
+		}},
+		{Key: "3", Depth: 3, Chain: []scenario.ForwarderSpec{
+			{PortSpan: 512, CheckBailiwick: true},
+			{TTLCap: 60}, // mid hop ages cached records out fast
+			{},
+		}},
+	}
+}
+
+// PlacementEntry binds a filter key to an attacker placement.
+type PlacementEntry struct {
+	Key       string
+	Name      string
+	Placement scenario.Placement
+}
+
+// Placements returns the attacker-placement registry: the stub-adjacent
+// default and the carrier-AS position (reusing the internal/bgp path
+// position: the carrier originates the attacker prefix from tier 2 and
+// reaches every target over backbone latency).
+func Placements() []PlacementEntry {
+	return []PlacementEntry{
+		{Key: "stub", Name: "stub-adjacent attacker", Placement: scenario.PlacementStub},
+		{Key: "carrier", Name: "carrier-AS attacker", Placement: scenario.PlacementCarrier},
+	}
+}
+
 // Filter restricts the cross-product to the named registry keys; an
 // empty dimension means "all". Keys are matched case-insensitively.
 type Filter struct {
-	Methods  []string
-	Victims  []string
-	Profiles []string
-	Defenses []string
+	Methods     []string
+	Victims     []string
+	Profiles    []string
+	Defenses    []string
+	ChainDepths []string
+	Placements  []string
 }
 
 // Config controls a campaign sweep.
@@ -208,23 +290,26 @@ const DefaultTrials = 3
 
 // Cell is one point of the cross-product.
 type Cell struct {
-	Method  Method
-	Victim  apps.Victim
-	Profile ProfileEntry
-	Defense Defense
+	Method    Method
+	Victim    apps.Victim
+	Profile   ProfileEntry
+	Defense   Defense
+	Depth     DepthEntry
+	Placement PlacementEntry
 }
 
 // Key returns the cell's stable identity
-// ("method/victim/profile/defense") — the string its seed derives
-// from.
+// ("method/victim/profile/defense/depth/placement") — the string its
+// seed derives from.
 func (c Cell) Key() string {
-	return c.Method.Key + "/" + c.Victim.Key + "/" + c.Profile.Key + "/" + c.Defense.Key
+	return c.Method.Key + "/" + c.Victim.Key + "/" + c.Profile.Key + "/" + c.Defense.Key +
+		"/" + c.Depth.Key + "/" + c.Placement.Key
 }
 
 // Cells plans the (filtered) cross-product in deterministic order:
-// methods, then victims, then profiles, then defenses, each in
-// registry order. Unknown filter keys are an error, not a silent
-// empty sweep.
+// methods, then victims, then profiles, then defenses, then chain
+// depths, then placements, each in registry order. Unknown filter keys
+// are an error, not a silent empty sweep.
 func Cells(f Filter) ([]Cell, error) {
 	methods, err := selected("method", Methods(), func(m Method) string { return m.Key }, f.Methods)
 	if err != nil {
@@ -242,12 +327,25 @@ func Cells(f Filter) ([]Cell, error) {
 	if err != nil {
 		return nil, err
 	}
+	depths, err := selected("chain-depth", ChainDepths(), func(d DepthEntry) string { return d.Key }, f.ChainDepths)
+	if err != nil {
+		return nil, err
+	}
+	placements, err := selected("placement", Placements(), func(p PlacementEntry) string { return p.Key }, f.Placements)
+	if err != nil {
+		return nil, err
+	}
 	var cells []Cell
 	for _, m := range methods {
 		for _, v := range victims {
 			for _, p := range profiles {
 				for _, d := range defenses {
-					cells = append(cells, Cell{Method: m, Victim: v, Profile: p, Defense: d})
+					for _, dep := range depths {
+						for _, pl := range placements {
+							cells = append(cells, Cell{Method: m, Victim: v, Profile: p,
+								Defense: d, Depth: dep, Placement: pl})
+						}
+					}
 				}
 			}
 		}

@@ -14,16 +14,20 @@ func TestCellPlanFullProductAndOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := len(campaign.Methods()) * len(apps.Victims()) * len(campaign.Profiles()) * len(campaign.Defenses())
+	want := len(campaign.Methods()) * len(apps.Victims()) * len(campaign.Profiles()) *
+		len(campaign.Defenses()) * len(campaign.ChainDepths()) * len(campaign.Placements())
 	if len(cells) != want {
 		t.Fatalf("full product has %d cells, want %d", len(cells), want)
 	}
-	// Deterministic order: defenses vary fastest, methods slowest.
-	if cells[0].Key() != "hijack/radius/bind/none" {
+	// Deterministic order: placements vary fastest, methods slowest.
+	if cells[0].Key() != "hijack/radius/bind/none/0/stub" {
 		t.Fatalf("first cell %q", cells[0].Key())
 	}
-	if cells[1].Defense.Key == cells[0].Defense.Key {
-		t.Fatal("defense dimension does not vary fastest")
+	if cells[1].Placement.Key == cells[0].Placement.Key {
+		t.Fatal("placement dimension does not vary fastest")
+	}
+	if cells[1].Depth.Key != cells[0].Depth.Key {
+		t.Fatal("chain depth must vary slower than placement")
 	}
 	seen := map[string]bool{}
 	for _, c := range cells {
@@ -39,6 +43,7 @@ func TestCellFilterSelectsAndRejects(t *testing.T) {
 	cells, err := campaign.Cells(campaign.Filter{
 		Methods: []string{"FRAG"}, Victims: []string{" web "},
 		Profiles: []string{"bind", "dnsmasq"}, Defenses: []string{"none"},
+		ChainDepths: []string{"0"}, Placements: []string{"stub"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +52,8 @@ func TestCellFilterSelectsAndRejects(t *testing.T) {
 		t.Fatalf("filtered plan has %d cells, want 2", len(cells))
 	}
 	for _, c := range cells {
-		if c.Method.Key != "frag" || c.Victim.Key != "web" || c.Defense.Key != "none" {
+		if c.Method.Key != "frag" || c.Victim.Key != "web" || c.Defense.Key != "none" ||
+			c.Depth.Key != "0" || c.Placement.Key != "stub" {
 			t.Fatalf("stray cell %q", c.Key())
 		}
 	}
@@ -56,6 +62,12 @@ func TestCellFilterSelectsAndRejects(t *testing.T) {
 	}
 	if _, err := campaign.Cells(campaign.Filter{Methods: []string{"hijack", "typo"}}); err == nil {
 		t.Fatal("unknown method key accepted")
+	}
+	if _, err := campaign.Cells(campaign.Filter{ChainDepths: []string{"9"}}); err == nil {
+		t.Fatal("unknown chain depth accepted")
+	}
+	if _, err := campaign.Cells(campaign.Filter{Placements: []string{"satellite"}}); err == nil {
+		t.Fatal("unknown placement accepted")
 	}
 }
 
@@ -67,9 +79,11 @@ func TestCampaignByteIdenticalAcrossParallelism(t *testing.T) {
 	base := campaign.Config{
 		Exec: measure.Config{Seed: 11, Parallelism: 1},
 		Filter: campaign.Filter{
-			Methods:  []string{"hijack", "frag"},
-			Victims:  []string{"web", "ocsp"},
-			Profiles: []string{"bind", "dnsmasq"},
+			Methods:     []string{"hijack", "frag"},
+			Victims:     []string{"web", "ocsp"},
+			Profiles:    []string{"bind", "dnsmasq"},
+			ChainDepths: []string{"1"},
+			Placements:  []string{"carrier"},
 		},
 		Trials: 2,
 	}
@@ -100,12 +114,15 @@ func TestCampaignByteIdenticalAcrossParallelism(t *testing.T) {
 // TestCampaignFilterStability pins the identity-seeding property: a
 // filtered sweep must reproduce exactly the numbers of a broader
 // sweep for the cells they share — filtering never renumbers, so it
-// never reseeds.
+// never reseeds. The chain-depth and placement axes are part of the
+// identity, so a depth/placement-filtered sweep reproduces full-sweep
+// cells the same way.
 func TestCampaignFilterStability(t *testing.T) {
 	broad, err := campaign.Run(campaign.Config{
 		Exec: measure.Config{Seed: 12},
-		Filter: campaign.Filter{Methods: []string{"hijack", "frag"},
-			Victims: []string{"web", "ntp"}, Profiles: []string{"bind"}},
+		Filter: campaign.Filter{Methods: []string{"hijack"},
+			Victims: []string{"web", "ntp"}, Profiles: []string{"bind"},
+			ChainDepths: []string{"0", "2"}},
 		Trials: 2,
 	})
 	if err != nil {
@@ -113,24 +130,28 @@ func TestCampaignFilterStability(t *testing.T) {
 	}
 	narrow, err := campaign.Run(campaign.Config{
 		Exec: measure.Config{Seed: 12},
-		Filter: campaign.Filter{Methods: []string{"frag"},
-			Victims: []string{"ntp"}, Profiles: []string{"bind"}, Defenses: []string{"none", "dnssec"}},
+		Filter: campaign.Filter{Methods: []string{"hijack"},
+			Victims: []string{"ntp"}, Profiles: []string{"bind"}, Defenses: []string{"none", "dnssec"},
+			ChainDepths: []string{"2"}, Placements: []string{"carrier"}},
 		Trials: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	cellKey := func(r campaign.CellResult) string {
+		return r.Method + "/" + r.Victim + "/" + r.Profile + "/" + r.Defense + "/" + r.Depth + "/" + r.Placement
+	}
 	byKey := map[string]campaign.CellResult{}
 	for _, r := range broad {
-		byKey[r.Method+"/"+r.Victim+"/"+r.Profile+"/"+r.Defense] = r
+		byKey[cellKey(r)] = r
 	}
 	for _, r := range narrow {
-		b, ok := byKey[r.Method+"/"+r.Victim+"/"+r.Profile+"/"+r.Defense]
+		b, ok := byKey[cellKey(r)]
 		if !ok {
-			t.Fatalf("narrow cell %s/%s/%s/%s missing from broad sweep", r.Method, r.Victim, r.Profile, r.Defense)
+			t.Fatalf("narrow cell %s missing from broad sweep", cellKey(r))
 		}
 		if !reflect.DeepEqual(r, b) {
-			t.Fatalf("filtering changed cell %s/%s/%s/%s:\n%+v\n%+v", r.Method, r.Victim, r.Profile, r.Defense, r, b)
+			t.Fatalf("filtering changed cell %s:\n%+v\n%+v", cellKey(r), r, b)
 		}
 	}
 }
@@ -140,8 +161,9 @@ func TestCampaignFilterStability(t *testing.T) {
 // says it stops.
 func TestCampaignDefenseStory(t *testing.T) {
 	res, err := campaign.Run(campaign.Config{
-		Exec:   measure.Config{Seed: 1},
-		Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"}},
+		Exec: measure.Config{Seed: 1},
+		Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"},
+			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
 		Trials: 2,
 	})
 	if err != nil {
@@ -183,7 +205,8 @@ func TestCampaignTrialsCappedBySampleCap(t *testing.T) {
 	res, err := campaign.Run(campaign.Config{
 		Exec: measure.Config{Seed: 3, SampleCap: 1},
 		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web"},
-			Profiles: []string{"bind"}, Defenses: []string{"none"}},
+			Profiles: []string{"bind"}, Defenses: []string{"none"},
+			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
 		Trials: 5,
 	})
 	if err != nil {
@@ -216,7 +239,8 @@ func TestCampaignProgressEvents(t *testing.T) {
 		Exec: measure.Config{Seed: 4, Parallelism: 1,
 			Progress: func(ev measure.ProgressEvent) { events = append(events, ev) }},
 		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web", "ntp"},
-			Profiles: []string{"bind"}, Defenses: []string{"none", "0x20"}},
+			Profiles: []string{"bind"}, Defenses: []string{"none", "0x20"},
+			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
 		Trials: 1,
 	})
 	if err != nil {
@@ -236,5 +260,81 @@ func TestCampaignProgressEvents(t *testing.T) {
 func TestCellFilterRejectsWhitespaceOnly(t *testing.T) {
 	if _, err := campaign.Cells(campaign.Filter{Victims: []string{" ", ""}}); err == nil {
 		t.Fatal("whitespace-only filter accepted")
+	}
+}
+
+// TestCampaignChainStory pins the §4.3 result the chain axis exists
+// for: resolver-side defenses protect the direct path (depth 0) but
+// not a forwarder chain — SadDNS retargets the weakest hop, whose
+// forwarder neither 0x20-encodes nor validates, and the per-hop cache
+// serves the injected record to the client.
+func TestCampaignChainStory(t *testing.T) {
+	res, err := campaign.Run(campaign.Config{
+		Exec: measure.Config{Seed: 7},
+		Filter: campaign.Filter{Methods: []string{"saddns"}, Victims: []string{"web"},
+			Profiles: []string{"bind"}, Defenses: []string{"none", "0x20", "dnssec"},
+			ChainDepths: []string{"0", "1"}, Placements: []string{"stub"}},
+		Trials: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := map[string]float64{}
+	for _, r := range res {
+		rate[r.Defense+"/"+r.Depth] = r.Poisoned.Frac()
+	}
+	if rate["none/0"] == 0 {
+		t.Error("saddns must poison the undefended direct path")
+	}
+	if rate["0x20/0"] > 0 || rate["dnssec/0"] > 0 {
+		t.Errorf("resolver-side defenses must stop saddns at depth 0: 0x20=%.0f%% dnssec=%.0f%%",
+			rate["0x20/0"]*100, rate["dnssec/0"]*100)
+	}
+	if rate["0x20/1"] == 0 || rate["dnssec/1"] == 0 {
+		t.Errorf("a forwarder chain must bypass resolver-side defenses: 0x20=%.0f%% dnssec=%.0f%%",
+			rate["0x20/1"]*100, rate["dnssec/1"]*100)
+	}
+	// Impact must ride along: the poisoned chain serves the client, so
+	// the application-level outcome tracks the chain ground truth.
+	for _, r := range res {
+		if r.Depth == "1" && r.Impact.Hits != r.Poisoned.Hits {
+			t.Errorf("depth-1 %s: impact %d != poisoned %d", r.Defense, r.Impact.Hits, r.Poisoned.Hits)
+		}
+	}
+}
+
+// TestCampaignChainDepthByteIdenticalAcrossParallelism is the
+// chain-axis acceptance contract: a sweep over every depth and both
+// placements renders byte-identical matrices — and depth tables — for
+// any worker count.
+func TestCampaignChainDepthByteIdenticalAcrossParallelism(t *testing.T) {
+	base := campaign.Config{
+		Exec: measure.Config{Seed: 21, Parallelism: 1},
+		Filter: campaign.Filter{Methods: []string{"saddns"}, Victims: []string{"web"},
+			Profiles: []string{"bind"}, Defenses: []string{"none", "0x20"}},
+		Trials: 2,
+	}
+	refRes, err := campaign.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refRes) != len(campaign.ChainDepths())*len(campaign.Placements())*2 {
+		t.Fatalf("unexpected cell count %d", len(refRes))
+	}
+	refMatrix := campaign.Matrix(refRes).String()
+	refDepth := campaign.DepthTable(refRes).String()
+	for _, p := range []int{3, 8} {
+		cfg := base
+		cfg.Exec.Parallelism = p
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := campaign.Matrix(res).String(); got != refMatrix {
+			t.Fatalf("parallelism %d changed chain matrix bytes:\n--- p=1\n%s\n--- p=%d\n%s", p, refMatrix, p, got)
+		}
+		if got := campaign.DepthTable(res).String(); got != refDepth {
+			t.Fatalf("parallelism %d changed depth table bytes", p)
+		}
 	}
 }

@@ -2,23 +2,24 @@ package campaign
 
 import (
 	"fmt"
+	"sort"
 
 	"crosslayer/internal/stats"
 )
 
 // Matrix renders the full per-cell success-rate/cost matrix: the
-// campaign's extension of Tables 1 and 6. Poisoned is the cache
+// campaign's extension of Tables 1 and 6. Poisoned is the chain cache
 // ground truth over the cell's trials, Impact the application-level
 // outcome check, and the cost columns are per-trial percentiles of
 // attack rounds, attacker packets and virtual attack time.
 func Matrix(results []CellResult) *stats.Table {
 	tbl := &stats.Table{
-		Title: "Campaign matrix: method × victim × profile × defense",
-		Header: []string{"Method", "Victim", "Profile", "Defense",
+		Title: "Campaign matrix: method × victim × profile × defense × chain depth × placement",
+		Header: []string{"Method", "Victim", "Profile", "Defense", "Depth", "Placement",
 			"Poisoned", "Impact", "Iter p50", "Pkts p50", "Time p50", "Time p95"},
 	}
 	for _, r := range results {
-		tbl.Add(r.Method, r.Victim, r.Profile, r.Defense,
+		tbl.Add(r.Method, r.Victim, r.Profile, r.Defense, r.Depth, r.Placement,
 			r.Poisoned.Cell(), r.Impact.Cell(),
 			fmt.Sprintf("%.0f", r.Iterations.Quantile(0.5)),
 			fmt.Sprintf("%.0f", r.Packets.Quantile(0.5)),
@@ -28,9 +29,57 @@ func Matrix(results []CellResult) *stats.Table {
 	return tbl
 }
 
+// DepthTable renders the depth-vs-success view of the sweep: for each
+// method × attacker placement, the poisoning rate at every chain depth
+// present in the results, aggregated over victims, profiles and
+// defenses — the one-screen answer to "does a forwarder chain make the
+// attack easier, and from where".
+func DepthTable(results []CellResult) *stats.Table {
+	type mp struct{ method, placement string }
+	type cell struct {
+		mp    mp
+		depth string
+	}
+	agg := map[cell]stats.Counter{}
+	var rows []mp
+	var depths []string
+	seenRow, seenDepth := map[mp]bool{}, map[string]bool{}
+	for _, r := range results {
+		k := mp{r.Method, r.Placement}
+		if !seenRow[k] {
+			seenRow[k] = true
+			rows = append(rows, k)
+		}
+		if !seenDepth[r.Depth] {
+			seenDepth[r.Depth] = true
+			depths = append(depths, r.Depth)
+		}
+		c := cell{k, r.Depth}
+		agg[c] = agg[c].Plus(r.Poisoned)
+	}
+	sort.Strings(depths)
+	header := []string{"Method", "Placement"}
+	for _, d := range depths {
+		header = append(header, "depth "+d)
+	}
+	tbl := &stats.Table{
+		Title:  "Campaign chains: poisoning success by method × placement × chain depth (over victims × profiles × defenses)",
+		Header: header,
+	}
+	for _, k := range rows {
+		row := []string{k.method, k.placement}
+		for _, d := range depths {
+			row = append(row, agg[cell{k, d}].Cell())
+		}
+		tbl.Add(row...)
+	}
+	return tbl
+}
+
 // Summary renders the method × defense poisoning-rate matrix,
-// aggregated over every victim and profile in the results — the
-// one-screen answer to "which defense stops which method".
+// aggregated over every victim, profile, chain depth and placement in
+// the results — the one-screen answer to "which defense stops which
+// method".
 func Summary(results []CellResult) *stats.Table {
 	type mk struct{ method, defense string }
 	agg := map[mk]stats.Counter{}
@@ -49,7 +98,7 @@ func Summary(results []CellResult) *stats.Table {
 		agg[k] = agg[k].Plus(r.Poisoned)
 	}
 	tbl := &stats.Table{
-		Title:  "Campaign summary: poisoning success by method × defense (over victims × profiles)",
+		Title:  "Campaign summary: poisoning success by method × defense (over victims × profiles × depths × placements)",
 		Header: append([]string{"Method"}, defenses...),
 	}
 	for _, m := range methods {

@@ -11,8 +11,9 @@ import (
 // CellResult is the measured outcome of one cross-product cell over
 // its trials.
 type CellResult struct {
-	// Method/Victim/Profile/Defense are the cell's registry keys.
-	Method, Victim, Profile, Defense string
+	// Method/Victim/Profile/Defense/Depth/Placement are the cell's
+	// registry keys.
+	Method, Victim, Profile, Defense, Depth, Placement string
 	// Trials is the per-cell sample size.
 	Trials int
 	// Poisoned counts trials whose attack actually planted the
@@ -67,6 +68,7 @@ func runCell(c Cell, baseSeed int64, trials int) CellResult {
 	res := CellResult{
 		Method: c.Method.Key, Victim: c.Victim.Key,
 		Profile: c.Profile.Key, Defense: c.Defense.Key,
+		Depth: c.Depth.Key, Placement: c.Placement.Key,
 		Trials: trials,
 	}
 	cellSeed := engine.DeriveSeedKey(baseSeed, c.Key())
@@ -88,17 +90,20 @@ func runCell(c Cell, baseSeed int64, trials int) CellResult {
 }
 
 // runTrial builds the cell's private world and plays it end to end:
-// deploy the victim, run the attack against the victim's query name,
-// read the cache ground truth, then exercise the application.
+// deploy the victim, run the attack against the victim's query name
+// (triggered through the cell's forwarder chain), read the chain's
+// cache ground truth, then exercise the application.
 func runTrial(c Cell, seed int64) (poisoned, impact bool, r core.Result) {
 	scfg := baseScenarioConfig(seed, c.Profile.Profile)
+	scfg.ForwarderChain = c.Depth.Chain
+	scfg.Placement = c.Placement.Placement
 	c.Method.Prepare(&scfg)
 	c.Defense.Apply(&scfg)
 	s := scenario.New(scfg)
 	exercise := c.Victim.Deploy(s)
 	atk := c.Method.New(s, c.Victim.QName)
-	r = atk.Run(core.TriggerDirect(s.ClientHost, scenario.ResolverIP, c.Victim.QName, dnswire.TypeA))
-	poisoned = s.Poisoned(c.Victim.QName, dnswire.TypeA)
+	r = atk.Run(core.TriggerDirect(s.ClientHost, s.DNSAddr(), c.Victim.QName, dnswire.TypeA))
+	poisoned = s.ChainPoisoned(c.Victim.QName, dnswire.TypeA)
 	impact = exercise() == c.Victim.AttackOutcome
 	return poisoned, impact, r
 }

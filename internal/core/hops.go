@@ -1,0 +1,70 @@
+package core
+
+import (
+	"net/netip"
+
+	"crosslayer/internal/netsim"
+)
+
+// Hop is one hop of the victim's resolution chain as an attack sees
+// it: the querying host (whose socket the attacker must hit), the
+// address genuine answers come from (the source a spoofed injection
+// must carry), and the properties that decide how hard the hop is to
+// attack. §4.3's observation is that a chain is only as strong as its
+// weakest hop: a record injected at ANY hop's cache is served to the
+// client, so attacks pick their target per-hop instead of assuming the
+// recursive resolver is the victim's first hop.
+type Hop struct {
+	// Host is the querying host under attack at this hop.
+	Host *netsim.Host
+	// Addr is the hop's address.
+	Addr netip.Addr
+	// Upstream is where the hop's genuine answers come from — the next
+	// hop up the chain (another forwarder, the recursive resolver, or
+	// the authoritative nameserver).
+	Upstream netip.Addr
+	// Last marks the final hop (the recursive resolver itself).
+	Last bool
+}
+
+// PortSpan returns the size of the hop's ephemeral source-port range —
+// the search space a port-inference attack must cover. Hosts with port
+// randomisation off expose a single port.
+func (h Hop) PortSpan() int {
+	if h.Host == nil {
+		return 0
+	}
+	if !h.Host.Cfg.RandomizePorts {
+		return 1
+	}
+	return int(h.Host.Cfg.PortMax) - int(h.Host.Cfg.PortMin) + 1
+}
+
+// WeakestPortHop picks the hop a port-inference attack (SadDNS) should
+// target: the smallest ephemeral port span, ties going to the hop
+// closest to the client (a record planted nearer the client shadows
+// every hop behind it). Forwarder hops usually win — embedded devices
+// expose ranges orders of magnitude below a server resolver's — which
+// is also why resolver-side defenses (0x20, validation) do not protect
+// a chain: the injection happens downstream of them.
+func WeakestPortHop(hops []Hop) Hop {
+	best := hops[0]
+	for _, h := range hops[1:] {
+		if h.PortSpan() < best.PortSpan() {
+			best = h
+		}
+	}
+	return best
+}
+
+// FragmentationHop picks the hop a fragmentation attack (FragDNS)
+// should target: the final recursive-resolver hop. Only its upstream —
+// the authoritative nameserver — emits responses large enough to
+// fragment; a forwarder's upstream is a resolver whose client-facing
+// responses carry just the answer RRset, so forwarder hops are never
+// candidates regardless of their fragment handling. The poisoned
+// record still reaches every per-hop cache when the triggered answer
+// flows back down the chain.
+func FragmentationHop(hops []Hop) Hop {
+	return hops[len(hops)-1]
+}

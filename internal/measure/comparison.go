@@ -310,3 +310,25 @@ func VerifyForwarderPath(seed int64) bool {
 	s.Run()
 	return ok && s.Resolver.ClientQueries == 1
 }
+
+// VerifyForwarderChain demonstrates a depth-hop forwarder chain end to
+// end: an external trigger query rides every hop to the recursive
+// resolver, resolves, and leaves the answer in every per-hop cache —
+// the §4.3 cache amplification the campaign's chain-depth axis sweeps.
+func VerifyForwarderChain(seed int64, depth int) bool {
+	chain := make([]scenario.ForwarderSpec, depth)
+	s := scenario.New(scenario.Config{Seed: seed, ForwarderChain: chain})
+	ok := false
+	resolver.StubLookup(s.Attacker, s.DNSAddr(), "www.vict.im.", dnswire.TypeA, 20*time.Second,
+		func(rrs []*dnswire.RR, err error) { ok = err == nil && len(rrs) > 0 })
+	s.Run()
+	if !ok || s.Resolver.ClientQueries != 1 {
+		return false
+	}
+	for _, f := range s.Forwarders {
+		if !f.Cache.Contains("www.vict.im.", dnswire.TypeA) {
+			return false
+		}
+	}
+	return true
+}

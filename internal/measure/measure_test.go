@@ -225,6 +225,9 @@ func TestForwarderStudyBands(t *testing.T) {
 	if shared < 0.6 || shared > 0.78 {
 		t.Errorf("cache sharing %.2f, paper 0.69", shared)
 	}
+	if !VerifyForwarderChain(12, 3) {
+		t.Fatal("depth-3 forwarder chain did not resolve and cache end-to-end")
+	}
 	if !VerifyForwarderPath(11) {
 		t.Error("dynamic forwarder path verification failed")
 	}

@@ -50,6 +50,14 @@ type ASInfo struct {
 	// belong to the sending host (BCP 38). Per the paper ~70% of
 	// networks enforce it; attackers operate from the ~30% that do not.
 	EgressFiltering bool
+	// AccessLatency is the one-way latency contribution of this AS's
+	// access links; 0 means half the network base latency. A packet
+	// between two ASes takes the sum of both contributions, so an AS
+	// sitting on the carrier backbone (small AccessLatency) reaches
+	// everyone faster than a stub behind a default access link — the
+	// timing edge an attacker gains by operating from a carrier AS
+	// instead of a stub.
+	AccessLatency time.Duration
 	// Interceptor receives packets routed to this AS for addresses no
 	// local host owns — the attacker's view after a successful hijack.
 	Interceptor func(ip *packet.IPv4)
@@ -100,6 +108,22 @@ func (n *Network) SetLossRate(p float64) {
 
 // Latency returns the one-way delivery latency.
 func (n *Network) Latency() time.Duration { return n.latency }
+
+// latencyBetween returns the one-way latency between two ASes: the sum
+// of both endpoints' access-link contributions, each defaulting to half
+// the base latency. With no AccessLatency overrides anywhere this is
+// exactly the base latency, so existing scenarios are unchanged.
+func (n *Network) latencyBetween(a, b bgp.ASN) time.Duration {
+	half := n.latency / 2
+	la, lb := half, n.latency-half
+	if info := n.asInfo[a]; info != nil && info.AccessLatency > 0 {
+		la = info.AccessLatency
+	}
+	if info := n.asInfo[b]; info != nil && info.AccessLatency > 0 {
+		lb = info.AccessLatency
+	}
+	return la + lb
+}
 
 // AS returns (creating if needed) the simulator state for an AS.
 func (n *Network) AS(asn bgp.ASN) *ASInfo {
@@ -152,7 +176,7 @@ func (n *Network) Send(from *Host, ip *packet.IPv4) {
 	}
 	cp := *ip
 	cp.Payload = append([]byte(nil), ip.Payload...)
-	n.Clock.After(n.latency, func() { n.deliver(origin, &cp) })
+	n.Clock.After(n.latencyBetween(from.ASN, origin), func() { n.deliver(origin, &cp) })
 }
 
 func (n *Network) deliver(origin bgp.ASN, ip *packet.IPv4) {

@@ -75,6 +75,37 @@ func TestLatencyAppliesToDelivery(t *testing.T) {
 	}
 }
 
+func TestAccessLatencyOverridesPerAS(t *testing.T) {
+	tn := build(t)
+	// Default: both endpoints contribute half the base latency (10ms).
+	var at time.Duration
+	tn.ns.BindUDP(53, func(Datagram) { at = tn.clock.Now() })
+	tn.victim.SendUDP(40000, tn.ns.Addr, 53, []byte("q"))
+	tn.net.Run()
+	if at != 10*time.Millisecond {
+		t.Fatalf("default delivery at %v, want 10ms", at)
+	}
+
+	// A carrier-grade AS overrides its access contribution: the sender's
+	// 2ms replaces its default 5ms half, the receiver keeps the default.
+	tn.net.AS(tn.atkAS).AccessLatency = 2 * time.Millisecond
+	start := tn.clock.Now()
+	tn.atk.SendUDP(40001, tn.ns.Addr, 53, []byte("q"))
+	tn.net.Run()
+	if got := at - start; got != 7*time.Millisecond {
+		t.Fatalf("carrier delivery took %v, want 7ms", got)
+	}
+
+	// Both endpoints overridden: contributions add.
+	tn.net.AS(tn.nsAS).AccessLatency = 1 * time.Millisecond
+	start = tn.clock.Now()
+	tn.atk.SendUDP(40002, tn.ns.Addr, 53, []byte("q"))
+	tn.net.Run()
+	if got := at - start; got != 3*time.Millisecond {
+		t.Fatalf("carrier-to-carrier delivery took %v, want 3ms", got)
+	}
+}
+
 func TestEgressFilteringBlocksSpoofing(t *testing.T) {
 	tn := build(t)
 	hits := 0

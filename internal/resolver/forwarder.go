@@ -9,31 +9,79 @@ import (
 )
 
 // Forwarder is an open DNS forwarder: it relays queries to an upstream
-// recursive resolver from its own address. Forwarders "make up the
-// majority of open resolvers in the internet" (§4.3.3) and are the
-// lever that lets an attacker trigger queries at otherwise closed
-// recursive resolvers.
+// recursive resolver (or another forwarder) from its own address.
+// Forwarders "make up the majority of open resolvers in the internet"
+// (§4.3.3) and are the lever that lets an attacker trigger queries at
+// otherwise closed recursive resolvers.
+//
+// Each hop has its own socket, port and TXID behaviour: every relayed
+// query opens a fresh ephemeral port (per the host's port-range
+// configuration — embedded forwarder devices expose far smaller ranges
+// than server resolvers) and draws a fresh upstream TXID independent
+// of the downstream one. A caching forwarder additionally keeps a
+// per-hop answer cache, so a record poisoned at any hop of a chain
+// keeps being served long after the upstream recovered — the §4.3
+// amplification this package's chain scenarios measure.
 type Forwarder struct {
 	Host     *netsim.Host
 	Upstream netip.Addr
 	Timeout  time.Duration
 
+	// Cache, when non-nil, is the per-hop answer cache. Plain relays
+	// (NewForwarder) leave it nil; chain hops (NewCachingForwarder)
+	// answer repeat queries locally from it.
+	Cache *Cache
+	// TTLCap, in seconds, clamps the TTL of every record entering the
+	// cache (dnsmasq-style forwarders cap TTLs so stale upstream data
+	// ages out on the device's schedule); 0 honours upstream TTLs.
+	TTLCap uint32
+	// CheckBailiwick drops answer records whose owner name is not the
+	// query name before caching or relaying — the crude name-match
+	// filter some forwarders apply. Hops without it cache every record
+	// a (possibly spoofed) response smuggles in.
+	CheckBailiwick bool
+
+	// TestHookQuerySent observes outgoing upstream queries (port and
+	// TXID included) for white-box tests; attack code must not use it.
+	TestHookQuerySent func(txid, port uint16)
+
 	Forwarded uint64
 	Returned  uint64
+	CacheHits uint64
 }
 
-// NewForwarder creates a forwarder on host relaying to upstream,
-// listening on UDP 53.
+// NewForwarder creates a plain (non-caching) forwarder on host relaying
+// to upstream, listening on UDP 53.
 func NewForwarder(host *netsim.Host, upstream netip.Addr) *Forwarder {
 	f := &Forwarder{Host: host, Upstream: upstream, Timeout: 5 * time.Second}
 	host.BindUDP(53, f.handle)
 	return f
 }
 
+// NewCachingForwarder creates a forwarder with a per-hop answer cache,
+// the node type the forwarder-chain scenarios are built from. ttlCap
+// (seconds, 0 = none) clamps cached TTLs; checkBailiwick enables the
+// name-match response filter.
+func NewCachingForwarder(host *netsim.Host, upstream netip.Addr, ttlCap uint32, checkBailiwick bool) *Forwarder {
+	f := NewForwarder(host, upstream)
+	f.Cache = NewCache(host.Network().Clock.Now)
+	f.TTLCap = ttlCap
+	f.CheckBailiwick = checkBailiwick
+	return f
+}
+
 func (f *Forwarder) handle(dg netsim.Datagram) {
 	query, err := dnswire.Unpack(dg.Payload)
-	if err != nil || query.Response {
+	if err != nil || query.Response || len(query.Questions) == 0 {
 		return
+	}
+	q := query.Question()
+	if f.Cache != nil {
+		if rrs, neg, ok := f.Cache.Get(q.Name, q.Type); ok && !neg {
+			f.CacheHits++
+			f.respondLocal(dg, query, rrs)
+			return
+		}
 	}
 	f.Forwarded++
 	client := dg
@@ -56,6 +104,10 @@ func (f *Forwarder) handle(dg netsim.Datagram) {
 		}
 		done = true
 		f.Host.CloseUDP(port)
+		if f.CheckBailiwick {
+			msg.Answers = answersMatching(msg.Answers, q.Name)
+		}
+		f.cacheAnswers(msg)
 		msg.ID = query.ID
 		back, err := msg.Pack()
 		if err != nil {
@@ -64,6 +116,9 @@ func (f *Forwarder) handle(dg netsim.Datagram) {
 		f.Returned++
 		f.Host.SendUDP(53, client.Src, client.SrcPort, back)
 	})
+	if f.TestHookQuerySent != nil {
+		f.TestHookQuerySent(upTXID, port)
+	}
 	f.Host.SendUDP(port, f.Upstream, 53, wire)
 	f.Host.Network().Clock.After(f.Timeout, func() {
 		if !done {
@@ -71,6 +126,64 @@ func (f *Forwarder) handle(dg netsim.Datagram) {
 			f.Host.CloseUDP(port)
 		}
 	})
+}
+
+// respondLocal answers a client from the per-hop cache.
+func (f *Forwarder) respondLocal(dg netsim.Datagram, query *dnswire.Message, rrs []*dnswire.RR) {
+	resp := &dnswire.Message{
+		ID: query.ID, Response: true, RecursionAvailable: true,
+		RecursionDesired: query.RecursionDesired,
+		Questions:        query.Questions,
+		Answers:          rrs,
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	f.Returned++
+	f.Host.SendUDP(53, dg.Src, dg.SrcPort, wire)
+}
+
+// cacheAnswers stores the (already bailiwick-filtered, when enabled)
+// answer RRsets of a successful upstream response, grouped per
+// (name, type) and with TTLs clamped at TTLCap. A bailiwick-less hop
+// therefore caches whatever names a response carries — the injection
+// surface the chain scenarios' weakest-hop analysis exploits.
+func (f *Forwarder) cacheAnswers(msg *dnswire.Message) {
+	if f.Cache == nil || msg.RCode != dnswire.RCodeNoError || len(msg.Answers) == 0 {
+		return
+	}
+	type key struct {
+		name string
+		typ  dnswire.Type
+	}
+	groups := map[key][]*dnswire.RR{}
+	var order []key
+	for _, rr := range msg.Answers {
+		cp := rr.Copy()
+		if f.TTLCap > 0 && cp.TTL > f.TTLCap {
+			cp.TTL = f.TTLCap
+		}
+		k := key{dnswire.CanonicalName(cp.Name), cp.Type}
+		if groups[k] == nil {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], cp)
+	}
+	for _, k := range order {
+		f.Cache.Put(k.name, k.typ, groups[k])
+	}
+}
+
+// answersMatching keeps only records owned by the query name.
+func answersMatching(rrs []*dnswire.RR, qname string) []*dnswire.RR {
+	out := rrs[:0:0]
+	for _, rr := range rrs {
+		if dnswire.EqualNames(rr.Name, qname) {
+			out = append(out, rr)
+		}
+	}
+	return out
 }
 
 // StubQuery sends a one-shot DNS query from host to a server and

@@ -1,0 +1,162 @@
+package resolver_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+	"crosslayer/internal/resolver"
+	"crosslayer/internal/scenario"
+)
+
+// chainLookup issues one client query through the scenario's entry
+// forwarder and returns the response message.
+func chainLookup(t *testing.T, s *scenario.S, name string) *dnswire.Message {
+	t.Helper()
+	var got *dnswire.Message
+	resolver.StubQuery(s.ClientHost, s.DNSAddr(), name, dnswire.TypeA, 20*time.Second,
+		func(msg *dnswire.Message, err error) {
+			if err != nil {
+				t.Fatalf("chain lookup %s: %v", name, err)
+			}
+			got = msg
+		})
+	s.Run()
+	if got == nil {
+		t.Fatalf("chain lookup %s: no response", name)
+	}
+	return got
+}
+
+// TestForwarderCacheTTLExpiry: a hop's TTLCap clamps how long the
+// per-hop cache serves a record; after expiry the hop relays upstream
+// again.
+func TestForwarderCacheTTLExpiry(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 51,
+		ForwarderChain: []scenario.ForwarderSpec{{TTLCap: 30}}})
+	fwd := s.Forwarders[0]
+
+	chainLookup(t, s, "www.vict.im.")
+	if fwd.Forwarded != 1 {
+		t.Fatalf("first lookup forwarded %d times, want 1", fwd.Forwarded)
+	}
+	if !fwd.Cache.Contains("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("hop did not cache the answer")
+	}
+
+	// Within the cap the hop answers locally.
+	s.Clock.RunFor(10 * time.Second)
+	chainLookup(t, s, "www.vict.im.")
+	if fwd.Forwarded != 1 || fwd.CacheHits != 1 {
+		t.Fatalf("cached lookup: forwarded=%d hits=%d, want 1/1", fwd.Forwarded, fwd.CacheHits)
+	}
+
+	// The zone TTL is 300s, but the hop capped it at 30s: past the cap
+	// the entry expires and the hop re-fetches upstream.
+	s.Clock.RunFor(25 * time.Second) // 35s since caching
+	if fwd.Cache.Contains("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("capped TTL did not expire")
+	}
+	chainLookup(t, s, "www.vict.im.")
+	if fwd.Forwarded != 2 {
+		t.Fatalf("post-expiry lookup forwarded %d times, want 2", fwd.Forwarded)
+	}
+}
+
+// TestForwarderTXIDIndependenceAcrossHops: every hop of a chain draws
+// its own upstream TXID and source port — no hop reuses the downstream
+// query's challenge values, and the client still gets its own TXID
+// back.
+func TestForwarderTXIDIndependenceAcrossHops(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 52,
+		ForwarderChain: []scenario.ForwarderSpec{{}, {}}})
+
+	type sent struct{ txid, port uint16 }
+	var hop0, hop1 []sent
+	s.Forwarders[0].TestHookQuerySent = func(txid, port uint16) { hop0 = append(hop0, sent{txid, port}) }
+	s.Forwarders[1].TestHookQuerySent = func(txid, port uint16) { hop1 = append(hop1, sent{txid, port}) }
+
+	const clientTXID = 0x4242
+	q := dnswire.NewQuery(clientTXID, "www.vict.im.", dnswire.TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp *dnswire.Message
+	port := s.ClientHost.BindUDP(0, func(dg netsim.Datagram) {
+		resp, _ = dnswire.Unpack(dg.Payload)
+	})
+	s.ClientHost.SendUDP(port, s.DNSAddr(), 53, wire)
+	s.Run()
+
+	if len(hop0) != 1 || len(hop1) != 1 {
+		t.Fatalf("hops forwarded %d/%d queries, want 1/1", len(hop0), len(hop1))
+	}
+	if hop0[0].txid == clientTXID || hop1[0].txid == clientTXID || hop0[0].txid == hop1[0].txid {
+		t.Fatalf("TXIDs not independent: client=%#x hop0=%#x hop1=%#x",
+			clientTXID, hop0[0].txid, hop1[0].txid)
+	}
+	for i, h := range [][]sent{{hop0[0]}, {hop1[0]}} {
+		if h[0].port < 40000 || h[0].port > 40000+scenario.DefaultForwarderPortSpan-1 {
+			t.Fatalf("hop %d upstream port %d outside the forwarder ephemeral range", i, h[0].port)
+		}
+	}
+	if resp == nil || resp.ID != clientTXID {
+		t.Fatalf("client response %+v, want its own TXID %#x restored", resp, clientTXID)
+	}
+}
+
+// TestForwarderBailiwickFiltering: a hop with the name-match filter
+// neither caches nor relays records a response smuggles in for other
+// names; a hop without it caches everything — the injection surface
+// the weakest-hop analysis exploits.
+func TestForwarderBailiwickFiltering(t *testing.T) {
+	for _, check := range []bool{true, false} {
+		s := scenario.New(scenario.Config{Seed: 53})
+		// A rogue upstream that appends a record for a different name to
+		// every answer.
+		rogueAddr := netip.MustParseAddr("30.0.0.50")
+		rogue := s.Net.AddHost("rogue-upstream", scenario.VictimAS, rogueAddr)
+		rogue.BindUDP(53, func(dg netsim.Datagram) {
+			q, err := dnswire.Unpack(dg.Payload)
+			if err != nil || q.Response {
+				return
+			}
+			resp := &dnswire.Message{ID: q.ID, Response: true, Questions: q.Questions,
+				Answers: []*dnswire.RR{
+					dnswire.NewA("www.vict.im.", 300, scenario.VictimWWW),
+					dnswire.NewA("smuggled.vict.im.", 300, scenario.AttackerIP),
+				}}
+			wire, err := resp.Pack()
+			if err != nil {
+				return
+			}
+			rogue.SendUDP(53, dg.Src, dg.SrcPort, wire)
+		})
+		fwdHost := s.Net.AddHost("fwd-under-test", scenario.VictimAS, scenario.ForwarderIP(0))
+		fwd := resolver.NewCachingForwarder(fwdHost, rogueAddr, 0, check)
+
+		var answers int
+		resolver.StubQuery(s.ClientHost, fwdHost.Addr, "www.vict.im.", dnswire.TypeA, 10*time.Second,
+			func(msg *dnswire.Message, err error) {
+				if err != nil {
+					t.Fatalf("check=%v: %v", check, err)
+				}
+				answers = len(msg.Answers)
+			})
+		s.Run()
+
+		smuggledCached := fwd.Cache.Contains("smuggled.vict.im.", dnswire.TypeA)
+		if check && (smuggledCached || answers != 1) {
+			t.Fatalf("bailiwick check on: smuggled cached=%v relayed answers=%d", smuggledCached, answers)
+		}
+		if !check && (!smuggledCached || answers != 2) {
+			t.Fatalf("bailiwick check off: smuggled cached=%v relayed answers=%d", smuggledCached, answers)
+		}
+		if !fwd.Cache.Contains("www.vict.im.", dnswire.TypeA) {
+			t.Fatalf("check=%v: genuine record not cached", check)
+		}
+	}
+}

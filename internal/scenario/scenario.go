@@ -7,7 +7,9 @@
 package scenario
 
 import (
+	"fmt"
 	"net/netip"
+	"time"
 
 	"crosslayer/internal/bgp"
 	"crosslayer/internal/dnssrv"
@@ -41,7 +43,69 @@ const (
 	VictimAS   bgp.ASN = 10
 	DomainAS   bgp.ASN = 20
 	AttackerAS bgp.ASN = 66
+	// CarrierAS is the transit carrier the attacker's stub buys access
+	// from; PlacementCarrier moves the attacker's hosts into it.
+	CarrierAS bgp.ASN = 3
 )
+
+// Placement selects where the attacker operates from — the campaign
+// matrix's attacker-placement axis.
+type Placement int8
+
+// Placement values.
+const (
+	// PlacementStub is the default: the attacker runs in its own stub
+	// AS behind a carrier, like any eyeball customer (the paper's §3
+	// setting — off-path, default access latency).
+	PlacementStub Placement = iota
+	// PlacementCarrier moves the attacker's hosts into the carrier AS
+	// itself (a compromised or complicit transit operator): the AS sits
+	// on the BGP path position between the stub world and the victim,
+	// originates the attacker prefix from tier 2, never deploys SAV,
+	// and reaches every target over backbone (not access-link) latency.
+	PlacementCarrier
+)
+
+// String returns the placement's registry key.
+func (p Placement) String() string {
+	if p == PlacementCarrier {
+		return "carrier"
+	}
+	return "stub"
+}
+
+// ForwarderSpec configures one hop of the victim-side forwarder chain
+// (§4.3): an open DNS forwarder the client's queries ride through
+// before reaching the recursive resolver.
+type ForwarderSpec struct {
+	// PortSpan is the size of the hop's ephemeral source-port range;
+	// 0 means 64 (embedded forwarder devices expose tiny ranges — the
+	// property that makes a forwarder the chain's weakest hop for a
+	// port-inference attack).
+	PortSpan uint16
+	// TTLCap (seconds) clamps TTLs entering the hop's cache; 0 honours
+	// upstream TTLs.
+	TTLCap uint32
+	// NoCache makes the hop a pure relay without a per-hop cache.
+	NoCache bool
+	// CheckBailiwick enables the hop's name-match response filter.
+	CheckBailiwick bool
+}
+
+// DefaultForwarderPortSpan is the ephemeral port span a ForwarderSpec
+// with PortSpan 0 gets.
+const DefaultForwarderPortSpan = 64
+
+// forwarderPortMin is the bottom of every forwarder hop's ephemeral
+// range (distinct from the resolver's 32768+ range so port-scan tests
+// can tell the two apart).
+const forwarderPortMin = 40000
+
+// ForwarderIP returns the address of chain hop i (hop 0 is the entry
+// forwarder the client queries).
+func ForwarderIP(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{30, 0, 0, byte(40 + i)})
+}
 
 // Config tunes scenario construction.
 type Config struct {
@@ -67,6 +131,15 @@ type Config struct {
 	// RRSIG for zones it knows to be signed; pair with SignVictimZone
 	// for the victim zone to be protected.
 	ValidateDNSSEC bool
+
+	// ForwarderChain inserts open DNS forwarders between the client and
+	// the recursive resolver (§4.3): the client queries hop 0, hop i
+	// relays to hop i+1, and the last hop relays to the resolver. Empty
+	// means the client queries the resolver directly (depth 0).
+	ForwarderChain []ForwarderSpec
+	// Placement selects where the attacker's hosts operate from
+	// (default: its own stub AS).
+	Placement Placement
 }
 
 // S is an assembled scenario.
@@ -88,6 +161,12 @@ type S struct {
 	Attacker     *netsim.Host
 	AtkNSHost    *netsim.Host
 	AtkNS        *dnssrv.Server
+	// Forwarders is the victim-side chain in client order: Forwarders[0]
+	// is the entry hop the client queries (empty at depth 0).
+	Forwarders []*resolver.Forwarder
+	// AttackerASN is the AS the attacker's hosts operate from —
+	// AttackerAS for PlacementStub, CarrierAS for PlacementCarrier.
+	AttackerASN bgp.ASN
 }
 
 // New assembles the canonical scenario.
@@ -116,23 +195,39 @@ func New(cfg Config) *S {
 	topo.AddProviderCustomer(TransitAS, DomainAS)
 	topo.AddProviderCustomer(Transit2AS, AttackerAS)
 	topo.AddProviderCustomer(Transit2AS, DomainAS)
+	atkASN := AttackerAS
+	if cfg.Placement == PlacementCarrier {
+		// The carrier sits at the BGP path position every route to the
+		// attacker's stub crosses: tier 2, peering with both transits,
+		// selling access to the stub. The attacker's hosts move into it.
+		topo.AddAS(CarrierAS, 2)
+		topo.AddPeering(CarrierAS, TransitAS)
+		topo.AddPeering(CarrierAS, Transit2AS)
+		topo.AddProviderCustomer(CarrierAS, AttackerAS)
+		atkASN = CarrierAS
+	}
 
 	rib := bgp.NewRIB(topo, nil)
 	net := netsim.New(clock, topo, rib)
 	rib.Announce(VictimPrefix, VictimAS)
 	rib.Announce(DomainPrefix, DomainAS)
-	rib.Announce(AttackerPrefix, AttackerAS)
+	rib.Announce(AttackerPrefix, atkASN)
 
-	s := &S{Clock: clock, Topo: topo, RIB: rib, Net: net}
+	s := &S{Clock: clock, Topo: topo, RIB: rib, Net: net, AttackerASN: atkASN}
 	s.ResolverHost = net.AddHost("resolver.victim-net", VictimAS, ResolverIP)
 	s.ServiceHost = net.AddHost("service.victim-net", VictimAS, ServiceIP)
 	s.ClientHost = net.AddHost("client.victim-net", VictimAS, ClientIP)
 	s.NSHost = net.AddHost("ns1.vict.im", DomainAS, NSIP)
 	s.WWWHost = net.AddHost("www.vict.im", DomainAS, VictimWWW)
 	s.MailHost = net.AddHost("mail.vict.im", DomainAS, VictimMail)
-	s.Attacker = net.AddHost("attacker", AttackerAS, AttackerIP)
-	s.AtkNSHost = net.AddHost("ns.atk.example", AttackerAS, AtkNSIP)
-	net.AS(AttackerAS).EgressFiltering = false
+	s.Attacker = net.AddHost("attacker", atkASN, AttackerIP)
+	s.AtkNSHost = net.AddHost("ns.atk.example", atkASN, AtkNSIP)
+	net.AS(atkASN).EgressFiltering = false
+	if cfg.Placement == PlacementCarrier {
+		// Backbone access: the carrier reaches everyone faster than a
+		// stub behind a default access link.
+		net.AS(CarrierAS).AccessLatency = 3 * time.Millisecond
+	}
 
 	s.VictimZone = BuildVictimZone(cfg.SignVictimZone)
 	s.NS = dnssrv.New(s.NSHost, cfg.ServerCfg)
@@ -157,7 +252,45 @@ func New(cfg Config) *S {
 	if cfg.SignVictimZone {
 		s.Resolver.SetKnownSigned("vict.im.", true)
 	}
+
+	// Forwarder chain, built from the resolver outward: hop i relays to
+	// hop i+1, the last hop relays to the resolver, the client queries
+	// hop 0. Every hop is an open forwarder in the victim network (the
+	// home-router/CPE population of §4.3) with its own ephemeral port
+	// range and, unless disabled, a per-hop cache.
+	if n := len(cfg.ForwarderChain); n > 0 {
+		s.Forwarders = make([]*resolver.Forwarder, n)
+		for i := n - 1; i >= 0; i-- {
+			spec := cfg.ForwarderChain[i]
+			upstream := ResolverIP
+			if i < n-1 {
+				upstream = ForwarderIP(i + 1)
+			}
+			host := net.AddHost(fmt.Sprintf("fwd%d.victim-net", i), VictimAS, ForwarderIP(i))
+			span := spec.PortSpan
+			if span == 0 {
+				span = DefaultForwarderPortSpan
+			}
+			host.Cfg.PortMin = forwarderPortMin
+			host.Cfg.PortMax = forwarderPortMin + span - 1
+			if spec.NoCache {
+				s.Forwarders[i] = resolver.NewForwarder(host, upstream)
+			} else {
+				s.Forwarders[i] = resolver.NewCachingForwarder(host, upstream, spec.TTLCap, spec.CheckBailiwick)
+			}
+		}
+	}
 	return s
+}
+
+// DNSAddr returns the server the victim's client-side applications
+// query: the entry forwarder when a chain is configured, otherwise the
+// recursive resolver.
+func (s *S) DNSAddr() netip.Addr {
+	if len(s.Forwarders) > 0 {
+		return s.Forwarders[0].Host.Addr
+	}
+	return ResolverIP
 }
 
 // BuildVictimZone constructs vict.im with the record types Table 1's
@@ -199,6 +332,33 @@ func (s *S) Poisoned(name string, typ dnswire.Type) bool {
 	if !ok || neg {
 		return false
 	}
+	return AttackerOwned(rrs)
+}
+
+// ChainPoisoned reports whether the resolution chain, as the victim's
+// client sees it, serves an attacker-controlled record for (name, typ):
+// hops are walked in client order and the first hop holding a cached
+// answer decides (exactly how a client query would be answered), with
+// the recursive resolver's cache as the final hop. At depth 0 this is
+// Poisoned.
+func (s *S) ChainPoisoned(name string, typ dnswire.Type) bool {
+	for _, f := range s.Forwarders {
+		if f.Cache == nil {
+			continue
+		}
+		if rrs, neg, ok := f.Cache.Get(name, typ); ok {
+			if neg {
+				return false
+			}
+			return AttackerOwned(rrs)
+		}
+	}
+	return s.Poisoned(name, typ)
+}
+
+// AttackerOwned reports whether any record of the set points into the
+// attacker's address space or zone.
+func AttackerOwned(rrs []*dnswire.RR) bool {
 	for _, rr := range rrs {
 		switch d := rr.Data.(type) {
 		case *dnswire.AData:
@@ -216,4 +376,28 @@ func (s *S) Poisoned(name string, typ dnswire.Type) bool {
 		}
 	}
 	return false
+}
+
+// Hop describes one hop of the victim's resolution chain for attack
+// targeting: the querying host, its address, and where its genuine
+// answers come from (the spoof source an off-path attacker must
+// impersonate to inject at this hop).
+type Hop struct {
+	Host     *netsim.Host
+	Addr     netip.Addr
+	Upstream netip.Addr
+	// Forwarder is the hop's forwarder node; nil for the final
+	// recursive-resolver hop.
+	Forwarder *resolver.Forwarder
+}
+
+// Hops returns the victim's resolution chain in client order: every
+// forwarder hop, then the recursive resolver (whose upstream is the
+// target domain's nameserver).
+func (s *S) Hops() []Hop {
+	hops := make([]Hop, 0, len(s.Forwarders)+1)
+	for _, f := range s.Forwarders {
+		hops = append(hops, Hop{Host: f.Host, Addr: f.Host.Addr, Upstream: f.Upstream, Forwarder: f})
+	}
+	return append(hops, Hop{Host: s.ResolverHost, Addr: ResolverIP, Upstream: NSIP})
 }

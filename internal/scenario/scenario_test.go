@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
 	"crosslayer/internal/resolver"
 	"crosslayer/internal/scenario"
 )
@@ -121,6 +122,126 @@ func TestScenarioDeterminism(t *testing.T) {
 	d2, q2 := run()
 	if d1 != d2 || q1 != q2 {
 		t.Fatalf("same seed diverged: %d/%d vs %d/%d", d1, q1, d2, q2)
+	}
+}
+
+// TestForwarderChainConstruction pins the chain wiring: hop 0 is the
+// entry the client queries, hop i relays to hop i+1, the last hop
+// relays to the resolver, and each hop gets its spec's port span and
+// cache configuration.
+func TestForwarderChainConstruction(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 60, ForwarderChain: []scenario.ForwarderSpec{
+		{PortSpan: 512, CheckBailiwick: true},
+		{NoCache: true},
+		{},
+	}})
+	if len(s.Forwarders) != 3 {
+		t.Fatalf("%d forwarders, want 3", len(s.Forwarders))
+	}
+	if s.DNSAddr() != scenario.ForwarderIP(0) {
+		t.Fatalf("DNSAddr %v, want entry hop %v", s.DNSAddr(), scenario.ForwarderIP(0))
+	}
+	if s.Forwarders[0].Upstream != scenario.ForwarderIP(1) ||
+		s.Forwarders[1].Upstream != scenario.ForwarderIP(2) ||
+		s.Forwarders[2].Upstream != scenario.ResolverIP {
+		t.Fatal("chain upstream wiring wrong")
+	}
+	if got := s.Forwarders[0].Host.Cfg.PortMax - s.Forwarders[0].Host.Cfg.PortMin + 1; got != 512 {
+		t.Fatalf("entry hop port span %d, want 512", got)
+	}
+	if got := s.Forwarders[2].Host.Cfg.PortMax - s.Forwarders[2].Host.Cfg.PortMin + 1; got != scenario.DefaultForwarderPortSpan {
+		t.Fatalf("default hop port span %d, want %d", got, scenario.DefaultForwarderPortSpan)
+	}
+	if !s.Forwarders[0].CheckBailiwick || s.Forwarders[0].Cache == nil {
+		t.Fatal("entry hop spec not applied")
+	}
+	if s.Forwarders[1].Cache != nil {
+		t.Fatal("NoCache hop has a cache")
+	}
+	// The chain resolves end to end, and every caching hop retains the
+	// answer.
+	var rrs []*dnswire.RR
+	var err error
+	resolver.StubLookup(s.ClientHost, s.DNSAddr(), "www.vict.im.", dnswire.TypeA, 20*time.Second,
+		func(r []*dnswire.RR, e error) { rrs, err = r, e })
+	s.Run()
+	if err != nil || len(rrs) == 0 {
+		t.Fatalf("chain resolution: rrs=%d err=%v", len(rrs), err)
+	}
+	if !s.Forwarders[0].Cache.Contains("www.vict.im.", dnswire.TypeA) ||
+		!s.Forwarders[2].Cache.Contains("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("caching hops did not retain the relayed answer")
+	}
+	hops := s.Hops()
+	if len(hops) != 4 || hops[3].Addr != scenario.ResolverIP || hops[3].Upstream != scenario.NSIP {
+		t.Fatalf("Hops() = %+v", hops)
+	}
+}
+
+// TestChainPoisonedWalksClientOrder: the first hop holding a cached
+// answer decides what the client sees — a genuine record cached near
+// the client masks a poisoned resolver, and a poisoned entry hop is a
+// poisoned chain no matter what the resolver holds.
+func TestChainPoisonedWalksClientOrder(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 61, ForwarderChain: []scenario.ForwarderSpec{{}, {}}})
+	if s.ChainPoisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("fresh chain reports poisoned")
+	}
+	// Poisoned resolver behind an empty chain: the client's query walks
+	// through to it.
+	s.Resolver.Cache.Put("www.vict.im.", dnswire.TypeA,
+		[]*dnswire.RR{dnswire.NewA("www.vict.im.", 300, scenario.AttackerIP)})
+	if !s.ChainPoisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("poisoned resolver not reported through empty chain")
+	}
+	// A genuine record cached at the entry hop masks it.
+	s.Forwarders[0].Cache.Put("www.vict.im.", dnswire.TypeA,
+		[]*dnswire.RR{dnswire.NewA("www.vict.im.", 300, scenario.VictimWWW)})
+	if s.ChainPoisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("genuine entry-hop record did not mask the poisoned resolver")
+	}
+	// And a poisoned entry hop decides regardless of everything behind.
+	s.Forwarders[0].Cache.Put("www.vict.im.", dnswire.TypeA,
+		[]*dnswire.RR{dnswire.NewA("www.vict.im.", 300, scenario.AttackerIP)})
+	if !s.ChainPoisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("poisoned entry hop not reported")
+	}
+}
+
+// TestCarrierPlacement pins the attacker-placement knob: the carrier
+// variant moves the attacker's hosts into CarrierAS, originates the
+// attacker prefix from there, keeps spoofing possible, and reaches the
+// victim over backbone latency.
+func TestCarrierPlacement(t *testing.T) {
+	stub := scenario.New(scenario.Config{Seed: 62})
+	carrier := scenario.New(scenario.Config{Seed: 62, Placement: scenario.PlacementCarrier})
+
+	if stub.AttackerASN != scenario.AttackerAS || stub.Attacker.ASN != scenario.AttackerAS {
+		t.Fatal("stub placement moved the attacker")
+	}
+	if carrier.AttackerASN != scenario.CarrierAS || carrier.Attacker.ASN != scenario.CarrierAS {
+		t.Fatal("carrier placement did not move the attacker into CarrierAS")
+	}
+	if origin, ok := carrier.RIB.Resolve(scenario.VictimAS, scenario.AttackerIP); !ok || origin != scenario.CarrierAS {
+		t.Fatalf("attacker prefix resolves to AS %d (ok=%v), want CarrierAS", origin, ok)
+	}
+	if carrier.Net.AS(scenario.CarrierAS).EgressFiltering {
+		t.Fatal("carrier AS must not enforce SAV")
+	}
+
+	// The carrier's backbone access shaves the attacker->victim one-way
+	// latency below the stub's.
+	arrival := func(s *scenario.S) time.Duration {
+		var at time.Duration
+		s.ResolverHost.BindUDP(5353, func(netsim.Datagram) { at = s.Clock.Now() })
+		start := s.Clock.Now()
+		s.Attacker.SendUDP(40000, scenario.ResolverIP, 5353, []byte("x"))
+		s.Run()
+		return at - start
+	}
+	stubLat, carrierLat := arrival(stub), arrival(carrier)
+	if carrierLat >= stubLat {
+		t.Fatalf("carrier latency %v not below stub latency %v", carrierLat, stubLat)
 	}
 }
 

@@ -164,8 +164,6 @@ func TestDeterministicRandStreams(t *testing.T) {
 	// A second derived stream must differ from the first.
 	ra2 := a.NewRand()
 	same := 0
-	rb2 := NewClock(42)
-	_ = rb2
 	for i := 0; i < 32; i++ {
 		if ra2.Uint64() == rb.Uint64() {
 			same++
