@@ -144,23 +144,51 @@ func BenchmarkTable6Comparison(b *testing.B) {
 }
 
 // BenchmarkCampaign measures one representative campaign slice per
-// iteration: every method and defense against the web victim on the
-// BIND profile over the direct path (15 cells, one trial each) — the
-// cost profile of the matrix's dominant cell kinds without the full
-// cross-product sweep.
+// iteration: every method and scalar defense (lattice rank 1) against
+// the web victim on the BIND profile over the direct path (15 cells,
+// one trial each) — the cost profile of the matrix's dominant cell
+// kinds without the full cross-product sweep.
 func BenchmarkCampaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := campaign.Run(campaign.Config{
 			Exec: measure.Config{Seed: int64(i)},
 			Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"},
 				ChainDepths: []string{"0"}, Placements: []string{"stub"}},
-			Trials: 1,
+			Trials:      1,
+			LatticeRank: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(res) != 15 {
 			b.Fatalf("%d cells", len(res))
+		}
+	}
+}
+
+// BenchmarkCampaignLattice measures the defense-stacking cell kinds:
+// the default defense-set lattice (baseline, singletons, pairs, full
+// stack — 12 sets) swept with the deterministic hijack method against
+// the web victim on BIND (12 cells, one trial each), rendered through
+// the Lattice marginal-coverage view — the incremental cost a
+// set-valued defense axis adds over the scalar one.
+func BenchmarkCampaignLattice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(campaign.Config{
+			Exec: measure.Config{Seed: int64(i)},
+			Filter: campaign.Filter{Methods: []string{"hijack"},
+				Victims: []string{"web"}, Profiles: []string{"bind"},
+				ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+			Trials: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 12 {
+			b.Fatalf("%d cells", len(res))
+		}
+		if out := campaign.Lattice(res).String(); out == "" {
+			b.Fatal("empty lattice")
 		}
 	}
 }

@@ -17,15 +17,23 @@
 //	          [-n sampleCap] [-seed N] [-parallel workers]
 //	          [-shard-size items] [-quiet]
 //	          [-methods m,...] [-victims v,...] [-profiles p,...]
-//	          [-defenses d,...] [-chain-depths n,...] [-placement p,...]
-//	          [-trials N]
+//	          [-defenses d,...] [-defense-sets s,...] [-lattice-rank N]
+//	          [-chain-depths n,...] [-placement p,...] [-trials N]
 //
 // Campaign filters take registry keys (empty means the full axis):
 // methods hijack,saddns,frag; victims radius,xmpp,smtp,web,ntp,
 // bitcoin,vpn,pki,ocsp,cdn; profiles bind,unbound,powerdns,systemd,
-// dnsmasq; defenses none,dnssec,0x20,no-rrl,shuffle; chain-depths
-// 0,1,2,3 (forwarder hops between client and resolver); placement
-// stub,carrier (where the attacker operates from).
+// dnsmasq; chain-depths 0,1,2,3 (forwarder hops between client and
+// resolver); placement stub,carrier (where the attacker operates
+// from). The defense axis is set-valued — a stacking lattice over the
+// base defenses dnssec,0x20,no-rrl,shuffle: -lattice-rank bounds the
+// swept stack size (default: singletons + all pairs + the full stack;
+// 1 reproduces the historical scalar axis), -defenses restricts the
+// base defenses the lattice composes ("none" — the always-present
+// undefended baseline — is accepted too), and -defense-sets instead
+// picks exact stacks by canonical key (e.g. 0x20+shuffle; component
+// order and case don't matter). Unknown keys on any filter flag fail
+// with the dimension's valid-key list.
 package main
 
 import (
@@ -48,7 +56,9 @@ func main() {
 	methods := flag.String("methods", "", "campaign: comma-separated method keys (empty = all)")
 	victims := flag.String("victims", "", "campaign: comma-separated victim keys (empty = all)")
 	profiles := flag.String("profiles", "", "campaign: comma-separated resolver profile keys (empty = all)")
-	defenses := flag.String("defenses", "", "campaign: comma-separated defense keys (empty = all)")
+	defenses := flag.String("defenses", "", "campaign: comma-separated base-defense keys bounding the stacking lattice (empty = all)")
+	defenseSets := flag.String("defense-sets", "", "campaign: comma-separated exact defense stacks, e.g. 0x20+shuffle (overrides the lattice; empty = lattice)")
+	latticeRank := flag.Int("lattice-rank", 0, "campaign: max stacked defenses per set; 0 = default (singletons + pairs + full stack), 1 = scalar axis")
 	chainDepths := flag.String("chain-depths", "", "campaign: comma-separated forwarder-chain depths 0-3 (empty = all)")
 	placement := flag.String("placement", "", "campaign: comma-separated attacker placements stub,carrier (empty = all)")
 	trials := flag.Int("trials", 0, "campaign: attack trials per cell; 0 = default (3)")
@@ -92,13 +102,15 @@ func main() {
 		},
 		"campaign": func() {
 			ccfg := campaign.Config{
-				Exec:   cfg("campaign"),
-				Trials: *trials,
+				Exec:        cfg("campaign"),
+				Trials:      *trials,
+				LatticeRank: *latticeRank,
 				Filter: campaign.Filter{
 					Methods:     splitKeys(*methods),
 					Victims:     splitKeys(*victims),
 					Profiles:    splitKeys(*profiles),
 					Defenses:    splitKeys(*defenses),
+					DefenseSets: splitKeys(*defenseSets),
 					ChainDepths: splitKeys(*chainDepths),
 					Placements:  splitKeys(*placement),
 				},
@@ -111,6 +123,7 @@ func main() {
 			fmt.Println(campaign.Matrix(res))
 			fmt.Println(campaign.Summary(res))
 			fmt.Println(campaign.DepthTable(res))
+			fmt.Println(campaign.Lattice(res))
 		},
 		"fig1": func() {
 			fmt.Println("Figure 1 is the SadDNS message sequence; run:  go run ./examples/saddns")

@@ -181,13 +181,32 @@ type ExperimentProgress = measure.ProgressEvent
 
 // CampaignConfig controls a campaign sweep: the execution knobs (its
 // Exec field is an ExperimentConfig), the method/app/profile/defense/
-// chain-depth/placement filters, and the per-cell trial count. See
-// Experiments.Campaign.
+// chain-depth/placement filters, the per-cell trial count, and the
+// defense-stacking lattice rank (LatticeRank 0 sweeps singletons, all
+// pairs and the full stack; 1 is the historical scalar defense axis).
+// See Experiments.Campaign.
 type CampaignConfig = campaign.Config
 
 // CampaignFilter restricts a campaign sweep to the named registry
-// keys (empty dimensions mean "all").
+// keys (empty dimensions mean "all"). The defense axis is set-valued:
+// Defenses bounds the base defenses the stacking lattice composes,
+// DefenseSets picks exact stacks by canonical key ("0x20+shuffle").
 type CampaignFilter = campaign.Filter
+
+// DefenseSpec is one composable §6 countermeasure of the scenario's
+// defense pipeline: Config.Defenses stacks any number of them, and
+// scenario construction applies each spec's hook in order.
+type DefenseSpec = scenario.DefenseSpec
+
+// Canonical defense specs (the §6 countermeasures) and the registry
+// the campaign's stacking lattice composes.
+var (
+	DefenseDNSSEC  = scenario.DefenseDNSSEC
+	Defense0x20    = scenario.Defense0x20
+	DefenseNoRRL   = scenario.DefenseNoRRL
+	DefenseShuffle = scenario.DefenseShuffle
+	BaseDefenses   = scenario.BaseDefenses
+)
 
 // CampaignCell is one measured cell of the campaign matrix.
 type CampaignCell = campaign.CellResult
@@ -201,12 +220,13 @@ var Experiments = struct {
 	Figure3 func(cfg ExperimentConfig) string
 	Figure4 func(cfg ExperimentConfig) string
 	Figure5 func(cfg ExperimentConfig) string
-	// Campaign executes the method × victim × profile × defense ×
+	// Campaign executes the method × victim × profile × defense-set ×
 	// chain-depth × placement cross-product (optionally filtered) and
 	// returns the rendered matrix plus the raw cells; render aggregates
-	// with CampaignSummary and CampaignDepthTable. Output is
-	// byte-identical for any Parallelism, and filtered sweeps reproduce
-	// the full sweep's cells exactly.
+	// with CampaignSummary, CampaignDepthTable and CampaignLattice.
+	// Output is byte-identical for any Parallelism, and filtered sweeps
+	// — including defense-set-filtered ones — reproduce the full
+	// sweep's cells exactly.
 	Campaign func(cfg CampaignConfig) (TableResult, []CampaignCell, error)
 }{
 	Table3: func(cfg ExperimentConfig) (TableResult, []measure.ResolverScanResult) {
@@ -241,6 +261,11 @@ func CampaignSummary(cells []CampaignCell) TableResult { return campaign.Summary
 // poisoning-rate aggregate of a campaign run's cells — the §4.3
 // depth-vs-success view.
 func CampaignDepthTable(cells []CampaignCell) TableResult { return campaign.DepthTable(cells) }
+
+// CampaignLattice renders the defense-stacking view of a campaign
+// run's cells: per-set poisoning rates per method, plus the marginal
+// coverage each base defense adds on top of every measured subset.
+func CampaignLattice(cells []CampaignCell) TableResult { return campaign.Lattice(cells) }
 
 // TableResult is a rendered experiment table.
 type TableResult interface{ String() string }

@@ -107,20 +107,34 @@ func TestExperimentsFacadeCampaign(t *testing.T) {
 			Profiles: []string{"bind"}, ChainDepths: []string{"0", "1"},
 			Placements: []string{"stub"},
 		},
-		Trials: 2,
+		Trials:      2,
+		LatticeRank: 1, // scalar defense axis: 5 singleton sets
 	}
 	tbl, cells, err := crosslayer.Experiments.Campaign(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cells) != 20 { // 1 method × 2 victims × 1 profile × 5 defenses × 2 depths × 1 placement
+	if len(cells) != 20 { // 1 method × 2 victims × 1 profile × 5 defense sets × 2 depths × 1 placement
 		t.Fatalf("campaign facade: %d cells", len(cells))
 	}
-	if tbl.String() == "" || crosslayer.CampaignSummary(cells).String() == "" {
+	if tbl.String() == "" || crosslayer.CampaignSummary(cells).String() == "" ||
+		crosslayer.CampaignLattice(cells).String() == "" {
 		t.Fatal("empty campaign rendering")
 	}
 	cfg.Filter.Defenses = []string{"bogus"}
 	if _, _, err := crosslayer.Experiments.Campaign(cfg); err == nil {
 		t.Fatal("unknown defense key accepted")
+	}
+	cfg.Filter.Defenses = nil
+	cfg.Filter.DefenseSets = []string{"shuffle+bogus"}
+	if _, _, err := crosslayer.Experiments.Campaign(cfg); err == nil {
+		t.Fatal("unknown defense-set key accepted")
+	}
+	// The defense pipeline is also a public scenario-level API: a
+	// stacked config builds a scenario hardened by every spec.
+	s := crosslayer.NewScenario(crosslayer.Config{Seed: 5,
+		Defenses: []crosslayer.DefenseSpec{crosslayer.Defense0x20(), crosslayer.DefenseDNSSEC()}})
+	if !s.Resolver.Prof.Use0x20 || !s.Resolver.Prof.ValidateDNSSEC {
+		t.Fatal("facade defense stack did not reach the resolver profile")
 	}
 }

@@ -1,8 +1,9 @@
 package crosslayer_test
 
 // Golden-artifact regression suite: every rendered artifact — Tables
-// 1–6, Figures 3–5, the campaign matrix, and the forwarder-chain
-// matrix with its depth table — is pinned byte-for-byte against
+// 1–6, Figures 3–5, the campaign matrix, the forwarder-chain matrix
+// with its depth table, and the defense-stacking lattice with its
+// marginal-coverage view — is pinned byte-for-byte against
 // testdata/golden/*.txt at one small fixed execution config
 // (ExperimentConfig{SampleCap: 50, Seed: 1}). Any refactor that
 // changes a single rendered byte fails here first.
@@ -32,11 +33,13 @@ var update = flag.Bool("update", false, "rewrite testdata/golden files from curr
 func goldenConfig() measure.Config { return measure.Config{SampleCap: 50, Seed: 1} }
 
 // goldenCampaignConfig is the campaign slice pinned by the suite: all
-// methods and defenses against a representative victim × profile
-// corner (dnsmasq included because its small EDNS buffer flips the
-// FragDNS column), on the direct path (depth 0, stub attacker). The
-// slice keeps the suite fast; identity-derived cell seeds guarantee
-// these cells render identically inside any larger sweep.
+// methods and scalar defenses (lattice rank 1 — the historical axis,
+// whose singleton set keys keep the exact pre-lattice cell seeds)
+// against a representative victim × profile corner (dnsmasq included
+// because its small EDNS buffer flips the FragDNS column), on the
+// direct path (depth 0, stub attacker). The slice keeps the suite
+// fast; identity-derived cell seeds guarantee these cells render
+// identically inside any larger sweep.
 func goldenCampaignConfig() campaign.Config {
 	return campaign.Config{
 		Exec: goldenConfig(),
@@ -46,7 +49,8 @@ func goldenCampaignConfig() campaign.Config {
 			ChainDepths: []string{"0"},
 			Placements:  []string{"stub"},
 		},
-		Trials: 2,
+		Trials:      2,
+		LatticeRank: 1,
 	}
 }
 
@@ -66,14 +70,38 @@ func goldenChainConfig() campaign.Config {
 	}
 }
 
-// goldenCampaign / goldenChain run each pinned sweep once; matrix,
-// summary and depth-table artifacts render from the same cells.
+// goldenLatticeConfig is the defense-stacking slice: every method
+// against the web victim on BIND over the direct path, swept across
+// the default defense-set lattice (baseline, singletons, all pairs,
+// full stack) — the composition view campaign_lattice.txt pins.
+// Singleton cells are seed-identical to goldenCampaignConfig's, so
+// both artifacts must agree on the shared cells.
+func goldenLatticeConfig() campaign.Config {
+	return campaign.Config{
+		Exec: goldenConfig(),
+		Filter: campaign.Filter{
+			Victims:     []string{"web"},
+			Profiles:    []string{"bind"},
+			ChainDepths: []string{"0"},
+			Placements:  []string{"stub"},
+		},
+		Trials: 2,
+	}
+}
+
+// goldenCampaign / goldenChain / goldenLattice run each pinned sweep
+// once; matrix, summary, depth-table and lattice artifacts render from
+// the same cells.
 var goldenCampaign = sync.OnceValues(func() ([]campaign.CellResult, error) {
 	return campaign.Run(goldenCampaignConfig())
 })
 
 var goldenChain = sync.OnceValues(func() ([]campaign.CellResult, error) {
 	return campaign.Run(goldenChainConfig())
+})
+
+var goldenLattice = sync.OnceValues(func() ([]campaign.CellResult, error) {
+	return campaign.Run(goldenLatticeConfig())
 })
 
 func TestGoldenArtifacts(t *testing.T) {
@@ -138,6 +166,13 @@ func TestGoldenArtifacts(t *testing.T) {
 				t.Fatal(err)
 			}
 			return campaign.DepthTable(res).String()
+		}},
+		{"campaign_lattice", func(t *testing.T) string {
+			res, err := goldenLattice()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return campaign.Lattice(res).String()
 		}},
 	}
 	for _, a := range artifacts {

@@ -1,10 +1,12 @@
 // Package campaign sweeps the full attack space the paper only
 // samples: every §3 methodology against every Table 1 application
 // victim, under every Table 5 resolver implementation profile, for
-// every defense configuration, at every forwarder-chain depth, from
-// both attacker placements — a method × victim × profile × defense ×
-// chain-depth × placement cross-product executed as independent
-// simulation cells on the sharded experiment engine.
+// every defense SET of the stacking lattice (§6 countermeasures
+// composed, not just switched on one at a time), at every
+// forwarder-chain depth, from both attacker placements — a method ×
+// victim × profile × defense-set × chain-depth × placement
+// cross-product executed as independent simulation cells on the
+// sharded experiment engine.
 //
 // The paper demonstrates each victim against one hand-picked method
 // (Table 1) and compares the methods on one canonical scenario
@@ -156,34 +158,6 @@ func chainHops(s *scenario.S) []core.Hop {
 	return hops
 }
 
-// Defense is one registered defense configuration, applied to the
-// scenario config after the method's Prepare.
-type Defense struct {
-	Key   string
-	Name  string
-	Apply func(cfg *scenario.Config)
-}
-
-// Defenses returns the defense registry: the §6 countermeasures (plus
-// the undefended baseline), each switchable per cell.
-func Defenses() []Defense {
-	return []Defense{
-		{Key: "none", Name: "undefended baseline",
-			Apply: func(cfg *scenario.Config) {}},
-		{Key: "dnssec", Name: "signed zone + validating resolver",
-			Apply: func(cfg *scenario.Config) {
-				cfg.SignVictimZone = true
-				cfg.ValidateDNSSEC = true
-			}},
-		{Key: "0x20", Name: "0x20 query-name encoding",
-			Apply: func(cfg *scenario.Config) { cfg.Force0x20 = true }},
-		{Key: "no-rrl", Name: "response-rate limiting disabled",
-			Apply: func(cfg *scenario.Config) { cfg.ServerCfg.RateLimit = false }},
-		{Key: "shuffle", Name: "randomized answer-record order",
-			Apply: func(cfg *scenario.Config) { cfg.ServerCfg.RandomizeOrder = true }},
-	}
-}
-
 // ProfileEntry binds a filter key to a Table 5 resolver profile.
 type ProfileEntry struct {
 	Key     string
@@ -261,10 +235,19 @@ func Placements() []PlacementEntry {
 // Filter restricts the cross-product to the named registry keys; an
 // empty dimension means "all". Keys are matched case-insensitively.
 type Filter struct {
-	Methods     []string
-	Victims     []string
-	Profiles    []string
-	Defenses    []string
+	Methods  []string
+	Victims  []string
+	Profiles []string
+	// Defenses restricts the BASE defenses the stacking lattice is
+	// generated from (see DefenseSets); "none" is accepted and
+	// contributes nothing, since the undefended baseline is always
+	// part of the lattice. Mutually exclusive with DefenseSets.
+	Defenses []string
+	// DefenseSets picks exact defense stacks by canonical set key
+	// ("none", "0x20", "0x20+shuffle", ...; component order and case
+	// are normalised) out of the full power set, regardless of the
+	// configured lattice rank. Mutually exclusive with Defenses.
+	DefenseSets []string
 	ChainDepths []string
 	Placements  []string
 }
@@ -282,6 +265,11 @@ type Config struct {
 	// cell (the sample behind the success-rate and cost percentiles);
 	// 0 means DefaultTrials.
 	Trials int
+	// LatticeRank bounds the defense-set axis: every stack of up to
+	// LatticeRank base defenses is swept (1 reproduces the historical
+	// scalar axis, len(BaseDefenses) the full power set). 0 means the
+	// default lattice — rank DefaultLatticeRank plus the full stack.
+	LatticeRank int
 }
 
 // DefaultTrials is the per-cell sample size used when Config.Trials
@@ -293,24 +281,31 @@ type Cell struct {
 	Method    Method
 	Victim    apps.Victim
 	Profile   ProfileEntry
-	Defense   Defense
+	Defenses  DefenseSet
 	Depth     DepthEntry
 	Placement PlacementEntry
 }
 
 // Key returns the cell's stable identity
-// ("method/victim/profile/defense/depth/placement") — the string its
-// seed derives from.
+// ("method/victim/profile/defense-set/depth/placement") — the string
+// its seed derives from. The defense component is the set's canonical
+// key, so a singleton set keeps the exact identity (and therefore the
+// exact trial population) of the historical scalar axis.
 func (c Cell) Key() string {
-	return c.Method.Key + "/" + c.Victim.Key + "/" + c.Profile.Key + "/" + c.Defense.Key +
+	return c.Method.Key + "/" + c.Victim.Key + "/" + c.Profile.Key + "/" + c.Defenses.Key +
 		"/" + c.Depth.Key + "/" + c.Placement.Key
 }
 
-// Cells plans the (filtered) cross-product in deterministic order:
-// methods, then victims, then profiles, then defenses, then chain
-// depths, then placements, each in registry order. Unknown filter keys
-// are an error, not a silent empty sweep.
-func Cells(f Filter) ([]Cell, error) {
+// Cells plans the (filtered) cross-product at the default lattice
+// rank; see CellsAtRank.
+func Cells(f Filter) ([]Cell, error) { return CellsAtRank(f, 0) }
+
+// CellsAtRank plans the (filtered) cross-product in deterministic
+// order: methods, then victims, then profiles, then defense sets (the
+// stacking lattice bounded by latticeRank — see DefenseSets), then
+// chain depths, then placements, each in registry order. Unknown
+// filter keys are an error, not a silent empty sweep.
+func CellsAtRank(f Filter, latticeRank int) ([]Cell, error) {
 	methods, err := selected("method", Methods(), func(m Method) string { return m.Key }, f.Methods)
 	if err != nil {
 		return nil, err
@@ -323,7 +318,7 @@ func Cells(f Filter) ([]Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	defenses, err := selected("defense", Defenses(), func(d Defense) string { return d.Key }, f.Defenses)
+	defenses, err := defenseAxis(f, latticeRank)
 	if err != nil {
 		return nil, err
 	}
@@ -343,7 +338,7 @@ func Cells(f Filter) ([]Cell, error) {
 					for _, dep := range depths {
 						for _, pl := range placements {
 							cells = append(cells, Cell{Method: m, Victim: v, Profile: p,
-								Defense: d, Depth: dep, Placement: pl})
+								Defenses: d, Depth: dep, Placement: pl})
 						}
 					}
 				}
@@ -354,7 +349,9 @@ func Cells(f Filter) ([]Cell, error) {
 }
 
 // selected returns the registry entries matching the wanted keys (all
-// entries when want is empty), preserving registry order.
+// entries when want is empty), preserving registry order. Unknown keys
+// fail with the dimension's full valid-key list, so a CLI typo tells
+// the user what the registry actually offers.
 func selected[T any](dim string, all []T, key func(T) string, want []string) ([]T, error) {
 	if len(want) == 0 {
 		return all, nil
@@ -384,7 +381,12 @@ func selected[T any](dim string, all []T, key func(T) string, want []string) ([]
 			unknown = append(unknown, k)
 		}
 		sort.Strings(unknown)
-		return nil, fmt.Errorf("campaign: unknown %s key(s): %s", dim, strings.Join(unknown, ", "))
+		valid := make([]string, 0, len(all))
+		for _, e := range all {
+			valid = append(valid, key(e))
+		}
+		return nil, fmt.Errorf("campaign: unknown %s key(s): %s (valid: %s)",
+			dim, strings.Join(unknown, ", "), strings.Join(valid, ", "))
 	}
 	return out, nil
 }

@@ -15,7 +15,7 @@ func TestCellPlanFullProductAndOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := len(campaign.Methods()) * len(apps.Victims()) * len(campaign.Profiles()) *
-		len(campaign.Defenses()) * len(campaign.ChainDepths()) * len(campaign.Placements())
+		len(campaign.DefaultDefenseSets()) * len(campaign.ChainDepths()) * len(campaign.Placements())
 	if len(cells) != want {
 		t.Fatalf("full product has %d cells, want %d", len(cells), want)
 	}
@@ -52,7 +52,7 @@ func TestCellFilterSelectsAndRejects(t *testing.T) {
 		t.Fatalf("filtered plan has %d cells, want 2", len(cells))
 	}
 	for _, c := range cells {
-		if c.Method.Key != "frag" || c.Victim.Key != "web" || c.Defense.Key != "none" ||
+		if c.Method.Key != "frag" || c.Victim.Key != "web" || c.Defenses.Key != "none" ||
 			c.Depth.Key != "0" || c.Placement.Key != "stub" {
 			t.Fatalf("stray cell %q", c.Key())
 		}
@@ -85,7 +85,8 @@ func TestCampaignByteIdenticalAcrossParallelism(t *testing.T) {
 			ChainDepths: []string{"1"},
 			Placements:  []string{"carrier"},
 		},
-		Trials: 2,
+		Trials:      2,
+		LatticeRank: 1,
 	}
 	refRes, err := campaign.Run(base)
 	if err != nil {
@@ -164,7 +165,8 @@ func TestCampaignDefenseStory(t *testing.T) {
 		Exec: measure.Config{Seed: 1},
 		Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"},
 			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
-		Trials: 2,
+		Trials:      2,
+		LatticeRank: 1, // the historical scalar axis this test pins
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"crosslayer/internal/scenario"
+	"crosslayer/internal/stats"
+)
+
+// LatticeResult is the rendered defense-stacking report: per-set
+// poisoning rates and the marginal coverage every base defense adds on
+// top of every measured subset. String() concatenates both tables —
+// the artifact pinned as testdata/golden/campaign_lattice.txt.
+type LatticeResult struct {
+	// Sets is the per-set success table: one row per defense set in
+	// sweep order, one poisoning-rate column per method, aggregated
+	// over victims, profiles, chain depths and placements.
+	Sets *stats.Table
+	// Marginal is the marginal-coverage table: for each base defense d
+	// and each measured subset S not containing d (with S ∪ {d} also
+	// measured), the per-method drop in poisoning rate caused by
+	// stacking d on top of S, in percentage points. Positive values
+	// mean d blocks attacks the subset still let through; 0pp on a
+	// already-clean subset means d is redundant there.
+	Marginal *stats.Table
+}
+
+// String renders both lattice tables, blank-line separated.
+func (l LatticeResult) String() string { return l.Sets.String() + "\n" + l.Marginal.String() }
+
+// Lattice renders the defense-stacking view of a campaign run: which
+// sets stop which methods, and what each defense contributes beyond
+// every subset it can extend. At lattice rank 1 the Sets table
+// degenerates to the historical scalar method × defense summary
+// (transposed) and Marginal only reports each defense against the
+// undefended baseline.
+func Lattice(results []CellResult) LatticeResult {
+	type mk struct{ method, set string }
+	agg := map[mk]stats.Counter{}
+	var methods, sets []string
+	seenM, seenS := map[string]bool{}, map[string]bool{}
+	for _, r := range results {
+		if !seenM[r.Method] {
+			seenM[r.Method] = true
+			methods = append(methods, r.Method)
+		}
+		if !seenS[r.Defense] {
+			seenS[r.Defense] = true
+			sets = append(sets, r.Defense)
+		}
+		k := mk{r.Method, r.Defense}
+		agg[k] = agg[k].Plus(r.Poisoned)
+	}
+
+	setsTbl := &stats.Table{
+		Title:  "Campaign lattice: poisoning success by defense set × method (over victims × profiles × depths × placements)",
+		Header: append([]string{"Defense set", "Rank"}, methods...),
+	}
+	for _, s := range sets {
+		row := []string{s, fmt.Sprintf("%d", setRank(s))}
+		for _, m := range methods {
+			row = append(row, agg[mk{m, s}].Cell())
+		}
+		setsTbl.Add(row...)
+	}
+
+	marginal := &stats.Table{
+		Title:  "Campaign lattice: marginal coverage — Δ poisoning (pp) from stacking each defense on every measured subset",
+		Header: append([]string{"Defense", "On top of"}, methods...),
+	}
+	for _, d := range presentBaseDefenses(sets) {
+		for _, s := range sets {
+			if setContains(s, d) {
+				continue
+			}
+			super := DefenseSetKey(append(setComponents(s), d))
+			if !seenS[super] {
+				continue
+			}
+			row := []string{d, s}
+			for _, m := range methods {
+				before, after := agg[mk{m, s}], agg[mk{m, super}]
+				if before.Total == 0 || after.Total == 0 {
+					row = append(row, "n/a")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%+.0fpp", 100*(before.Frac()-after.Frac())))
+			}
+			marginal.Add(row...)
+		}
+	}
+	return LatticeResult{Sets: setsTbl, Marginal: marginal}
+}
+
+// setComponents splits a canonical set key into its base-defense keys
+// (empty for "none").
+func setComponents(key string) []string {
+	if key == NoDefenseKey || key == "" {
+		return nil
+	}
+	return strings.Split(key, "+")
+}
+
+// setRank returns the number of defenses stacked in a canonical set
+// key.
+func setRank(key string) int { return len(setComponents(key)) }
+
+// setContains reports whether the canonical set key stacks the base
+// defense.
+func setContains(key, base string) bool {
+	for _, c := range setComponents(key) {
+		if c == base {
+			return true
+		}
+	}
+	return false
+}
+
+// presentBaseDefenses returns the base defenses appearing in any of
+// the measured set keys, in base-registry order — the rows of the
+// marginal table.
+func presentBaseDefenses(setKeys []string) []string {
+	present := map[string]bool{}
+	for _, s := range setKeys {
+		for _, c := range setComponents(s) {
+			present[c] = true
+		}
+	}
+	var out []string
+	for _, d := range scenario.BaseDefenses() {
+		if present[d.Key] {
+			out = append(out, d.Key)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package campaign_test
+
+import (
+	"strings"
+	"testing"
+
+	"crosslayer/internal/campaign"
+	"crosslayer/internal/measure"
+)
+
+// TestRenderEmptyResults: every renderer must survive a sweep that
+// produced no cells (e.g. a future conditional filter) — headers only,
+// no panic, no stray rows.
+func TestRenderEmptyResults(t *testing.T) {
+	if got := campaign.Matrix(nil); len(got.Rows) != 0 || got.String() == "" {
+		t.Fatalf("empty matrix: %d rows\n%s", len(got.Rows), got)
+	}
+	if got := campaign.Summary(nil); len(got.Rows) != 0 || got.String() == "" {
+		t.Fatalf("empty summary: %d rows\n%s", len(got.Rows), got)
+	}
+	if got := campaign.DepthTable(nil); len(got.Rows) != 0 || got.String() == "" {
+		t.Fatalf("empty depth table: %d rows\n%s", len(got.Rows), got)
+	}
+	lat := campaign.Lattice(nil)
+	if len(lat.Sets.Rows) != 0 || len(lat.Marginal.Rows) != 0 || lat.String() == "" {
+		t.Fatalf("empty lattice: %d set rows, %d marginal rows", len(lat.Sets.Rows), len(lat.Marginal.Rows))
+	}
+}
+
+// TestRenderSingleCell: a one-cell sweep renders a one-row matrix and
+// one-row aggregates.
+func TestRenderSingleCell(t *testing.T) {
+	res, err := campaign.Run(campaign.Config{
+		Exec: measure.Config{Seed: 5},
+		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web"},
+			Profiles: []string{"bind"}, DefenseSets: []string{"none"},
+			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+		Trials: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("%d cells, want 1", len(res))
+	}
+	if got := campaign.Matrix(res); len(got.Rows) != 1 {
+		t.Fatalf("single-cell matrix has %d rows", len(got.Rows))
+	}
+	if got := campaign.Summary(res); len(got.Rows) != 1 || len(got.Header) != 2 {
+		t.Fatalf("single-cell summary %d rows × %d cols", len(got.Rows), len(got.Header))
+	}
+	lat := campaign.Lattice(res)
+	if len(lat.Sets.Rows) != 1 {
+		t.Fatalf("single-cell lattice has %d set rows", len(lat.Sets.Rows))
+	}
+	// One baseline cell: nothing to take a marginal against.
+	if len(lat.Marginal.Rows) != 0 {
+		t.Fatalf("single-cell lattice has %d marginal rows", len(lat.Marginal.Rows))
+	}
+}
+
+// TestDepthTableWithoutChainCells: a depth-0-only sweep renders a
+// depth table with exactly the one depth column — no phantom chain
+// columns.
+func TestDepthTableWithoutChainCells(t *testing.T) {
+	res, err := campaign.Run(campaign.Config{
+		Exec: measure.Config{Seed: 6},
+		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web"},
+			Profiles: []string{"bind"}, DefenseSets: []string{"none"},
+			ChainDepths: []string{"0"}},
+		Trials: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := campaign.DepthTable(res)
+	if want := []string{"Method", "Placement", "depth 0"}; len(tbl.Header) != len(want) {
+		t.Fatalf("depth-0-only header %v, want %v", tbl.Header, want)
+	}
+	if len(tbl.Rows) != 2 { // hijack × {stub, carrier}
+		t.Fatalf("depth-0-only table has %d rows", len(tbl.Rows))
+	}
+	if strings.Contains(tbl.String(), "depth 1") {
+		t.Fatalf("phantom chain column:\n%s", tbl)
+	}
+}
+
+// TestLatticeRankOneDegeneratesToScalarSummary: at lattice rank 1 the
+// lattice's Sets table carries exactly the information of the scalar
+// method × defense Summary (transposed), and the marginal table only
+// measures each defense against the undefended baseline.
+func TestLatticeRankOneDegeneratesToScalarSummary(t *testing.T) {
+	res, err := campaign.Run(campaign.Config{
+		Exec: measure.Config{Seed: 9},
+		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web"},
+			Profiles: []string{"bind"}, ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+		Trials:      1,
+		LatticeRank: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := campaign.Lattice(res)
+	summary := campaign.Summary(res)
+	// Summary: one row per method, one column per scalar defense.
+	// Lattice sets: one row per scalar defense, one column per method.
+	if len(lat.Sets.Rows) != len(summary.Header)-1 {
+		t.Fatalf("lattice has %d set rows, summary %d defense columns",
+			len(lat.Sets.Rows), len(summary.Header)-1)
+	}
+	for i, row := range lat.Sets.Rows {
+		set, rank, rate := row[0], row[1], row[2]
+		if set != summary.Header[i+1] {
+			t.Errorf("set row %d is %q, summary column is %q", i, set, summary.Header[i+1])
+		}
+		wantRank := "1"
+		if set == "none" {
+			wantRank = "0"
+		}
+		if rank != wantRank {
+			t.Errorf("set %q rank %s, want %s", set, rank, wantRank)
+		}
+		if rate != summary.Rows[0][i+1] {
+			t.Errorf("set %q rate %s, summary cell %s", set, rate, summary.Rows[0][i+1])
+		}
+	}
+	for _, row := range lat.Marginal.Rows {
+		if row[1] != "none" {
+			t.Errorf("rank-1 marginal row %v not against the baseline", row)
+		}
+	}
+	if len(lat.Marginal.Rows) != 4 {
+		t.Fatalf("%d marginal rows, want 4 (one per base defense)", len(lat.Marginal.Rows))
+	}
+}

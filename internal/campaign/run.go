@@ -12,7 +12,8 @@ import (
 // its trials.
 type CellResult struct {
 	// Method/Victim/Profile/Defense/Depth/Placement are the cell's
-	// registry keys.
+	// registry keys; Defense is the canonical defense-set key
+	// ("none", "0x20", "0x20+shuffle", ...).
 	Method, Victim, Profile, Defense, Depth, Placement string
 	// Trials is the per-cell sample size.
 	Trials int
@@ -35,7 +36,7 @@ type CellResult struct {
 // scenario from an identity-derived seed. Results come back in cell
 // order regardless of scheduling.
 func Run(cfg Config) ([]CellResult, error) {
-	cells, err := Cells(cfg.Filter)
+	cells, err := CellsAtRank(cfg.Filter, cfg.LatticeRank)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +68,7 @@ func Run(cfg Config) ([]CellResult, error) {
 func runCell(c Cell, baseSeed int64, trials int) CellResult {
 	res := CellResult{
 		Method: c.Method.Key, Victim: c.Victim.Key,
-		Profile: c.Profile.Key, Defense: c.Defense.Key,
+		Profile: c.Profile.Key, Defense: c.Defenses.Key,
 		Depth: c.Depth.Key, Placement: c.Placement.Key,
 		Trials: trials,
 	}
@@ -92,13 +93,16 @@ func runCell(c Cell, baseSeed int64, trials int) CellResult {
 // runTrial builds the cell's private world and plays it end to end:
 // deploy the victim, run the attack against the victim's query name
 // (triggered through the cell's forwarder chain), read the chain's
-// cache ground truth, then exercise the application.
+// cache ground truth, then exercise the application. The cell's
+// defense stack rides scenario.Config.Defenses, whose pipeline runs
+// inside New — after the method's Prepare, so defenses always get the
+// last word.
 func runTrial(c Cell, seed int64) (poisoned, impact bool, r core.Result) {
 	scfg := baseScenarioConfig(seed, c.Profile.Profile)
 	scfg.ForwarderChain = c.Depth.Chain
 	scfg.Placement = c.Placement.Placement
 	c.Method.Prepare(&scfg)
-	c.Defense.Apply(&scfg)
+	scfg.Defenses = c.Defenses.Specs
 	s := scenario.New(scfg)
 	exercise := c.Victim.Deploy(s)
 	atk := c.Method.New(s, c.Victim.QName)

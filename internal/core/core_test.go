@@ -364,7 +364,7 @@ func TestSamePrefixInterceptionRateOnScenarioTopo(t *testing.T) {
 // marker), so the reassembled answer is rejected as bogus and the
 // cache stays clean — §6.1's "DNSSEC prevents the attacks".
 func TestFragDNSDefeatedByDNSSEC(t *testing.T) {
-	cfg := scenario.Config{Seed: 45, SignVictimZone: true, ValidateDNSSEC: true}
+	cfg := scenario.Config{Seed: 45, Defenses: []scenario.DefenseSpec{scenario.DefenseDNSSEC()}}
 	cfg.ServerCfg = dnssrv.DefaultConfig()
 	cfg.ServerCfg.PadAnswersTo = 1200
 	s := scenario.New(cfg)
@@ -388,7 +388,7 @@ func TestFragDNSDefeatedByDNSSEC(t *testing.T) {
 // values but cannot sign the spoofed records, so a validating resolver
 // discards the forged answer.
 func TestHijackDNSDefeatedByDNSSEC(t *testing.T) {
-	s := scenario.New(scenario.Config{Seed: 46, SignVictimZone: true, ValidateDNSSEC: true})
+	s := scenario.New(scenario.Config{Seed: 46, Defenses: []scenario.DefenseSpec{scenario.DefenseDNSSEC()}})
 	atk := &core.HijackDNS{
 		Attacker:     s.Attacker,
 		HijackPrefix: netip.MustParsePrefix("123.0.0.0/24"),

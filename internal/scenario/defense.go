@@ -1,0 +1,91 @@
+package scenario
+
+// DefenseSpec is one composable §6 countermeasure: a named,
+// first-class unit of the scenario's defense pipeline. Config.Defenses
+// carries an ordered list of specs; New applies each spec's Apply hook
+// in order, after every other configuration field is fixed, so
+// defenses always get the last word on shared knobs.
+//
+// Pipeline rules (see DESIGN.md "The defense pipeline"):
+//
+//   - Apply runs against the Config under construction and mutates
+//     whatever state the countermeasure touches — the resolver
+//     behaviour profile (cfg.Profile), the authoritative server
+//     (cfg.ServerCfg), zone properties (cfg.SignVictimZone) — through
+//     this one hook; there is no per-defense boolean on Config.
+//   - Specs are applied in slice order; when two specs touch the same
+//     field, the later one wins (last-writer-wins).
+//   - Every canonical spec is idempotent (it sets fields absolutely,
+//     never toggles), so the canonical specs commute: any stacking
+//     order of distinct canonical specs builds the same scenario.
+type DefenseSpec struct {
+	// Key is the stable registry identifier used in campaign filters,
+	// defense-set keys and rendered matrices ("dnssec", "0x20", ...).
+	Key string
+	// Name is the display form.
+	Name string
+	// Apply mutates the scenario configuration under construction.
+	Apply func(cfg *Config)
+}
+
+// DefenseDNSSEC signs the victim zone and makes the resolver validate:
+// answers without a valid covering RRSIG for a known-signed zone are
+// rejected (§6.1, "DNSSEC prevents the attacks").
+func DefenseDNSSEC() DefenseSpec {
+	return DefenseSpec{
+		Key: "dnssec", Name: "signed zone + validating resolver",
+		Apply: func(cfg *Config) {
+			cfg.SignVictimZone = true
+			cfg.Profile.ValidateDNSSEC = true
+		},
+	}
+}
+
+// Defense0x20 makes the resolver 0x20-encode query names and require
+// responses to echo the exact case, whatever the selected profile's
+// default is.
+func Defense0x20() DefenseSpec {
+	return DefenseSpec{
+		Key: "0x20", Name: "0x20 query-name encoding",
+		Apply: func(cfg *Config) { cfg.Profile.Use0x20 = true },
+	}
+}
+
+// DefenseNoRRL disables the authoritative server's response-rate
+// limiting — the §6.2 recommendation, since RRL is the muting lever
+// the SadDNS side channel needs.
+func DefenseNoRRL() DefenseSpec {
+	return DefenseSpec{
+		Key: "no-rrl", Name: "response-rate limiting disabled",
+		Apply: func(cfg *Config) { cfg.ServerCfg.RateLimit = false },
+	}
+}
+
+// DefenseShuffle randomizes the authoritative server's answer-record
+// order, so an injected fragment tail no longer matches the genuine
+// first fragment's UDP checksum (§6.1).
+func DefenseShuffle() DefenseSpec {
+	return DefenseSpec{
+		Key: "shuffle", Name: "randomized answer-record order",
+		Apply: func(cfg *Config) { cfg.ServerCfg.RandomizeOrder = true },
+	}
+}
+
+// BaseDefenses returns the canonical §6 countermeasure registry in
+// paper order — the stackable units the campaign's defense-set lattice
+// composes.
+func BaseDefenses() []DefenseSpec {
+	return []DefenseSpec{DefenseDNSSEC(), Defense0x20(), DefenseNoRRL(), DefenseShuffle()}
+}
+
+// applyDefenses runs the configured defense pipeline over the config
+// in order. It is called by New once every other field is defaulted,
+// so spec hooks see (and override) the final profile and server
+// configuration.
+func applyDefenses(cfg *Config) {
+	for _, d := range cfg.Defenses {
+		if d.Apply != nil {
+			d.Apply(cfg)
+		}
+	}
+}

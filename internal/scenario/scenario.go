@@ -119,18 +119,14 @@ type Config struct {
 	// OpenResolver makes the victim resolver answer external clients.
 	OpenResolver bool
 
-	// Defense knobs (the campaign matrix's defense dimension). Each
-	// overrides the corresponding Profile behaviour, so a defense can
-	// be switched on for any implementation profile without editing the
-	// profile itself.
-
-	// Force0x20 makes the resolver 0x20-encode query names and require
-	// the response to echo the exact case.
-	Force0x20 bool
-	// ValidateDNSSEC makes the resolver reject answers without a valid
-	// RRSIG for zones it knows to be signed; pair with SignVictimZone
-	// for the victim zone to be protected.
-	ValidateDNSSEC bool
+	// Defenses is the ordered §6 countermeasure pipeline (the campaign
+	// matrix's defense axis). New applies each spec in order after
+	// every other field is defaulted, so a spec can override the
+	// selected profile or server behaviour without editing either —
+	// and specs stack: Defenses{Defense0x20(), DefenseShuffle()} builds
+	// a scenario hardened by both. See DefenseSpec for the pipeline's
+	// ordering and idempotence rules.
+	Defenses []DefenseSpec
 
 	// ForwarderChain inserts open DNS forwarders between the client and
 	// the recursive resolver (§4.3): the client queries hop 0, hop i
@@ -174,15 +170,10 @@ func New(cfg Config) *S {
 	if cfg.Profile.Name == "" {
 		cfg.Profile = resolver.ProfileBIND
 	}
-	if cfg.Force0x20 {
-		cfg.Profile.Use0x20 = true
-	}
-	if cfg.ValidateDNSSEC {
-		cfg.Profile.ValidateDNSSEC = true
-	}
 	if cfg.ServerCfg == (dnssrv.Config{}) {
 		cfg.ServerCfg = dnssrv.DefaultConfig()
 	}
+	applyDefenses(&cfg)
 	clock := sim.NewClock(cfg.Seed)
 	topo := bgp.NewTopology()
 	topo.AddAS(TransitAS, 1)

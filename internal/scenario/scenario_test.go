@@ -245,19 +245,23 @@ func TestCarrierPlacement(t *testing.T) {
 	}
 }
 
-// TestDefenseKnobOverrides pins the campaign defense knobs: Force0x20
-// and ValidateDNSSEC override the selected profile without editing it.
-func TestDefenseKnobOverrides(t *testing.T) {
+// TestDefensePipelineOverridesProfile pins the defense pipeline: a
+// stacked Defense0x20 + DefenseDNSSEC override the selected profile
+// (and sign the zone) without editing the shared profile value.
+func TestDefensePipelineOverridesProfile(t *testing.T) {
 	s := scenario.New(scenario.Config{Seed: 90, Profile: resolver.ProfileBIND,
-		Force0x20: true, ValidateDNSSEC: true, SignVictimZone: true})
+		Defenses: []scenario.DefenseSpec{scenario.Defense0x20(), scenario.DefenseDNSSEC()}})
 	if !s.Resolver.Prof.Use0x20 {
-		t.Fatal("Force0x20 did not reach the resolver profile")
+		t.Fatal("Defense0x20 did not reach the resolver profile")
 	}
 	if !s.Resolver.Prof.ValidateDNSSEC {
-		t.Fatal("ValidateDNSSEC did not reach the resolver profile")
+		t.Fatal("DefenseDNSSEC did not reach the resolver profile")
+	}
+	if !s.VictimZone.Signed {
+		t.Fatal("DefenseDNSSEC did not sign the victim zone")
 	}
 	if resolver.ProfileBIND.Use0x20 || resolver.ProfileBIND.ValidateDNSSEC {
-		t.Fatal("knobs mutated the shared profile value")
+		t.Fatal("defense specs mutated the shared profile value")
 	}
 	// A validating resolver must still resolve the genuine signed zone.
 	var rrs []*dnswire.RR
@@ -266,5 +270,44 @@ func TestDefenseKnobOverrides(t *testing.T) {
 	s.Run()
 	if err != nil || len(rrs) == 0 {
 		t.Fatalf("signed-zone lookup under both defenses: rrs=%d err=%v", len(rrs), err)
+	}
+}
+
+// TestDefensePipelineOrderAndIdempotence pins the pipeline rules the
+// lattice relies on: applying a spec twice equals applying it once,
+// specs run in slice order (the later writer wins on shared state),
+// and any stacking order of the canonical specs builds the same
+// scenario configuration.
+func TestDefensePipelineOrderAndIdempotence(t *testing.T) {
+	observe := func(defs ...scenario.DefenseSpec) (bool, bool, bool, bool) {
+		s := scenario.New(scenario.Config{Seed: 91, Defenses: defs})
+		return s.Resolver.Prof.Use0x20, s.Resolver.Prof.ValidateDNSSEC,
+			s.VictimZone.Signed, s.NS.Cfg.RandomizeOrder
+	}
+	once := [4]bool{}
+	once[0], once[1], once[2], once[3] = observe(scenario.Defense0x20(), scenario.DefenseDNSSEC(), scenario.DefenseShuffle())
+	twice := [4]bool{}
+	twice[0], twice[1], twice[2], twice[3] = observe(scenario.Defense0x20(), scenario.Defense0x20(),
+		scenario.DefenseDNSSEC(), scenario.DefenseShuffle(), scenario.DefenseShuffle())
+	if once != twice {
+		t.Fatalf("canonical specs not idempotent: once %v twice %v", once, twice)
+	}
+	reversed := [4]bool{}
+	reversed[0], reversed[1], reversed[2], reversed[3] = observe(scenario.DefenseShuffle(), scenario.DefenseDNSSEC(), scenario.Defense0x20())
+	if once != reversed {
+		t.Fatalf("canonical specs do not commute: forward %v reversed %v", once, reversed)
+	}
+	// Slice order is the application order: a later conflicting spec
+	// overrides an earlier one.
+	on := scenario.DefenseSpec{Key: "rrl-on", Apply: func(cfg *scenario.Config) { cfg.ServerCfg.RateLimit = true }}
+	s := scenario.New(scenario.Config{Seed: 92,
+		Defenses: []scenario.DefenseSpec{on, scenario.DefenseNoRRL()}})
+	if s.NS.Cfg.RateLimit {
+		t.Fatal("later spec did not win over earlier conflicting spec")
+	}
+	s = scenario.New(scenario.Config{Seed: 92,
+		Defenses: []scenario.DefenseSpec{scenario.DefenseNoRRL(), on}})
+	if !s.NS.Cfg.RateLimit {
+		t.Fatal("pipeline did not apply specs in slice order")
 	}
 }
