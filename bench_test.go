@@ -11,6 +11,7 @@ package crosslayer_test
 // populations; their per-op cost documents what `cmd/xlmeasure` does.
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"runtime"
@@ -91,8 +92,9 @@ func BenchmarkTable3Parallel(b *testing.B) {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := measure.Config{Seed: int64(i), Parallelism: p}
-				if r := measure.ScanResolverDataset(spec, 5000, cfg); r.Scanned != 5000 {
-					b.Fatalf("scanned %d", r.Scanned)
+				r, err := measure.ScanResolverDataset(context.Background(), spec, 5000, cfg)
+				if err != nil || r.Scanned != 5000 {
+					b.Fatalf("scanned %d (%v)", r.Scanned, err)
 				}
 			}
 		})
@@ -108,8 +110,9 @@ func BenchmarkTable4Parallel(b *testing.B) {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := measure.Config{Seed: int64(i), Parallelism: p, ShardSize: 64}
-				if r := measure.ScanDomainDataset(spec, 512, cfg); r.Scanned != 512 {
-					b.Fatalf("scanned %d", r.Scanned)
+				r, err := measure.ScanDomainDataset(context.Background(), spec, 512, cfg)
+				if err != nil || r.Scanned != 512 {
+					b.Fatalf("scanned %d (%v)", r.Scanned, err)
 				}
 			}
 		})
@@ -211,6 +214,39 @@ func BenchmarkCampaignChain(b *testing.B) {
 		}
 		if len(res) != 24 {
 			b.Fatalf("%d cells", len(res))
+		}
+	}
+}
+
+// BenchmarkReportRender isolates the Report indirection on the
+// campaign hot path: cells are computed once, and each iteration
+// builds the full four-view Report family and renders it to text —
+// the work the old renderers did directly on strings. Compare against
+// BenchmarkCampaign/BenchmarkCampaignLattice (which include the
+// simulation) to see that building structured Reports instead of
+// formatted text adds no measurable cost.
+func BenchmarkReportRender(b *testing.B) {
+	cells, err := campaign.Run(campaign.Config{
+		Exec: measure.Config{Seed: 1},
+		Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"},
+			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+		Trials: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, rep := range []crosslayer.TableResult{
+			campaign.Matrix(cells), campaign.Summary(cells),
+			campaign.DepthTable(cells), campaign.Lattice(cells),
+		} {
+			n += len(rep.String())
+		}
+		if n == 0 {
+			b.Fatal("empty render")
 		}
 	}
 }

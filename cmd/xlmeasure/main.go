@@ -1,24 +1,33 @@
-// Command xlmeasure regenerates the paper's evaluation artifacts:
-// every table (1–6) and figure (1–5) of "From IP to Transport and
-// Beyond" on the synthetic populations described in DESIGN.md, plus
-// the campaign matrix — the method × victim × profile × defense
-// cross-product the paper only samples.
+// Command xlmeasure regenerates the paper's evaluation artifacts
+// through the experiment registry: every table (1–6) and figure (3–5)
+// of "From IP to Transport and Beyond" on the synthetic populations
+// described in DESIGN.md, the same-prefix and forwarder studies, and
+// the campaign matrix — the method × victim × profile × defense-set ×
+// chain-depth × placement cross-product the paper only samples.
 //
 // Population scans fan out over the sharded experiment engine, so the
 // default sample cap is 10k items per dataset (the paper's populations
 // reach 1.58M; raise -n to scan more). Output depends only on -n,
-// -seed and -shard-size (and, for campaign, the filters and -trials):
-// any -parallel value produces byte-identical tables.
+// -seed and -shard-size (and, for campaign, the filters, -trials and
+// -lattice-rank): any -parallel value produces byte-identical output.
+// Ctrl-C cancels a sweep at the next shard boundary.
 //
 // Usage:
 //
-//	xlmeasure [-exp all|table1|table2|table3|table4|table5|table6|
-//	           fig1|fig2|fig3|fig4|fig5|samehijack|forwarders|campaign]
+//	xlmeasure -list
+//	xlmeasure [-exp all|<experiment>] [-format text|json|csv|md]
 //	          [-n sampleCap] [-seed N] [-parallel workers]
-//	          [-shard-size items] [-quiet]
+//	          [-shard-size items] [-sad-ports N] [-quiet]
 //	          [-methods m,...] [-victims v,...] [-profiles p,...]
 //	          [-defenses d,...] [-defense-sets s,...] [-lattice-rank N]
 //	          [-chain-depths n,...] [-placement p,...] [-trials N]
+//
+// -list prints the registry: every experiment name with its title.
+// -exp takes a registry name (fig1/fig2 are message-sequence demos
+// and print a pointer to their example program instead); an unknown
+// name exits non-zero listing the valid keys, and so does a failed
+// run. -format selects the renderer: text (the golden-artifact form),
+// json (lossless, machine-readable), csv or md.
 //
 // Campaign filters take registry keys (empty means the full axis):
 // methods hijack,saddns,frag; victims radius,xmpp,smtp,web,ntp,
@@ -37,21 +46,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"crosslayer/internal/campaign"
-	"crosslayer/internal/measure"
+	"crosslayer"
 )
 
+// sequenceDemos are the figures that are message sequences, not
+// regenerable artifacts: the CLI points at their runnable example.
+var sequenceDemos = map[string]string{
+	"fig1": "Figure 1 is the SadDNS message sequence; run:  go run ./examples/saddns",
+	"fig2": "Figure 2 is the FragDNS message sequence; run:  go run ./examples/fragdns",
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to regenerate")
+	exp := flag.String("exp", "all", "experiment to regenerate (see -list)")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
+	format := flag.String("format", "text", "output renderer: text|json|csv|md")
 	n := flag.Int("n", 10000, "sample cap per dataset; 0 = full paper-size populations, up to 1.58M (see DESIGN.md)")
 	seed := flag.Int64("seed", 42, "population seed")
 	parallel := flag.Int("parallel", 0, "shard workers; 0 = GOMAXPROCS (never changes results)")
 	shardSize := flag.Int("shard-size", 0, "population items per simulation shard; 0 = engine default")
+	sadPorts := flag.Int("sad-ports", 0, "resolver port span the end-to-end SadDNS runs scan; 0 = per-experiment default")
 	quiet := flag.Bool("quiet", false, "suppress per-dataset progress on stderr")
 	methods := flag.String("methods", "", "campaign: comma-separated method keys (empty = all)")
 	victims := flag.String("victims", "", "campaign: comma-separated victim keys (empty = all)")
@@ -64,113 +84,117 @@ func main() {
 	trials := flag.Int("trials", 0, "campaign: attack trials per cell; 0 = default (3)")
 	flag.Parse()
 
-	// cfg executes one experiment under the engine, labelling progress
+	if *list {
+		for _, e := range crosslayer.ListExperiments() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	// Ctrl-C cancels in-flight sweeps at the next shard boundary; the
+	// run then exits non-zero through the normal error path.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// spec executes one experiment under the engine, labelling progress
 	// lines with the experiment name.
-	cfg := func(experiment string) measure.Config {
-		c := measure.Config{
+	spec := func(experiment string) crosslayer.ExperimentSpec {
+		s := crosslayer.ExperimentSpec{
 			SampleCap:   *n,
 			Seed:        *seed,
 			Parallelism: *parallel,
 			ShardSize:   *shardSize,
+			SadPorts:    *sadPorts,
+			Methods:     splitKeys(*methods),
+			Victims:     splitKeys(*victims),
+			Profiles:    splitKeys(*profiles),
+			Defenses:    splitKeys(*defenses),
+			DefenseSets: splitKeys(*defenseSets),
+			ChainDepths: splitKeys(*chainDepths),
+			Placements:  splitKeys(*placement),
+			Trials:      *trials,
+			LatticeRank: *latticeRank,
 		}
 		if !*quiet {
-			c.Progress = progressPrinter(experiment)
+			s.Progress = progressPrinter(experiment)
 		}
-		return c
+		return s
 	}
 
-	run := map[string]func(){
-		"table1": func() { fmt.Println(measure.Table1()) },
-		"table2": func() { fmt.Println(measure.Table2()) },
-		"table3": func() {
-			tbl, _ := measure.Table3Run(cfg("table3"))
-			fmt.Println(tbl)
-		},
-		"table4": func() {
-			tbl, _ := measure.Table4Run(cfg("table4"))
-			fmt.Println(tbl)
-		},
-		"table5": func() {
-			tbl, _ := measure.Table5Run(cfg("table5"))
-			fmt.Println(tbl)
-		},
-		"table6": func() {
-			fmt.Println("running the three attacks end-to-end (SadDNS scans a 2000-port range)...")
-			tbl, cmp := measure.Table6Run(cfg("table6"), 2000)
-			fmt.Println(tbl)
-			fmt.Printf("same-prefix interception (simulated, paper ~80%%): %.0f%%\n", cmp.SamePrefixRate*100)
-		},
-		"campaign": func() {
-			ccfg := campaign.Config{
-				Exec:        cfg("campaign"),
-				Trials:      *trials,
-				LatticeRank: *latticeRank,
-				Filter: campaign.Filter{
-					Methods:     splitKeys(*methods),
-					Victims:     splitKeys(*victims),
-					Profiles:    splitKeys(*profiles),
-					Defenses:    splitKeys(*defenses),
-					DefenseSets: splitKeys(*defenseSets),
-					ChainDepths: splitKeys(*chainDepths),
-					Placements:  splitKeys(*placement),
-				},
+	// run executes and renders one experiment, reporting whether it
+	// succeeded.
+	run := func(name string) bool {
+		rep, err := crosslayer.RunContext(ctx, name, spec(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		out, err := crosslayer.RenderReport(rep, *format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		os.Stdout.Write(out)
+		if *format == "text" {
+			// Notes are metadata the byte-stable text artifact omits;
+			// surface them after it, like the historical CLI did.
+			for _, note := range rep.Notes {
+				fmt.Println(note)
 			}
-			res, err := campaign.Run(ccfg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			fmt.Println(campaign.Matrix(res))
-			fmt.Println(campaign.Summary(res))
-			fmt.Println(campaign.DepthTable(res))
-			fmt.Println(campaign.Lattice(res))
-		},
-		"fig1": func() {
-			fmt.Println("Figure 1 is the SadDNS message sequence; run:  go run ./examples/saddns")
-		},
-		"fig2": func() {
-			fmt.Println("Figure 2 is the FragDNS message sequence; run:  go run ./examples/fragdns")
-		},
-		"fig3": func() {
-			out, _ := measure.Figure3Run(cfg("fig3"))
-			fmt.Println(out)
-		},
-		"fig4": func() {
-			out, _, _ := measure.Figure4Run(cfg("fig4"))
-			fmt.Println(out)
-		},
-		"fig5": func() {
-			out, _, _ := measure.Figure5Run(cfg("fig5"))
-			fmt.Println(out)
-		},
-		"samehijack": func() {
-			cmp := measure.RunComparisonWith(measure.Config{Seed: *seed, Parallelism: *parallel}, 400)
-			fmt.Printf("same-prefix hijack interception over random (stub victim, carrier attacker) pairs: %.0f%% (paper: ~80%%)\n",
-				cmp.SamePrefixRate*100)
-		},
-		"forwarders": func() {
-			reach, shared := measure.ForwarderStudy(10000, *seed)
-			fmt.Printf("recursive resolvers reachable via an open forwarder: %.0f%% (paper: 79%%)\n", reach*100)
-			fmt.Printf("open resolvers with cross-application shared caches:  %.0f%% (paper: 69%%)\n", shared*100)
-			fmt.Printf("dynamic end-to-end forwarder trigger check: %v\n", measure.VerifyForwarderPath(*seed))
-			fmt.Printf("dynamic depth-3 forwarder chain check:      %v\n", measure.VerifyForwarderChain(*seed, 3))
-		},
+		}
+		return true
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "table4", "table5", "table6",
-			"fig3", "fig4", "fig5", "samehijack", "forwarders", "campaign"} {
-			fmt.Printf("\n######## %s ########\n", strings.ToUpper(name))
-			run[name]()
+		// The section banners are narration: with the text renderer
+		// they frame the artifacts on stdout as they always did, but
+		// machine-readable formats keep stdout pure (the banners move
+		// to stderr so concatenated documents stay parseable).
+		banner := os.Stdout
+		if *format != "text" {
+			banner = os.Stderr
+		}
+		for _, e := range crosslayer.ListExperiments() {
+			fmt.Fprintf(banner, "\n######## %s ########\n", strings.ToUpper(e.Name))
+			if !run(e.Name) {
+				os.Exit(1)
+			}
 		}
 		return
 	}
-	fn, ok := run[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+	if msg, ok := sequenceDemos[*exp]; ok {
+		fmt.Println(msg)
+		return
+	}
+	if !known(*exp) {
+		// Usage error, not run failure: print the registry's
+		// valid-key listing and exit 2 like every other bad flag.
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n", *exp, strings.Join(registryNames(), ", "))
 		os.Exit(2)
 	}
-	fn()
+	if !run(*exp) {
+		os.Exit(1)
+	}
+}
+
+// known reports whether name is a registered experiment.
+func known(name string) bool {
+	for _, e := range crosslayer.ListExperiments() {
+		if e.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// registryNames returns the registered experiment names in canonical
+// order.
+func registryNames() []string {
+	var names []string
+	for _, e := range crosslayer.ListExperiments() {
+		names = append(names, e.Name)
+	}
+	return names
 }
 
 // splitKeys parses a comma-separated filter flag; empty means "all".
@@ -190,9 +214,10 @@ func splitKeys(s string) []string {
 // progressPrinter renders per-dataset shard completions on stderr: a
 // carriage-return ticker while a dataset scan is in flight, finalized
 // with a newline when its last shard lands. Progress goes to stderr so
-// redirected table output stays clean and byte-stable.
-func progressPrinter(experiment string) func(measure.ProgressEvent) {
-	return func(ev measure.ProgressEvent) {
+// redirected artifact output stays clean and byte-stable in every
+// format.
+func progressPrinter(experiment string) func(crosslayer.ExperimentProgress) {
+	return func(ev crosslayer.ExperimentProgress) {
 		fmt.Fprintf(os.Stderr, "\r[%s] %-22s %d items, shard %d/%d",
 			experiment, ev.Dataset, ev.Items, ev.DoneShards, ev.TotalShards)
 		if ev.DoneShards == ev.TotalShards {

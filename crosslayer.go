@@ -22,6 +22,24 @@
 // examples/ show typical use, and cmd/xlmeasure regenerates the
 // paper's tables.
 //
+// # Experiments
+//
+// Every evaluation artifact is a registered experiment: List
+// Experiments enumerates the registry (tables 1–6, figures 3–5, the
+// same-prefix and forwarder studies, the campaign sweep), and
+// Run(name, spec) executes one by canonical name with a uniform
+// (*Report, error) return. A Report is structured data — named
+// sections of typed columns and rows — rendered on demand as text
+// (byte-identical to the golden artifacts), JSON, CSV or Markdown:
+//
+//	rep, err := crosslayer.Run("table3", crosslayer.ExperimentSpec{SampleCap: 1000, Seed: 42})
+//	if err != nil { ... }
+//	fmt.Println(rep)                    // the paper's table, as text
+//	data, _ := crosslayer.RenderReport(rep, "json")
+//
+// RunContext threads a context through the sharded engine, so a long
+// sweep cancels at the next shard boundary.
+//
 // # Parallel runs
 //
 // The measurement harness executes on a sharded experiment engine
@@ -30,7 +48,7 @@
 // clock, and shards run concurrently on a worker pool sized by
 // GOMAXPROCS. Shard seeds derive deterministically from the base
 // seed, and shard results merge in shard order, so a given
-// ExperimentConfig{SampleCap, Seed, ShardSize} produces byte-identical
+// ExperimentSpec{SampleCap, Seed, ShardSize} produces byte-identical
 // tables and figures for ANY Parallelism — parallelism buys wall-clock
 // time, never different numbers. This is what lifts the practical
 // sample cap from a few hundred to tens of thousands of simulated
@@ -38,6 +56,7 @@
 package crosslayer
 
 import (
+	"context"
 	"net/netip"
 
 	"crosslayer/internal/campaign"
@@ -45,6 +64,7 @@ import (
 	"crosslayer/internal/dnssrv"
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/measure"
+	"crosslayer/internal/report"
 	"crosslayer/internal/resolver"
 	"crosslayer/internal/scenario"
 )
@@ -166,13 +186,55 @@ func Poisoned(s *Scenario, name string) bool {
 	return s.Poisoned(name, dnswire.TypeA)
 }
 
-// ExperimentConfig controls how a measurement experiment executes:
-// SampleCap bounds the population sampled per dataset (<= 0 scans the
-// full paper-size populations, up to 1.58M items), Seed selects the
-// synthesized population, and Parallelism/ShardSize tune the sharded
-// engine (both may be left zero for GOMAXPROCS workers and the
-// default shard size). Output depends only on SampleCap, Seed and
-// ShardSize — never on Parallelism.
+// ExperimentSpec is the uniform run configuration Run and RunContext
+// dispatch to any registered experiment: the engine execution knobs
+// (SampleCap bounds the population sampled per dataset, <= 0 scans
+// the full paper-size populations up to 1.58M items; Seed selects the
+// synthesized population; Parallelism/ShardSize tune the sharded
+// engine) plus the campaign sweep dimensions, which experiments
+// without those axes ignore. Output depends only on SampleCap, Seed,
+// ShardSize and the sweep dimensions — never on Parallelism.
+type ExperimentSpec = report.Spec
+
+// Experiment is one registry entry: canonical name, one-line title,
+// and the builder Run dispatches to.
+type Experiment = report.Experiment
+
+// Report is the structured result of an experiment run: name,
+// parameters, sections of typed columns and rows, notes. Render it
+// with String (text, byte-identical to the golden artifacts) or
+// RenderReport (json, csv, md).
+type Report = report.Report
+
+// ListExperiments enumerates the registered experiments in canonical
+// artifact order: tables 1–6, figures 3–5, the same-prefix and
+// forwarder studies, and the campaign sweep.
+func ListExperiments() []Experiment { return report.List() }
+
+// Run executes the named experiment under the spec and returns its
+// structured Report. Unknown names fail listing the valid registry
+// keys; experiment failures propagate — nothing is swallowed.
+func Run(name string, spec ExperimentSpec) (*Report, error) {
+	return report.Run(context.Background(), name, spec)
+}
+
+// RunContext is Run under a cancellable context: population scans and
+// campaign sweeps abort at the next shard boundary once ctx is
+// cancelled, returning the context's error.
+func RunContext(ctx context.Context, name string, spec ExperimentSpec) (*Report, error) {
+	return report.Run(ctx, name, spec)
+}
+
+// RenderReport renders a Report in the named format: "text", "json",
+// "csv" or "md".
+func RenderReport(r *Report, format string) ([]byte, error) { return report.Render(r, format) }
+
+// DecodeReport parses a JSON-rendered Report back into its structured
+// form; re-rendering it as text reproduces the original bytes.
+func DecodeReport(data []byte) (*Report, error) { return report.Decode(data) }
+
+// ExperimentConfig is the execution-knob subset of ExperimentSpec the
+// measurement packages consume directly (CampaignConfig.Exec).
 type ExperimentConfig = measure.Config
 
 // ExperimentProgress is the per-shard progress event an
@@ -211,63 +273,38 @@ var (
 // CampaignCell is one measured cell of the campaign matrix.
 type CampaignCell = campaign.CellResult
 
-// Experiments re-exports the measurement entry points that regenerate
-// the paper's tables and figures; see cmd/xlmeasure for the CLI.
-var Experiments = struct {
-	Table3  func(cfg ExperimentConfig) (TableResult, []measure.ResolverScanResult)
-	Table4  func(cfg ExperimentConfig) (TableResult, []measure.DomainScanResult)
-	Table5  func(cfg ExperimentConfig) (TableResult, map[string]bool)
-	Figure3 func(cfg ExperimentConfig) string
-	Figure4 func(cfg ExperimentConfig) string
-	Figure5 func(cfg ExperimentConfig) string
-	// Campaign executes the method × victim × profile × defense-set ×
-	// chain-depth × placement cross-product (optionally filtered) and
-	// returns the rendered matrix plus the raw cells; render aggregates
-	// with CampaignSummary, CampaignDepthTable and CampaignLattice.
-	// Output is byte-identical for any Parallelism, and filtered sweeps
-	// — including defense-set-filtered ones — reproduce the full
-	// sweep's cells exactly.
-	Campaign func(cfg CampaignConfig) (TableResult, []CampaignCell, error)
-}{
-	Table3: func(cfg ExperimentConfig) (TableResult, []measure.ResolverScanResult) {
-		t, r := measure.Table3Run(cfg)
-		return t, r
-	},
-	Table4: func(cfg ExperimentConfig) (TableResult, []measure.DomainScanResult) {
-		t, r := measure.Table4Run(cfg)
-		return t, r
-	},
-	Table5: func(cfg ExperimentConfig) (TableResult, map[string]bool) {
-		t, r := measure.Table5Run(cfg)
-		return t, r
-	},
-	Figure3: func(cfg ExperimentConfig) string { s, _ := measure.Figure3Run(cfg); return s },
-	Figure4: func(cfg ExperimentConfig) string { s, _, _ := measure.Figure4Run(cfg); return s },
-	Figure5: func(cfg ExperimentConfig) string { s, _, _ := measure.Figure5Run(cfg); return s },
-	Campaign: func(cfg CampaignConfig) (TableResult, []CampaignCell, error) {
-		res, err := campaign.Run(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		return campaign.Matrix(res), res, nil
-	},
+// RunCampaign executes the method × victim × profile × defense-set ×
+// chain-depth × placement cross-product (optionally filtered) and
+// returns the raw cells for composition with the campaign renderers
+// below. Run("campaign", spec) is the registry form returning the
+// assembled Report; this cells-level entry point exists for callers
+// that aggregate their own views. Output is byte-identical for any
+// Parallelism, and filtered sweeps — including defense-set-filtered
+// ones — reproduce the full sweep's cells exactly.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) ([]CampaignCell, error) {
+	return campaign.RunContext(ctx, cfg)
 }
 
-// CampaignSummary renders the method × defense poisoning-rate
-// aggregate of a campaign run's cells.
-func CampaignSummary(cells []CampaignCell) TableResult { return campaign.Summary(cells) }
+// CampaignMatrix builds the per-cell success-rate/cost matrix Report
+// of a campaign run's cells.
+func CampaignMatrix(cells []CampaignCell) *Report { return campaign.Matrix(cells) }
 
-// CampaignDepthTable renders the method × placement × chain-depth
+// CampaignSummary builds the method × defense poisoning-rate
+// aggregate of a campaign run's cells.
+func CampaignSummary(cells []CampaignCell) *Report { return campaign.Summary(cells) }
+
+// CampaignDepthTable builds the method × placement × chain-depth
 // poisoning-rate aggregate of a campaign run's cells — the §4.3
 // depth-vs-success view.
-func CampaignDepthTable(cells []CampaignCell) TableResult { return campaign.DepthTable(cells) }
+func CampaignDepthTable(cells []CampaignCell) *Report { return campaign.DepthTable(cells) }
 
-// CampaignLattice renders the defense-stacking view of a campaign
+// CampaignLattice builds the defense-stacking view of a campaign
 // run's cells: per-set poisoning rates per method, plus the marginal
 // coverage each base defense adds on top of every measured subset.
-func CampaignLattice(cells []CampaignCell) TableResult { return campaign.Lattice(cells) }
+func CampaignLattice(cells []CampaignCell) *Report { return campaign.Lattice(cells) }
 
-// TableResult is a rendered experiment table.
+// TableResult is a rendered experiment artifact; *Report satisfies
+// it.
 type TableResult interface{ String() string }
 
 // DefaultServerConfig returns the baseline authoritative-server

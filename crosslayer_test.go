@@ -1,6 +1,9 @@
 package crosslayer_test
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 
 	"crosslayer"
@@ -66,68 +69,153 @@ func TestFullCrossLayerChain(t *testing.T) {
 	}
 }
 
-func TestExperimentsFacade(t *testing.T) {
-	tbl, res := crosslayer.Experiments.Table5(crosslayer.ExperimentConfig{Seed: 1})
-	if len(res) != 5 || tbl.String() == "" {
-		t.Fatalf("table5 facade: %d rows", len(res))
+// TestRegistryListsEveryArtifact pins the registry surface: every
+// artifact previously reachable through the facade's func-struct —
+// and every golden text artifact's source experiment — has a registry
+// entry, in canonical artifact order.
+func TestRegistryListsEveryArtifact(t *testing.T) {
+	var names []string
+	for _, e := range crosslayer.ListExperiments() {
+		if e.Title == "" {
+			t.Errorf("experiment %q has no title", e.Name)
+		}
+		names = append(names, e.Name)
+	}
+	want := []string{"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig3", "fig4", "fig5", "samehijack", "forwarders", "campaign"}
+	if len(names) != len(want) {
+		t.Fatalf("registry lists %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("registry order %v, want %v", names, want)
+		}
 	}
 }
 
-// TestExperimentsFacadeParallel exercises a sharded table through the
-// public facade with explicit parallelism and progress reporting.
-func TestExperimentsFacadeParallel(t *testing.T) {
+func TestRunExperimentFacade(t *testing.T) {
+	rep, err := crosslayer.Run("table5", crosslayer.ExperimentSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "table5" || rep.String() == "" {
+		t.Fatalf("table5 report: %q", rep.Name)
+	}
+	// Unknown names fail listing the valid registry keys.
+	_, err = crosslayer.Run("table9", crosslayer.ExperimentSpec{})
+	if err == nil || !strings.Contains(err.Error(), "table9") || !strings.Contains(err.Error(), "valid:") ||
+		!strings.Contains(err.Error(), "campaign") {
+		t.Fatalf("unknown-experiment error %v must list valid keys", err)
+	}
+}
+
+// TestRunFacadeParallel exercises a sharded table through the public
+// registry with explicit parallelism and progress reporting, and
+// checks the JSON projection round-trips to the same text.
+func TestRunFacadeParallel(t *testing.T) {
 	events := 0
-	cfg := crosslayer.ExperimentConfig{
+	spec := crosslayer.ExperimentSpec{
 		SampleCap:   60,
 		Seed:        2,
 		Parallelism: 4,
 		ShardSize:   16,
 		Progress:    func(crosslayer.ExperimentProgress) { events++ },
 	}
-	tbl, res := crosslayer.Experiments.Table3(cfg)
-	if len(res) != 9 {
-		t.Fatalf("table3 facade: %d datasets", len(res))
+	rep, err := crosslayer.Run("table3", spec)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if tbl.String() == "" {
+	if rep.String() == "" {
 		t.Fatal("empty table")
 	}
 	if events == 0 {
 		t.Fatal("no progress events")
 	}
-}
-
-// TestExperimentsFacadeCampaign exercises the campaign sweep through
-// the public facade: filtered cross-product, rendered matrix and
-// summary, and filter validation.
-func TestExperimentsFacadeCampaign(t *testing.T) {
-	cfg := crosslayer.CampaignConfig{
-		Exec: crosslayer.ExperimentConfig{Seed: 5},
-		Filter: crosslayer.CampaignFilter{
-			Methods: []string{"hijack"}, Victims: []string{"web", "vpn"},
-			Profiles: []string{"bind"}, ChainDepths: []string{"0", "1"},
-			Placements: []string{"stub"},
-		},
-		Trials:      2,
-		LatticeRank: 1, // scalar defense axis: 5 singleton sets
-	}
-	tbl, cells, err := crosslayer.Experiments.Campaign(cfg)
+	data, err := crosslayer.RenderReport(rep, "json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cells) != 20 { // 1 method × 2 victims × 1 profile × 5 defense sets × 2 depths × 1 placement
-		t.Fatalf("campaign facade: %d cells", len(cells))
+	back, err := crosslayer.DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if tbl.String() == "" || crosslayer.CampaignSummary(cells).String() == "" ||
+	if back.String() != rep.String() {
+		t.Fatal("JSON round-trip changed the text rendering")
+	}
+}
+
+// TestRunFacadeCancellation: a cancelled context aborts a sweep with
+// its error instead of a partial result.
+func TestRunFacadeCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := crosslayer.RunContext(ctx, "table3", crosslayer.ExperimentSpec{SampleCap: 50, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCampaignFacade exercises the campaign sweep through the public
+// facade: filtered cross-product via the registry, cells-level
+// composition, and filter validation with propagated errors.
+func TestCampaignFacade(t *testing.T) {
+	spec := crosslayer.ExperimentSpec{
+		Seed:    5,
+		Methods: []string{"hijack"}, Victims: []string{"web", "vpn"},
+		Profiles: []string{"bind"}, ChainDepths: []string{"0", "1"},
+		Placements:  []string{"stub"},
+		Trials:      2,
+		LatticeRank: 1, // scalar defense axis: 5 singleton sets
+	}
+	rep, err := crosslayer.Run("campaign", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range []string{"matrix", "summary", "depth", "lattice-sets", "lattice-marginal"} {
+		if rep.Section(sec) == nil {
+			t.Fatalf("campaign report missing section %q", sec)
+		}
+	}
+	if len(rep.Section("matrix").Rows) != 20 { // 1 method × 2 victims × 1 profile × 5 defense sets × 2 depths × 1 placement
+		t.Fatalf("campaign matrix: %d rows", len(rep.Section("matrix").Rows))
+	}
+
+	// Cells-level composition matches the registry report's sections.
+	cfg := crosslayer.CampaignConfig{
+		Exec: crosslayer.ExperimentConfig{Seed: 5},
+		Filter: crosslayer.CampaignFilter{
+			Methods: spec.Methods, Victims: spec.Victims, Profiles: spec.Profiles,
+			ChainDepths: spec.ChainDepths, Placements: spec.Placements,
+		},
+		Trials:      2,
+		LatticeRank: 1,
+	}
+	cells, err := crosslayer.RunCampaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 20 {
+		t.Fatalf("campaign cells: %d", len(cells))
+	}
+	if got := crosslayer.CampaignMatrix(cells).Sections[0].Text(); got != rep.Section("matrix").Text() {
+		t.Fatal("cells-level matrix diverged from the registry report")
+	}
+	if crosslayer.CampaignSummary(cells).String() == "" ||
+		crosslayer.CampaignDepthTable(cells).String() == "" ||
 		crosslayer.CampaignLattice(cells).String() == "" {
 		t.Fatal("empty campaign rendering")
 	}
-	cfg.Filter.Defenses = []string{"bogus"}
-	if _, _, err := crosslayer.Experiments.Campaign(cfg); err == nil {
-		t.Fatal("unknown defense key accepted")
+
+	// Filter validation errors propagate through the registry path —
+	// the historical facade swallowed nothing here either, but now the
+	// uniform Run signature carries them for every experiment.
+	bad := spec
+	bad.Defenses = []string{"bogus"}
+	if _, err := crosslayer.Run("campaign", bad); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown defense key: %v", err)
 	}
-	cfg.Filter.Defenses = nil
-	cfg.Filter.DefenseSets = []string{"shuffle+bogus"}
-	if _, _, err := crosslayer.Experiments.Campaign(cfg); err == nil {
+	bad = spec
+	bad.DefenseSets = []string{"shuffle+bogus"}
+	if _, err := crosslayer.Run("campaign", bad); err == nil {
 		t.Fatal("unknown defense-set key accepted")
 	}
 	// The defense pipeline is also a public scenario-level API: a

@@ -1,10 +1,12 @@
 // Quickstart: build the canonical scenario, resolve a name the honest
-// way, launch the cheapest attack (HijackDNS), and watch the victim's
-// web client walk into the attacker's server.
+// way, launch the cheapest attack (HijackDNS), watch the victim's
+// web client walk into the attacker's server — then regenerate a
+// paper artifact through the experiment registry.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"crosslayer"
 	"crosslayer/internal/apps"
@@ -38,4 +40,18 @@ func main() {
 		fmt.Printf("\nvictim fetches http://www.vict.im/ -> server %v\n  body: %s\n", r.ServerAddr, r.Body)
 	})
 	s.Run()
+
+	// Every evaluation artifact is a registered experiment: enumerate
+	// the registry, then regenerate one by name. Run returns a
+	// structured Report — print it as text, or render JSON/CSV/
+	// Markdown with crosslayer.RenderReport.
+	fmt.Println("\nregistered experiments:")
+	for _, e := range crosslayer.ListExperiments() {
+		fmt.Printf("  %-12s %s\n", e.Name, e.Title)
+	}
+	rep, err := crosslayer.Run("table5", crosslayer.ExperimentSpec{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s", rep)
 }

@@ -1,58 +1,70 @@
 package crosslayer_test
 
-// Golden-artifact regression suite: every rendered artifact — Tables
-// 1–6, Figures 3–5, the campaign matrix, the forwarder-chain matrix
-// with its depth table, and the defense-stacking lattice with its
-// marginal-coverage view — is pinned byte-for-byte against
-// testdata/golden/*.txt at one small fixed execution config
-// (ExperimentConfig{SampleCap: 50, Seed: 1}). Any refactor that
-// changes a single rendered byte fails here first.
+// Golden-artifact regression suite, in two layers:
+//
+//   - TestGoldenArtifacts pins every rendered TEXT artifact — Tables
+//     1–6, Figures 3–5, the campaign matrix, the forwarder-chain
+//     matrix with its depth table, and the defense-stacking lattice
+//     with its marginal-coverage view — byte-for-byte against
+//     testdata/golden/*.txt at one small fixed execution spec
+//     (SampleCap 50, Seed 1). These files predate the structured
+//     Report layer: any refactor that changes a single rendered byte
+//     fails here first.
+//
+//   - TestGoldenJSON pins the JSON projection of every REGISTERED
+//     experiment against testdata/golden/json/<name>.json, and checks
+//     the round-trip contract: decoding the pinned JSON and
+//     re-rendering text reproduces the live text bytes.
 //
 // Regenerate after an INTENDED output change with:
 //
-//	go test -run TestGoldenArtifacts -update .
+//	go test -run TestGolden -update .
 //
 // and review the golden diff like any other code change.
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
 
+	"crosslayer"
 	"crosslayer/internal/campaign"
 	"crosslayer/internal/measure"
+	"crosslayer/internal/report"
 )
 
 var update = flag.Bool("update", false, "rewrite testdata/golden files from current output")
 
-// goldenConfig is the fixed execution config every golden artifact is
-// rendered under. Parallelism is deliberately left at the default:
-// the engine's determinism contract makes output independent of it.
-func goldenConfig() measure.Config { return measure.Config{SampleCap: 50, Seed: 1} }
-
-// goldenCampaignConfig is the campaign slice pinned by the suite: all
-// methods and scalar defenses (lattice rank 1 — the historical axis,
-// whose singleton set keys keep the exact pre-lattice cell seeds)
-// against a representative victim × profile corner (dnsmasq included
-// because its small EDNS buffer flips the FragDNS column), on the
-// direct path (depth 0, stub attacker). The slice keeps the suite
-// fast; identity-derived cell seeds guarantee these cells render
-// identically inside any larger sweep.
-func goldenCampaignConfig() campaign.Config {
-	return campaign.Config{
-		Exec: goldenConfig(),
-		Filter: campaign.Filter{
-			Victims:     []string{"web", "smtp"},
-			Profiles:    []string{"bind", "dnsmasq"},
-			ChainDepths: []string{"0"},
-			Placements:  []string{"stub"},
-		},
-		Trials:      2,
-		LatticeRank: 1,
+// goldenSpec is the fixed execution spec every golden artifact runs
+// under. Parallelism is deliberately left at the default: the
+// engine's determinism contract makes output independent of it.
+// table6 and samehijack keep the historical 400-port SadDNS span; the
+// campaign slice keeps the filters of goldenCampaignConfig (all
+// methods and scalar defenses against a representative victim ×
+// profile corner — dnsmasq included because its small EDNS buffer
+// flips the FragDNS column — on the direct path).
+func goldenSpec(name string) crosslayer.ExperimentSpec {
+	spec := crosslayer.ExperimentSpec{SampleCap: 50, Seed: 1}
+	switch name {
+	case "table6", "samehijack":
+		spec.SadPorts = 400
+	case "campaign":
+		spec.Victims = []string{"web", "smtp"}
+		spec.Profiles = []string{"bind", "dnsmasq"}
+		spec.ChainDepths = []string{"0"}
+		spec.Placements = []string{"stub"}
+		spec.Trials = 2
+		spec.LatticeRank = 1
 	}
+	return spec
 }
+
+// goldenConfig is goldenSpec's execution core, for the campaign
+// slices the suite runs directly at the cells level.
+func goldenConfig() measure.Config { return measure.Config{SampleCap: 50, Seed: 1} }
 
 // goldenChainConfig is the forwarder-chain slice: every method at
 // every chain depth from both attacker placements, against one victim
@@ -74,8 +86,8 @@ func goldenChainConfig() campaign.Config {
 // against the web victim on BIND over the direct path, swept across
 // the default defense-set lattice (baseline, singletons, all pairs,
 // full stack) — the composition view campaign_lattice.txt pins.
-// Singleton cells are seed-identical to goldenCampaignConfig's, so
-// both artifacts must agree on the shared cells.
+// Singleton cells are seed-identical to the campaign slice's, so both
+// artifacts must agree on the shared cells.
 func goldenLatticeConfig() campaign.Config {
 	return campaign.Config{
 		Exec: goldenConfig(),
@@ -89,13 +101,27 @@ func goldenLatticeConfig() campaign.Config {
 	}
 }
 
-// goldenCampaign / goldenChain / goldenLattice run each pinned sweep
-// once; matrix, summary, depth-table and lattice artifacts render from
-// the same cells.
-var goldenCampaign = sync.OnceValues(func() ([]campaign.CellResult, error) {
-	return campaign.Run(goldenCampaignConfig())
-})
+// goldenReports runs each registered experiment once under its golden
+// spec; the text and JSON layers share the resulting Reports.
+var goldenReports = struct {
+	mu   sync.Mutex
+	runs map[string]func() (*crosslayer.Report, error)
+}{runs: map[string]func() (*crosslayer.Report, error){}}
 
+func goldenReport(name string) (*crosslayer.Report, error) {
+	goldenReports.mu.Lock()
+	run, ok := goldenReports.runs[name]
+	if !ok {
+		run = sync.OnceValues(func() (*crosslayer.Report, error) {
+			return crosslayer.Run(name, goldenSpec(name))
+		})
+		goldenReports.runs[name] = run
+	}
+	goldenReports.mu.Unlock()
+	return run()
+}
+
+// goldenChain / goldenLattice run each cells-level slice once.
 var goldenChain = sync.OnceValues(func() ([]campaign.CellResult, error) {
 	return campaign.Run(goldenChainConfig())
 })
@@ -104,55 +130,73 @@ var goldenLattice = sync.OnceValues(func() ([]campaign.CellResult, error) {
 	return campaign.Run(goldenLatticeConfig())
 })
 
+// compareGolden pins got against the golden file at path, rewriting
+// it under -update.
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if len(got) == 0 {
+		t.Fatal("artifact rendered empty")
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestGolden -update .`): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("output drifted from golden file %s\n--- got\n%s\n--- want\n%s", path, got, want)
+	}
+}
+
+// registryReport fetches a shared golden-run Report or fails the test.
+func registryReport(t *testing.T, name string) *crosslayer.Report {
+	t.Helper()
+	rep, err := goldenReport(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// registrySection renders one named section of a registry report.
+func registrySection(t *testing.T, name, section string) string {
+	t.Helper()
+	sec := registryReport(t, name).Section(section)
+	if sec == nil {
+		t.Fatalf("report %q has no section %q", name, section)
+	}
+	return sec.Text()
+}
+
 func TestGoldenArtifacts(t *testing.T) {
 	artifacts := []struct {
 		name   string
 		render func(t *testing.T) string
 	}{
-		{"table1", func(t *testing.T) string { return measure.Table1().String() }},
-		{"table2", func(t *testing.T) string { return measure.Table2().String() }},
-		{"table3", func(t *testing.T) string {
-			tbl, _ := measure.Table3Run(goldenConfig())
-			return tbl.String()
-		}},
-		{"table4", func(t *testing.T) string {
-			tbl, _ := measure.Table4Run(goldenConfig())
-			return tbl.String()
-		}},
-		{"table5", func(t *testing.T) string {
-			tbl, _ := measure.Table5Run(goldenConfig())
-			return tbl.String()
-		}},
-		{"table6", func(t *testing.T) string {
-			tbl, _ := measure.Table6Run(goldenConfig(), 400)
-			return tbl.String()
-		}},
-		{"fig3", func(t *testing.T) string {
-			out, _ := measure.Figure3Run(goldenConfig())
-			return out
-		}},
-		{"fig4", func(t *testing.T) string {
-			out, _, _ := measure.Figure4Run(goldenConfig())
-			return out
-		}},
-		{"fig5", func(t *testing.T) string {
-			out, _, _ := measure.Figure5Run(goldenConfig())
-			return out
-		}},
-		{"campaign", func(t *testing.T) string {
-			res, err := goldenCampaign()
-			if err != nil {
-				t.Fatal(err)
-			}
-			return campaign.Matrix(res).String()
-		}},
-		{"campaign_summary", func(t *testing.T) string {
-			res, err := goldenCampaign()
-			if err != nil {
-				t.Fatal(err)
-			}
-			return campaign.Summary(res).String()
-		}},
+		// Whole-report artifacts: for single-section reports the text
+		// rendering IS the historical artifact (notes and params are
+		// metadata the text renderer omits).
+		{"table1", func(t *testing.T) string { return registryReport(t, "table1").String() }},
+		{"table2", func(t *testing.T) string { return registryReport(t, "table2").String() }},
+		{"table3", func(t *testing.T) string { return registryReport(t, "table3").String() }},
+		{"table4", func(t *testing.T) string { return registryReport(t, "table4").String() }},
+		{"table5", func(t *testing.T) string { return registryReport(t, "table5").String() }},
+		{"table6", func(t *testing.T) string { return registryReport(t, "table6").String() }},
+		{"fig3", func(t *testing.T) string { return registryReport(t, "fig3").String() }},
+		{"fig4", func(t *testing.T) string { return registryReport(t, "fig4").String() }},
+		{"fig5", func(t *testing.T) string { return registryReport(t, "fig5").String() }},
+		// Campaign artifacts: the matrix and summary sections of the
+		// registry run's Report, and the chain/lattice slices rendered
+		// at the cells level.
+		{"campaign", func(t *testing.T) string { return registrySection(t, "campaign", "matrix") }},
+		{"campaign_summary", func(t *testing.T) string { return registrySection(t, "campaign", "summary") }},
 		{"campaign_chain", func(t *testing.T) string {
 			res, err := goldenChain()
 			if err != nil {
@@ -179,28 +223,66 @@ func TestGoldenArtifacts(t *testing.T) {
 		a := a
 		t.Run(a.name, func(t *testing.T) {
 			t.Parallel()
-			got := a.render(t)
-			if got == "" {
-				t.Fatal("artifact rendered empty")
-			}
-			path := filepath.Join("testdata", "golden", a.name+".txt")
-			if *update {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
+			compareGolden(t, filepath.Join("testdata", "golden", a.name+".txt"), []byte(a.render(t)))
+		})
+	}
+}
+
+// TestGoldenJSON pins the JSON projection of every registered
+// experiment and its round-trip: the pinned bytes must decode into a
+// Report whose text rendering matches the live run's.
+func TestGoldenJSON(t *testing.T) {
+	for _, e := range crosslayer.ListExperiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			rep := registryReport(t, e.Name)
+			data, err := report.JSON(rep)
 			if err != nil {
-				t.Fatalf("missing golden file (run `go test -run TestGoldenArtifacts -update .`): %v", err)
+				t.Fatal(err)
 			}
-			if got != string(want) {
-				t.Fatalf("%s drifted from golden file %s\n--- got\n%s\n--- want\n%s",
-					a.name, path, got, want)
+			compareGolden(t, filepath.Join("testdata", "golden", "json", e.Name+".json"), data)
+
+			// Round-trip: the pinned JSON re-renders to the live text.
+			pinned, err := os.ReadFile(filepath.Join("testdata", "golden", "json", e.Name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := crosslayer.DecodeReport(pinned)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.String() != rep.String() {
+				t.Fatalf("decoded golden JSON re-renders differently for %s", e.Name)
 			}
 		})
+	}
+}
+
+// TestGoldenJSONIndependentOfParallelism: the JSON projection — like
+// the text one — depends only on the selecting spec fields, never on
+// the worker count.
+func TestGoldenJSONIndependentOfParallelism(t *testing.T) {
+	spec := goldenSpec("campaign")
+	spec.Parallelism = 1
+	ref, err := crosslayer.RunContext(context.Background(), "campaign", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := report.JSON(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Parallelism = 8
+	rep, err := crosslayer.RunContext(context.Background(), "campaign", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := report.JSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(refJSON) {
+		t.Fatal("parallelism changed the JSON projection")
 	}
 }

@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+
+	"crosslayer/internal/measure"
+	"crosslayer/internal/report"
+)
+
+// This file registers the campaign sweep in the experiment registry:
+// one "campaign" entry whose Report carries the full artifact family —
+// the per-cell matrix, the method × defense summary, the chain-depth
+// table and the two defense-lattice views — as named sections built
+// from one run's cells.
+
+func init() {
+	report.Register(report.Experiment{
+		Name:  "campaign",
+		Title: "Campaign: method × victim × profile × defense-set × chain-depth × placement sweep",
+		Run:   runExperiment,
+	})
+}
+
+// ConfigFromSpec projects the registry's uniform run Spec onto a
+// campaign Config: the execution knobs ride measure.Config, the sweep
+// dimensions become the Filter.
+func ConfigFromSpec(spec report.Spec) Config {
+	return Config{
+		Exec: measure.ConfigFromSpec(spec),
+		Filter: Filter{
+			Methods:     spec.Methods,
+			Victims:     spec.Victims,
+			Profiles:    spec.Profiles,
+			Defenses:    spec.Defenses,
+			DefenseSets: spec.DefenseSets,
+			ChainDepths: spec.ChainDepths,
+			Placements:  spec.Placements,
+		},
+		Trials:      spec.Trials,
+		LatticeRank: spec.LatticeRank,
+	}
+}
+
+// runExperiment executes the sweep and assembles the campaign Report:
+// the sections of Matrix, Summary, DepthTable and Lattice over the
+// same cells, plus the sweep parameters.
+func runExperiment(ctx context.Context, spec report.Spec) (*report.Report, error) {
+	cfg := ConfigFromSpec(spec)
+	cells, err := RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Report(cells, spec), nil
+}
+
+// Report assembles the full campaign Report from a run's cells. The
+// sections keep their renderer names ("matrix", "summary", "depth",
+// "lattice-sets", "lattice-marginal"), so section-level consumers —
+// the golden suite pins each as its own text artifact — address them
+// stably.
+func Report(cells []CellResult, spec report.Spec) *report.Report {
+	rep := report.New("campaign",
+		"Campaign: method × victim × profile × defense-set × chain-depth × placement sweep")
+	report.BaseParams(rep, spec)
+	addListParam(rep, "methods", spec.Methods)
+	addListParam(rep, "victims", spec.Victims)
+	addListParam(rep, "profiles", spec.Profiles)
+	addListParam(rep, "defenses", spec.Defenses)
+	addListParam(rep, "defense_sets", spec.DefenseSets)
+	addListParam(rep, "chain_depths", spec.ChainDepths)
+	addListParam(rep, "placements", spec.Placements)
+	if spec.Trials != 0 {
+		rep.AddParam("trials", spec.Trials)
+	}
+	if spec.LatticeRank != 0 {
+		rep.AddParam("lattice_rank", spec.LatticeRank)
+	}
+	for _, sub := range []*report.Report{Matrix(cells), Summary(cells), DepthTable(cells), Lattice(cells)} {
+		rep.Sections = append(rep.Sections, sub.Sections...)
+	}
+	return rep
+}
+
+// addListParam records a sweep dimension filter; empty means the full
+// axis and is not recorded.
+func addListParam(rep *report.Report, name string, keys []string) {
+	if len(keys) > 0 {
+		rep.AddParam(name, strings.Join(keys, ","))
+	}
+}

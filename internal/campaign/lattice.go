@@ -1,41 +1,32 @@
 package campaign
 
 import (
-	"fmt"
 	"strings"
 
+	"crosslayer/internal/report"
 	"crosslayer/internal/scenario"
 	"crosslayer/internal/stats"
 )
 
-// LatticeResult is the rendered defense-stacking report: per-set
-// poisoning rates and the marginal coverage every base defense adds on
-// top of every measured subset. String() concatenates both tables —
-// the artifact pinned as testdata/golden/campaign_lattice.txt.
-type LatticeResult struct {
-	// Sets is the per-set success table: one row per defense set in
-	// sweep order, one poisoning-rate column per method, aggregated
-	// over victims, profiles, chain depths and placements.
-	Sets *stats.Table
-	// Marginal is the marginal-coverage table: for each base defense d
-	// and each measured subset S not containing d (with S ∪ {d} also
-	// measured), the per-method drop in poisoning rate caused by
-	// stacking d on top of S, in percentage points. Positive values
-	// mean d blocks attacks the subset still let through; 0pp on a
-	// already-clean subset means d is redundant there.
-	Marginal *stats.Table
-}
-
-// String renders both lattice tables, blank-line separated.
-func (l LatticeResult) String() string { return l.Sets.String() + "\n" + l.Marginal.String() }
-
-// Lattice renders the defense-stacking view of a campaign run: which
-// sets stop which methods, and what each defense contributes beyond
-// every subset it can extend. At lattice rank 1 the Sets table
-// degenerates to the historical scalar method × defense summary
-// (transposed) and Marginal only reports each defense against the
-// undefended baseline.
-func Lattice(results []CellResult) LatticeResult {
+// Lattice builds the defense-stacking view of a campaign run as a
+// two-section Report, the artifact pinned as
+// testdata/golden/campaign_lattice.txt:
+//
+//   - "lattice-sets": one row per defense set in sweep order, one
+//     poisoning-rate column per method, aggregated over victims,
+//     profiles, chain depths and placements;
+//   - "lattice-marginal": for each base defense d and each measured
+//     subset S not containing d (with S ∪ {d} also measured), the
+//     per-method drop in poisoning rate caused by stacking d on top
+//     of S, in percentage points. Positive values mean d blocks
+//     attacks the subset still let through; +0pp on an already-clean
+//     subset means d is redundant there; an n/a cell means one side
+//     was never measured.
+//
+// At lattice rank 1 the sets section degenerates to the historical
+// scalar method × defense summary (transposed) and the marginal
+// section only reports each defense against the undefended baseline.
+func Lattice(results []CellResult) *report.Report {
 	type mk struct{ method, set string }
 	agg := map[mk]stats.Counter{}
 	var methods, sets []string
@@ -53,22 +44,36 @@ func Lattice(results []CellResult) LatticeResult {
 		agg[k] = agg[k].Plus(r.Poisoned)
 	}
 
-	setsTbl := &stats.Table{
-		Title:  "Campaign lattice: poisoning success by defense set × method (over victims × profiles × depths × placements)",
-		Header: append([]string{"Defense set", "Rank"}, methods...),
+	rep := report.New("campaign-lattice", "Campaign defense-stacking lattice")
+
+	setCols := []report.Column{
+		report.Col("Defense set", report.KindString),
+		report.Col("Rank", report.KindInt),
 	}
+	for _, m := range methods {
+		setCols = append(setCols, report.Col(m, report.KindRatio))
+	}
+	setsSec := rep.AddSection(report.Table("lattice-sets",
+		"Campaign lattice: poisoning success by defense set × method (over victims × profiles × depths × placements)",
+		setCols...))
 	for _, s := range sets {
-		row := []string{s, fmt.Sprintf("%d", setRank(s))}
+		row := []any{s, setRank(s)}
 		for _, m := range methods {
-			row = append(row, agg[mk{m, s}].Cell())
+			row = append(row, agg[mk{m, s}])
 		}
-		setsTbl.Add(row...)
+		setsSec.Add(row...)
 	}
 
-	marginal := &stats.Table{
-		Title:  "Campaign lattice: marginal coverage — Δ poisoning (pp) from stacking each defense on every measured subset",
-		Header: append([]string{"Defense", "On top of"}, methods...),
+	margCols := []report.Column{
+		report.Col("Defense", report.KindString),
+		report.Col("On top of", report.KindString),
 	}
+	for _, m := range methods {
+		margCols = append(margCols, report.Col(m, report.KindPP))
+	}
+	margSec := rep.AddSection(report.Table("lattice-marginal",
+		"Campaign lattice: marginal coverage — Δ poisoning (pp) from stacking each defense on every measured subset",
+		margCols...))
 	for _, d := range presentBaseDefenses(sets) {
 		for _, s := range sets {
 			if setContains(s, d) {
@@ -78,19 +83,19 @@ func Lattice(results []CellResult) LatticeResult {
 			if !seenS[super] {
 				continue
 			}
-			row := []string{d, s}
+			row := []any{d, s}
 			for _, m := range methods {
 				before, after := agg[mk{m, s}], agg[mk{m, super}]
 				if before.Total == 0 || after.Total == 0 {
-					row = append(row, "n/a")
+					row = append(row, nil)
 					continue
 				}
-				row = append(row, fmt.Sprintf("%+.0fpp", 100*(before.Frac()-after.Frac())))
+				row = append(row, 100*(before.Frac()-after.Frac()))
 			}
-			marginal.Add(row...)
+			margSec.Add(row...)
 		}
 	}
-	return LatticeResult{Sets: setsTbl, Marginal: marginal}
+	return rep
 }
 
 // setComponents splits a canonical set key into its base-defense keys

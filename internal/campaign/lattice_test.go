@@ -232,13 +232,14 @@ func TestCampaignStackingStory(t *testing.T) {
 	// covers saddns. Method columns follow filter (registry) order:
 	// saddns, then frag.
 	lat := campaign.Lattice(res)
+	margSec := lat.Section("lattice-marginal")
 	marginal := func(defense, onTopOf string) []string {
-		for _, row := range lat.Marginal.Rows {
+		for _, row := range margSec.CellStrings() {
 			if row[0] == defense && row[1] == onTopOf {
 				return row[2:]
 			}
 		}
-		t.Fatalf("marginal row %q on %q missing:\n%s", defense, onTopOf, lat.Marginal)
+		t.Fatalf("marginal row %q on %q missing:\n%s", defense, onTopOf, margSec.Text())
 		return nil
 	}
 	if row := marginal("shuffle", "0x20"); row[0] != "+0pp" || row[1] != "+100pp" {

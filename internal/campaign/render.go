@@ -1,40 +1,50 @@
 package campaign
 
 import (
-	"fmt"
 	"sort"
 
+	"crosslayer/internal/report"
 	"crosslayer/internal/stats"
 )
 
-// Matrix renders the full per-cell success-rate/cost matrix: the
+// Matrix builds the full per-cell success-rate/cost matrix: the
 // campaign's extension of Tables 1 and 6. Poisoned is the chain cache
 // ground truth over the cell's trials, Impact the application-level
 // outcome check, and the cost columns are per-trial percentiles of
 // attack rounds, attacker packets and virtual attack time.
-func Matrix(results []CellResult) *stats.Table {
-	tbl := &stats.Table{
-		Title: "Campaign matrix: method × victim × profile × defense × chain depth × placement",
-		Header: []string{"Method", "Victim", "Profile", "Defense", "Depth", "Placement",
-			"Poisoned", "Impact", "Iter p50", "Pkts p50", "Time p50", "Time p95"},
-	}
+func Matrix(results []CellResult) *report.Report {
+	rep := report.New("campaign", "Campaign matrix")
+	sec := rep.AddSection(report.Table("matrix",
+		"Campaign matrix: method × victim × profile × defense × chain depth × placement",
+		report.Col("Method", report.KindString),
+		report.Col("Victim", report.KindString),
+		report.Col("Profile", report.KindString),
+		report.Col("Defense", report.KindString),
+		report.Col("Depth", report.KindString),
+		report.Col("Placement", report.KindString),
+		report.Col("Poisoned", report.KindRatio),
+		report.Col("Impact", report.KindRatio),
+		report.Col("Iter p50", report.KindRound),
+		report.Col("Pkts p50", report.KindRound),
+		report.Col("Time p50", report.KindSeconds),
+		report.Col("Time p95", report.KindSeconds)))
 	for _, r := range results {
-		tbl.Add(r.Method, r.Victim, r.Profile, r.Defense, r.Depth, r.Placement,
-			r.Poisoned.Cell(), r.Impact.Cell(),
-			fmt.Sprintf("%.0f", r.Iterations.Quantile(0.5)),
-			fmt.Sprintf("%.0f", r.Packets.Quantile(0.5)),
-			fmtSeconds(r.Seconds.Quantile(0.5)),
-			fmtSeconds(r.Seconds.Quantile(0.95)))
+		sec.Add(r.Method, r.Victim, r.Profile, r.Defense, r.Depth, r.Placement,
+			r.Poisoned, r.Impact,
+			r.Iterations.Quantile(0.5),
+			r.Packets.Quantile(0.5),
+			r.Seconds.Quantile(0.5),
+			r.Seconds.Quantile(0.95))
 	}
-	return tbl
+	return rep
 }
 
-// DepthTable renders the depth-vs-success view of the sweep: for each
+// DepthTable builds the depth-vs-success view of the sweep: for each
 // method × attacker placement, the poisoning rate at every chain depth
 // present in the results, aggregated over victims, profiles and
 // defenses — the one-screen answer to "does a forwarder chain make the
 // attack easier, and from where".
-func DepthTable(results []CellResult) *stats.Table {
+func DepthTable(results []CellResult) *report.Report {
 	type mp struct{ method, placement string }
 	type cell struct {
 		mp    mp
@@ -58,29 +68,32 @@ func DepthTable(results []CellResult) *stats.Table {
 		agg[c] = agg[c].Plus(r.Poisoned)
 	}
 	sort.Strings(depths)
-	header := []string{"Method", "Placement"}
+	cols := []report.Column{
+		report.Col("Method", report.KindString),
+		report.Col("Placement", report.KindString),
+	}
 	for _, d := range depths {
-		header = append(header, "depth "+d)
+		cols = append(cols, report.Col("depth "+d, report.KindRatio))
 	}
-	tbl := &stats.Table{
-		Title:  "Campaign chains: poisoning success by method × placement × chain depth (over victims × profiles × defenses)",
-		Header: header,
-	}
+	rep := report.New("campaign-depth", "Campaign chain-depth table")
+	sec := rep.AddSection(report.Table("depth",
+		"Campaign chains: poisoning success by method × placement × chain depth (over victims × profiles × defenses)",
+		cols...))
 	for _, k := range rows {
-		row := []string{k.method, k.placement}
+		row := []any{k.method, k.placement}
 		for _, d := range depths {
-			row = append(row, agg[cell{k, d}].Cell())
+			row = append(row, agg[cell{k, d}])
 		}
-		tbl.Add(row...)
+		sec.Add(row...)
 	}
-	return tbl
+	return rep
 }
 
-// Summary renders the method × defense poisoning-rate matrix,
+// Summary builds the method × defense poisoning-rate matrix,
 // aggregated over every victim, profile, chain depth and placement in
 // the results — the one-screen answer to "which defense stops which
 // method".
-func Summary(results []CellResult) *stats.Table {
+func Summary(results []CellResult) *report.Report {
 	type mk struct{ method, defense string }
 	agg := map[mk]stats.Counter{}
 	var methods, defenses []string
@@ -97,21 +110,20 @@ func Summary(results []CellResult) *stats.Table {
 		k := mk{r.Method, r.Defense}
 		agg[k] = agg[k].Plus(r.Poisoned)
 	}
-	tbl := &stats.Table{
-		Title:  "Campaign summary: poisoning success by method × defense (over victims × profiles × depths × placements)",
-		Header: append([]string{"Method"}, defenses...),
+	cols := []report.Column{report.Col("Method", report.KindString)}
+	for _, d := range defenses {
+		cols = append(cols, report.Col(d, report.KindRatio))
 	}
+	rep := report.New("campaign-summary", "Campaign method × defense summary")
+	sec := rep.AddSection(report.Table("summary",
+		"Campaign summary: poisoning success by method × defense (over victims × profiles × depths × placements)",
+		cols...))
 	for _, m := range methods {
-		row := []string{m}
+		row := []any{m}
 		for _, d := range defenses {
-			row = append(row, agg[mk{m, d}].Cell())
+			row = append(row, agg[mk{m, d}])
 		}
-		tbl.Add(row...)
+		sec.Add(row...)
 	}
-	return tbl
+	return rep
 }
-
-// fmtSeconds renders a virtual-time sample with millisecond
-// resolution (attack times range from tens of milliseconds for a
-// hijack to tens of seconds for a SadDNS scan).
-func fmtSeconds(s float64) string { return fmt.Sprintf("%.3fs", s) }

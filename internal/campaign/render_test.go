@@ -12,18 +12,19 @@ import (
 // produced no cells (e.g. a future conditional filter) — headers only,
 // no panic, no stray rows.
 func TestRenderEmptyResults(t *testing.T) {
-	if got := campaign.Matrix(nil); len(got.Rows) != 0 || got.String() == "" {
-		t.Fatalf("empty matrix: %d rows\n%s", len(got.Rows), got)
+	if got := campaign.Matrix(nil).Sections[0]; len(got.Rows) != 0 || got.Text() == "" {
+		t.Fatalf("empty matrix: %d rows\n%s", len(got.Rows), got.Text())
 	}
-	if got := campaign.Summary(nil); len(got.Rows) != 0 || got.String() == "" {
-		t.Fatalf("empty summary: %d rows\n%s", len(got.Rows), got)
+	if got := campaign.Summary(nil).Sections[0]; len(got.Rows) != 0 || got.Text() == "" {
+		t.Fatalf("empty summary: %d rows\n%s", len(got.Rows), got.Text())
 	}
-	if got := campaign.DepthTable(nil); len(got.Rows) != 0 || got.String() == "" {
-		t.Fatalf("empty depth table: %d rows\n%s", len(got.Rows), got)
+	if got := campaign.DepthTable(nil).Sections[0]; len(got.Rows) != 0 || got.Text() == "" {
+		t.Fatalf("empty depth table: %d rows\n%s", len(got.Rows), got.Text())
 	}
 	lat := campaign.Lattice(nil)
-	if len(lat.Sets.Rows) != 0 || len(lat.Marginal.Rows) != 0 || lat.String() == "" {
-		t.Fatalf("empty lattice: %d set rows, %d marginal rows", len(lat.Sets.Rows), len(lat.Marginal.Rows))
+	sets, marginal := lat.Section("lattice-sets"), lat.Section("lattice-marginal")
+	if len(sets.Rows) != 0 || len(marginal.Rows) != 0 || lat.String() == "" {
+		t.Fatalf("empty lattice: %d set rows, %d marginal rows", len(sets.Rows), len(marginal.Rows))
 	}
 }
 
@@ -43,19 +44,19 @@ func TestRenderSingleCell(t *testing.T) {
 	if len(res) != 1 {
 		t.Fatalf("%d cells, want 1", len(res))
 	}
-	if got := campaign.Matrix(res); len(got.Rows) != 1 {
+	if got := campaign.Matrix(res).Sections[0]; len(got.Rows) != 1 {
 		t.Fatalf("single-cell matrix has %d rows", len(got.Rows))
 	}
-	if got := campaign.Summary(res); len(got.Rows) != 1 || len(got.Header) != 2 {
-		t.Fatalf("single-cell summary %d rows × %d cols", len(got.Rows), len(got.Header))
+	if got := campaign.Summary(res).Sections[0]; len(got.Rows) != 1 || len(got.Columns) != 2 {
+		t.Fatalf("single-cell summary %d rows × %d cols", len(got.Rows), len(got.Columns))
 	}
 	lat := campaign.Lattice(res)
-	if len(lat.Sets.Rows) != 1 {
-		t.Fatalf("single-cell lattice has %d set rows", len(lat.Sets.Rows))
+	if sets := lat.Section("lattice-sets"); len(sets.Rows) != 1 {
+		t.Fatalf("single-cell lattice has %d set rows", len(sets.Rows))
 	}
 	// One baseline cell: nothing to take a marginal against.
-	if len(lat.Marginal.Rows) != 0 {
-		t.Fatalf("single-cell lattice has %d marginal rows", len(lat.Marginal.Rows))
+	if marginal := lat.Section("lattice-marginal"); len(marginal.Rows) != 0 {
+		t.Fatalf("single-cell lattice has %d marginal rows", len(marginal.Rows))
 	}
 }
 
@@ -73,15 +74,15 @@ func TestDepthTableWithoutChainCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl := campaign.DepthTable(res)
-	if want := []string{"Method", "Placement", "depth 0"}; len(tbl.Header) != len(want) {
-		t.Fatalf("depth-0-only header %v, want %v", tbl.Header, want)
+	tbl := campaign.DepthTable(res).Sections[0]
+	if want := []string{"Method", "Placement", "depth 0"}; len(tbl.Columns) != len(want) {
+		t.Fatalf("depth-0-only header %v, want %v", tbl.HeaderNames(), want)
 	}
 	if len(tbl.Rows) != 2 { // hijack × {stub, carrier}
 		t.Fatalf("depth-0-only table has %d rows", len(tbl.Rows))
 	}
-	if strings.Contains(tbl.String(), "depth 1") {
-		t.Fatalf("phantom chain column:\n%s", tbl)
+	if strings.Contains(tbl.Text(), "depth 1") {
+		t.Fatalf("phantom chain column:\n%s", tbl.Text())
 	}
 }
 
@@ -101,17 +102,20 @@ func TestLatticeRankOneDegeneratesToScalarSummary(t *testing.T) {
 		t.Fatal(err)
 	}
 	lat := campaign.Lattice(res)
-	summary := campaign.Summary(res)
+	sets, marginal := lat.Section("lattice-sets"), lat.Section("lattice-marginal")
+	summarySec := campaign.Summary(res).Sections[0]
+	summaryHeader := summarySec.HeaderNames()
+	summaryCells := summarySec.CellStrings()
 	// Summary: one row per method, one column per scalar defense.
 	// Lattice sets: one row per scalar defense, one column per method.
-	if len(lat.Sets.Rows) != len(summary.Header)-1 {
+	if len(sets.Rows) != len(summaryHeader)-1 {
 		t.Fatalf("lattice has %d set rows, summary %d defense columns",
-			len(lat.Sets.Rows), len(summary.Header)-1)
+			len(sets.Rows), len(summaryHeader)-1)
 	}
-	for i, row := range lat.Sets.Rows {
+	for i, row := range sets.CellStrings() {
 		set, rank, rate := row[0], row[1], row[2]
-		if set != summary.Header[i+1] {
-			t.Errorf("set row %d is %q, summary column is %q", i, set, summary.Header[i+1])
+		if set != summaryHeader[i+1] {
+			t.Errorf("set row %d is %q, summary column is %q", i, set, summaryHeader[i+1])
 		}
 		wantRank := "1"
 		if set == "none" {
@@ -120,16 +124,16 @@ func TestLatticeRankOneDegeneratesToScalarSummary(t *testing.T) {
 		if rank != wantRank {
 			t.Errorf("set %q rank %s, want %s", set, rank, wantRank)
 		}
-		if rate != summary.Rows[0][i+1] {
-			t.Errorf("set %q rate %s, summary cell %s", set, rate, summary.Rows[0][i+1])
+		if rate != summaryCells[0][i+1] {
+			t.Errorf("set %q rate %s, summary cell %s", set, rate, summaryCells[0][i+1])
 		}
 	}
-	for _, row := range lat.Marginal.Rows {
+	for _, row := range marginal.Rows {
 		if row[1] != "none" {
 			t.Errorf("rank-1 marginal row %v not against the baseline", row)
 		}
 	}
-	if len(lat.Marginal.Rows) != 4 {
-		t.Fatalf("%d marginal rows, want 4 (one per base defense)", len(lat.Marginal.Rows))
+	if len(marginal.Rows) != 4 {
+		t.Fatalf("%d marginal rows, want 4 (one per base defense)", len(marginal.Rows))
 	}
 }

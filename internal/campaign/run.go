@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"context"
+
 	"crosslayer/internal/core"
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/engine"
@@ -36,6 +38,13 @@ type CellResult struct {
 // scenario from an identity-derived seed. Results come back in cell
 // order regardless of scheduling.
 func Run(cfg Config) ([]CellResult, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a cancellable context: a long sweep aborts
+// at the next cell boundary once ctx is cancelled, returning the
+// context's error instead of a partial matrix.
+func RunContext(ctx context.Context, cfg Config) ([]CellResult, error) {
 	cells, err := CellsAtRank(cfg.Filter, cfg.LatticeRank)
 	if err != nil {
 		return nil, err
@@ -55,13 +64,13 @@ func Run(cfg Config) ([]CellResult, error) {
 		Parallelism: cfg.Exec.Parallelism,
 	}
 	cfg.Exec.WireProgress(&job, "campaign", len(cells))
-	return engine.Run(job, func(sh engine.Shard) CellResult {
+	return engine.RunCtx(ctx, job, func(sh engine.Shard) CellResult {
 		// One shard == one cell (ShardSize 1, so sh.Start indexes the
 		// plan). The shard's positional seed is deliberately unused:
 		// the cell's trials derive from its identity key instead, so
 		// filtering the sweep never reseeds surviving cells.
 		return runCell(cells[sh.Start], cfg.Exec.Seed, trials)
-	}), nil
+	})
 }
 
 // runCell executes the cell's trials and folds them into a CellResult.

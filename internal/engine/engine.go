@@ -17,9 +17,15 @@
 //
 // Together these guarantee that the same seed produces byte-identical
 // merged output for any worker count.
+//
+// Execution is cancellable: the Ctx variants (RunCtx, ExecuteCtx,
+// ParallelCtx) stop dispatching shards once their context is
+// cancelled and return its error, so a long population sweep aborts
+// at the next shard boundary instead of running to completion.
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -153,6 +159,17 @@ func Workers(requested int) int {
 // order. onDone, when non-nil, is invoked (serialized) after each
 // trial completes.
 func Execute[T any](parallelism int, trials []Trial[T], onDone func(done, total int)) []T {
+	results, _ := ExecuteCtx(context.Background(), parallelism, trials, onDone)
+	return results
+}
+
+// ExecuteCtx is Execute under a cancellable context: trials already
+// dispatched run to completion (a shard's simulation is not
+// interruptible), but no new trial starts once ctx is cancelled, and
+// the context's error is returned. On cancellation the result slice
+// is partial — callers must treat a non-nil error as fatal rather
+// than merge the partial results.
+func ExecuteCtx[T any](ctx context.Context, parallelism int, trials []Trial[T], onDone func(done, total int)) ([]T, error) {
 	results := make([]T, len(trials))
 	workers := Workers(parallelism)
 	if workers > len(trials) {
@@ -160,12 +177,15 @@ func Execute[T any](parallelism int, trials []Trial[T], onDone func(done, total 
 	}
 	if workers <= 1 {
 		for i, tr := range trials {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
 			results[i] = tr.Fn(tr.Shard)
 			if onDone != nil {
 				onDone(i+1, len(trials))
 			}
 		}
-		return results
+		return results, nil
 	}
 
 	var (
@@ -192,12 +212,17 @@ func Execute[T any](parallelism int, trials []Trial[T], onDone func(done, total 
 			}
 		}()
 	}
+feed:
 	for i := range trials {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return results
+	return results, ctx.Err()
 }
 
 // Run plans the job's shards, binds them to fn and executes them on
@@ -206,12 +231,24 @@ func Run[T any](j Job, fn func(Shard) T) []T {
 	return Execute(j.Parallelism, Trials(j, fn), j.OnTrialDone)
 }
 
+// RunCtx is Run under a cancellable context: long sweeps abort
+// between shards when ctx is cancelled, returning the context's
+// error. With a background context the error is always nil.
+func RunCtx[T any](ctx context.Context, j Job, fn func(Shard) T) ([]T, error) {
+	return ExecuteCtx(ctx, j.Parallelism, Trials(j, fn), j.OnTrialDone)
+}
+
 // Parallel executes independent heterogeneous thunks on the pool —
 // for experiment suites whose trials are a fixed set of dissimilar
 // simulations (e.g. the Table 6 attack comparison) rather than shards
 // of one population. Each thunk must be self-contained like any other
 // trial.
 func Parallel(parallelism int, fns ...func()) {
+	_ = ParallelCtx(context.Background(), parallelism, fns...)
+}
+
+// ParallelCtx is Parallel under a cancellable context.
+func ParallelCtx(ctx context.Context, parallelism int, fns ...func()) error {
 	trials := make([]Trial[struct{}], len(fns))
 	for i, fn := range fns {
 		fn := fn
@@ -220,5 +257,6 @@ func Parallel(parallelism int, fns ...func()) {
 			Fn:    func(Shard) struct{} { fn(); return struct{}{} },
 		}
 	}
-	Execute(parallelism, trials, nil)
+	_, err := ExecuteCtx(ctx, parallelism, trials, nil)
+	return err
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -125,6 +127,56 @@ func TestParallelRunsAllThunks(t *testing.T) {
 func TestEmptyJob(t *testing.T) {
 	if got := Run(Job{Items: 0, Seed: 1}, func(Shard) int { return 1 }); len(got) != 0 {
 		t.Fatalf("empty job produced %d results", len(got))
+	}
+}
+
+// TestRunCtxCancellationStopsDispatch pins the cancellation contract:
+// once the context is cancelled no further shard starts, and the
+// context's error comes back instead of a silent partial merge.
+func TestRunCtxCancellationStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	j := Job{Items: 100, ShardSize: 1, Seed: 3, Parallelism: 1}
+	_, err := RunCtx(ctx, j, func(sh Shard) int {
+		if started.Add(1) == 5 {
+			cancel()
+		}
+		return sh.Index
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Serial execution checks ctx before each trial: exactly the five
+	// trials up to the cancelling one ran.
+	if started.Load() != 5 {
+		t.Fatalf("%d trials started after cancellation, want 5", started.Load())
+	}
+
+	// Parallel path: in-flight shards finish, the rest never start.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	var ran atomic.Int64
+	_, err = RunCtx(ctx2, Job{Items: 64, ShardSize: 1, Seed: 4, Parallelism: 8},
+		func(sh Shard) int { ran.Add(1); return sh.Index })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d trials ran under a pre-cancelled context, want 0", ran.Load())
+	}
+}
+
+// TestRunCtxBackgroundMatchesRun: with a background context RunCtx is
+// Run — same results, nil error.
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	fn := func(sh Shard) int64 { return sh.Seed + int64(sh.Start) }
+	j := Job{Items: 40, ShardSize: 8, Seed: 12, Parallelism: 4}
+	got, err := RunCtx(context.Background(), j, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Run(j, fn); !reflect.DeepEqual(got, want) {
+		t.Fatal("RunCtx(Background) differs from Run")
 	}
 }
 

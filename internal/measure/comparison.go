@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -11,6 +12,7 @@ import (
 	"crosslayer/internal/dnssrv"
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/engine"
+	"crosslayer/internal/report"
 	"crosslayer/internal/resolver"
 	"crosslayer/internal/scenario"
 	"crosslayer/internal/stats"
@@ -36,13 +38,15 @@ type Comparison struct {
 // through the experiment engine's worker pool; results are identical
 // to a serial run.
 func RunComparison(seed int64, sadPorts int) Comparison {
-	return RunComparisonWith(Config{Seed: seed}, sadPorts)
+	cmp, _ := RunComparisonWith(context.Background(), Config{Seed: seed}, sadPorts)
+	return cmp
 }
 
 // RunComparisonWith is RunComparison under an explicit execution
 // Config (only Seed and Parallelism apply; the comparison has no
-// population to cap or shard).
-func RunComparisonWith(cfg Config, sadPorts int) Comparison {
+// population to cap or shard). A cancelled ctx aborts between the
+// five independent measurements.
+func RunComparisonWith(ctx context.Context, cfg Config, sadPorts int) (Comparison, error) {
 	seed := cfg.Seed
 	var cmp Comparison
 
@@ -140,16 +144,21 @@ func RunComparisonWith(cfg Config, sadPorts int) Comparison {
 		cmp.SamePrefixRate = core.SamePrefixInterceptionRate(topo, netip.MustParsePrefix("10.0.0.0/22"), pairs)
 	}
 
-	engine.Parallel(cfg.Parallelism, hijack, saddns, fragGlobal, fragRandom, samePrefix)
-	return cmp
+	if err := engine.ParallelCtx(ctx, cfg.Parallelism, hijack, saddns, fragGlobal, fragRandom, samePrefix); err != nil {
+		return Comparison{}, err
+	}
+	return cmp, nil
 }
 
-// Table6 renders the comparison in the paper's Table 6 structure.
-func Table6(cmp Comparison, table3AdnetResolvers, table4AlexaDomains [3]float64) *stats.Table {
-	tbl := &stats.Table{
-		Title:  "Table 6: Comparison of the cache poisoning methods",
-		Header: []string{"Metric", "BGP sub-prefix", "BGP same-prefix", "SadDNS", "Frag (global IPID)", "Frag (random IPID)"},
-	}
+// Table6 builds the comparison Report in the paper's Table 6
+// structure. The rows are a per-metric pivot (each row mixes
+// percentages, counts and durations), so the cells are formatted
+// strings; the same-prefix interception rate rides as a note.
+func Table6(cmp Comparison, table3AdnetResolvers, table4AlexaDomains [3]float64) *report.Report {
+	rep := report.New("table6", "Table 6: cache-poisoning method comparison")
+	tbl := rep.AddSection(report.Table("", "Table 6: Comparison of the cache poisoning methods",
+		report.StrCols("Metric", "BGP sub-prefix", "BGP same-prefix", "SadDNS", "Frag (global IPID)", "Frag (random IPID)")...))
+	rep.AddNote("same-prefix interception (simulated, paper ~80%%): %.0f%%", cmp.SamePrefixRate*100)
 	tbl.Add("Vuln. resolvers (ad-net)",
 		stats.Pct1(table3AdnetResolvers[0]), stats.Pct1(cmp.SamePrefixRate),
 		stats.Pct1(table3AdnetResolvers[1]), stats.Pct1(table3AdnetResolvers[2]), stats.Pct1(table3AdnetResolvers[2]))
@@ -175,7 +184,7 @@ func Table6(cmp Comparison, table3AdnetResolvers, table4AlexaDomains [3]float64)
 		cmp.Hijack.Duration.String(), cmp.Hijack.Duration.String(),
 		cmp.SadDNS.Duration.String(), cmp.FragGlobal.Duration.String(), cmp.FragRandom.Duration.String())
 	tbl.Add("Visibility", "very visible", "visible", "stealthy, locally detectable", "very stealthy", "stealthy")
-	return tbl
+	return rep
 }
 
 func max(a, b int) int {
@@ -189,35 +198,44 @@ func max(a, b int) int {
 // it runs the three attacks end-to-end (SadDNS scanning sadPorts
 // resolver ports), scans the Table 3 ad-net and Table 4 Alexa
 // populations for the vulnerable-fraction rows, and assembles the
-// comparison table. This is the one-call form cmd/xlmeasure and the
+// comparison Report. This is the one-call form cmd/xlmeasure and the
 // golden-artifact suite share.
-func Table6Run(cfg Config, sadPorts int) (*stats.Table, Comparison) {
-	cmp := RunComparisonWith(Config{Seed: cfg.Seed, Parallelism: cfg.Parallelism}, sadPorts)
-	_, rres := Table3Run(cfg)
-	_, dres := Table4Run(cfg)
+func Table6Run(ctx context.Context, cfg Config, sadPorts int) (*report.Report, Comparison, error) {
+	cmp, err := RunComparisonWith(ctx, Config{Seed: cfg.Seed, Parallelism: cfg.Parallelism}, sadPorts)
+	if err != nil {
+		return nil, Comparison{}, err
+	}
+	_, rres, err := Table3Run(ctx, cfg)
+	if err != nil {
+		return nil, Comparison{}, err
+	}
+	_, dres, err := Table4Run(ctx, cfg)
+	if err != nil {
+		return nil, Comparison{}, err
+	}
 	ad := rres[6]
 	al := dres[1]
-	tbl := Table6(cmp,
+	rep := Table6(cmp,
 		[3]float64{ad.SubPrefix.Frac(), ad.SadDNS.Frac(), ad.Frag.Frac()},
 		[3]float64{al.SubPrefix.Frac(), al.SadDNS.Frac(), al.FragAny.Frac()})
-	return tbl, cmp
+	return rep, cmp, nil
 }
 
 // Table5 reproduces the ANY-caching comparison across resolver
 // implementations by querying ANY then A through each profile and
 // checking whether the A query was served from the ANY answer.
-func Table5(seed int64) (*stats.Table, map[string]bool) {
-	return Table5Run(Config{Seed: seed})
+func Table5(seed int64) (*report.Report, map[string]bool) {
+	rep, res, _ := Table5Run(context.Background(), Config{Seed: seed})
+	return rep, res
 }
 
 // Table5Run is Table5 under an explicit execution Config: one trial
 // per implementation profile, each on its own scenario, executed on
 // the engine's worker pool and rendered in profile order.
-func Table5Run(cfg Config) (*stats.Table, map[string]bool) {
-	tbl := &stats.Table{
-		Title:  "Table 5: ANY caching results of popular resolvers",
-		Header: []string{"Implementation", "Vulnerable", "Note"},
-	}
+func Table5Run(ctx context.Context, cfg Config) (*report.Report, map[string]bool, error) {
+	rep := report.New("table5", "Table 5: ANY-caching behaviour per resolver implementation")
+	tbl := rep.AddSection(report.Table("", "Table 5: ANY caching results of popular resolvers",
+		report.StrCols("Implementation", "Vulnerable", "Note")...))
 	profiles := resolver.AllProfiles()
 	type anyCaching struct {
 		vulnerable bool
@@ -228,7 +246,7 @@ func Table5Run(cfg Config) (*stats.Table, map[string]bool) {
 	job := engine.Job{Name: "table5", Items: len(profiles), ShardSize: 1,
 		Seed: cfg.Seed, Parallelism: cfg.Parallelism}
 	cfg.WireProgress(&job, "resolver profiles", len(profiles))
-	rows := engine.Run(job, func(sh engine.Shard) anyCaching {
+	rows, err := engine.RunCtx(ctx, job, func(sh engine.Shard) anyCaching {
 		// Per-profile seeds keep the serial harness's seed+i offsets
 		// (sh.Start == profile index with ShardSize 1).
 		prof := profiles[sh.Start]
@@ -254,6 +272,9 @@ func Table5Run(cfg Config) (*stats.Table, map[string]bool) {
 		}
 		return out
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	results := map[string]bool{}
 	for i, prof := range profiles {
 		results[prof.Name] = rows[i].vulnerable
@@ -263,7 +284,7 @@ func Table5Run(cfg Config) (*stats.Table, map[string]bool) {
 		}
 		tbl.Add(prof.Name, yn, rows[i].note)
 	}
-	return tbl, results
+	return rep, results, nil
 }
 
 // ForwarderStudy reproduces §4.3.3: the fraction of ad-net client

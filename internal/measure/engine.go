@@ -1,6 +1,9 @@
 package measure
 
-import "crosslayer/internal/engine"
+import (
+	"crosslayer/internal/engine"
+	"crosslayer/internal/report"
+)
 
 // Config controls how an experiment regeneration executes. The zero
 // value means: full paper-size populations, seed 0, one shard per
@@ -31,12 +34,22 @@ type Config struct {
 }
 
 // ProgressEvent reports one shard completion within a dataset scan.
-type ProgressEvent struct {
-	Dataset     string
-	DoneShards  int
-	TotalShards int
-	// Items is the sampled population size of the dataset.
-	Items int
+// It is the report registry's Progress event — one shape for every
+// experiment, so a Spec.Progress callback observes measure scans and
+// campaign sweeps alike.
+type ProgressEvent = report.Progress
+
+// ConfigFromSpec projects the registry's uniform run Spec onto the
+// measure execution Config (the campaign package does the same for
+// its sweep dimensions).
+func ConfigFromSpec(spec report.Spec) Config {
+	return Config{
+		SampleCap:   spec.SampleCap,
+		Seed:        spec.Seed,
+		Parallelism: spec.Parallelism,
+		ShardSize:   spec.ShardSize,
+		Progress:    spec.Progress,
+	}
 }
 
 // forDataset returns the config with the seed offset for the i-th

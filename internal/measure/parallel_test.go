@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -11,7 +12,10 @@ import (
 // results — for any worker count.
 func TestTable3ByteIdenticalAcrossParallelism(t *testing.T) {
 	base := Config{SampleCap: 90, Seed: 11, ShardSize: 16, Parallelism: 1}
-	refTbl, refRes := Table3Run(base)
+	refTbl, refRes, err := Table3Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ref := refTbl.String()
 	if ref == "" {
 		t.Fatal("empty reference table")
@@ -19,7 +23,10 @@ func TestTable3ByteIdenticalAcrossParallelism(t *testing.T) {
 	for _, p := range []int{2, 8} {
 		cfg := base
 		cfg.Parallelism = p
-		tbl, res := Table3Run(cfg)
+		tbl, res, err := Table3Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got := tbl.String(); got != ref {
 			t.Fatalf("parallelism %d changed Table 3 bytes:\n--- p=1\n%s\n--- p=%d\n%s", p, ref, p, got)
 		}
@@ -31,15 +38,22 @@ func TestTable3ByteIdenticalAcrossParallelism(t *testing.T) {
 
 func TestFigure4ByteIdenticalAcrossParallelism(t *testing.T) {
 	base := Config{SampleCap: 90, Seed: 12, ShardSize: 16, Parallelism: 1}
-	ref, _, _ := Figure4Run(base)
+	refRep, _, _, err := Figure4Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refRep.String()
 	if ref == "" {
 		t.Fatal("empty reference figure")
 	}
 	for _, p := range []int{2, 8} {
 		cfg := base
 		cfg.Parallelism = p
-		got, _, _ := Figure4Run(cfg)
-		if got != ref {
+		rep, _, _, err := Figure4Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.String(); got != ref {
 			t.Fatalf("parallelism %d changed Figure 4 bytes:\n--- p=1\n%s\n--- p=%d\n%s", p, ref, p, got)
 		}
 	}
@@ -51,7 +65,10 @@ func TestFigure4ByteIdenticalAcrossParallelism(t *testing.T) {
 func TestShardedScanMatchesSingleShard(t *testing.T) {
 	spec := Table3Datasets()[7]
 	cfg := Config{Seed: 13, ShardSize: 25, Parallelism: 4}
-	got := ScanResolverDataset(spec, 70, cfg)
+	got, err := ScanResolverDataset(context.Background(), spec, 70, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.Scanned != 70 {
 		t.Fatalf("scanned %d, want 70", got.Scanned)
 	}
@@ -104,7 +121,10 @@ func TestJobClampsOversizedShards(t *testing.T) {
 func TestDomainShardMergeCounts(t *testing.T) {
 	spec := Table4Datasets()[0]
 	cfg := Config{Seed: 14, ShardSize: 20, Parallelism: 3}
-	r := ScanDomainDataset(spec, 55, cfg)
+	r, err := ScanDomainDataset(context.Background(), spec, 55, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Scanned != 55 || r.SubPrefix.Total != 55 || r.DNSSEC.Total != 55 {
 		t.Fatalf("denominators wrong: %+v", r)
 	}

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"crosslayer/internal/engine"
 	"crosslayer/internal/netsim"
 	"crosslayer/internal/packet"
+	"crosslayer/internal/report"
 	"crosslayer/internal/resolver"
 	"crosslayer/internal/sim"
 	"crosslayer/internal/stats"
@@ -344,44 +346,54 @@ func scanDNSSEC(f *DomainFleet, d *SimDomain) bool {
 
 // ScanDomainDataset synthesizes and scans one Table 4 dataset of n
 // domains by fanning population shards out through the experiment
-// engine and merging the per-shard results in shard order.
-func ScanDomainDataset(spec DomainDatasetSpec, n int, cfg Config) DomainScanResult {
+// engine and merging the per-shard results in shard order. A
+// cancelled ctx aborts the scan at the next shard boundary.
+func ScanDomainDataset(ctx context.Context, spec DomainDatasetSpec, n int, cfg Config) (DomainScanResult, error) {
 	job := cfg.job(spec.Name, n)
-	parts := engine.Run(job, func(sh engine.Shard) DomainScanResult {
+	parts, err := engine.RunCtx(ctx, job, func(sh engine.Shard) DomainScanResult {
 		return ScanDomainFleet(NewDomainFleetShard(spec, sh))
 	})
+	if err != nil {
+		return DomainScanResult{}, err
+	}
 	res := DomainScanResult{Spec: spec}
 	for _, p := range parts {
 		res.Merge(p)
 	}
-	return res
+	return res, nil
 }
 
 // Table4 runs the full Table 4 reproduction with default execution
 // settings.
-func Table4(sampleCap int, seed int64) (*stats.Table, []DomainScanResult) {
-	return Table4Run(Config{SampleCap: sampleCap, Seed: seed})
+func Table4(sampleCap int, seed int64) (*report.Report, []DomainScanResult) {
+	rep, res, _ := Table4Run(context.Background(), Config{SampleCap: sampleCap, Seed: seed})
+	return rep, res
 }
 
-// Table4Run is Table4 under an explicit execution Config; output is
-// byte-identical for any Parallelism.
-func Table4Run(cfg Config) (*stats.Table, []DomainScanResult) {
-	tbl := &stats.Table{
-		Title:  "Table 4: Vulnerable domains",
-		Header: []string{"Dataset", "Protocol", "BGP sub-prefix", "SadDNS", "Frag any", "Frag global", "DNSSEC", "Sampled", "Paper size"},
-	}
+// Table4Run builds the Table 4 Report under an explicit execution
+// Config; output is byte-identical for any Parallelism. The only
+// error source is ctx cancellation mid-sweep.
+func Table4Run(ctx context.Context, cfg Config) (*report.Report, []DomainScanResult, error) {
+	rep := report.New("table4", "Table 4: vulnerable domains per dataset")
+	tbl := rep.AddSection(report.Table("", "Table 4: Vulnerable domains",
+		report.Col("Dataset", report.KindString),
+		report.Col("Protocol", report.KindString),
+		report.Col("BGP sub-prefix", report.KindRatio),
+		report.Col("SadDNS", report.KindRatio),
+		report.Col("Frag any", report.KindRatio),
+		report.Col("Frag global", report.KindRatio),
+		report.Col("DNSSEC", report.KindRatio),
+		report.Col("Sampled", report.KindInt),
+		report.Col("Paper size", report.KindInt)))
 	var results []DomainScanResult
 	for i, spec := range Table4Datasets() {
-		r := ScanDomainDataset(spec, cfg.cap(spec.PaperSize), cfg.forDataset(i))
+		r, err := ScanDomainDataset(ctx, spec, cfg.cap(spec.PaperSize), cfg.forDataset(i))
+		if err != nil {
+			return nil, nil, err
+		}
 		results = append(results, r)
-		tbl.Add(spec.Name, spec.Protocols,
-			r.SubPrefix.Cell(),
-			r.SadDNS.Cell(),
-			r.FragAny.Cell(),
-			r.FragGlobal.Cell(),
-			r.DNSSEC.Cell(),
-			fmt.Sprint(r.Scanned),
-			fmt.Sprint(spec.PaperSize))
+		tbl.Add(spec.Name, spec.Protocols, r.SubPrefix, r.SadDNS, r.FragAny, r.FragGlobal, r.DNSSEC,
+			r.Scanned, spec.PaperSize)
 	}
-	return tbl, results
+	return rep, results, nil
 }

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/engine"
 	"crosslayer/internal/packet"
+	"crosslayer/internal/report"
 	"crosslayer/internal/resolver"
 	"crosslayer/internal/stats"
 )
@@ -184,44 +186,53 @@ func scanFrag(f *ResolverFleet, sr *SimResolver) bool {
 
 // ScanResolverDataset synthesizes and scans one Table 3 dataset of n
 // resolvers by fanning population shards out through the experiment
-// engine and merging the per-shard results in shard order.
-func ScanResolverDataset(spec ResolverDatasetSpec, n int, cfg Config) ResolverScanResult {
+// engine and merging the per-shard results in shard order. A
+// cancelled ctx aborts the scan at the next shard boundary.
+func ScanResolverDataset(ctx context.Context, spec ResolverDatasetSpec, n int, cfg Config) (ResolverScanResult, error) {
 	job := cfg.job(spec.Name, n)
-	parts := engine.Run(job, func(sh engine.Shard) ResolverScanResult {
+	parts, err := engine.RunCtx(ctx, job, func(sh engine.Shard) ResolverScanResult {
 		return ScanResolverFleet(NewResolverFleetShard(spec, sh))
 	})
+	if err != nil {
+		return ResolverScanResult{}, err
+	}
 	res := ResolverScanResult{Spec: spec}
 	for _, p := range parts {
 		res.Merge(p)
 	}
-	return res
+	return res, nil
 }
 
 // Table3 runs the full Table 3 reproduction with default execution
 // settings: every dataset scaled to at most sampleCap resolvers,
 // scanned with the three probes.
-func Table3(sampleCap int, seed int64) (*stats.Table, []ResolverScanResult) {
-	return Table3Run(Config{SampleCap: sampleCap, Seed: seed})
+func Table3(sampleCap int, seed int64) (*report.Report, []ResolverScanResult) {
+	rep, res, _ := Table3Run(context.Background(), Config{SampleCap: sampleCap, Seed: seed})
+	return rep, res
 }
 
-// Table3Run is Table3 under an explicit execution Config: each dataset
-// is sharded and scanned in parallel, with byte-identical output for
-// any Parallelism.
-func Table3Run(cfg Config) (*stats.Table, []ResolverScanResult) {
-	tbl := &stats.Table{
-		Title:  "Table 3: Vulnerable resolvers",
-		Header: []string{"Dataset", "Protocol", "BGP sub-prefix", "SadDNS", "Fragment", "Sampled", "Paper size"},
-	}
+// Table3Run builds the Table 3 Report under an explicit execution
+// Config: each dataset is sharded and scanned in parallel, with
+// byte-identical output for any Parallelism. The only error source is
+// ctx cancellation mid-sweep.
+func Table3Run(ctx context.Context, cfg Config) (*report.Report, []ResolverScanResult, error) {
+	rep := report.New("table3", "Table 3: vulnerable resolvers per dataset")
+	tbl := rep.AddSection(report.Table("", "Table 3: Vulnerable resolvers",
+		report.Col("Dataset", report.KindString),
+		report.Col("Protocol", report.KindString),
+		report.Col("BGP sub-prefix", report.KindRatio),
+		report.Col("SadDNS", report.KindRatio),
+		report.Col("Fragment", report.KindRatio),
+		report.Col("Sampled", report.KindInt),
+		report.Col("Paper size", report.KindInt)))
 	var results []ResolverScanResult
 	for i, spec := range Table3Datasets() {
-		r := ScanResolverDataset(spec, cfg.cap(spec.PaperSize), cfg.forDataset(i))
+		r, err := ScanResolverDataset(ctx, spec, cfg.cap(spec.PaperSize), cfg.forDataset(i))
+		if err != nil {
+			return nil, nil, err
+		}
 		results = append(results, r)
-		tbl.Add(spec.Name, spec.Protocols,
-			r.SubPrefix.Cell(),
-			r.SadDNS.Cell(),
-			r.Frag.Cell(),
-			fmt.Sprint(r.Scanned),
-			fmt.Sprint(spec.PaperSize))
+		tbl.Add(spec.Name, spec.Protocols, r.SubPrefix, r.SadDNS, r.Frag, r.Scanned, spec.PaperSize)
 	}
-	return tbl, results
+	return rep, results, nil
 }

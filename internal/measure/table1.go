@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"crosslayer/internal/apps"
-	"crosslayer/internal/stats"
+	"crosslayer/internal/report"
 )
 
 // Table1Row is one application row of the paper's Table 1.
@@ -53,12 +53,11 @@ func Table1Rows() []Table1Row {
 	}
 }
 
-// Table1 renders the application matrix.
-func Table1() *stats.Table {
-	tbl := &stats.Table{
-		Title:  "Table 1: Attacks against popular systems leveraging a poisoned DNS cache",
-		Header: []string{"Category", "Protocol", "Use case", "Query name", "Trigger", "Records", "DNS use", "Hijack", "SadDNS", "Frag", "Impact"},
-	}
+// Table1 builds the application matrix as a structured Report.
+func Table1() *report.Report {
+	rep := report.New("table1", "Table 1: applications attackable via DNS cache poisoning")
+	tbl := rep.AddSection(report.Table("", "Table 1: Attacks against popular systems leveraging a poisoned DNS cache",
+		report.StrCols("Category", "Protocol", "Use case", "Query name", "Trigger", "Records", "DNS use", "Hijack", "SadDNS", "Frag", "Impact")...))
 	mark := func(b bool) string {
 		if b {
 			return "yes"
@@ -69,16 +68,15 @@ func Table1() *stats.Table {
 		tbl.Add(r.Category, r.Protocol, r.UseCase, r.QueryName, r.Trigger, r.Records, r.DNSUsedFor,
 			mark(r.Hijack), mark(r.SadDNS), mark(r.Frag), r.Impact)
 	}
-	return tbl
+	return rep
 }
 
-// Table2 renders the middlebox survey (the rows live in internal/apps
+// Table2 builds the middlebox survey (the rows live in internal/apps
 // next to the Middlebox implementation).
-func Table2() *stats.Table {
-	tbl := &stats.Table{
-		Title:  "Table 2: Query triggering behaviour at middleboxes",
-		Header: []string{"Type", "Provider", "Trigger query", "Caching time", "Alexa 100K sites"},
-	}
+func Table2() *report.Report {
+	rep := report.New("table2", "Table 2: middlebox query-triggering survey")
+	tbl := rep.AddSection(report.Table("", "Table 2: Query triggering behaviour at middleboxes",
+		report.StrCols("Type", "Provider", "Trigger query", "Caching time", "Alexa 100K sites")...))
 	for _, p := range apps.Table2Profiles() {
 		cache := "TTL"
 		if p.CacheTime > 0 {
@@ -90,5 +88,5 @@ func Table2() *stats.Table {
 		}
 		tbl.Add(p.Type, p.Provider, string(p.Trigger), cache, sites)
 	}
-	return tbl
+	return rep
 }

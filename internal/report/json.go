@@ -1,0 +1,120 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"crosslayer/internal/stats"
+)
+
+// JSON renders the report as indented, machine-readable JSON. The
+// encoding is lossless: Decode(JSON(r)) yields a Report whose Text
+// rendering is byte-identical to Text(r) — the round-trip contract
+// the golden suite enforces for every registered experiment.
+func JSON(r *Report) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses JSON produced by JSON back into a Report, using each
+// section's column kinds to recover the typed cells.
+func Decode(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	return &r, nil
+}
+
+// sectionJSON mirrors Section with raw rows, so UnmarshalJSON can
+// coerce each cell under its column's kind.
+type sectionJSON struct {
+	Name    string              `json:"name,omitempty"`
+	Title   string              `json:"title,omitempty"`
+	Layout  Layout              `json:"layout,omitempty"`
+	Columns []Column            `json:"columns"`
+	Rows    [][]json.RawMessage `json:"rows"`
+	Bars    *BarSpec            `json:"bars,omitempty"`
+}
+
+// UnmarshalJSON decodes a section, typing every cell by its column
+// kind: counts to int64, samples to float64, ratios to stats.Counter,
+// absent percentage-point deltas to nil.
+func (s *Section) UnmarshalJSON(data []byte) error {
+	var raw sectionJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	s.Name, s.Title, s.Layout, s.Columns, s.Bars = raw.Name, raw.Title, raw.Layout, raw.Columns, raw.Bars
+	// Plot layouts index fixed columns (bars: group/n/x/value, kv:
+	// group/label/value); reject sections too narrow for their layout
+	// here, so a hand-edited or third-party JSON artifact fails to
+	// decode instead of panicking at render time.
+	if min := minLayoutColumns(s.Layout); len(s.Columns) < min {
+		return fmt.Errorf("report: section %q has %d columns; layout %q needs at least %d",
+			raw.Name, len(s.Columns), s.Layout, min)
+	}
+	s.Rows = make([][]any, len(raw.Rows))
+	for i, rawRow := range raw.Rows {
+		if len(rawRow) != len(raw.Columns) {
+			return fmt.Errorf("report: section %q row %d has %d cells for %d columns",
+				raw.Name, i, len(rawRow), len(raw.Columns))
+		}
+		row := make([]any, len(rawRow))
+		for j, cell := range rawRow {
+			v, err := decodeCell(raw.Columns[j].Kind, cell)
+			if err != nil {
+				return fmt.Errorf("report: section %q row %d column %q: %w",
+					raw.Name, i, raw.Columns[j].Name, err)
+			}
+			row[j] = v
+		}
+		s.Rows[i] = row
+	}
+	return nil
+}
+
+// minLayoutColumns returns the column arity a layout's text renderer
+// indexes unconditionally.
+func minLayoutColumns(l Layout) int {
+	switch l {
+	case LayoutBars:
+		return 4
+	case LayoutKV:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// decodeCell parses one raw JSON cell under a column kind.
+func decodeCell(kind Kind, cell json.RawMessage) (any, error) {
+	switch kind {
+	case KindInt:
+		var v int64
+		err := json.Unmarshal(cell, &v)
+		return v, err
+	case KindFloat, KindPct1, KindRound, KindSeconds:
+		var v float64
+		err := json.Unmarshal(cell, &v)
+		return v, err
+	case KindRatio:
+		var v stats.Counter
+		err := json.Unmarshal(cell, &v)
+		return v, err
+	case KindPP:
+		if string(cell) == "null" {
+			return nil, nil
+		}
+		var v float64
+		err := json.Unmarshal(cell, &v)
+		return v, err
+	default:
+		var v string
+		err := json.Unmarshal(cell, &v)
+		return v, err
+	}
+}

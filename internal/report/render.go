@@ -1,0 +1,122 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// CSV renders the report as RFC-4180 CSV (encoding/csv handles the
+// quoting of commas, quotes and newlines). Every section becomes one
+// block — a "# name: title" comment line, the header row, the cell
+// rows — with a blank line between blocks. Cells carry the same
+// formatted values as the text artifact, so spreadsheet consumers see
+// the numbers the paper tables print.
+func CSV(r *Report) ([]byte, error) {
+	var buf bytes.Buffer
+	for i, s := range r.Sections {
+		if i > 0 {
+			buf.WriteByte('\n')
+		}
+		heading := s.Name
+		if s.Title != "" {
+			if heading != "" {
+				heading += ": "
+			}
+			heading += s.Title
+		}
+		if heading != "" {
+			fmt.Fprintf(&buf, "# %s\n", heading)
+		}
+		w := csv.NewWriter(&buf)
+		if err := w.Write(s.HeaderNames()); err != nil {
+			return nil, err
+		}
+		if err := w.WriteAll(s.CellStrings()); err != nil {
+			return nil, err
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Markdown renders the report as a GitHub-flavored Markdown document:
+// title heading, parameter list, one pipe table per section, notes as
+// a trailing bullet list. Pipe and newline characters inside cells
+// are escaped so arbitrary cell content cannot break the table grid.
+func Markdown(r *Report) []byte {
+	var sb strings.Builder
+	title := r.Title
+	if title == "" {
+		title = r.Name
+	}
+	fmt.Fprintf(&sb, "# %s\n", title)
+	if len(r.Params) > 0 {
+		sb.WriteByte('\n')
+		for _, p := range r.Params {
+			fmt.Fprintf(&sb, "- `%s` = `%s`\n", p.Name, p.Value)
+		}
+	}
+	for _, s := range r.Sections {
+		sb.WriteByte('\n')
+		if s.Title != "" {
+			fmt.Fprintf(&sb, "## %s\n\n", s.Title)
+		}
+		writeMDRow(&sb, s.HeaderNames())
+		cells := make([]string, len(s.Columns))
+		for i := range cells {
+			cells[i] = "---"
+		}
+		writeMDRow(&sb, cells)
+		for _, row := range s.CellStrings() {
+			writeMDRow(&sb, row)
+		}
+	}
+	if len(r.Notes) > 0 {
+		sb.WriteByte('\n')
+		for _, n := range r.Notes {
+			fmt.Fprintf(&sb, "> %s\n", mdEscape(n))
+		}
+	}
+	return []byte(sb.String())
+}
+
+func writeMDRow(sb *strings.Builder, cells []string) {
+	sb.WriteByte('|')
+	for _, c := range cells {
+		sb.WriteByte(' ')
+		sb.WriteString(mdEscape(c))
+		sb.WriteString(" |")
+	}
+	sb.WriteByte('\n')
+}
+
+// mdEscape keeps a cell on one table row: pipes are escaped, newlines
+// become <br>.
+func mdEscape(s string) string {
+	s = strings.ReplaceAll(s, "|", `\|`)
+	s = strings.ReplaceAll(s, "\r\n", "<br>")
+	s = strings.ReplaceAll(s, "\n", "<br>")
+	return s
+}
+
+// Render dispatches a format name to its renderer. Valid formats are
+// "text", "json", "csv" and "md" (or "markdown").
+func Render(r *Report, format string) ([]byte, error) {
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		return []byte(Text(r)), nil
+	case "json":
+		return JSON(r)
+	case "csv":
+		return CSV(r)
+	case "md", "markdown":
+		return Markdown(r), nil
+	default:
+		return nil, fmt.Errorf("report: unknown format %q (valid: text, json, csv, md)", format)
+	}
+}

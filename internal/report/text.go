@@ -1,0 +1,89 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"crosslayer/internal/stats"
+)
+
+// Text renders the report in the historical hand-formatted form: the
+// byte-for-byte artifact the testdata/golden/*.txt suite pins.
+// Sections are separated by one blank line (each section already ends
+// with a newline); params and notes are metadata and render nowhere
+// here — the JSON/Markdown projections carry them.
+func Text(r *Report) string {
+	parts := make([]string, len(r.Sections))
+	for i, s := range r.Sections {
+		parts[i] = s.Text()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Text renders one section under its layout.
+func (s *Section) Text() string {
+	switch s.Layout {
+	case LayoutBars:
+		return s.barsText()
+	case LayoutKV:
+		return s.kvText()
+	default:
+		return s.tableText()
+	}
+}
+
+// tableText delegates to stats.Table so the aligned pipe format stays
+// the single source of truth.
+func (s *Section) tableText() string {
+	tbl := &stats.Table{Title: s.Title, Header: s.HeaderNames(), Rows: s.CellStrings()}
+	return tbl.String()
+}
+
+// barsText draws the Figure 3/4 grouped step plots: a "label (n=N)"
+// header per group, then one bar line per x tick.
+func (s *Section) barsText() string {
+	geom := s.Bars
+	if geom == nil {
+		geom = &BarSpec{Scale: 40, Width: 40, XFormat: "%6.0f"}
+	}
+	var sb strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", s.Title)
+	}
+	prevGroup := ""
+	started := false
+	for _, row := range s.Rows {
+		group, _ := row[0].(string)
+		n, _ := row[1].(int64)
+		x, _ := row[2].(float64)
+		v, _ := row[3].(float64)
+		if !started || group != prevGroup {
+			fmt.Fprintf(&sb, "%s (n=%d)\n", group, n)
+			prevGroup, started = group, true
+		}
+		bar := strings.Repeat("#", int(v*float64(geom.Scale)+0.5))
+		fmt.Fprintf(&sb, "  %s%s |%-*s| %5.1f%%\n",
+			geom.Prefix, fmt.Sprintf(geom.XFormat, x), geom.Width, bar, v*100)
+	}
+	return sb.String()
+}
+
+// kvText draws "label: value" lines under "== group ==" headers (the
+// Figure 5 Venn partitions).
+func (s *Section) kvText() string {
+	var sb strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", s.Title)
+	}
+	prevGroup := ""
+	started := false
+	for _, row := range s.Rows {
+		group, _ := row[0].(string)
+		if !started || group != prevGroup {
+			fmt.Fprintf(&sb, "== %s ==\n", group)
+			prevGroup, started = group, true
+		}
+		fmt.Fprintf(&sb, "%s: %s\n", row[1], FormatCell(KindInt, row[2]))
+	}
+	return sb.String()
+}

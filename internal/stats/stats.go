@@ -241,9 +241,11 @@ func (t *Table) String() string {
 // behind every percentage cell of the regenerated tables. Shard scans
 // Observe each population item once; per-shard counters then Plus
 // together into the dataset total.
+// The JSON field names are part of the report package's encoding
+// contract: a ratio cell round-trips as {"hits":h,"total":t}.
 type Counter struct {
-	Hits  int
-	Total int
+	Hits  int `json:"hits"`
+	Total int `json:"total"`
 }
 
 // Observe records one scanned item.
