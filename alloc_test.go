@@ -1,0 +1,108 @@
+package crosslayer_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/engine"
+	"crosslayer/internal/netsim"
+	"crosslayer/internal/packet"
+	"crosslayer/internal/scenario"
+)
+
+// These tests pin the zero-allocation contract of the trial hot path:
+// packing a DNS message into a reused buffer, serializing UDP/IPv4
+// into sized buffers, and the netsim send/deliver cycle at steady
+// state must not allocate. A regression here shows up as a number, not
+// as a 5% benchmark drift someone has to argue about.
+
+func TestAppendPackZeroAllocs(t *testing.T) {
+	q := dnswire.NewQuery(0x1234, "www.vict.im.", dnswire.TypeA)
+	q.SetEDNS(1232, false)
+	var buf []byte
+	// Warm the buffer to its steady-state capacity.
+	wire, err := q.AppendPack(buf[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = wire
+	allocs := testing.AllocsPerRun(100, func() {
+		wire, err := q.AppendPack(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = wire
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendPack into warmed buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestSerializeZeroAllocs(t *testing.T) {
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("10.0.0.2")
+	payload := make([]byte, 512)
+	u := packet.UDP{SrcPort: 5353, DstPort: 53, Payload: payload}
+	ubuf := make([]byte, 0, packet.UDPHeaderLen+len(payload))
+	ip := packet.IPv4{ID: 7, TTL: 64, Protocol: packet.ProtoUDP, Src: src, Dst: dst}
+	ipbuf := make([]byte, 0, packet.IPv4HeaderLen+packet.UDPHeaderLen+len(payload))
+
+	allocs := testing.AllocsPerRun(100, func() {
+		uw, err := u.Serialize(ubuf[:0], src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip.Payload = uw
+		if _, err := ip.Serialize(ipbuf[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("UDP+IPv4 Serialize into sized buffers: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSteadyStateSendZeroAllocs drives a full spoofed-send round trip —
+// serialize into a pooled buffer, schedule, deliver, recycle — and
+// requires the warmed network to stop allocating: the wire pool feeds
+// payload buffers back, the clock's event freelist feeds events back,
+// and the delivery freelist feeds delivery nodes back.
+func TestSteadyStateSendZeroAllocs(t *testing.T) {
+	s := scenario.New(scenario.Config{Seed: 42})
+	payload := make([]byte, 128)
+	sink := 0
+	s.ResolverHost.BindUDP(12345, func(dg netsim.Datagram) { sink += len(dg.Payload) })
+	round := func() {
+		s.Attacker.SendUDPSpoofed(scenario.NSIP, 53, scenario.ResolverIP, 12345, payload)
+		s.Net.Run()
+	}
+	// Warm pools, freelists and the host's receive path.
+	for i := 0; i < 10; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(100, round); allocs != 0 {
+		t.Fatalf("steady-state spoofed send: %v allocs/op, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("payloads never delivered")
+	}
+}
+
+// TestEngineDispatchAllocs bounds the engine's own per-trial overhead:
+// dispatching trials through the burst executor must cost well under
+// one allocation per trial once the per-job slices are amortized.
+func TestEngineDispatchAllocs(t *testing.T) {
+	const trials = 1024
+	j := engine.Job{Items: trials, ShardSize: 1, Seed: 1, Parallelism: 1}
+	allocs := testing.AllocsPerRun(10, func() {
+		out := engine.RunWorkers(j, func() *struct{} { return nil },
+			func(_ *struct{}, sh engine.Shard) int { return sh.Start })
+		if len(out) != trials {
+			t.Fatalf("%d results", len(out))
+		}
+	})
+	if perTrial := allocs / trials; perTrial > 0.1 {
+		t.Fatalf("engine dispatch: %v allocs/trial, want < 0.1", perTrial)
+	}
+}

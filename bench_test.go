@@ -34,6 +34,7 @@ import (
 // --- Table benchmarks ---
 
 func BenchmarkTable1Applications(b *testing.B) {
+	b.ReportAllocs()
 	// One representative Table 1 exploitation chain per iteration:
 	// poisoned MX -> bounce theft.
 	for i := 0; i < b.N; i++ {
@@ -51,6 +52,7 @@ func BenchmarkTable1Applications(b *testing.B) {
 }
 
 func BenchmarkTable2Middleboxes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := scenario.New(scenario.Config{Seed: int64(i)})
 		apps.NewWebServer(s.WWWHost, apps.Identity{Subject: "www.vict.im.", Issuer: apps.TrustedCA})
@@ -66,6 +68,7 @@ func BenchmarkTable2Middleboxes(b *testing.B) {
 }
 
 func BenchmarkTable3Resolvers(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, res := measure.Table3(40, int64(i)); len(res) != 9 {
 			b.Fatal("datasets missing")
@@ -74,6 +77,7 @@ func BenchmarkTable3Resolvers(b *testing.B) {
 }
 
 func BenchmarkTable4Domains(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, res := measure.Table4(30, int64(i)); len(res) != 10 {
 			b.Fatal("datasets missing")
@@ -90,6 +94,7 @@ func BenchmarkTable3Parallel(b *testing.B) {
 	spec := measure.Table3Datasets()[7]
 	for _, p := range parallelismLevels() {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := measure.Config{Seed: int64(i), Parallelism: p}
 				r, err := measure.ScanResolverDataset(context.Background(), spec, 5000, cfg)
@@ -108,6 +113,7 @@ func BenchmarkTable4Parallel(b *testing.B) {
 	spec := measure.Table4Datasets()[4]
 	for _, p := range parallelismLevels() {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := measure.Config{Seed: int64(i), Parallelism: p, ShardSize: 64}
 				r, err := measure.ScanDomainDataset(context.Background(), spec, 512, cfg)
@@ -130,6 +136,7 @@ func parallelismLevels() []int {
 }
 
 func BenchmarkTable5ANYCaching(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, res := measure.Table5(int64(i)); len(res) != 5 {
 			b.Fatal("profiles missing")
@@ -138,6 +145,7 @@ func BenchmarkTable5ANYCaching(b *testing.B) {
 }
 
 func BenchmarkTable6Comparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cmp := measure.RunComparison(int64(i), 800)
 		if !cmp.Hijack.Success || !cmp.FragGlobal.Success {
@@ -152,6 +160,7 @@ func BenchmarkTable6Comparison(b *testing.B) {
 // one trial each) — the cost profile of the matrix's dominant cell
 // kinds without the full cross-product sweep.
 func BenchmarkCampaign(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := campaign.Run(campaign.Config{
 			Exec: measure.Config{Seed: int64(i)},
@@ -176,6 +185,7 @@ func BenchmarkCampaign(b *testing.B) {
 // the Lattice marginal-coverage view — the incremental cost a
 // set-valued defense axis adds over the scalar one.
 func BenchmarkCampaignLattice(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := campaign.Run(campaign.Config{
 			Exec: measure.Config{Seed: int64(i)},
@@ -202,6 +212,7 @@ func BenchmarkCampaignLattice(b *testing.B) {
 // the two new axes add per cell, including chain construction and
 // weakest-hop scans.
 func BenchmarkCampaignChain(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := campaign.Run(campaign.Config{
 			Exec: measure.Config{Seed: int64(i)},
@@ -254,6 +265,7 @@ func BenchmarkReportRender(b *testing.B) {
 // --- Figure benchmarks ---
 
 func BenchmarkFigure1SadDNS(b *testing.B) {
+	b.ReportAllocs()
 	// Figure 1 is the SadDNS sequence: one full attack per iteration.
 	for i := 0; i < b.N; i++ {
 		cfg := scenario.Config{Seed: int64(i)}
@@ -271,6 +283,7 @@ func BenchmarkFigure1SadDNS(b *testing.B) {
 }
 
 func BenchmarkFigure2FragDNS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := scenario.Config{Seed: int64(i)}
 		cfg.ServerCfg = dnssrv.DefaultConfig()
@@ -284,6 +297,7 @@ func BenchmarkFigure2FragDNS(b *testing.B) {
 }
 
 func BenchmarkFigure3Prefixes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out, _ := measure.Figure3(60, int64(i))
 		if len(out) == 0 {
@@ -293,6 +307,7 @@ func BenchmarkFigure3Prefixes(b *testing.B) {
 }
 
 func BenchmarkFigure4EDNS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out, _, _ := measure.Figure4(60, int64(i))
 		if len(out) == 0 {
@@ -302,6 +317,7 @@ func BenchmarkFigure4EDNS(b *testing.B) {
 }
 
 func BenchmarkFigure5Venn(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out, rv, _ := measure.Figure5(40, int64(i))
 		if len(out) == 0 || rv.Total() == 0 {
@@ -311,6 +327,7 @@ func BenchmarkFigure5Venn(b *testing.B) {
 }
 
 func BenchmarkSamePrefixHijack(b *testing.B) {
+	b.ReportAllocs()
 	rng := sim.NewClock(7).NewRand()
 	topo := bgp.Generate(bgp.GenConfig{}, rng)
 	asns := topo.ASNs()
@@ -381,6 +398,7 @@ func BenchmarkDefragReassembly(b *testing.B) {
 }
 
 func BenchmarkResolverFullResolution(b *testing.B) {
+	b.ReportAllocs()
 	s := scenario.New(scenario.Config{Seed: 5})
 	names := make([]string, 64)
 	for i := range names {
@@ -420,6 +438,7 @@ func BenchmarkCraftSecondFragment(b *testing.B) {
 }
 
 func BenchmarkBGPPropagation(b *testing.B) {
+	b.ReportAllocs()
 	rng := sim.NewClock(8).NewRand()
 	topo := bgp.Generate(bgp.GenConfig{Stubs: 800}, rng)
 	p := netip.MustParsePrefix("10.0.0.0/22")
@@ -433,6 +452,7 @@ func BenchmarkBGPPropagation(b *testing.B) {
 }
 
 func BenchmarkSadDNSPortScanWindow(b *testing.B) {
+	b.ReportAllocs()
 	// Cost of one 50-probe + verification side-channel window.
 	cfg := scenario.Config{Seed: 9}
 	s := scenario.New(cfg)

@@ -1,27 +1,39 @@
 // Command benchjson converts `go test -bench` output on stdin into a
-// JSON document on stdout mapping each benchmark to its ns/op — the
-// machine-readable perf record CI uploads as BENCH_ci.json so the
-// repository accumulates a benchmark trajectory across commits.
+// JSON document on stdout mapping each benchmark to its ns/op (and,
+// when -benchmem or b.ReportAllocs() provided them, B/op and
+// allocs/op) — the machine-readable perf record CI uploads as
+// BENCH_ci.json so the repository accumulates a benchmark trajectory
+// across commits.
+//
+// With -compare it becomes the perf gate instead: it reads two such
+// JSON files, prints a comparison table, and exits 1 if any benchmark
+// regressed beyond the tolerance.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime=1x ./... | benchjson > BENCH_ci.json
+//	benchjson -compare -tolerance 15 BENCH_2.json BENCH_ci.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // benchLine matches one benchmark result line, e.g.
 //
 //	BenchmarkCampaign-8   1   123456789 ns/op   512 B/op   7 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+//
+// The B/op and allocs/op groups are optional: only benchmarks that
+// call b.ReportAllocs() (or runs under -benchmem) emit them.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+(\d+) allocs/op)?`)
 
 // Result is one parsed benchmark measurement.
 type Result struct {
@@ -31,6 +43,12 @@ type Result struct {
 	Iterations int `json:"iterations"`
 	// NsPerOp is the reported nanoseconds per operation.
 	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the memory columns; -1 when the
+	// benchmark did not report them (0 is a real, meaningful value on
+	// the zero-allocation paths this repo gates, so absence cannot be
+	// encoded as 0).
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // Parse extracts benchmark results from go-test bench output.
@@ -49,7 +67,17 @@ func Parse(r *bufio.Scanner) ([]Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", r.Text(), err)
 		}
-		out = append(out, Result{Name: stripProcs(m[1]), Iterations: iters, NsPerOp: ns})
+		res := Result{Name: stripProcs(m[1]), Iterations: iters, NsPerOp: ns,
+			BytesPerOp: -1, AllocsPerOp: -1}
+		if m[4] != "" {
+			if res.BytesPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("benchjson: bad B/op in %q: %w", r.Text(), err)
+			}
+			if res.AllocsPerOp, err = strconv.ParseFloat(m[5], 64); err != nil {
+				return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", r.Text(), err)
+			}
+		}
+		out = append(out, res)
 	}
 	return out, r.Err()
 }
@@ -65,7 +93,128 @@ func stripProcs(name string) string {
 	return name
 }
 
+// Compare diffs a new benchmark record against a baseline and renders
+// the verdict table. It reports breach when any baseline benchmark is
+// slower in the new record by more than tolerancePct percent, or is
+// missing from it entirely (a silently dropped benchmark must not
+// pass the gate). Benchmarks only present in the new record are noted
+// but never a breach — adding coverage is not a regression.
+func Compare(oldRes, newRes []Result, tolerancePct float64) (string, bool) {
+	newBy := make(map[string]Result, len(newRes))
+	for _, r := range newRes {
+		newBy[r.Name] = r
+	}
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tbase ns/op\tnew ns/op\tdelta\tallocs\tverdict\n")
+	breach := false
+	for _, o := range oldRes {
+		n, ok := newBy[o.Name]
+		if !ok {
+			breach = true
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t-\t%s\tBREACH (missing from new record)\n",
+				o.Name, o.NsPerOp, allocDelta(o.AllocsPerOp, -1))
+			continue
+		}
+		delete(newBy, o.Name)
+		deltaPct := 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		verdict := "ok"
+		if deltaPct > tolerancePct {
+			breach = true
+			verdict = fmt.Sprintf("BREACH (+%.1f%% > %.1f%% tolerance)", deltaPct, tolerancePct)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\t%s\n",
+			o.Name, o.NsPerOp, n.NsPerOp, deltaPct, allocDelta(o.AllocsPerOp, n.AllocsPerOp), verdict)
+	}
+	// Deterministic order for the leftovers: walk newRes, not the map.
+	for _, n := range newRes {
+		if _, leftover := newBy[n.Name]; leftover {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\t%s\tnew (not in baseline)\n",
+				n.Name, n.NsPerOp, allocDelta(-1, n.AllocsPerOp))
+		}
+	}
+	tw.Flush()
+	if breach {
+		fmt.Fprintf(&b, "\nFAIL: regression beyond %.1f%% tolerance.\n", tolerancePct)
+		fmt.Fprintf(&b, "If the slowdown is intended, refresh the baseline:\n")
+		fmt.Fprintf(&b, "  go test -run '^$' -bench . -benchtime=3x . | go run ./cmd/benchjson > BENCH_2.json\n")
+	}
+	return b.String(), breach
+}
+
+// allocDelta renders the allocs/op transition, tolerating sides that
+// did not report allocations (-1, rendered as "?").
+func allocDelta(oldAllocs, newAllocs float64) string {
+	fmtOne := func(a float64) string {
+		if a < 0 {
+			return "?"
+		}
+		return strconv.FormatFloat(a, 'f', -1, 64)
+	}
+	return fmtOne(oldAllocs) + "→" + fmtOne(newAllocs)
+}
+
+func readRecord(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Records written before the memory columns existed have no
+	// bytes_per_op/allocs_per_op keys at all; pointer fields keep that
+	// distinguishable from a genuine 0 so absence maps to -1.
+	type rec struct {
+		Name        string   `json:"name"`
+		Iterations  int      `json:"iterations"`
+		NsPerOp     float64  `json:"ns_per_op"`
+		BytesPerOp  *float64 `json:"bytes_per_op"`
+		AllocsPerOp *float64 `json:"allocs_per_op"`
+	}
+	var raw []rec
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make([]Result, len(raw))
+	for i, r := range raw {
+		out[i] = Result{Name: r.Name, Iterations: r.Iterations, NsPerOp: r.NsPerOp,
+			BytesPerOp: -1, AllocsPerOp: -1}
+		if r.BytesPerOp != nil {
+			out[i].BytesPerOp = *r.BytesPerOp
+		}
+		if r.AllocsPerOp != nil {
+			out[i].AllocsPerOp = *r.AllocsPerOp
+		}
+	}
+	return out, nil
+}
+
 func main() {
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files (baseline, new) instead of parsing stdin")
+	tolerance := flag.Float64("tolerance", 15, "percent slowdown allowed before -compare fails")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance pct] baseline.json new.json")
+			os.Exit(2)
+		}
+		oldRes, err := readRecord(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		newRes, err := readRecord(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		table, breach := Compare(oldRes, newRes, *tolerance)
+		fmt.Print(table)
+		if breach {
+			os.Exit(1)
+		}
+		return
+	}
+
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	results, err := Parse(sc)

@@ -21,9 +21,9 @@ ok  	crosslayer	2.345s
 		t.Fatal(err)
 	}
 	want := []Result{
-		{Name: "BenchmarkTable1Applications", Iterations: 1, NsPerOp: 1234567},
-		{Name: "BenchmarkCampaign", Iterations: 1, NsPerOp: 998877665},
-		{Name: "BenchmarkTable3Parallel/serial", Iterations: 2, NsPerOp: 42000000.5},
+		{Name: "BenchmarkTable1Applications", Iterations: 1, NsPerOp: 1234567, BytesPerOp: -1, AllocsPerOp: -1},
+		{Name: "BenchmarkCampaign", Iterations: 1, NsPerOp: 998877665, BytesPerOp: 512, AllocsPerOp: 7},
+		{Name: "BenchmarkTable3Parallel/serial", Iterations: 2, NsPerOp: 42000000.5, BytesPerOp: -1, AllocsPerOp: -1},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d results, want %d: %+v", len(got), len(want), got)
@@ -39,6 +39,59 @@ func TestParseIgnoresNonBenchLines(t *testing.T) {
 	got, err := Parse(bufio.NewScanner(strings.NewReader("PASS\nok x 1s\n--- FAIL: TestY\n")))
 	if err != nil || len(got) != 0 {
 		t.Fatalf("got %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestCompareBreach(t *testing.T) {
+	old := []Result{{Name: "BenchmarkCampaign", NsPerOp: 100, AllocsPerOp: 7}}
+	cur := []Result{{Name: "BenchmarkCampaign", NsPerOp: 200, AllocsPerOp: 9}}
+	table, breach := Compare(old, cur, 15)
+	if !breach {
+		t.Fatalf("2x slowdown passed a 15%% gate:\n%s", table)
+	}
+	for _, want := range []string{"BREACH", "+100.0%", "7→9", "refresh the baseline"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkCampaign", NsPerOp: 100, AllocsPerOp: -1},
+		{Name: "BenchmarkFaster", NsPerOp: 100, AllocsPerOp: 3},
+	}
+	cur := []Result{
+		{Name: "BenchmarkCampaign", NsPerOp: 110, AllocsPerOp: 0},
+		{Name: "BenchmarkFaster", NsPerOp: 40, AllocsPerOp: 3},
+	}
+	table, breach := Compare(old, cur, 15)
+	if breach {
+		t.Fatalf("10%% slowdown breached a 15%% gate:\n%s", table)
+	}
+	// A side without memory columns renders as "?", and 0 allocs must
+	// render as a real 0, not as absent.
+	if !strings.Contains(table, "?→0") {
+		t.Errorf("table missing ?→0 alloc transition:\n%s", table)
+	}
+	if strings.Contains(table, "BREACH") {
+		t.Errorf("unexpected breach row:\n%s", table)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	old := []Result{{Name: "BenchmarkDropped", NsPerOp: 100, AllocsPerOp: -1}}
+	cur := []Result{{Name: "BenchmarkAdded", NsPerOp: 50, AllocsPerOp: 2}}
+	table, breach := Compare(old, cur, 15)
+	if !breach {
+		t.Fatalf("dropped benchmark passed the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "BREACH (missing from new record)") {
+		t.Errorf("table missing dropped-benchmark breach:\n%s", table)
+	}
+	// A benchmark only the new record has is a note, never a breach.
+	if !strings.Contains(table, "new (not in baseline)") {
+		t.Errorf("table missing new-benchmark note:\n%s", table)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"crosslayer/internal/core"
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/engine"
+	"crosslayer/internal/pool"
 	"crosslayer/internal/scenario"
 	"crosslayer/internal/stats"
 )
@@ -64,17 +65,40 @@ func RunContext(ctx context.Context, cfg Config) ([]CellResult, error) {
 		Parallelism: cfg.Exec.Parallelism,
 	}
 	cfg.Exec.WireProgress(&job, "campaign", len(cells))
-	return engine.RunCtx(ctx, job, func(sh engine.Shard) CellResult {
+	return engine.RunWorkersCtx(ctx, job, newTrialWorker, func(w *trialWorker, sh engine.Shard) CellResult {
 		// One shard == one cell (ShardSize 1, so sh.Start indexes the
 		// plan). The shard's positional seed is deliberately unused:
 		// the cell's trials derive from its identity key instead, so
 		// filtering the sweep never reseeds surviving cells.
-		return runCell(cells[sh.Start], cfg.Exec.Seed, trials)
+		return runCell(w, cells[sh.Start], cfg.Exec.Seed, trials)
 	})
 }
 
+// trialWorker is the scratch one campaign worker reuses across every
+// cell it runs: the wire-buffer arena its trials' networks recycle
+// payloads through, and the per-cell cost-sample slices. Warmed
+// capacity carries across cells; recorded results never alias it
+// (stats.NewCDF copies its samples), so reuse cannot change output.
+type trialWorker struct {
+	wire  pool.Wire
+	iters []float64
+	pkts  []float64
+	secs  []float64
+}
+
+func newTrialWorker() *trialWorker { return &trialWorker{} }
+
+// Reset rewinds the sample slices for the next cell, keeping their
+// capacity. The wire arena deliberately survives Reset: its buffers
+// carry no state between trials, only capacity.
+func (w *trialWorker) Reset(engine.Shard) {
+	w.iters = w.iters[:0]
+	w.pkts = w.pkts[:0]
+	w.secs = w.secs[:0]
+}
+
 // runCell executes the cell's trials and folds them into a CellResult.
-func runCell(c Cell, baseSeed int64, trials int) CellResult {
+func runCell(w *trialWorker, c Cell, baseSeed int64, trials int) CellResult {
 	res := CellResult{
 		Method: c.Method.Key, Victim: c.Victim.Key,
 		Profile: c.Profile.Key, Defense: c.Defenses.Key,
@@ -82,20 +106,17 @@ func runCell(c Cell, baseSeed int64, trials int) CellResult {
 		Trials: trials,
 	}
 	cellSeed := engine.DeriveSeedKey(baseSeed, c.Key())
-	iters := make([]float64, 0, trials)
-	pkts := make([]float64, 0, trials)
-	secs := make([]float64, 0, trials)
 	for t := 0; t < trials; t++ {
-		poisoned, impact, r := runTrial(c, engine.DeriveSeed(cellSeed, t))
+		poisoned, impact, r := runTrial(w, c, engine.DeriveSeed(cellSeed, t))
 		res.Poisoned.Observe(poisoned)
 		res.Impact.Observe(impact)
-		iters = append(iters, float64(r.Iterations))
-		pkts = append(pkts, float64(r.AttackerPackets))
-		secs = append(secs, r.Duration.Seconds())
+		w.iters = append(w.iters, float64(r.Iterations))
+		w.pkts = append(w.pkts, float64(r.AttackerPackets))
+		w.secs = append(w.secs, r.Duration.Seconds())
 	}
-	res.Iterations = stats.NewCDF(iters)
-	res.Packets = stats.NewCDF(pkts)
-	res.Seconds = stats.NewCDF(secs)
+	res.Iterations = stats.NewCDF(w.iters)
+	res.Packets = stats.NewCDF(w.pkts)
+	res.Seconds = stats.NewCDF(w.secs)
 	return res
 }
 
@@ -106,10 +127,11 @@ func runCell(c Cell, baseSeed int64, trials int) CellResult {
 // defense stack rides scenario.Config.Defenses, whose pipeline runs
 // inside New — after the method's Prepare, so defenses always get the
 // last word.
-func runTrial(c Cell, seed int64) (poisoned, impact bool, r core.Result) {
+func runTrial(w *trialWorker, c Cell, seed int64) (poisoned, impact bool, r core.Result) {
 	scfg := baseScenarioConfig(seed, c.Profile.Profile)
 	scfg.ForwarderChain = c.Depth.Chain
 	scfg.Placement = c.Placement.Placement
+	scfg.WirePool = &w.wire
 	c.Method.Prepare(&scfg)
 	scfg.Defenses = c.Defenses.Specs
 	s := scenario.New(scfg)

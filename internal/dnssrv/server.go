@@ -46,6 +46,12 @@ type Server struct {
 	window    time.Duration
 	sentInWin int
 
+	// scratch is the wire-format buffer reused across UDP responses
+	// (and pad's trial packs). Safe because SendUDP serializes the
+	// payload into its own pooled buffer before returning; handleTCP
+	// must NOT use it — its return value is retained by the caller.
+	scratch []byte
+
 	// Counters.
 	Queries, Responses, RateDropped, Truncated uint64
 
@@ -118,10 +124,11 @@ func (s *Server) handle(dg netsim.Datagram) {
 		return
 	}
 	resp := s.BuildResponse(query)
-	wire, err := resp.Pack()
+	wire, err := resp.AppendPack(s.scratch[:0])
 	if err != nil {
 		return
 	}
+	s.scratch = wire
 	// EDNS truncation: if the client advertised a buffer smaller than
 	// the response, set TC and cut to the advertised size (or 512).
 	limit := 512
@@ -135,10 +142,11 @@ func (s *Server) handle(dg netsim.Datagram) {
 			Truncated: true, RecursionDesired: resp.RecursionDesired,
 			RCode: resp.RCode, Questions: resp.Questions,
 		}
-		wire, err = tr.Pack()
+		wire, err = tr.AppendPack(s.scratch[:0])
 		if err != nil {
 			return
 		}
+		s.scratch = wire
 	}
 	s.Responses++
 	s.Host.SendUDP(53, dg.Src, dg.SrcPort, wire)
@@ -217,10 +225,13 @@ func (s *Server) pad(resp *dnswire.Message, qname string) {
 	fillerName := "filler." + strings.TrimPrefix(dnswire.CanonicalName(qname), "filler.")
 	chunk := strings.Repeat("x", 194)
 	for i := 0; i < 64; i++ {
-		wire, err := resp.Pack()
+		// Only the packed length matters here; packing into the shared
+		// scratch avoids one full-response allocation per probe.
+		wire, err := resp.AppendPack(s.scratch[:0])
 		if err != nil || len(wire) >= s.Cfg.PadAnswersTo {
 			return
 		}
+		s.scratch = wire
 		// Each filler carries a distinct serial so that answer-order
 		// randomisation genuinely changes the response bytes (and so
 		// defeats FragDNS checksum prediction, §6.1).

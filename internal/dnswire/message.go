@@ -117,8 +117,22 @@ func (m *Message) EDNS() (udpSize uint16, do bool, ok bool) {
 
 // Pack serializes the message with name compression.
 func (m *Message) Pack() ([]byte, error) {
-	msg := make([]byte, HeaderLen, 512)
-	binary.BigEndian.PutUint16(msg[0:], m.ID)
+	return m.AppendPack(make([]byte, 0, 512))
+}
+
+// AppendPack serializes the message with name compression, appending
+// the wire form to dst and returning the extended slice. Compression
+// pointer offsets are relative to the start of the message (len(dst)
+// at call time), so the bytes produced are identical to Pack's
+// regardless of what dst already holds — callers reuse one scratch
+// buffer across packs without changing the wire. On error the
+// returned slice is nil; dst's contents past its original length are
+// unspecified.
+func (m *Message) AppendPack(dst []byte) ([]byte, error) {
+	base := len(dst)
+	msg := append(dst, make([]byte, HeaderLen)...)
+	hdr := msg[base:]
+	binary.BigEndian.PutUint16(hdr[0:], m.ID)
 	var flags uint16
 	if m.Response {
 		flags |= 1 << 15
@@ -143,16 +157,16 @@ func (m *Message) Pack() ([]byte, error) {
 		flags |= 1 << 4
 	}
 	flags |= uint16(m.RCode) & 0xf
-	binary.BigEndian.PutUint16(msg[2:], flags)
-	binary.BigEndian.PutUint16(msg[4:], uint16(len(m.Questions)))
-	binary.BigEndian.PutUint16(msg[6:], uint16(len(m.Answers)))
-	binary.BigEndian.PutUint16(msg[8:], uint16(len(m.Authority)))
-	binary.BigEndian.PutUint16(msg[10:], uint16(len(m.Additional)))
+	binary.BigEndian.PutUint16(hdr[2:], flags)
+	binary.BigEndian.PutUint16(hdr[4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(hdr[6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(hdr[8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(hdr[10:], uint16(len(m.Additional)))
 
-	comp := compressor{}
+	comp := compressor{base: base}
 	var err error
 	for _, q := range m.Questions {
-		if msg, err = appendName(msg, q.Name, comp); err != nil {
+		if msg, err = appendName(msg, q.Name, &comp); err != nil {
 			return nil, fmt.Errorf("question %q: %w", q.Name, err)
 		}
 		msg = binary.BigEndian.AppendUint16(msg, uint16(q.Type))
@@ -160,7 +174,7 @@ func (m *Message) Pack() ([]byte, error) {
 	}
 	for _, sec := range [][]*RR{m.Answers, m.Authority, m.Additional} {
 		for _, rr := range sec {
-			if msg, err = appendRR(msg, rr, comp); err != nil {
+			if msg, err = appendRR(msg, rr, &comp); err != nil {
 				return nil, fmt.Errorf("rr %q/%v: %w", rr.Name, rr.Type, err)
 			}
 		}
@@ -168,7 +182,7 @@ func (m *Message) Pack() ([]byte, error) {
 	return msg, nil
 }
 
-func appendRR(msg []byte, rr *RR, comp compressor) ([]byte, error) {
+func appendRR(msg []byte, rr *RR, comp *compressor) ([]byte, error) {
 	var err error
 	if msg, err = appendName(msg, rr.Name, comp); err != nil {
 		return nil, err

@@ -83,56 +83,160 @@ func CountLabels(name string) int {
 	return strings.Count(name, ".")
 }
 
-// splitLabels splits a name into its labels, preserving case (0x20
-// encoding depends on queries being packed with their exact case).
-func splitLabels(name string) ([]string, error) {
-	name = strings.TrimSuffix(name, ".")
-	if name == "" {
-		return nil, nil
-	}
-	name += "."
-	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
-	total := 0
-	for _, l := range labels {
-		if l == "" {
-			return nil, fmt.Errorf("%w: empty label in %q", ErrBadName, name)
+// validateName checks the label-structure and length limits of a name
+// whose single trailing dot has already been trimmed, preserving the
+// exact errors splitLabels historically produced. It allocates only
+// when building an error.
+func validateName(s string) error {
+	for i := 0; i < len(s); {
+		j := strings.IndexByte(s[i:], '.')
+		l := j
+		if j < 0 {
+			l = len(s) - i
 		}
-		if len(l) > MaxLabelLen {
-			return nil, fmt.Errorf("%w: label %q exceeds %d bytes", ErrBadName, l, MaxLabelLen)
+		if l == 0 {
+			return fmt.Errorf("%w: empty label in %q", ErrBadName, s+".")
 		}
-		total += len(l) + 1
+		if l > MaxLabelLen {
+			return fmt.Errorf("%w: label %q exceeds %d bytes", ErrBadName, s[i:i+l], MaxLabelLen)
+		}
+		i += l + 1
 	}
-	if total+1 > MaxNameLen {
-		return nil, fmt.Errorf("%w: name %q exceeds %d bytes", ErrBadName, name, MaxNameLen)
+	// A dot left at the end after the trim is an empty final label the
+	// loop above cannot see (it stops at len(s)).
+	if strings.HasSuffix(s, ".") {
+		return fmt.Errorf("%w: empty label in %q", ErrBadName, s+".")
 	}
-	return labels, nil
+	// Wire length is len(s)+1 (each separating dot becomes a length
+	// byte, plus one leading length byte) plus the root terminator.
+	if len(s)+2 > MaxNameLen {
+		return fmt.Errorf("%w: name %q exceeds %d bytes", ErrBadName, s+".", MaxNameLen)
+	}
+	return nil
 }
 
 // compressor tracks previously written names for RFC 1035 §4.1.4
-// message compression.
-type compressor map[string]int
+// message compression. Instead of a map of suffix strings (which costs
+// two string allocations per label), it records message-relative
+// offsets of written names and compares candidates against the wire
+// itself, following compression pointers. base is where the DNS
+// message starts in the (possibly shared) output buffer, so packing
+// into a caller-owned arena produces the same pointer offsets as
+// packing from offset zero.
+type compressor struct {
+	base int
+	n    int
+	offs [48]uint16
+	more []uint16
+}
+
+func (c *compressor) record(msgLen int) {
+	rel := msgLen - c.base
+	if rel >= 0x3fff {
+		return // beyond the 14-bit pointer range: stored uncompressed
+	}
+	if c.n < len(c.offs) {
+		c.offs[c.n] = uint16(rel)
+	} else {
+		c.more = append(c.more, uint16(rel))
+	}
+	c.n++
+}
+
+// lookup returns the message-relative offset of a previously recorded
+// name equal (case-insensitively) to suffix, which is in presentation
+// form without a trailing dot.
+func (c *compressor) lookup(msg []byte, suffix string) (int, bool) {
+	for i := 0; i < c.n; i++ {
+		var rel int
+		if i < len(c.offs) {
+			rel = int(c.offs[i])
+		} else {
+			rel = int(c.more[i-len(c.offs)])
+		}
+		if nameAtEquals(msg, c.base, c.base+rel, suffix) {
+			return rel, true
+		}
+	}
+	return 0, false
+}
+
+func lowerByte(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + 'a' - 'A'
+	}
+	return b
+}
+
+// nameAtEquals reports whether the wire name starting at absolute
+// offset off in msg equals s (presentation form, no trailing dot),
+// case-insensitively. It follows compression pointers (which are
+// message-relative to base). Offsets recorded mid-emission may point
+// at a name whose tail is not yet written; the bounds check makes
+// those compare as unequal, matching the map semantics where only the
+// full suffix string was a key.
+func nameAtEquals(msg []byte, base, off int, s string) bool {
+	j := 0
+	for {
+		if off >= len(msg) {
+			return false
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			return j == len(s)
+		case b&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return false
+			}
+			off = base + int(b&0x3f)<<8 | int(msg[off+1])
+		default:
+			l := int(b)
+			if len(s)-j < l || off+1+l > len(msg) {
+				return false
+			}
+			for k := 0; k < l; k++ {
+				if lowerByte(msg[off+1+k]) != lowerByte(s[j+k]) {
+					return false
+				}
+			}
+			j += l
+			off += 1 + l
+			if j < len(s) {
+				if s[j] != '.' {
+					return false
+				}
+				j++
+			}
+		}
+	}
+}
 
 // appendName appends the wire encoding of name to msg, compressing
 // against earlier occurrences when comp is non-nil. Offsets beyond the
 // 14-bit pointer range are stored uncompressed.
-func appendName(msg []byte, name string, comp compressor) ([]byte, error) {
-	labels, err := splitLabels(name)
-	if err != nil {
+func appendName(msg []byte, name string, comp *compressor) ([]byte, error) {
+	s := strings.TrimSuffix(name, ".")
+	if s == "" {
+		return append(msg, 0), nil
+	}
+	if err := validateName(s); err != nil {
 		return nil, err
 	}
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
+	for i := 0; i < len(s); {
 		if comp != nil {
-			if off, ok := comp[strings.ToLower(suffix)]; ok {
-				msg = append(msg, 0xc0|byte(off>>8), byte(off))
-				return msg, nil
+			if off, ok := comp.lookup(msg, s[i:]); ok {
+				return append(msg, 0xc0|byte(off>>8), byte(off)), nil
 			}
-			if len(msg) < 0x3fff {
-				comp[strings.ToLower(suffix)] = len(msg)
-			}
+			comp.record(len(msg))
 		}
-		msg = append(msg, byte(len(labels[i])))
-		msg = append(msg, labels[i]...)
+		l := strings.IndexByte(s[i:], '.')
+		if l < 0 {
+			l = len(s) - i
+		}
+		msg = append(msg, byte(l))
+		msg = append(msg, s[i:i+l]...)
+		i += l + 1
 	}
 	return append(msg, 0), nil
 }

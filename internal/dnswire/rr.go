@@ -279,6 +279,12 @@ type RRSIGData struct {
 	Signature []byte
 }
 
+// zeroRData backs the fixed all-zero filler runs in RDATA encodings
+// (RRSIG timestamp/keytag placeholder and the synthetic 64-byte
+// signature), replacing the per-call make slabs the packer used to
+// allocate. Read-only by contract: appendTo only ever copies from it.
+var zeroRData [64]byte
+
 func (d *RRSIGData) appendTo(msg []byte) ([]byte, error) {
 	msg = binary.BigEndian.AppendUint16(msg, uint16(d.Covered))
 	msg = append(msg, 8 /*alg*/, byte(CountLabels(d.Signer)))
@@ -287,14 +293,14 @@ func (d *RRSIGData) appendTo(msg []byte) ([]byte, error) {
 		valid = 1
 	}
 	msg = append(msg, valid) // placeholder where TTL would start
-	msg = append(msg, make([]byte, 15)...)
+	msg = append(msg, zeroRData[:15]...)
 	var err error
 	if msg, err = appendName(msg, d.Signer, nil); err != nil {
 		return nil, err
 	}
 	sig := d.Signature
 	if len(sig) == 0 {
-		sig = make([]byte, 64)
+		sig = zeroRData[:64]
 	}
 	return append(msg, sig...), nil
 }

@@ -28,12 +28,20 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultShardSize is the population-items-per-shard used when a Job
 // does not specify one. It balances scheduling granularity against the
 // per-shard cost of building a fresh simulated network.
 const DefaultShardSize = 256
+
+// DefaultBurst is how many consecutive trials a worker claims per
+// visit to the shared dispatch counter (NDN-DPDK's burst size): one
+// atomic op amortised over 64 trials instead of one channel rendezvous
+// per trial, and consecutive indices keep each worker's result writes
+// on adjacent cache lines.
+const DefaultBurst = 64
 
 // Shard is one independently simulable slice of a job's population:
 // the half-open item range [Start, Start+Count) plus the seed every
@@ -60,6 +68,10 @@ type Job struct {
 	// Parallelism is the worker count; 0 means GOMAXPROCS. It affects
 	// only wall-clock time, never results.
 	Parallelism int
+	// Burst is how many consecutive trials a worker claims per visit
+	// to the dispatch counter; 0 means DefaultBurst. Like Parallelism
+	// it affects only scheduling, never results.
+	Burst int
 	// OnTrialDone, when non-nil, observes trial completions. Calls are
 	// serialized and done is monotonic, but which shard completed is
 	// deliberately not reported: completion order depends on
@@ -72,6 +84,13 @@ func (j Job) shardSize() int {
 		return j.ShardSize
 	}
 	return DefaultShardSize
+}
+
+func (j Job) burst() int {
+	if j.Burst > 0 {
+		return j.Burst
+	}
+	return DefaultBurst
 }
 
 // Shards returns the job's deterministic shard plan: contiguous item
@@ -175,54 +194,79 @@ func ExecuteCtx[T any](ctx context.Context, parallelism int, trials []Trial[T], 
 	if workers > len(trials) {
 		workers = len(trials)
 	}
+	err := executeBursts(ctx, workers, DefaultBurst, len(trials), func(_, i int) {
+		results[i] = trials[i].Fn(trials[i].Shard)
+	}, onDone)
+	return results, err
+}
+
+// executeBursts is the dispatch core under Execute and RunWorkers: it
+// invokes run(worker, i) exactly once for every i in [0, total) that
+// starts before ctx is cancelled, with worker in [0, workers) stable
+// per goroutine (the hook per-worker state hangs off). Workers claim
+// index ranges of `burst` off a shared atomic counter — no channel
+// rendezvous per trial — and walk each range in order, so one worker's
+// result writes land on adjacent cache lines. onDone, when non-nil, is
+// called serialized with a strictly monotonic done count.
+func executeBursts(ctx context.Context, workers, burst, total int, run func(worker, i int), onDone func(done, total int)) error {
+	if burst <= 0 {
+		burst = DefaultBurst
+	}
 	if workers <= 1 {
-		for i, tr := range trials {
+		for i := 0; i < total; i++ {
 			if err := ctx.Err(); err != nil {
-				return results, err
+				return err
 			}
-			results[i] = tr.Fn(tr.Shard)
+			run(0, i)
 			if onDone != nil {
-				onDone(i+1, len(trials))
+				onDone(i+1, total)
 			}
 		}
-		return results, nil
+		return nil
 	}
 
 	var (
-		idx  = make(chan int)
+		next atomic.Int64
 		wg   sync.WaitGroup
 		mu   sync.Mutex
 		done int
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range idx {
-				results[i] = trials[i].Fn(trials[i].Shard)
-				if onDone != nil {
-					// Increment under the same mutex that serializes
-					// the callback, so observed done values are
-					// strictly monotonic.
-					mu.Lock()
-					done++
-					onDone(done, len(trials))
-					mu.Unlock()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				start := int(next.Add(int64(burst))) - burst
+				if start >= total {
+					return
+				}
+				end := start + burst
+				if end > total {
+					end = total
+				}
+				for i := start; i < end; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					run(w, i)
+					if onDone != nil {
+						// Increment under the same mutex that
+						// serializes the callback, so observed done
+						// values are strictly monotonic.
+						mu.Lock()
+						done++
+						onDone(done, total)
+						mu.Unlock()
+					}
 				}
 			}
-		}()
+		}(w)
 	}
-feed:
-	for i := range trials {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(idx)
 	wg.Wait()
-	return results, ctx.Err()
+	return ctx.Err()
 }
 
 // Run plans the job's shards, binds them to fn and executes them on
@@ -236,6 +280,59 @@ func Run[T any](j Job, fn func(Shard) T) []T {
 // error. With a background context the error is always nil.
 func RunCtx[T any](ctx context.Context, j Job, fn func(Shard) T) ([]T, error) {
 	return ExecuteCtx(ctx, j.Parallelism, Trials(j, fn), j.OnTrialDone)
+}
+
+// Resettable is the optional reuse hook for RunWorkers states: when a
+// worker's state implements it, Reset is called with the shard about
+// to run, before fn. States use it to rewind scratch arenas (wire
+// pools, result slices) to empty without releasing their capacity —
+// the per-shard setup cost that burst execution exists to amortize.
+//
+// Reset must restore every piece of state a trial can observe:
+// anything it leaves behind would make results depend on which shards
+// a worker previously ran, breaking the determinism contract.
+type Resettable interface {
+	Reset(Shard)
+}
+
+// RunWorkers runs the job with one state per worker, so trials on the
+// same worker can reuse allocation-heavy scratch (wire-buffer pools,
+// result accumulators) across shards instead of rebuilding it per
+// trial. newState is called once per worker, on that worker's
+// goroutine, before its first shard; if the state implements
+// Resettable it is Reset before every shard including the first.
+// Results are returned in shard order like Run.
+func RunWorkers[S, T any](j Job, newState func() S, fn func(S, Shard) T) []T {
+	results, _ := RunWorkersCtx(context.Background(), j, newState, fn)
+	return results
+}
+
+// RunWorkersCtx is RunWorkers under a cancellable context, with
+// ExecuteCtx's cancellation semantics: no new shard starts after ctx
+// is cancelled, and partial results must not be merged.
+func RunWorkersCtx[S, T any](ctx context.Context, j Job, newState func() S, fn func(S, Shard) T) ([]T, error) {
+	shards := j.Shards()
+	results := make([]T, len(shards))
+	workers := Workers(j.Parallelism)
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	states := make([]S, workers)
+	made := make([]bool, workers)
+	err := executeBursts(ctx, workers, j.burst(), len(shards), func(w, i int) {
+		if !made[w] {
+			states[w] = newState()
+			made[w] = true
+		}
+		if r, ok := any(states[w]).(Resettable); ok {
+			r.Reset(shards[i])
+		}
+		results[i] = fn(states[w], shards[i])
+	}, j.OnTrialDone)
+	return results, err
 }
 
 // Parallel executes independent heterogeneous thunks on the pool —

@@ -202,3 +202,86 @@ func TestDeriveSeedKeyStableAndDistinct(t *testing.T) {
 		t.Fatal("base seed ignored")
 	}
 }
+
+// TestRunWorkersResultsIndependentOfWorkersAndBurst pins the
+// determinism contract across the burst dispatcher: neither the worker
+// count nor the burst size may change results or their order.
+func TestRunWorkersResultsIndependentOfWorkersAndBurst(t *testing.T) {
+	type state struct{ scratch []int64 }
+	fn := func(s *state, sh Shard) int64 {
+		s.scratch = append(s.scratch, sh.Seed)
+		return sh.Seed + int64(sh.Start)
+	}
+	var reference []int64
+	for _, p := range []int{1, 2, 8} {
+		for _, burst := range []int{1, 3, 64, 1000} {
+			j := Job{Items: 333, ShardSize: 4, Seed: 99, Parallelism: p, Burst: burst}
+			got := RunWorkers(j, func() *state { return &state{} }, fn)
+			if reference == nil {
+				reference = got
+				continue
+			}
+			if !reflect.DeepEqual(got, reference) {
+				t.Fatalf("parallelism %d burst %d changed results", p, burst)
+			}
+		}
+	}
+}
+
+// TestRunWorkersStatePerWorker: newState runs once per participating
+// worker, every shard sees a state, and Reset is called with the
+// shard about to run — before fn, every time.
+func TestRunWorkersStatePerWorker(t *testing.T) {
+	var made atomic.Int64
+	j := Job{Items: 64, ShardSize: 1, Seed: 5, Parallelism: 4, Burst: 4}
+	states := RunWorkers(j,
+		func() *resettableState { made.Add(1); return &resettableState{} },
+		func(s *resettableState, sh Shard) *resettableState {
+			if len(s.resets) == 0 || s.resets[len(s.resets)-1] != sh.Index {
+				t.Errorf("shard %d ran without a preceding Reset", sh.Index)
+			}
+			return s
+		})
+	if n := made.Load(); n < 1 || n > 4 {
+		t.Fatalf("newState ran %d times, want 1..4", n)
+	}
+	// Every shard's Reset happened on exactly one state, once.
+	seen := map[int]int{}
+	uniq := map[*resettableState]bool{}
+	for _, s := range states {
+		if uniq[s] {
+			continue
+		}
+		uniq[s] = true
+		for _, idx := range s.resets {
+			seen[idx]++
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("shard %d reset %d times, want 1", i, seen[i])
+		}
+	}
+}
+
+type resettableState struct{ resets []int }
+
+func (s *resettableState) Reset(sh Shard) { s.resets = append(s.resets, sh.Index) }
+
+// TestRunWorkersCtxCancellation: the burst dispatcher must honour the
+// no-new-trials-after-cancel rule on both the serial and parallel
+// paths, like ExecuteCtx.
+func TestRunWorkersCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := RunWorkersCtx(ctx, Job{Items: 64, ShardSize: 1, Seed: 4, Parallelism: 8, Burst: 4},
+		func() int { return 0 },
+		func(int, Shard) int { ran.Add(1); return 0 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d trials ran under a pre-cancelled context, want 0", ran.Load())
+	}
+}

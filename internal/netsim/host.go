@@ -86,7 +86,11 @@ func DefaultHostConfig() HostConfig {
 	}
 }
 
-// Datagram is a received UDP payload with its addressing.
+// Datagram is a received UDP payload with its addressing. Payload is
+// only valid for the duration of the handler call: the network owns
+// the buffer and may recycle it afterwards. A handler that needs the
+// bytes beyond its own return must copy them (keeping the Datagram
+// struct itself, e.g. to read Src/SrcPort later, is fine).
 type Datagram struct {
 	Src     netip.Addr
 	SrcPort uint16
@@ -260,21 +264,29 @@ func (h *Host) SendUDP(srcPort uint16, dst netip.Addr, dstPort uint16, payload [
 
 // SendUDPSpoofed sends a UDP datagram with an arbitrary source address
 // (delivery subject to the AS's egress filtering). The datagram is
-// fragmented if it exceeds the learned path MTU.
+// fragmented if it exceeds the learned path MTU. payload is serialized
+// into a pooled buffer before this returns, so the caller may
+// immediately reuse it — the SadDNS flood patches one buffer's TXID
+// between calls and depends on exactly this.
 func (h *Host) SendUDPSpoofed(src netip.Addr, srcPort uint16, dst netip.Addr, dstPort uint16, payload []byte) {
-	u := &packet.UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
-	wire, err := u.Serialize(nil, src, dst)
+	u := packet.UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	wire, err := u.Serialize(h.net.wirep.Get(packet.UDPHeaderLen+len(payload)), src, dst)
 	if err != nil {
 		panic(fmt.Sprintf("netsim: udp serialize: %v", err))
 	}
-	ip := &packet.IPv4{ID: h.NextIPID(dst), TTL: 64, Protocol: packet.ProtoUDP, Src: src, Dst: dst, Payload: wire}
-	h.sendMaybeFragmented(ip)
+	ip := packet.IPv4{ID: h.NextIPID(dst), TTL: 64, Protocol: packet.ProtoUDP, Src: src, Dst: dst, Payload: wire}
+	h.sendMaybeFragmented(&ip, true)
 }
 
-func (h *Host) sendMaybeFragmented(ip *packet.IPv4) {
+// sendMaybeFragmented forwards ip whole when it fits the learned path
+// MTU and as fragments otherwise. owned marks ip.Payload as taken from
+// the network's wire pool (see Network.send). Fragments alias the
+// parent payload, so they are always sent unowned (copied) and the
+// parent buffer is recycled afterwards.
+func (h *Host) sendMaybeFragmented(ip *packet.IPv4, owned bool) {
 	mtu := h.PMTUTo(ip.Dst)
 	if ip.TotalLen() <= mtu {
-		h.net.Send(h, ip)
+		h.net.send(h, ip, owned)
 		return
 	}
 	frags, err := ip.Fragment(mtu)
@@ -283,15 +295,22 @@ func (h *Host) sendMaybeFragmented(ip *packet.IPv4) {
 		// would come back from a router in reality; sending hosts know
 		// their own PMTU already).
 		h.net.Dropped++
+		if owned {
+			h.net.wirep.Put(ip.Payload)
+		}
 		return
 	}
 	for _, f := range frags {
-		h.net.Send(h, f)
+		h.net.send(h, f, false)
+	}
+	if owned {
+		h.net.wirep.Put(ip.Payload)
 	}
 }
 
 // SendRawIP injects an arbitrary pre-built IPv4 packet (the attacker's
-// raw socket: spoofed fragments, crafted ICMP, anything).
+// raw socket: spoofed fragments, crafted ICMP, anything). The payload
+// is copied before this returns.
 func (h *Host) SendRawIP(ip *packet.IPv4) { h.net.Send(h, ip) }
 
 // SendICMP sends an ICMP message from the host's own address.
@@ -301,12 +320,12 @@ func (h *Host) SendICMP(dst netip.Addr, msg *packet.ICMP) {
 
 // SendICMPSpoofed sends an ICMP message with an arbitrary source.
 func (h *Host) SendICMPSpoofed(src, dst netip.Addr, msg *packet.ICMP) {
-	wire, err := msg.Serialize(nil)
+	wire, err := msg.Serialize(h.net.wirep.Get(packet.ICMPHeaderLen + len(msg.Payload)))
 	if err != nil {
 		panic(fmt.Sprintf("netsim: icmp serialize: %v", err))
 	}
-	ip := &packet.IPv4{ID: h.NextIPID(dst), TTL: 64, Protocol: packet.ProtoICMP, Src: src, Dst: dst, Payload: wire}
-	h.net.Send(h, ip)
+	ip := packet.IPv4{ID: h.NextIPID(dst), TTL: 64, Protocol: packet.ProtoICMP, Src: src, Dst: dst, Payload: wire}
+	h.net.send(h, &ip, true)
 }
 
 // Ping sends an ICMP echo request.
@@ -339,8 +358,8 @@ func (h *Host) receive(ip *packet.IPv4) {
 }
 
 func (h *Host) receiveUDP(ip *packet.IPv4) {
-	u, err := packet.DecodeUDP(ip.Payload, ip.Src, ip.Dst, true)
-	if err != nil {
+	var u packet.UDP
+	if err := packet.DecodeUDPInto(&u, ip.Payload, ip.Src, ip.Dst, true); err != nil {
 		return // bad checksum: silently dropped, like real stacks
 	}
 	handler := h.udpPorts[u.DstPort]

@@ -16,6 +16,7 @@ import (
 
 	"crosslayer/internal/bgp"
 	"crosslayer/internal/packet"
+	"crosslayer/internal/pool"
 	"crosslayer/internal/sim"
 )
 
@@ -29,6 +30,14 @@ type Network struct {
 	asHosts map[bgp.ASN][]*Host
 	asInfo  map[bgp.ASN]*ASInfo
 	latency time.Duration
+	// wirep recycles packet payload buffers; it defaults to a
+	// per-network pool and can be replaced with a shared per-worker
+	// arena via SetWirePool. freeDeliv recycles in-flight delivery
+	// nodes. Both are single-goroutine by the same argument as the
+	// clock: all traffic of one simulation runs on one goroutine.
+	wirep     *pool.Wire
+	ownWire   pool.Wire
+	freeDeliv []*delivery
 	// lossRate drops each sent packet independently with this
 	// probability (failure injection; 0 = lossless). TCP exchanges are
 	// unaffected (the abstraction models a reliable transport).
@@ -82,7 +91,7 @@ type TraceEvent struct {
 
 // New creates a network over the given topology and RIB.
 func New(clock *sim.Clock, topo *bgp.Topology, rib *bgp.RIB) *Network {
-	return &Network{
+	n := &Network{
 		Clock:   clock,
 		RIB:     rib,
 		Topo:    topo,
@@ -91,7 +100,20 @@ func New(clock *sim.Clock, topo *bgp.Topology, rib *bgp.RIB) *Network {
 		asInfo:  make(map[bgp.ASN]*ASInfo),
 		latency: 10 * time.Millisecond,
 	}
+	n.wirep = &n.ownWire
+	return n
 }
+
+// SetWirePool replaces the network's private payload-buffer pool with
+// a caller-owned one, letting an engine worker share one scratch arena
+// across the many short-lived networks of consecutive trials. The
+// pool is not synchronised: it must only be used by the goroutine
+// running this simulation. Pooling changes where payload bytes live,
+// never what they say, so simulation output is unaffected.
+func (n *Network) SetWirePool(p *pool.Wire) { n.wirep = p }
+
+// WirePool returns the payload-buffer pool currently in use.
+func (n *Network) WirePool() *pool.Wire { return n.wirep }
 
 // SetLatency sets the one-way delivery latency (default 10ms).
 func (n *Network) SetLatency(d time.Duration) { n.latency = d }
@@ -154,44 +176,113 @@ func (n *Network) AddHost(name string, asn bgp.ASN, addr netip.Addr) *Host {
 	return h
 }
 
+// delivery is one in-flight packet: a pre-allocated clock Action so
+// scheduling a delivery allocates neither a closure nor (at steady
+// state, thanks to the freelist) the node itself. ip.Payload is always
+// backed by the network's wire pool; whether it may be recycled after
+// delivery is decided per-path in Fire.
+type delivery struct {
+	n      *Network
+	origin bgp.ASN
+	ip     packet.IPv4
+}
+
+func (n *Network) allocDelivery() *delivery {
+	if l := n.freeDeliv; len(l) > 0 {
+		d := l[len(l)-1]
+		l[len(l)-1] = nil
+		n.freeDeliv = l[:len(l)-1]
+		return d
+	}
+	return &delivery{n: n}
+}
+
+func (n *Network) recycleDelivery(d *delivery) {
+	d.ip = packet.IPv4{}
+	n.freeDeliv = append(n.freeDeliv, d)
+}
+
 // Send routes one IPv4 packet from the given host. The packet is
 // delivered after the network latency, or dropped (egress filtering,
-// no route, no receiving host and no interceptor).
+// no route, no receiving host and no interceptor). The payload is
+// copied before Send returns, so the caller may immediately reuse it
+// (the SadDNS flood patches TXIDs into one buffer between sends).
 func (n *Network) Send(from *Host, ip *packet.IPv4) {
+	n.send(from, ip, false)
+}
+
+// send is Send with an ownership flag: owned means ip.Payload was
+// taken from n.wirep by the caller and responsibility for returning it
+// passes to the network (recycled on drop, handed to the delivery
+// otherwise). Unowned payloads are copied into a pooled buffer, which
+// is what preserves Send's caller-may-reuse contract.
+func (n *Network) send(from *Host, ip *packet.IPv4, owned bool) {
 	// Egress filtering: a spoofed source only escapes ASes that do not
 	// filter.
 	if ip.Src != from.Addr && n.AS(from.ASN).EgressFiltering {
 		n.Dropped++
+		if owned {
+			n.wirep.Put(ip.Payload)
+		}
 		return
 	}
 	from.Sent++
 	if n.lossRate > 0 && n.lossRng.Float64() < n.lossRate {
 		n.Dropped++
+		if owned {
+			n.wirep.Put(ip.Payload)
+		}
 		return
 	}
 	origin, ok := n.RIB.Resolve(from.ASN, ip.Dst)
 	if !ok {
 		n.Dropped++
+		if owned {
+			n.wirep.Put(ip.Payload)
+		}
 		return
 	}
-	cp := *ip
-	cp.Payload = append([]byte(nil), ip.Payload...)
-	n.Clock.After(n.latencyBetween(from.ASN, origin), func() { n.deliver(origin, &cp) })
+	d := n.allocDelivery()
+	d.origin = origin
+	d.ip = *ip
+	if !owned {
+		d.ip.Payload = append(n.wirep.Get(len(ip.Payload)), ip.Payload...)
+	}
+	n.Clock.AfterAction(n.latencyBetween(from.ASN, origin), d)
 }
 
-func (n *Network) deliver(origin bgp.ASN, ip *packet.IPv4) {
+// Fire delivers the packet. Recycling rules: the payload buffer and
+// the delivery node go back to their freelists only on paths where no
+// reference can outlive the call — a plain (non-fragment) UDP or ICMP
+// delivery to a host without a raw-capture hook, or a routing drop
+// nobody observed. Fragments are retained by the defrag cache,
+// OnRaw/Interceptor hooks may keep the *IPv4, and ICMP handlers may
+// keep the decoded message (which aliases the payload), so those
+// paths leak to the GC — recycling is an optimisation, never an
+// obligation.
+func (d *delivery) Fire() {
+	n := d.n
+	ip := &d.ip
 	dst := n.hosts[ip.Dst]
-	if dst != nil && dst.ASN == origin {
+	if dst != nil && dst.ASN == d.origin {
 		n.Delivered++
 		if n.Trace != nil {
 			n.Trace(TraceEvent{At: n.Clock.Now(), From: ip.Src, To: ip.Dst, Proto: ip.Protocol, Size: len(ip.Payload)})
 		}
+		safe := dst.onRaw == nil && !ip.IsFragment()
+		recyclePayload := safe && ip.Protocol == packet.ProtoUDP
 		dst.receive(ip)
+		if recyclePayload {
+			n.wirep.Put(ip.Payload)
+		}
+		if safe {
+			n.recycleDelivery(d)
+		}
 		return
 	}
 	// Routed into an AS that does not host the address: a hijacker's
 	// interceptor may claim it.
-	if info := n.asInfo[origin]; info != nil && info.Interceptor != nil {
+	if info := n.asInfo[d.origin]; info != nil && info.Interceptor != nil {
 		n.Delivered++
 		if n.Trace != nil {
 			n.Trace(TraceEvent{At: n.Clock.Now(), From: ip.Src, To: ip.Dst, Proto: ip.Protocol, Size: len(ip.Payload), Intercept: true})
@@ -200,6 +291,8 @@ func (n *Network) deliver(origin bgp.ASN, ip *packet.IPv4) {
 		return
 	}
 	n.Dropped++
+	n.wirep.Put(ip.Payload)
+	n.recycleDelivery(d)
 }
 
 // Run processes all pending events.

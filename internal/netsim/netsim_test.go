@@ -51,7 +51,11 @@ func build(t *testing.T) *testNet {
 func TestUDPDelivery(t *testing.T) {
 	tn := build(t)
 	var got []Datagram
-	tn.ns.BindUDP(53, func(dg Datagram) { got = append(got, dg) })
+	tn.ns.BindUDP(53, func(dg Datagram) {
+		// Payload is only valid during the handler: copy before keeping.
+		dg.Payload = append([]byte(nil), dg.Payload...)
+		got = append(got, dg)
+	})
 	tn.victim.SendUDP(40000, tn.ns.Addr, 53, []byte("query"))
 	tn.net.Run()
 	if len(got) != 1 {

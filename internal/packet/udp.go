@@ -56,24 +56,33 @@ func (u *UDP) Serialize(dst []byte, src, dstIP netip.Addr) ([]byte, error) {
 // checksum against the given pseudo-header addresses. A wire checksum
 // of zero means "not computed" and always verifies.
 func DecodeUDP(data []byte, src, dst netip.Addr, verify bool) (*UDP, error) {
+	u := &UDP{}
+	if err := DecodeUDPInto(u, data, src, dst, verify); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// DecodeUDPInto is DecodeUDP into a caller-provided (typically
+// stack-allocated) struct, sparing the per-packet heap allocation on
+// the receive path. u.Payload aliases data.
+func DecodeUDPInto(u *UDP, data []byte, src, dst netip.Addr, verify bool) error {
 	if len(data) < UDPHeaderLen {
-		return nil, fmt.Errorf("%w: UDP header needs %d bytes, have %d", ErrTruncated, UDPHeaderLen, len(data))
+		return fmt.Errorf("%w: UDP header needs %d bytes, have %d", ErrTruncated, UDPHeaderLen, len(data))
 	}
 	length := int(binary.BigEndian.Uint16(data[4:]))
 	if length < UDPHeaderLen || length > len(data) {
-		return nil, fmt.Errorf("%w: UDP length %d of %d", ErrTruncated, length, len(data))
+		return fmt.Errorf("%w: UDP length %d of %d", ErrTruncated, length, len(data))
 	}
-	u := &UDP{
-		SrcPort:  binary.BigEndian.Uint16(data[0:]),
-		DstPort:  binary.BigEndian.Uint16(data[2:]),
-		Checksum: binary.BigEndian.Uint16(data[6:]),
-		Payload:  data[UDPHeaderLen:length],
-	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:])
+	u.DstPort = binary.BigEndian.Uint16(data[2:])
+	u.Checksum = binary.BigEndian.Uint16(data[6:])
+	u.Payload = data[UDPHeaderLen:length]
 	if verify && u.Checksum != 0 {
 		sum := PseudoHeaderSum(src, dst, ProtoUDP, length)
 		if FoldChecksum(ChecksumPartial(data[:length], sum)) != 0 {
-			return nil, fmt.Errorf("%w: UDP %d->%d", ErrBadChecksum, u.SrcPort, u.DstPort)
+			return fmt.Errorf("%w: UDP %d->%d", ErrBadChecksum, u.SrcPort, u.DstPort)
 		}
 	}
-	return u, nil
+	return nil
 }

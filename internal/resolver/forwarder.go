@@ -1,6 +1,7 @@
 package resolver
 
 import (
+	"encoding/binary"
 	"net/netip"
 	"time"
 
@@ -48,6 +49,12 @@ type Forwarder struct {
 	Forwarded uint64
 	Returned  uint64
 	CacheHits uint64
+
+	// scratch is the wire-format buffer reused for every message this
+	// forwarder packs. Safe because SendUDP copies the payload into a
+	// pooled buffer before returning, and nothing retains the packed
+	// bytes past the send.
+	scratch []byte
 }
 
 // NewForwarder creates a plain (non-caching) forwarder on host relaying
@@ -88,14 +95,22 @@ func (f *Forwarder) handle(dg netsim.Datagram) {
 	upTXID := uint16(f.Host.Rand().Uint32())
 	fwd := *query
 	fwd.ID = upTXID
-	wire, err := fwd.Pack()
+	wire, err := fwd.AppendPack(f.scratch[:0])
 	if err != nil {
 		return
 	}
+	f.scratch = wire
 	done := false
 	var port uint16
 	port = f.Host.BindUDP(0, func(resp netsim.Datagram) {
 		if done || resp.Src != f.Upstream || resp.SrcPort != 53 {
+			return
+		}
+		// TXID precheck on the raw header: wrong-ID and unparseable
+		// datagrams are both dropped silently below, so skipping the
+		// parse for a mismatched ID is behaviour-identical and keeps
+		// spoof floods off the Unpack path.
+		if len(resp.Payload) < 2 || binary.BigEndian.Uint16(resp.Payload) != upTXID {
 			return
 		}
 		msg, err := dnswire.Unpack(resp.Payload)
@@ -109,10 +124,11 @@ func (f *Forwarder) handle(dg netsim.Datagram) {
 		}
 		f.cacheAnswers(msg)
 		msg.ID = query.ID
-		back, err := msg.Pack()
+		back, err := msg.AppendPack(f.scratch[:0])
 		if err != nil {
 			return
 		}
+		f.scratch = back
 		f.Returned++
 		f.Host.SendUDP(53, client.Src, client.SrcPort, back)
 	})
@@ -136,10 +152,11 @@ func (f *Forwarder) respondLocal(dg netsim.Datagram, query *dnswire.Message, rrs
 		Questions:        query.Questions,
 		Answers:          rrs,
 	}
-	wire, err := resp.Pack()
+	wire, err := resp.AppendPack(f.scratch[:0])
 	if err != nil {
 		return
 	}
+	f.scratch = wire
 	f.Returned++
 	f.Host.SendUDP(53, dg.Src, dg.SrcPort, wire)
 }
@@ -201,6 +218,9 @@ func StubQuery(host *netsim.Host, server netip.Addr, name string, typ dnswire.Ty
 	var port uint16
 	port = host.BindUDP(0, func(dg netsim.Datagram) {
 		if done || dg.Src != server || dg.SrcPort != 53 {
+			return
+		}
+		if len(dg.Payload) < 2 || binary.BigEndian.Uint16(dg.Payload) != txid {
 			return
 		}
 		msg, err := dnswire.Unpack(dg.Payload)

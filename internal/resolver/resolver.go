@@ -1,6 +1,7 @@
 package resolver
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -38,6 +39,10 @@ type Resolver struct {
 	knownSigned map[string]bool
 	inflight    map[cacheKey]*inflight
 	nextSock    int
+	// scratch is the wire-format buffer reused for client responses
+	// (upstream queries keep their own buffers: inf.wire is retained
+	// for TCP fallback and must not share this scratch).
+	scratch []byte
 
 	// Counters observable by the measurements.
 	ClientQueries    uint64
@@ -227,6 +232,15 @@ func (r *Resolver) handleUpstream(inf *inflight, attempt int, dg netsim.Datagram
 	// Address/port check: the response must come from the server we
 	// asked (RFC 5452 §3).
 	if dg.Src != inf.ns || dg.SrcPort != 53 {
+		r.SpoofRejected++
+		return
+	}
+	// Cheap TXID precheck before parsing: a flood datagram with the
+	// wrong ID would be rejected after Unpack anyway (wrong-ID and
+	// unparseable both count as SpoofRejected), so bailing on the raw
+	// header bytes is observationally identical and skips the parse on
+	// the attacker's ~64k wrong guesses per poisoning window.
+	if len(dg.Payload) < 2 || binary.BigEndian.Uint16(dg.Payload) != inf.txid {
 		r.SpoofRejected++
 		return
 	}
@@ -478,10 +492,13 @@ func (r *Resolver) handleClient(dg netsim.Datagram) {
 		default:
 			resp.RCode = dnswire.RCodeServFail
 		}
-		wire, err := resp.Pack()
+		// Pack into the resolver's scratch buffer: SendUDP copies the
+		// payload before returning and nothing retains the bytes.
+		wire, err := resp.AppendPack(r.scratch[:0])
 		if err != nil {
 			return
 		}
+		r.scratch = wire
 		r.Host.SendUDP(53, dg.Src, dg.SrcPort, wire)
 	}
 	r.Lookup(q.Name, q.Type, respond)

@@ -15,6 +15,7 @@ import (
 	"crosslayer/internal/dnssrv"
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/netsim"
+	"crosslayer/internal/pool"
 	"crosslayer/internal/resolver"
 	"crosslayer/internal/sim"
 )
@@ -136,6 +137,14 @@ type Config struct {
 	// Placement selects where the attacker's hosts operate from
 	// (default: its own stub AS).
 	Placement Placement
+
+	// WirePool, when non-nil, is the wire-buffer arena the scenario's
+	// network recycles packet payloads through (netsim.SetWirePool).
+	// Trial runners that build many scenarios on one goroutine share a
+	// single arena across them so warmed buffer classes carry over;
+	// nil keeps the network's private pool. Single-goroutine, like the
+	// simulation itself.
+	WirePool *pool.Wire
 }
 
 // S is an assembled scenario.
@@ -200,6 +209,9 @@ func New(cfg Config) *S {
 
 	rib := bgp.NewRIB(topo, nil)
 	net := netsim.New(clock, topo, rib)
+	if cfg.WirePool != nil {
+		net.SetWirePool(cfg.WirePool)
+	}
 	rib.Announce(VictimPrefix, VictimAS)
 	rib.Announce(DomainPrefix, DomainAS)
 	rib.Announce(AttackerPrefix, atkASN)

@@ -13,11 +13,22 @@ import (
 	"time"
 )
 
-// Event is a scheduled callback.
+// Action is a pre-allocated scheduled callback: scheduling a value
+// that implements Action instead of a closure keeps the hot path
+// allocation-free (a method value or closure literal costs one heap
+// allocation per event; an Action pointer costs none).
+type Action interface {
+	// Fire runs the scheduled work.
+	Fire()
+}
+
+// Event is a scheduled callback: either a plain closure (fn) or a
+// pre-allocated Action (act). Exactly one of the two is set.
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
+	act Action
 }
 
 type eventQueue []*event
@@ -46,6 +57,7 @@ type Clock struct {
 	now    time.Duration
 	seq    uint64
 	queue  eventQueue
+	free   []*event // recycled event nodes; single-goroutine, so no locking
 	rng    *rand.Rand
 	limit  int // safety valve: max events per Run, 0 = unlimited
 	nextID uint64
@@ -76,14 +88,36 @@ func (c *Clock) NewRand() *rand.Rand {
 // feedback loops (e.g. two hosts ping-ponging packets forever).
 func (c *Clock) SetEventLimit(n int) { c.limit = n }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the
-// past panics: that is always a logic error in a discrete-event model.
-func (c *Clock) At(t time.Duration, fn func()) {
+// alloc takes an event node from the free list (or the heap when the
+// list is empty), stamps it with t and the next sequence number, and
+// returns it. Recycling nodes keeps steady-state scheduling
+// allocation-free; the (time, seq) ordering discipline is untouched,
+// so event interleaving — and therefore every golden artifact — is
+// byte-identical to the always-allocate version.
+func (c *Clock) alloc(t time.Duration) *event {
 	if t < c.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, c.now))
 	}
 	c.seq++
-	heap.Push(&c.queue, &event{at: t, seq: c.seq, fn: fn})
+	var e *event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at = t
+	e.seq = c.seq
+	return e
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: that is always a logic error in a discrete-event model.
+func (c *Clock) At(t time.Duration, fn func()) {
+	e := c.alloc(t)
+	e.fn = fn
+	heap.Push(&c.queue, e)
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -92,6 +126,23 @@ func (c *Clock) After(d time.Duration, fn func()) {
 		d = 0
 	}
 	c.At(c.now+d, fn)
+}
+
+// AtAction schedules act.Fire to run at absolute virtual time t
+// without allocating a closure; see Action.
+func (c *Clock) AtAction(t time.Duration, act Action) {
+	e := c.alloc(t)
+	e.act = act
+	heap.Push(&c.queue, e)
+}
+
+// AfterAction schedules act.Fire to run d after the current virtual
+// time without allocating a closure.
+func (c *Clock) AfterAction(d time.Duration, act Action) {
+	if d < 0 {
+		d = 0
+	}
+	c.AtAction(c.now+d, act)
 }
 
 // Pending reports the number of queued events.
@@ -105,7 +156,14 @@ func (c *Clock) Step() bool {
 	}
 	e := heap.Pop(&c.queue).(*event)
 	c.now = e.at
-	e.fn()
+	fn, act := e.fn, e.act
+	e.fn, e.act = nil, nil
+	c.free = append(c.free, e)
+	if act != nil {
+		act.Fire()
+	} else {
+		fn()
+	}
 	return true
 }
 
