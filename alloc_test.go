@@ -8,6 +8,7 @@ import (
 	"crosslayer/internal/engine"
 	"crosslayer/internal/netsim"
 	"crosslayer/internal/packet"
+	"crosslayer/internal/resolver"
 	"crosslayer/internal/scenario"
 )
 
@@ -63,6 +64,32 @@ func TestSerializeZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestAppendNameZeroAllocs pins the append-style name decoder: walking
+// a compressed wire name into a warmed caller-owned buffer must not
+// touch the heap. This is the decode half of the resident-server
+// hot-path contract (AppendPack is the encode half).
+func TestAppendNameZeroAllocs(t *testing.T) {
+	q := dnswire.NewQuery(0x1234, "a.b.c.www.vict.im.", dnswire.TypeA)
+	wire, err := q.AppendPack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, dnswire.MaxNameLen)
+	allocs := testing.AllocsPerRun(100, func() {
+		out, _, err := dnswire.AppendName(buf[:0], wire, dnswire.HeaderLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendName into warmed buffer: %v allocs/op, want 0", allocs)
+	}
+	if string(buf) != "a.b.c.www.vict.im." {
+		t.Fatalf("decoded %q", buf)
+	}
+}
+
 // TestSteadyStateSendZeroAllocs drives a full spoofed-send round trip —
 // serialize into a pooled buffer, schedule, deliver, recycle — and
 // requires the warmed network to stop allocating: the wire pool feeds
@@ -86,6 +113,44 @@ func TestSteadyStateSendZeroAllocs(t *testing.T) {
 	}
 	if sink == 0 {
 		t.Fatal("payloads never delivered")
+	}
+}
+
+// TestResolverRoundTripZeroAllocs pins the resolver's full-resolution
+// path at zero allocations per upstream round trip. The measurement is
+// differential: two resolvers identical except for the retry count
+// resolve against a muted server, and a resolution with four extra
+// retransmission round trips must allocate exactly as much as one with
+// none — the per-resolution cost (inflight struct, handler closure,
+// callback slice) is allowed, a per-attempt cost is the regression.
+func TestResolverRoundTripZeroAllocs(t *testing.T) {
+	build := func(retries int) *scenario.S {
+		prof := resolver.ProfileBIND
+		prof.Retries = retries
+		s := scenario.New(scenario.Config{Seed: 42, Profile: prof})
+		// Route the test zone into a black hole — an address no host
+		// owns, so the network drops each query after the propagation
+		// delay and the only work measured is the resolver's own
+		// retransmission machinery (a muted *server* would still pay
+		// an Unpack per delivery and pollute the differential).
+		s.Resolver.AddZoneServer("dead.vict.im.", netip.MustParseAddr("203.0.113.99"))
+		return s
+	}
+	perResolution := func(s *scenario.S) float64 {
+		round := func() {
+			s.Resolver.Lookup("dead.vict.im.", dnswire.TypeA, func([]*dnswire.RR, error) {})
+			s.Run()
+		}
+		for i := 0; i < 10; i++ {
+			round() // warm wire pool, event freelist, port maps
+		}
+		return testing.AllocsPerRun(50, round)
+	}
+	base := perResolution(build(0))
+	extra := perResolution(build(4))
+	if extra != base {
+		t.Fatalf("4 extra upstream round trips cost %v allocs (%v vs %v per resolution), want 0",
+			extra-base, extra, base)
 	}
 }
 

@@ -21,6 +21,8 @@
 //	          [-methods m,...] [-victims v,...] [-profiles p,...]
 //	          [-defenses d,...] [-defense-sets s,...] [-lattice-rank N]
 //	          [-chain-depths n,...] [-placement p,...] [-trials N]
+//	xlmeasure -serve [-addr host:port] [-checkpoint file]
+//	          [-checkpoint-every d]
 //
 // -list prints the registry: every experiment name with its title.
 // -exp takes a registry name (fig1/fig2 are message-sequence demos
@@ -43,6 +45,17 @@
 // picks exact stacks by canonical key (e.g. 0x20+shuffle; component
 // order and case don't matter). Unknown keys on any filter flag fail
 // with the dimension's valid-key list.
+//
+// -serve starts the resident sweep server instead of a one-shot run:
+// experiments are submitted as HTTP requests (GET /run/{experiment}
+// with the flag names above as query parameters) and stream back
+// newline-delimited JSON — progress events, then the report. Campaign
+// cells are memoized in a content-addressed cache, so overlapping
+// filtered sweeps submitted over the server's lifetime recompute only
+// cells no earlier request covered, byte-identical to cold runs.
+// -checkpoint persists that cache across restarts (written every
+// -checkpoint-every while dirty, and flushed on shutdown — Ctrl-C
+// drains the job queue and writes a final checkpoint before exiting).
 package main
 
 import (
@@ -82,6 +95,10 @@ func main() {
 	chainDepths := flag.String("chain-depths", "", "campaign: comma-separated forwarder-chain depths 0-3 (empty = all)")
 	placement := flag.String("placement", "", "campaign: comma-separated attacker placements stub,carrier (empty = all)")
 	trials := flag.Int("trials", 0, "campaign: attack trials per cell; 0 = default (3)")
+	serveMode := flag.Bool("serve", false, "run the resident sweep server instead of a one-shot experiment")
+	addr := flag.String("addr", "127.0.0.1:8053", "serve: HTTP listen address")
+	checkpoint := flag.String("checkpoint", "", "serve: cell-cache checkpoint file (empty = no persistence)")
+	checkpointEvery := flag.Duration("checkpoint-every", 0, "serve: periodic checkpoint interval; 0 = default (30s)")
 	flag.Parse()
 
 	if *list {
@@ -92,9 +109,25 @@ func main() {
 	}
 
 	// Ctrl-C cancels in-flight sweeps at the next shard boundary; the
-	// run then exits non-zero through the normal error path.
+	// run then exits non-zero through the normal error path. In serve
+	// mode the same cancellation drains the job queue and flushes the
+	// final checkpoint before the process exits.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *serveMode {
+		srv := crosslayer.NewSweepServer(crosslayer.SweepServerConfig{
+			Addr:            *addr,
+			CheckpointPath:  *checkpoint,
+			CheckpointEvery: *checkpointEvery,
+			Log:             os.Stderr,
+		})
+		if err := srv.Run(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// spec executes one experiment under the engine, labelling progress
 	// lines with the experiment name.

@@ -67,6 +67,7 @@ import (
 	"crosslayer/internal/report"
 	"crosslayer/internal/resolver"
 	"crosslayer/internal/scenario"
+	"crosslayer/internal/serve"
 )
 
 // Scenario is the canonical testbed of the paper's §3 setup: a victim
@@ -311,6 +312,25 @@ type TableResult interface{ String() string }
 // configuration; adjust RateLimit/PadAnswersTo to open the SadDNS and
 // FragDNS attack surfaces.
 func DefaultServerConfig() dnssrv.Config { return dnssrv.DefaultConfig() }
+
+// SweepServerConfig configures a resident sweep server: listen
+// address, cell-cache checkpoint path and interval, pooled-arena
+// retention bound. See the serve package for the wire protocol.
+type SweepServerConfig = serve.Config
+
+// SweepServer is the campaign-as-a-service daemon behind xlmeasure
+// -serve: it exposes the experiment registry over HTTP (NDJSON
+// progress streaming), memoizes every campaign cell it computes in a
+// content-addressed cache keyed by the cell's identity seed string —
+// so overlapping filtered sweeps never recompute a shared cell, with
+// results byte-identical to cold runs — and persists that cache
+// across restarts through JSON checkpoints.
+type SweepServer = serve.Server
+
+// NewSweepServer builds a resident sweep server; run it with
+// (*SweepServer).Run, which serves until its context is cancelled and
+// then drains the job queue and flushes the final checkpoint.
+func NewSweepServer(cfg SweepServerConfig) *SweepServer { return serve.New(cfg) }
 
 // ProfileBIND and friends are the resolver implementation profiles of
 // the paper's Table 5.

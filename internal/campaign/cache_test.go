@@ -1,0 +1,163 @@
+package campaign_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"crosslayer/internal/campaign"
+	"crosslayer/internal/measure"
+)
+
+// memCellCache is a mutex-map CellCache counting hits and stores.
+type memCellCache struct {
+	mu     sync.Mutex
+	m      map[string]campaign.CellResult
+	hits   int
+	stores int
+}
+
+func newMemCellCache() *memCellCache {
+	return &memCellCache{m: make(map[string]campaign.CellResult)}
+}
+
+func (c *memCellCache) Lookup(key string) (campaign.CellResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return r, ok
+}
+
+func (c *memCellCache) Store(key string, r campaign.CellResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = r
+	c.stores++
+}
+
+func (c *memCellCache) counts() (hits, stores int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.stores
+}
+
+// cacheTestConfig is a small two-axis sweep used by the cache tests.
+func cacheTestConfig(parallelism int) campaign.Config {
+	return campaign.Config{
+		Exec: measure.Config{Seed: 11, Parallelism: parallelism},
+		Filter: campaign.Filter{
+			Methods:     []string{"hijack"},
+			Victims:     []string{"web", "smtp"},
+			Profiles:    []string{"bind", "dnsmasq"},
+			ChainDepths: []string{"0"},
+			Placements:  []string{"stub"},
+		},
+		Trials:      2,
+		LatticeRank: 1,
+	}
+}
+
+// TestCampaignCachedRunByteIdentical: a warm-cache run recomputes
+// nothing and its results — raw cells AND rendered matrix bytes — are
+// identical to the cold run's, at parallelism 1 and N.
+func TestCampaignCachedRunByteIdentical(t *testing.T) {
+	uncached, err := campaign.Run(cacheTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := campaign.Matrix(uncached).String()
+
+	for _, p := range []int{1, 4} {
+		cache := newMemCellCache()
+		cfg := cacheTestConfig(p)
+		cfg.Cache = cache
+		cold, err := campaign.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hits, stores := cache.counts(); hits != 0 || stores != len(cold) {
+			t.Fatalf("p=%d cold run: %d hits, %d stores, want 0 and %d", p, hits, stores, len(cold))
+		}
+		warm, err := campaign.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hits, stores := cache.counts(); hits != len(cold) || stores != len(cold) {
+			t.Fatalf("p=%d warm run: %d hits (want %d), %d new stores (want 0)",
+				p, hits, len(cold), stores-len(cold))
+		}
+		if !reflect.DeepEqual(cold, uncached) {
+			t.Fatalf("p=%d cold cached run diverges from uncached reference", p)
+		}
+		if !reflect.DeepEqual(warm, uncached) {
+			t.Fatalf("p=%d warm cached run diverges from uncached reference", p)
+		}
+		if got := campaign.Matrix(warm).String(); got != ref {
+			t.Fatalf("p=%d warm matrix bytes diverge:\n--- reference\n%s\n--- warm\n%s", p, ref, got)
+		}
+	}
+}
+
+// TestCampaignCacheSharedAcrossOverlappingSweeps: two filtered sweeps
+// sharing cells recompute only the non-overlapping ones, and the
+// shared cells come back byte-identical to an independent run of the
+// second sweep.
+func TestCampaignCacheSharedAcrossOverlappingSweeps(t *testing.T) {
+	cache := newMemCellCache()
+
+	first := cacheTestConfig(2)
+	first.Filter.Profiles = []string{"bind"}
+	first.Cache = cache
+	if _, err := campaign.Run(first); err != nil {
+		t.Fatal(err)
+	}
+	_, storesAfterFirst := cache.counts()
+
+	second := cacheTestConfig(2)
+	second.Cache = cache // full two-profile sweep: bind cells overlap
+	got, err := campaign.Run(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, stores := cache.counts()
+	if hits != storesAfterFirst {
+		t.Fatalf("overlap recomputed: %d hits, want %d (every first-sweep cell)", hits, storesAfterFirst)
+	}
+	if newStores := stores - storesAfterFirst; newStores != len(got)-hits {
+		t.Fatalf("stored %d new cells, want %d", newStores, len(got)-hits)
+	}
+
+	independent := cacheTestConfig(2)
+	ref, err := campaign.Run(independent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("cache-assembled sweep diverges from independent run")
+	}
+}
+
+// TestCampaignArenaPoolReuseInvisible: runs sharing an ArenaPool must
+// produce exactly the results of runs that don't — worker reuse is an
+// allocator optimisation, never an observable.
+func TestCampaignArenaPoolReuseInvisible(t *testing.T) {
+	ref, err := campaign.Run(cacheTestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arenas := &campaign.ArenaPool{}
+	for i := 0; i < 3; i++ {
+		cfg := cacheTestConfig(2)
+		cfg.Arenas = arenas
+		got, err := campaign.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("run %d with pooled arenas diverges from reference", i)
+		}
+	}
+}

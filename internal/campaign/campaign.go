@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strconv"
 	"strings"
 
 	"crosslayer/internal/apps"
@@ -270,6 +271,35 @@ type Config struct {
 	// scalar axis, len(BaseDefenses) the full power set). 0 means the
 	// default lattice — rank DefaultLatticeRank plus the full stack.
 	LatticeRank int
+	// Cache, when non-nil, memoizes cell results across runs by their
+	// full identity (CellKey): a cell already present is returned
+	// without simulating, a freshly computed cell is stored back.
+	// Sound because cells are identity-seeded — the cached value is
+	// byte-identical to what a recomputation would produce.
+	Cache CellCache
+	// Arenas, when non-nil, recycles per-worker scratch (wire-buffer
+	// arenas, sample slices) across runs: a resident server sweeps
+	// many jobs without rebuilding warmed allocator state per job.
+	Arenas *ArenaPool
+}
+
+// CellCache memoizes CellResults across campaign runs, keyed by
+// CellKey. Implementations must be safe for concurrent use: the
+// engine's workers look up and store cells in parallel.
+type CellCache interface {
+	Lookup(key string) (CellResult, bool)
+	Store(key string, r CellResult)
+}
+
+// CellKey is the full memoization identity of a cell's measured
+// result: the base seed and trial count (which select the trial
+// population) joined with the cell's identity key (which the per-trial
+// seeds derive from). Two sweeps agreeing on this string compute
+// byte-identical CellResults regardless of filtering, lattice rank,
+// parallelism or scheduling — the content-addressing contract the
+// resident server's cache and checkpoints are built on.
+func CellKey(seed int64, trials int, c Cell) string {
+	return strconv.FormatInt(seed, 10) + "/" + strconv.Itoa(trials) + "/" + c.Key()
 }
 
 // DefaultTrials is the per-cell sample size used when Config.Trials

@@ -65,13 +65,40 @@ func RunContext(ctx context.Context, cfg Config) ([]CellResult, error) {
 		Parallelism: cfg.Exec.Parallelism,
 	}
 	cfg.Exec.WireProgress(&job, "campaign", len(cells))
-	return engine.RunWorkersCtx(ctx, job, newTrialWorker, func(w *trialWorker, sh engine.Shard) CellResult {
+	var cache engine.ShardCache[CellResult]
+	if cfg.Cache != nil {
+		cache = cellShardCache{cells: cells, seed: cfg.Exec.Seed, trials: trials, cache: cfg.Cache}
+	}
+	newState := newTrialWorker
+	if cfg.Arenas != nil {
+		lease := cfg.Arenas.beginRun()
+		defer lease.endRun()
+		newState = lease.get
+	}
+	return engine.RunWorkersCachedCtx(ctx, job, cache, newState, func(w *trialWorker, sh engine.Shard) CellResult {
 		// One shard == one cell (ShardSize 1, so sh.Start indexes the
 		// plan). The shard's positional seed is deliberately unused:
 		// the cell's trials derive from its identity key instead, so
 		// filtering the sweep never reseeds surviving cells.
 		return runCell(w, cells[sh.Start], cfg.Exec.Seed, trials)
 	})
+}
+
+// cellShardCache adapts a CellCache to the engine's shard-dispatch
+// hook: shard i is cell i (ShardSize 1), addressed by its CellKey.
+type cellShardCache struct {
+	cells  []Cell
+	seed   int64
+	trials int
+	cache  CellCache
+}
+
+func (a cellShardCache) Lookup(sh engine.Shard) (CellResult, bool) {
+	return a.cache.Lookup(CellKey(a.seed, a.trials, a.cells[sh.Start]))
+}
+
+func (a cellShardCache) Store(sh engine.Shard, r CellResult) {
+	a.cache.Store(CellKey(a.seed, a.trials, a.cells[sh.Start]), r)
 }
 
 // trialWorker is the scratch one campaign worker reuses across every

@@ -32,7 +32,22 @@ var (
 
 // CanonicalName lowercases a domain name and ensures it ends with a
 // single trailing dot; the empty string canonicalises to "." (root).
+// Already-canonical input is returned as-is without allocating — the
+// common case on the resolver's retry and cache paths, where the same
+// canonical name is re-examined every round trip.
 func CanonicalName(s string) string {
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		canonical := true
+		for i := 0; i < len(s); i++ {
+			if c := s[i]; (c >= 'A' && c <= 'Z') || c >= 0x80 {
+				canonical = false // upper ASCII or possible non-ASCII case
+				break
+			}
+		}
+		if canonical {
+			return s
+		}
+	}
 	s = strings.ToLower(strings.TrimSuffix(s, "."))
 	if s == "" {
 		return "."
@@ -243,14 +258,39 @@ func appendName(msg []byte, name string, comp *compressor) ([]byte, error) {
 
 // readName decodes a (possibly compressed) name starting at off,
 // returning the canonical name text and the offset just past the name
-// in the original (non-pointer-followed) stream.
+// in the original (non-pointer-followed) stream. It is AppendName
+// through a stack scratch buffer: one string allocation for the
+// result, none for the decoding itself.
 func readName(msg []byte, off int) (string, int, error) {
-	var sb strings.Builder
+	var scratch [MaxNameLen]byte
+	b, end, err := AppendName(scratch[:0], msg, off)
+	if err != nil {
+		return "", 0, err
+	}
+	if len(b) == 0 {
+		return ".", end, nil
+	}
+	return string(b), end, nil
+}
+
+// AppendName decodes a (possibly compressed) wire name starting at
+// off, appending its presentation form to dst — one "label." run per
+// label, nothing for the root — and returning the extended slice plus
+// the offset just past the name in the original (non-pointer-followed)
+// stream. It is the allocation-free core under readName: decoding into
+// a warmed caller-owned buffer performs zero heap allocations, so
+// resident packet paths can walk names without feeding the GC. On
+// error the returned slice is dst with unspecified appended content.
+//
+// Note the root name appends NOTHING (callers that need its canonical
+// text "." must special-case an empty append, as readName does).
+func AppendName(dst []byte, msg []byte, off int) ([]byte, int, error) {
+	start := len(dst)
 	jumps := 0
 	end := -1 // offset after name in original stream, set at first pointer
 	for {
 		if off >= len(msg) {
-			return "", 0, fmt.Errorf("%w: name at %d", ErrTruncatedMsg, off)
+			return dst, 0, fmt.Errorf("%w: name at %d", ErrTruncatedMsg, off)
 		}
 		b := msg[off]
 		switch {
@@ -258,32 +298,29 @@ func readName(msg []byte, off int) (string, int, error) {
 			if end < 0 {
 				end = off + 1
 			}
-			if sb.Len() == 0 {
-				return ".", end, nil
-			}
-			return sb.String(), end, nil
+			return dst, end, nil
 		case b&0xc0 == 0xc0:
 			if off+1 >= len(msg) {
-				return "", 0, fmt.Errorf("%w: pointer at %d", ErrTruncatedMsg, off)
+				return dst, 0, fmt.Errorf("%w: pointer at %d", ErrTruncatedMsg, off)
 			}
 			if end < 0 {
 				end = off + 2
 			}
 			ptr := int(b&0x3f)<<8 | int(msg[off+1])
 			if ptr >= off {
-				return "", 0, fmt.Errorf("%w: forward pointer %d at %d", ErrCompressionLoop, ptr, off)
+				return dst, 0, fmt.Errorf("%w: forward pointer %d at %d", ErrCompressionLoop, ptr, off)
 			}
 			off = ptr
 			jumps++
 			if jumps > 64 {
-				return "", 0, ErrCompressionLoop
+				return dst, 0, ErrCompressionLoop
 			}
 		case b&0xc0 != 0:
-			return "", 0, fmt.Errorf("%w: reserved label type %#x", ErrBadName, b&0xc0)
+			return dst, 0, fmt.Errorf("%w: reserved label type %#x", ErrBadName, b&0xc0)
 		default:
 			l := int(b)
 			if off+1+l > len(msg) {
-				return "", 0, fmt.Errorf("%w: label at %d", ErrTruncatedMsg, off)
+				return dst, 0, fmt.Errorf("%w: label at %d", ErrTruncatedMsg, off)
 			}
 			// The wire format technically permits '.' inside a label,
 			// but the simulator identifies names by their presentation
@@ -292,16 +329,16 @@ func readName(msg []byte, off int) (string, int, error) {
 			// decoding stays injective — a name that parses always
 			// re-encodes to the same wire labels.
 			if bytes.IndexByte(msg[off+1:off+1+l], '.') >= 0 {
-				return "", 0, fmt.Errorf("%w: '.' inside label", ErrBadName)
+				return dst, 0, fmt.Errorf("%w: '.' inside label", ErrBadName)
 			}
-			sb.Write(msg[off+1 : off+1+l])
-			sb.WriteByte('.')
+			dst = append(dst, msg[off+1:off+1+l]...)
+			dst = append(dst, '.')
 			// The presentation form of a maximal legal wire name
 			// (MaxNameLen octets including the root terminator) is
 			// MaxNameLen-1 characters; enforcing the same bound the
 			// encoder enforces keeps decode/encode symmetric.
-			if sb.Len() > MaxNameLen-1 {
-				return "", 0, fmt.Errorf("%w: name too long", ErrBadName)
+			if len(dst)-start > MaxNameLen-1 {
+				return dst, 0, fmt.Errorf("%w: name too long", ErrBadName)
 			}
 			off += 1 + l
 		}

@@ -1,0 +1,223 @@
+package dnswire
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// readNameReference is the pre-AppendName decoder, kept verbatim as the
+// equivalence oracle: the append-style rewrite must reproduce its
+// output — name text, end offset, and error text — byte for byte on
+// every input.
+func readNameReference(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	jumps := 0
+	end := -1
+	for {
+		if off >= len(msg) {
+			return "", 0, fmt.Errorf("%w: name at %d", ErrTruncatedMsg, off)
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			if sb.Len() == 0 {
+				return ".", end, nil
+			}
+			return sb.String(), end, nil
+		case b&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, fmt.Errorf("%w: pointer at %d", ErrTruncatedMsg, off)
+			}
+			if end < 0 {
+				end = off + 2
+			}
+			ptr := int(b&0x3f)<<8 | int(msg[off+1])
+			if ptr >= off {
+				return "", 0, fmt.Errorf("%w: forward pointer %d at %d", ErrCompressionLoop, ptr, off)
+			}
+			off = ptr
+			jumps++
+			if jumps > 64 {
+				return "", 0, ErrCompressionLoop
+			}
+		case b&0xc0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type %#x", ErrBadName, b&0xc0)
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return "", 0, fmt.Errorf("%w: label at %d", ErrTruncatedMsg, off)
+			}
+			if strings.IndexByte(string(msg[off+1:off+1+l]), '.') >= 0 {
+				return "", 0, fmt.Errorf("%w: '.' inside label", ErrBadName)
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			sb.WriteByte('.')
+			if sb.Len() > MaxNameLen-1 {
+				return "", 0, fmt.Errorf("%w: name too long", ErrBadName)
+			}
+			off += 1 + l
+		}
+	}
+}
+
+// checkNameEquivalence asserts readName (and through it AppendName)
+// agrees with the reference decoder on msg at off.
+func checkNameEquivalence(t *testing.T, msg []byte, off int) {
+	t.Helper()
+	wantName, wantEnd, wantErr := readNameReference(msg, off)
+	gotName, gotEnd, gotErr := readName(msg, off)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("readName(%q, %d) err = %v, reference err = %v", msg, off, gotErr, wantErr)
+	}
+	if wantErr != nil {
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("readName(%q, %d) err = %q, reference err = %q", msg, off, gotErr, wantErr)
+		}
+		return
+	}
+	if gotName != wantName || gotEnd != wantEnd {
+		t.Fatalf("readName(%q, %d) = (%q, %d), reference = (%q, %d)",
+			msg, off, gotName, gotEnd, wantName, wantEnd)
+	}
+	// And the exported core: AppendName's bytes are the name text
+	// (empty for the root, which readName canonicalises to ".").
+	buf, end, err := AppendName(nil, msg, off)
+	if err != nil || end != wantEnd {
+		t.Fatalf("AppendName(nil, %q, %d) = (_, %d, %v), want (%d, nil)", msg, off, end, err, wantEnd)
+	}
+	if want := wantName; want == "." {
+		if len(buf) != 0 {
+			t.Fatalf("AppendName root appended %q, want empty", buf)
+		}
+	} else if string(buf) != want {
+		t.Fatalf("AppendName = %q, want %q", buf, want)
+	}
+}
+
+// corpusInputs loads every []byte input from a go-fuzz corpus dir.
+func corpusInputs(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus %s: %v", dir, err)
+	}
+	var out [][]byte
+	for _, e := range ents {
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "[]byte(") {
+				continue
+			}
+			q := strings.TrimSuffix(strings.TrimPrefix(line, "[]byte("), ")")
+			s, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("corpus line %q: %v", line, err)
+			}
+			out = append(out, []byte(s))
+		}
+		f.Close()
+	}
+	return out
+}
+
+// TestAppendNameEquivalence proves the append-style decoder is
+// byte-identical to the strings.Builder implementation it replaced:
+// same names, same end offsets, same error text — over the committed
+// fuzz corpora, generated packed messages at every offset, and the
+// crafted edge cases (pointers, loops, truncations, reserved labels).
+func TestAppendNameEquivalence(t *testing.T) {
+	var inputs [][]byte
+	for _, dir := range []string{
+		"testdata/fuzz/FuzzParseName",
+		"testdata/fuzz/FuzzParseMessage",
+	} {
+		inputs = append(inputs, corpusInputs(t, dir)...)
+	}
+	inputs = append(inputs,
+		nil,
+		[]byte{0},
+		[]byte{0xc0, 0x00},
+		[]byte{3, 'w', 'w', 'w', 0xc0, 0x00},
+		[]byte{3, 'w', 'w', 'w'}, // truncated mid-name
+		[]byte{5, 'w', 'w', 'w'}, // truncated label
+		[]byte{0x80, 0x00},       // reserved label type
+		[]byte{0x40},             // reserved label type 0x40
+		[]byte{0xc0},             // truncated pointer
+		[]byte{1, '.', 0},        // '.' inside label
+		[]byte{0, 0xc0, 0x00, 0}, // pointer to root
+		[]byte{1, 'a', 0, 3, 'w', 'w', 'w', 0xc0, 0x00}, // pointer into earlier name
+	)
+	// A self-pointing chain that exercises the forward-pointer check
+	// and a maximal legal name that sits exactly on the length bound.
+	long := appendLongName(nil)
+	inputs = append(inputs, long, append(long[:len(long)-1], 1, 'x', 0)) // push past the bound
+
+	rng := rand.New(rand.NewSource(1337))
+	for i := 0; i < 64; i++ {
+		if wire, err := genMessage(rng).Pack(); err == nil {
+			inputs = append(inputs, wire)
+		}
+	}
+
+	for _, msg := range inputs {
+		for off := 0; off <= len(msg); off++ {
+			checkNameEquivalence(t, msg, off)
+		}
+	}
+}
+
+// appendLongName builds a wire name whose presentation form is exactly
+// MaxNameLen-1 characters (the legal maximum).
+func appendLongName(dst []byte) []byte {
+	total := 0
+	for total+64 <= MaxNameLen-1 {
+		dst = append(dst, 63)
+		for i := 0; i < 63; i++ {
+			dst = append(dst, 'a')
+		}
+		total += 64
+	}
+	if rem := MaxNameLen - 1 - total; rem >= 2 {
+		dst = append(dst, byte(rem-1))
+		for i := 0; i < rem-1; i++ {
+			dst = append(dst, 'b')
+		}
+	}
+	return append(dst, 0)
+}
+
+// TestAppendNamePreservesPrefix: AppendName must append, never
+// clobber — the contract resident decode paths rely on when packing
+// several names into one scratch buffer.
+func TestAppendNamePreservesPrefix(t *testing.T) {
+	wire, err := appendName(nil, "www.vict.im.", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := append(make([]byte, 0, 64), "prefix|"...)
+	out, end, err := AppendName(dst, wire, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out); got != "prefix|www.vict.im." {
+		t.Fatalf("AppendName with prefix = %q", got)
+	}
+	if end != len(wire) {
+		t.Fatalf("end = %d, want %d", end, len(wire))
+	}
+}

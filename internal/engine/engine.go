@@ -311,6 +311,32 @@ func RunWorkers[S, T any](j Job, newState func() S, fn func(S, Shard) T) []T {
 // ExecuteCtx's cancellation semantics: no new shard starts after ctx
 // is cancelled, and partial results must not be merged.
 func RunWorkersCtx[S, T any](ctx context.Context, j Job, newState func() S, fn func(S, Shard) T) ([]T, error) {
+	return RunWorkersCachedCtx[S, T](ctx, j, nil, newState, fn)
+}
+
+// ShardCache memoizes shard results across runs. Lookup and Store are
+// called from worker goroutines concurrently and must be safe for
+// concurrent use. The contract only makes sense for deterministic
+// trials: a stored result must be exactly what fn would have produced
+// for that shard — the campaign's identity-seeded cells qualify, a
+// shard whose output depends on anything but (Shard, fn) does not.
+type ShardCache[T any] interface {
+	// Lookup returns the memoized result for sh, if present.
+	Lookup(sh Shard) (T, bool)
+	// Store records fn's result for sh. Store may be called by several
+	// workers for distinct shards at once (never twice for the same
+	// shard within one run).
+	Store(sh Shard, result T)
+}
+
+// RunWorkersCachedCtx is RunWorkersCtx with a memoization hook at
+// shard dispatch: a shard whose result is already in cache skips state
+// construction, Reset and fn entirely — its result comes straight from
+// the cache — and every freshly computed result is stored back. A nil
+// cache degrades to plain RunWorkersCtx. Cancellation semantics are
+// unchanged; results produced before cancellation are still stored, so
+// an aborted sweep resumed later recomputes only what never ran.
+func RunWorkersCachedCtx[S, T any](ctx context.Context, j Job, cache ShardCache[T], newState func() S, fn func(S, Shard) T) ([]T, error) {
 	shards := j.Shards()
 	results := make([]T, len(shards))
 	workers := Workers(j.Parallelism)
@@ -323,6 +349,12 @@ func RunWorkersCtx[S, T any](ctx context.Context, j Job, newState func() S, fn f
 	states := make([]S, workers)
 	made := make([]bool, workers)
 	err := executeBursts(ctx, workers, j.burst(), len(shards), func(w, i int) {
+		if cache != nil {
+			if r, ok := cache.Lookup(shards[i]); ok {
+				results[i] = r
+				return
+			}
+		}
 		if !made[w] {
 			states[w] = newState()
 			made[w] = true
@@ -331,6 +363,9 @@ func RunWorkersCtx[S, T any](ctx context.Context, j Job, newState func() S, fn f
 			r.Reset(shards[i])
 		}
 		results[i] = fn(states[w], shards[i])
+		if cache != nil {
+			cache.Store(shards[i], results[i])
+		}
 	}, j.OnTrialDone)
 	return results, err
 }

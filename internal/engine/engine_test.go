@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -283,5 +284,126 @@ func TestRunWorkersCtxCancellation(t *testing.T) {
 	}
 	if ran.Load() != 0 {
 		t.Fatalf("%d trials ran under a pre-cancelled context, want 0", ran.Load())
+	}
+}
+
+// mapCache is a minimal ShardCache for tests: a mutex map keyed by
+// shard index, counting hits and stores.
+type mapCache[T any] struct {
+	mu     sync.Mutex
+	m      map[int]T
+	hits   int
+	stores int
+}
+
+func newMapCache[T any]() *mapCache[T] { return &mapCache[T]{m: make(map[int]T)} }
+
+func (c *mapCache[T]) Lookup(sh Shard) (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[sh.Index]
+	if ok {
+		c.hits++
+	}
+	return r, ok
+}
+
+func (c *mapCache[T]) Store(sh Shard, r T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[sh.Index] = r
+	c.stores++
+}
+
+func TestRunWorkersCachedSkipsComputation(t *testing.T) {
+	j := Job{Items: 40, ShardSize: 1, Seed: 7, Parallelism: 4, Burst: 4}
+	cache := newMapCache[int]()
+	var calls atomic.Int64
+	run := func() []int {
+		out, err := RunWorkersCachedCtx(context.Background(), j, cache,
+			func() *struct{} { return nil },
+			func(_ *struct{}, sh Shard) int { calls.Add(1); return sh.Start * 3 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cold := run()
+	if got := calls.Load(); got != 40 {
+		t.Fatalf("cold run computed %d shards, want 40", got)
+	}
+	if cache.stores != 40 {
+		t.Fatalf("cold run stored %d results, want 40", cache.stores)
+	}
+	warm := run()
+	if got := calls.Load(); got != 40 {
+		t.Fatalf("warm run recomputed %d shards, want 0", got-40)
+	}
+	if cache.hits != 40 {
+		t.Fatalf("warm run hit cache %d times, want 40", cache.hits)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cached results differ: %v vs %v", cold, warm)
+	}
+	for i, v := range cold {
+		if v != i*3 {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+}
+
+func TestRunWorkersCachedNilCacheMatchesUncached(t *testing.T) {
+	j := Job{Items: 17, ShardSize: 2, Seed: 3, Parallelism: 3}
+	fn := func(_ *struct{}, sh Shard) int64 { return sh.Seed ^ int64(sh.Start) }
+	newState := func() *struct{} { return nil }
+	plain, err := RunWorkersCtx(context.Background(), j, newState, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := RunWorkersCachedCtx[*struct{}, int64](context.Background(), j, nil, newState, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cached) {
+		t.Fatalf("nil-cache results diverge: %v vs %v", plain, cached)
+	}
+}
+
+// TestRunWorkersCachedStoresBeforeCancellation: results computed before
+// a cancellation are in the cache, so a resumed run only recomputes the
+// shards that never ran.
+func TestRunWorkersCachedStoresBeforeCancellation(t *testing.T) {
+	cache := newMapCache[int]()
+	ctx, cancel := context.WithCancel(context.Background())
+	j := Job{Items: 20, ShardSize: 1, Seed: 1, Parallelism: 1}
+	var calls int
+	_, err := RunWorkersCachedCtx(ctx, j, cache,
+		func() *struct{} { return nil },
+		func(_ *struct{}, sh Shard) int {
+			calls++
+			if calls == 5 {
+				cancel()
+			}
+			return sh.Start
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if cache.stores != 5 {
+		t.Fatalf("stored %d results before cancel, want 5", cache.stores)
+	}
+	out, err := RunWorkersCachedCtx(context.Background(), j, cache,
+		func() *struct{} { return nil },
+		func(_ *struct{}, sh Shard) int { calls++; return sh.Start })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 20 {
+		t.Fatalf("resume recomputed %d shards, want 15 new (20 total calls, got %d)", calls-5, calls)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("resumed result[%d] = %d", i, v)
+		}
 	}
 }

@@ -73,6 +73,36 @@ func (p *Wire) Get(n int) []byte {
 	return make([]byte, 0, n)
 }
 
+// Retained reports the total capacity, in bytes, of the buffers the
+// pool currently holds.
+func (p *Wire) Retained() int {
+	total := 0
+	for c, l := range p.classes {
+		total += len(l) << (minClass + c)
+	}
+	return total
+}
+
+// Trim drops pooled buffers, largest classes first, until at most
+// maxBytes of capacity remain retained. A resident process that parks
+// a warmed arena between jobs calls Trim to bound its idle footprint
+// without giving up the small-buffer working set; Trim(0) empties the
+// pool. Dropped buffers go to the GC — Trim never affects correctness,
+// only what the next Get must re-allocate.
+func (p *Wire) Trim(maxBytes int) {
+	retained := p.Retained()
+	for c := numClasses - 1; c >= 0 && retained > maxBytes; c-- {
+		size := 1 << (minClass + c)
+		l := p.classes[c]
+		for len(l) > 0 && retained > maxBytes {
+			l[len(l)-1] = nil
+			l = l[:len(l)-1]
+			retained -= size
+		}
+		p.classes[c] = l
+	}
+}
+
 // Put returns a buffer to the pool for reuse. The caller relinquishes
 // ownership of b's entire backing array; passing a slice that shares
 // backing with a still-live buffer corrupts future packets. Buffers

@@ -69,3 +69,29 @@ func TestOddCapacityPut(t *testing.T) {
 		t.Fatal("expected a recycled hit")
 	}
 }
+
+func TestTrimBoundsRetainedCapacity(t *testing.T) {
+	var p Wire
+	for _, n := range []int{64, 64, 512, 4096, 1 << 16} {
+		p.Put(make([]byte, 0, n))
+	}
+	if got := p.Retained(); got != 64+64+512+4096+1<<16 {
+		t.Fatalf("Retained = %d", got)
+	}
+	p.Trim(1024)
+	if got := p.Retained(); got > 1024 {
+		t.Fatalf("Retained after Trim(1024) = %d", got)
+	}
+	// Largest first: the two 64-byte buffers and the 512 should survive.
+	if got := p.Retained(); got != 64+64+512 {
+		t.Fatalf("Retained after Trim = %d, want 640", got)
+	}
+	// Trimmed pool still serves correctly sized buffers.
+	if b := p.Get(100); cap(b) < 100 {
+		t.Fatalf("Get(100) cap = %d", cap(b))
+	}
+	p.Trim(0)
+	if got := p.Retained(); got != 0 {
+		t.Fatalf("Retained after Trim(0) = %d", got)
+	}
+}

@@ -43,6 +43,16 @@ type Resolver struct {
 	// (upstream queries keep their own buffers: inf.wire is retained
 	// for TCP fallback and must not share this scratch).
 	scratch []byte
+	// uq and friends are the reusable upstream-query scaffolding:
+	// sendAttempt rewrites them in place instead of allocating a
+	// Message, a Questions slice and an OPT record per round trip. The
+	// message is only alive inside sendAttempt's AppendPack call, so
+	// one set per resolver suffices.
+	uq     dnswire.Message
+	uqQ    [1]dnswire.Question
+	uqOpt  dnswire.RR
+	uqOptD dnswire.OPTData
+	uqAdd  [1]*dnswire.RR
 
 	// Counters observable by the measurements.
 	ClientQueries    uint64
@@ -59,17 +69,47 @@ type Resolver struct {
 }
 
 type inflight struct {
-	key     cacheKey
-	qname   string // possibly 0x20-encoded, as sent
-	zone    string // bailiwick for this query
+	r     *Resolver
+	key   cacheKey
+	qname string // possibly 0x20-encoded, as sent
+	zone  string // bailiwick for this query
+	// servers is the zone's authoritative set, resolved once at query
+	// start so retries don't re-walk the zone table.
+	servers []netip.Addr
 	ns      netip.Addr
 	port    uint16
 	txid    uint16
-	wire    []byte // packed query (for TCP fallback retransmission)
+	// wire is the packed query, leased from the network's wire pool
+	// for the lifetime of the resolution (retries re-pack into it, TCP
+	// fallback retransmits it) and returned by release().
+	wire    []byte
 	attempt int
-	done    bool
-	depth   int
-	cbs     []Callback
+	// timerAttempt is the attempt the pending retransmission timer was
+	// armed for; a timer firing after the attempt moved on (the
+	// truncated→TCP path bumps attempt to invalidate it) is stale. At
+	// most one timer is outstanding per inflight, so the inflight
+	// itself is the sim.Action — no per-round-trip closure.
+	timerAttempt int
+	done         bool
+	depth        int
+	cbs          []Callback
+	// recv is the upstream datagram handler, created once per
+	// resolution and rebound for each attempt.
+	recv netsim.UDPHandler
+}
+
+// Fire implements sim.Action: the retransmission timeout.
+func (inf *inflight) Fire() { inf.r.onTimeout(inf, inf.timerAttempt) }
+
+// release returns the leased wire buffer to the network's pool. Safe
+// to call on every completion path: TCP fallback copies the request
+// synchronously, so nothing retains the bytes after the resolution
+// completes.
+func (inf *inflight) release() {
+	if inf.wire != nil {
+		inf.r.Host.Network().WirePool().Put(inf.wire)
+		inf.wire = nil
+	}
 }
 
 // New creates a resolver on host with the given profile and binds UDP
@@ -177,37 +217,56 @@ func (r *Resolver) startQuery(key cacheKey, depth int, cbs ...Callback) {
 		}
 		return
 	}
-	inf := &inflight{key: key, zone: zone, depth: depth, cbs: cbs}
+	inf := &inflight{r: r, key: key, zone: zone, servers: servers, depth: depth, cbs: cbs}
+	inf.recv = func(dg netsim.Datagram) { r.handleUpstream(inf, dg) }
 	r.inflight[key] = inf
-	r.sendAttempt(inf, servers)
+	r.sendAttempt(inf)
 }
 
-func (r *Resolver) sendAttempt(inf *inflight, servers []netip.Addr) {
+// upstreamQuery rewrites the resolver's reusable query message in
+// place. The returned message aliases resolver-owned storage and is
+// only valid until the next call.
+func (r *Resolver) upstreamQuery(txid uint16, name string, typ dnswire.Type) *dnswire.Message {
+	r.uqQ[0] = dnswire.Question{Name: name, Type: typ, Class: dnswire.ClassIN}
+	r.uq = dnswire.Message{ID: txid, RecursionDesired: true, Questions: r.uqQ[:1]}
+	if r.Prof.EDNSSize > 0 {
+		r.uqOptD = dnswire.OPTData{UDPSize: r.Prof.EDNSSize, DO: r.Prof.ValidateDNSSEC}
+		r.uqOpt = dnswire.RR{
+			Name: ".", Type: dnswire.TypeOPT, Class: dnswire.Class(r.Prof.EDNSSize),
+			Data: &r.uqOptD,
+		}
+		r.uqAdd[0] = &r.uqOpt
+		r.uq.Additional = r.uqAdd[:1]
+	}
+	return &r.uq
+}
+
+func (r *Resolver) sendAttempt(inf *inflight) {
 	rng := r.Host.Rand()
-	inf.ns = servers[rng.Intn(len(servers))]
+	inf.ns = inf.servers[rng.Intn(len(inf.servers))]
 	inf.txid = uint16(rng.Uint32())
 	inf.qname = inf.key.name
 	if r.Prof.Use0x20 {
 		inf.qname = dnswire.Encode0x20(inf.key.name, rng)
 	}
-	q := dnswire.NewQuery(inf.txid, inf.qname, inf.key.typ)
-	if r.Prof.EDNSSize > 0 {
-		q.SetEDNS(r.Prof.EDNSSize, r.Prof.ValidateDNSSEC)
+	q := r.upstreamQuery(inf.txid, inf.qname, inf.key.typ)
+	if inf.wire == nil {
+		inf.wire = r.Host.Network().WirePool().Get(512)
 	}
-	wire, err := q.Pack()
+	wire, err := q.AppendPack(inf.wire[:0])
 	if err != nil {
 		r.finish(inf, nil, fmt.Errorf("resolver: pack: %w", err))
 		return
 	}
 	inf.wire = wire
-	attempt := inf.attempt
-	inf.port = r.Host.BindUDP(0, func(dg netsim.Datagram) { r.handleUpstream(inf, attempt, dg) })
+	inf.port = r.Host.BindUDP(0, inf.recv)
 	r.UpstreamQueries++
 	if r.TestHookQuerySent != nil {
 		r.TestHookQuerySent(inf.qname, inf.key.typ, inf.ns, inf.port, inf.txid)
 	}
 	r.Host.SendUDP(inf.port, inf.ns, 53, wire)
-	r.Host.Network().Clock.After(r.Prof.Timeout, func() { r.onTimeout(inf, attempt) })
+	inf.timerAttempt = inf.attempt
+	r.Host.Network().Clock.AfterAction(r.Prof.Timeout, inf)
 }
 
 func (r *Resolver) onTimeout(inf *inflight, attempt int) {
@@ -221,12 +280,14 @@ func (r *Resolver) onTimeout(inf *inflight, attempt int) {
 		return
 	}
 	inf.attempt++
-	_, servers := r.zoneFor(inf.key.name)
-	r.sendAttempt(inf, servers)
+	r.sendAttempt(inf)
 }
 
-func (r *Resolver) handleUpstream(inf *inflight, attempt int, dg netsim.Datagram) {
-	if inf.done || inf.attempt != attempt {
+func (r *Resolver) handleUpstream(inf *inflight, dg netsim.Datagram) {
+	// One handler serves every attempt of the resolution: a port is
+	// always closed before attempt advances, so a delivery can only
+	// reach the binding of the current attempt.
+	if inf.done {
 		return
 	}
 	// Address/port check: the response must come from the server we
@@ -385,6 +446,7 @@ func (r *Resolver) processResponse(inf *inflight, msg *dnswire.Message) {
 		cbs := inf.cbs
 		delete(r.inflight, inf.key)
 		inf.done = true
+		inf.release()
 		r.Lookup(target, inf.key.typ, func(rrs []*dnswire.RR, err error) {
 			for _, cb := range cbs {
 				cb(rrs, err)
@@ -410,6 +472,7 @@ func (r *Resolver) finish(inf *inflight, rrs []*dnswire.RR, err error) {
 	}
 	inf.done = true
 	delete(r.inflight, inf.key)
+	inf.release()
 	for _, cb := range inf.cbs {
 		cb(rrs, err)
 	}

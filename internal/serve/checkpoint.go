@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"crosslayer/internal/campaign"
+)
+
+// checkpointVersion guards the on-disk schema: a version we don't
+// recognise fails the load instead of silently serving wrong cells.
+const checkpointVersion = 1
+
+// checkpointFile is the on-disk snapshot of the server's cell cache:
+// every completed campaign cell, keyed by its full content address
+// (campaign.CellKey — "seed/trials/method/victim/profile/defenseset/
+// depth/placement"). The results round-trip losslessly — stats.Counter
+// is integer pairs and stats.CDF marshals its exact float64 samples —
+// so a resumed server's cache-served reports stay byte-identical to
+// the runs that populated it.
+type checkpointFile struct {
+	Version int                            `json:"version"`
+	Cells   map[string]campaign.CellResult `json:"cells"`
+}
+
+// loadCheckpoint restores the cache from path. A missing file is a
+// fresh start, not an error; a present-but-unreadable one is fatal —
+// better to refuse than to recompute over a checkpoint the operator
+// thought was live.
+func (s *Server) loadCheckpoint() error {
+	data, err := os.ReadFile(s.cfg.CheckpointPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: load checkpoint: %w", err)
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return fmt.Errorf("serve: load checkpoint %s: %w", s.cfg.CheckpointPath, err)
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("serve: checkpoint %s has version %d, want %d",
+			s.cfg.CheckpointPath, cp.Version, checkpointVersion)
+	}
+	s.cache.load(cp.Cells)
+	return nil
+}
+
+// saveCheckpoint snapshots the cache to path atomically (write to a
+// temp file in the same directory, then rename), so a crash mid-write
+// never truncates the previous good checkpoint. A clean cache skips
+// the write entirely.
+func (s *Server) saveCheckpoint() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	cells, clean := s.cache.snapshot(true)
+	if clean {
+		return nil
+	}
+	data, err := json.Marshal(checkpointFile{Version: checkpointVersion, Cells: cells})
+	if err != nil {
+		return fmt.Errorf("serve: save checkpoint: %w", err)
+	}
+	dir := filepath.Dir(s.cfg.CheckpointPath)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("serve: save checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), s.cfg.CheckpointPath)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: save checkpoint: %w", werr)
+	}
+	return nil
+}

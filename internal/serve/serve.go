@@ -1,0 +1,416 @@
+// Package serve turns the experiment harness into a resident service:
+// one long-running process that accepts sweep requests over HTTP,
+// executes them through the registry on a sequential job queue, and
+// remembers every campaign cell it has ever computed in a
+// content-addressed cache keyed by the cell's identity-derived seed
+// string. Overlapping filtered sweeps — the way the matrix is actually
+// explored — recompute only the cells no earlier request covered, and
+// cache-served results are byte-identical to cold computation (the
+// identity-seeding determinism contract makes memoization sound).
+//
+// The wire protocol is newline-delimited JSON on one chunked response:
+// progress events as shards complete, then exactly one terminal event
+// — "report" carrying the rendered report.JSON document plus the
+// request's cache-hit/miss counts, or "error". The cache survives
+// restarts through JSON checkpoints: loaded at startup, written
+// periodically while dirty, and flushed one final time on shutdown —
+// including shutdown by signal mid-sweep, because the engine stores
+// completed cells even when a run is cancelled.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"crosslayer/internal/campaign"
+	"crosslayer/internal/report"
+)
+
+// Config configures a Server. The zero value listens on an ephemeral
+// localhost port with no checkpointing.
+type Config struct {
+	// Addr is the TCP listen address; "" means "127.0.0.1:0" (an
+	// ephemeral port — read it back from Addr after Run starts).
+	Addr string
+	// CheckpointPath, when non-empty, persists the cell cache: loaded
+	// at startup, written while dirty every CheckpointEvery, and
+	// flushed on shutdown.
+	CheckpointPath string
+	// CheckpointEvery is the periodic checkpoint interval; 0 means
+	// DefaultCheckpointEvery.
+	CheckpointEvery time.Duration
+	// MaxArenaBytes bounds the wire-buffer capacity each pooled worker
+	// arena retains between jobs; 0 means campaign.DefaultMaxArenaBytes.
+	MaxArenaBytes int
+	// Log, when non-nil, receives one line per lifecycle event (listen
+	// address, checkpoint loads/saves, job starts).
+	Log io.Writer
+}
+
+// DefaultCheckpointEvery is the periodic checkpoint interval used when
+// Config.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 30 * time.Second
+
+// Server is the resident sweep service. Create with New, run with Run;
+// requests stream through the HTTP handler while a single runner
+// goroutine executes jobs in arrival order (the engine already
+// parallelizes within a job, so queueing jobs keeps the machine
+// saturated without oversubscribing it).
+type Server struct {
+	cfg    Config
+	cache  *cellCache
+	arenas *campaign.ArenaPool
+	jobs   chan *job
+
+	ready chan struct{}
+	addr  string
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:    cfg,
+		cache:  newCellCache(),
+		arenas: &campaign.ArenaPool{MaxArenaBytes: cfg.MaxArenaBytes},
+		jobs:   make(chan *job),
+		ready:  make(chan struct{}),
+	}
+}
+
+// Ready is closed once Run has bound its listener; Addr is valid after.
+func (s *Server) Ready() <-chan struct{} { return s.ready }
+
+// Addr returns the bound listen address ("127.0.0.1:41372"). Valid
+// only after Ready.
+func (s *Server) Addr() string { return s.addr }
+
+// job is one queued sweep: the experiment to run and the channel its
+// handler drains. The runner owns events and closes it after the
+// terminal event; the handler must drain it to completion even if the
+// client has gone away, so the runner never blocks on a dead request.
+type job struct {
+	name   string
+	spec   report.Spec
+	events chan streamEvent
+}
+
+// streamEvent is one NDJSON line of a /run response.
+type streamEvent struct {
+	// Event is "progress", "report" or "error".
+	Event string `json:"event"`
+	// Progress fields (event == "progress").
+	Dataset     string `json:"dataset,omitempty"`
+	DoneShards  int    `json:"done_shards,omitempty"`
+	TotalShards int    `json:"total_shards,omitempty"`
+	Items       int    `json:"items,omitempty"`
+	// CacheHits/CacheMisses count this job's cell-cache traffic
+	// (event == "report"; campaign jobs only — other experiments have
+	// no cells and report neither field).
+	CacheHits   *uint64 `json:"cache_hits,omitempty"`
+	CacheMisses *uint64 `json:"cache_misses,omitempty"`
+	// Report is the report.JSON document (event == "report").
+	Report json.RawMessage `json:"report,omitempty"`
+	// Error is the failure, including cancellation (event == "error").
+	Error string `json:"error,omitempty"`
+}
+
+// Run serves until ctx is cancelled, then shuts down in order: stop
+// accepting requests, let the runner drain the job queue (the
+// in-flight sweep aborts at its next cell boundary, queued jobs get
+// terminal error events), and write the final checkpoint. This is the
+// signal path: xlmeasure -serve wires its NotifyContext here, so an
+// interrupted server persists every cell completed before the signal.
+func (s *Server) Run(ctx context.Context) error {
+	if s.cfg.CheckpointPath != "" {
+		if err := s.loadCheckpoint(); err != nil {
+			return err
+		}
+		s.logf("checkpoint: loaded %d cells from %s", s.cache.stats().Cells, s.cfg.CheckpointPath)
+	}
+
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s.addr = ln.Addr().String()
+	close(s.ready)
+	s.logf("listening on %s", s.addr)
+
+	runnerDone := make(chan struct{})
+	go func() {
+		defer close(runnerDone)
+		s.runner(ctx)
+	}()
+
+	if s.cfg.CheckpointPath != "" {
+		every := s.cfg.CheckpointEvery
+		if every <= 0 {
+			every = DefaultCheckpointEvery
+		}
+		go s.checkpointLoop(ctx, every)
+	}
+
+	httpSrv := &http.Server{Handler: s.handler(ctx)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		// Listener failure, not shutdown: still flush what we have.
+		s.saveCheckpoint()
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Drain: the runner fails queued jobs and exits; streaming handlers
+	// finish writing their terminal events; then Shutdown closes idle
+	// connections and the final checkpoint commits every stored cell.
+	<-runnerDone
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutdownCtx)
+	if err := s.saveCheckpoint(); err != nil {
+		return err
+	}
+	if s.cfg.CheckpointPath != "" {
+		s.logf("checkpoint: final flush, %d cells in %s", s.cache.stats().Cells, s.cfg.CheckpointPath)
+	}
+	return nil
+}
+
+// runner executes queued jobs one at a time until ctx is cancelled,
+// then fails whatever is still queued so every handler's event channel
+// terminates.
+func (s *Server) runner(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			for {
+				select {
+				case j := <-s.jobs:
+					j.events <- streamEvent{Event: "error", Error: "server shutting down"}
+					close(j.events)
+				default:
+					return
+				}
+			}
+		case j := <-s.jobs:
+			s.execute(ctx, j)
+		}
+	}
+}
+
+// execute runs one job, streaming progress into its event channel and
+// closing it after the terminal event. Campaign jobs run through the
+// cell cache and the shared arena pool; every other experiment
+// dispatches through the registry unchanged.
+func (s *Server) execute(ctx context.Context, j *job) {
+	defer close(j.events)
+	s.logf("job: %s", j.name)
+
+	spec := j.spec
+	spec.Progress = func(ev report.Progress) {
+		j.events <- streamEvent{
+			Event:       "progress",
+			Dataset:     ev.Dataset,
+			DoneShards:  ev.DoneShards,
+			TotalShards: ev.TotalShards,
+			Items:       ev.Items,
+		}
+	}
+
+	var (
+		rep          *report.Report
+		err          error
+		hits, misses *uint64
+	)
+	if j.name == "campaign" {
+		before := s.cache.stats()
+		cfg := campaign.ConfigFromSpec(spec)
+		cfg.Cache = s.cache
+		cfg.Arenas = s.arenas
+		var cells []campaign.CellResult
+		cells, err = campaign.RunContext(ctx, cfg)
+		if err == nil {
+			rep = campaign.Report(cells, j.spec)
+		}
+		after := s.cache.stats()
+		h, m := after.Hits-before.Hits, after.Misses-before.Misses
+		hits, misses = &h, &m
+	} else {
+		rep, err = report.Run(ctx, j.name, spec)
+	}
+	if err != nil {
+		j.events <- streamEvent{Event: "error", Error: err.Error()}
+		return
+	}
+	doc, err := report.JSON(rep)
+	if err != nil {
+		j.events <- streamEvent{Event: "error", Error: err.Error()}
+		return
+	}
+	j.events <- streamEvent{Event: "report", CacheHits: hits, CacheMisses: misses, Report: doc}
+}
+
+// checkpointLoop writes the cache to disk every interval while it is
+// dirty. The final flush on shutdown belongs to Run, not this loop, so
+// exit here is silent.
+func (s *Server) checkpointLoop(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := s.saveCheckpoint(); err != nil {
+				s.logf("%v", err)
+			}
+		}
+	}
+}
+
+// handler builds the HTTP mux. ctx is the server's lifetime: enqueue
+// attempts race it so a request arriving during shutdown fails fast
+// instead of queueing behind a runner that will never serve it.
+func (s *Server) handler(ctx context.Context) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/experiments", s.handleExperiments)
+	mux.HandleFunc("/cache", s.handleCache)
+	mux.HandleFunc("/run/", func(w http.ResponseWriter, r *http.Request) {
+		s.handleRun(ctx, w, r)
+	})
+	return mux
+}
+
+// handleExperiments lists the registry: name and title per experiment,
+// in canonical artifact order.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name  string `json:"name"`
+		Title string `json:"title"`
+	}
+	var out []entry
+	for _, e := range report.List() {
+		out = append(out, entry{Name: e.Name, Title: e.Title})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleCache reports the cell-cache counters.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.cache.stats())
+}
+
+// handleRun enqueues /run/{experiment} and streams its NDJSON events.
+// The handler drains the job's channel to completion even when the
+// client disconnects — the runner must never block on a dead response.
+func (s *Server) handleRun(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/run/")
+	if name == "" || strings.Contains(name, "/") {
+		http.Error(w, "usage: /run/{experiment}", http.StatusNotFound)
+		return
+	}
+	if _, ok := report.Get(name); !ok {
+		http.Error(w, fmt.Sprintf("unknown experiment %q", name), http.StatusNotFound)
+		return
+	}
+	spec, err := specFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	j := &job{name: name, spec: spec, events: make(chan streamEvent)}
+	select {
+	case s.jobs <- j:
+	case <-ctx.Done():
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for ev := range j.events {
+		// Write errors (client gone) are deliberately ignored: the
+		// loop must run to channel close regardless.
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// specFromQuery maps /run query parameters onto the registry Spec,
+// mirroring the xlmeasure flags: n, seed, parallel, shard-size,
+// sad-ports, trials, lattice-rank (integers) and methods, victims,
+// profiles, defenses, defense-sets, chain-depths, placement
+// (comma-separated keys). Unknown parameters are rejected so typos
+// fail loudly instead of silently sweeping the full axis.
+func specFromQuery(r *http.Request) (report.Spec, error) {
+	var spec report.Spec
+	spec.SampleCap = 10000 // the CLI's default cap; n=0 opts into full populations
+	ints := map[string]*int{
+		"n":            &spec.SampleCap,
+		"parallel":     &spec.Parallelism,
+		"shard-size":   &spec.ShardSize,
+		"sad-ports":    &spec.SadPorts,
+		"trials":       &spec.Trials,
+		"lattice-rank": &spec.LatticeRank,
+	}
+	lists := map[string]*[]string{
+		"methods":      &spec.Methods,
+		"victims":      &spec.Victims,
+		"profiles":     &spec.Profiles,
+		"defenses":     &spec.Defenses,
+		"defense-sets": &spec.DefenseSets,
+		"chain-depths": &spec.ChainDepths,
+		"placement":    &spec.Placements,
+	}
+	for key, vals := range r.URL.Query() {
+		val := vals[len(vals)-1]
+		switch {
+		case key == "seed":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad seed %q", val)
+			}
+			spec.Seed = v
+		case ints[key] != nil:
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return spec, fmt.Errorf("bad %s %q", key, val)
+			}
+			*ints[key] = v
+		case lists[key] != nil:
+			for _, k := range strings.Split(val, ",") {
+				if k = strings.TrimSpace(k); k != "" {
+					*lists[key] = append(*lists[key], k)
+				}
+			}
+		default:
+			return spec, fmt.Errorf("unknown parameter %q", key)
+		}
+	}
+	return spec, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, "serve: "+format+"\n", args...)
+	}
+}

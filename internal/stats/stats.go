@@ -12,6 +12,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,6 +32,30 @@ func NewCDF(samples []float64) *CDF {
 
 // Len returns the sample count.
 func (c *CDF) Len() int { return len(c.sorted) }
+
+// MarshalJSON encodes the CDF as its sorted sample array. Go's float64
+// JSON encoding round-trips exactly, so marshal→unmarshal reproduces
+// the CDF bit for bit — the property the campaign checkpoint relies on
+// to make resumed sweeps byte-identical to uninterrupted ones.
+func (c *CDF) MarshalJSON() ([]byte, error) {
+	if c.sorted == nil {
+		return json.Marshal([]float64{})
+	}
+	return json.Marshal(c.sorted)
+}
+
+// UnmarshalJSON decodes a sample array. Samples are re-sorted
+// defensively, so a hand-edited snapshot cannot break the sorted
+// invariant Quantile and At depend on.
+func (c *CDF) UnmarshalJSON(data []byte) error {
+	var s []float64
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	sort.Float64s(s)
+	c.sorted = s
+	return nil
+}
 
 // MergeCDFs folds per-shard CDFs into the whole-population CDF in one
 // concat-and-sort pass (a pairwise merge fold would re-copy the

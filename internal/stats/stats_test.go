@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -141,5 +143,37 @@ func TestRenderASCII(t *testing.T) {
 	out := c.RenderASCII("EDNS", []float64{512, 4096}, "%6.0f")
 	if !strings.Contains(out, "66.7%") || !strings.Contains(out, "100.0%") {
 		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// TestCDFJSONRoundTrip: marshal→unmarshal must reproduce the CDF
+// exactly (Go float64 JSON encoding is lossless), including the
+// empty and nil-sample cases — what campaign checkpoints rely on.
+func TestCDFJSONRoundTrip(t *testing.T) {
+	for _, samples := range [][]float64{
+		nil,
+		{},
+		{3, 1, 2, 2.5},
+		{0.1, 1e-300, 1e300, -7.25, 0.30000000000000004},
+	} {
+		c := NewCDF(samples)
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back CDF
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back.sorted, c.sorted) && !(len(back.sorted) == 0 && len(c.sorted) == 0) {
+			t.Fatalf("round trip changed samples: %v -> %v", c.sorted, back.sorted)
+		}
+		b2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b2) != string(b) {
+			t.Fatalf("re-marshal changed bytes: %s -> %s", b, b2)
+		}
 	}
 }
