@@ -165,7 +165,8 @@ func BenchmarkCampaign(b *testing.B) {
 		res, err := campaign.Run(campaign.Config{
 			Exec: measure.Config{Seed: int64(i)},
 			Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"},
-				ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+				ChainDepths: []string{"0"}, Placements: []string{"stub"},
+				Transports: []string{"udp"}},
 			Trials:      1,
 			LatticeRank: 1,
 		})
@@ -191,7 +192,8 @@ func BenchmarkCampaignLattice(b *testing.B) {
 			Exec: measure.Config{Seed: int64(i)},
 			Filter: campaign.Filter{Methods: []string{"hijack"},
 				Victims: []string{"web"}, Profiles: []string{"bind"},
-				ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+				ChainDepths: []string{"0"}, Placements: []string{"stub"},
+				Transports: []string{"udp"}},
 			Trials: 1,
 		})
 		if err != nil {
@@ -217,7 +219,7 @@ func BenchmarkCampaignChain(b *testing.B) {
 		res, err := campaign.Run(campaign.Config{
 			Exec: measure.Config{Seed: int64(i)},
 			Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"},
-				Defenses: []string{"none"}},
+				Defenses: []string{"none"}, Transports: []string{"udp"}},
 			Trials: 1,
 		})
 		if err != nil {
@@ -240,7 +242,8 @@ func BenchmarkReportRender(b *testing.B) {
 	cells, err := campaign.Run(campaign.Config{
 		Exec: measure.Config{Seed: 1},
 		Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"},
-			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+			ChainDepths: []string{"0"}, Placements: []string{"stub"},
+			Transports: []string{"udp"}},
 		Trials: 2,
 	})
 	if err != nil {
@@ -252,7 +255,7 @@ func BenchmarkReportRender(b *testing.B) {
 		n := 0
 		for _, rep := range []crosslayer.TableResult{
 			campaign.Matrix(cells), campaign.Summary(cells),
-			campaign.DepthTable(cells), campaign.Lattice(cells),
+			campaign.DepthTable(cells), campaign.TransportTable(cells), campaign.Lattice(cells),
 		} {
 			n += len(rep.String())
 		}

@@ -3,7 +3,8 @@
 // of "From IP to Transport and Beyond" on the synthetic populations
 // described in DESIGN.md, the same-prefix and forwarder studies, and
 // the campaign matrix — the method × victim × profile × defense-set ×
-// chain-depth × placement cross-product the paper only samples.
+// chain-depth × placement × transport cross-product the paper only
+// samples.
 //
 // Population scans fan out over the sharded experiment engine, so the
 // default sample cap is 10k items per dataset (the paper's populations
@@ -21,6 +22,7 @@
 //	          [-methods m,...] [-victims v,...] [-profiles p,...]
 //	          [-defenses d,...] [-defense-sets s,...] [-lattice-rank N]
 //	          [-chain-depths n,...] [-placement p,...] [-trials N]
+//	          [-transports t,...] [-downgrade]
 //	xlmeasure -serve [-addr host:port] [-checkpoint file]
 //	          [-checkpoint-every d]
 //
@@ -43,8 +45,13 @@
 // base defenses the lattice composes ("none" — the always-present
 // undefended baseline — is accepted too), and -defense-sets instead
 // picks exact stacks by canonical key (e.g. 0x20+shuffle; component
-// order and case don't matter). Unknown keys on any filter flag fail
-// with the dimension's valid-key list.
+// order and case don't matter). The transport axis sweeps the chain's
+// upstream transports — udp,tcp,dot,doh,doq (uniform), mixed (a
+// plaintext front hop before an encrypted recursive) and opp (an
+// opportunistic DoT chain) — and -downgrade reruns every cell under
+// active downgrade pressure (opportunistic hops stripped back to
+// plaintext UDP before the attack). Unknown keys on any filter flag
+// fail with the dimension's valid-key list.
 //
 // -serve starts the resident sweep server instead of a one-shot run:
 // experiments are submitted as HTTP requests (GET /run/{experiment}
@@ -95,6 +102,8 @@ func main() {
 	chainDepths := flag.String("chain-depths", "", "campaign: comma-separated forwarder-chain depths 0-3 (empty = all)")
 	placement := flag.String("placement", "", "campaign: comma-separated attacker placements stub,carrier (empty = all)")
 	trials := flag.Int("trials", 0, "campaign: attack trials per cell; 0 = default (3)")
+	transports := flag.String("transports", "", "campaign: comma-separated upstream transports udp,tcp,dot,doh,doq,mixed,opp (empty = all)")
+	downgrade := flag.Bool("downgrade", false, "campaign: run cells under active transport-downgrade pressure")
 	serveMode := flag.Bool("serve", false, "run the resident sweep server instead of a one-shot experiment")
 	addr := flag.String("addr", "127.0.0.1:8053", "serve: HTTP listen address")
 	checkpoint := flag.String("checkpoint", "", "serve: cell-cache checkpoint file (empty = no persistence)")
@@ -145,8 +154,10 @@ func main() {
 			DefenseSets: splitKeys(*defenseSets),
 			ChainDepths: splitKeys(*chainDepths),
 			Placements:  splitKeys(*placement),
+			Transports:  splitKeys(*transports),
 			Trials:      *trials,
 			LatticeRank: *latticeRank,
+			Downgrade:   *downgrade,
 		}
 		if !*quiet {
 			s.Progress = progressPrinter(experiment)

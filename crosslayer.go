@@ -244,10 +244,11 @@ type ExperimentProgress = measure.ProgressEvent
 
 // CampaignConfig controls a campaign sweep: the execution knobs (its
 // Exec field is an ExperimentConfig), the method/app/profile/defense/
-// chain-depth/placement filters, the per-cell trial count, and the
-// defense-stacking lattice rank (LatticeRank 0 sweeps singletons, all
-// pairs and the full stack; 1 is the historical scalar defense axis).
-// See Experiments.Campaign.
+// chain-depth/placement/transport filters, the per-cell trial count,
+// the defense-stacking lattice rank (LatticeRank 0 sweeps singletons,
+// all pairs and the full stack; 1 is the historical scalar defense
+// axis), and the Downgrade switch that reruns every cell under active
+// transport-downgrade pressure. See Experiments.Campaign.
 type CampaignConfig = campaign.Config
 
 // CampaignFilter restricts a campaign sweep to the named registry
@@ -275,9 +276,9 @@ var (
 type CampaignCell = campaign.CellResult
 
 // RunCampaign executes the method × victim × profile × defense-set ×
-// chain-depth × placement cross-product (optionally filtered) and
-// returns the raw cells for composition with the campaign renderers
-// below. Run("campaign", spec) is the registry form returning the
+// chain-depth × placement × transport cross-product (optionally
+// filtered) and returns the raw cells for composition with the
+// campaign renderers below. Run("campaign", spec) is the registry form returning the
 // assembled Report; this cells-level entry point exists for callers
 // that aggregate their own views. Output is byte-identical for any
 // Parallelism, and filtered sweeps — including defense-set-filtered
@@ -303,6 +304,12 @@ func CampaignDepthTable(cells []CampaignCell) *Report { return campaign.DepthTab
 // run's cells: per-set poisoning rates per method, plus the marginal
 // coverage each base defense adds on top of every measured subset.
 func CampaignLattice(cells []CampaignCell) *Report { return campaign.Lattice(cells) }
+
+// CampaignTransportTable builds the method × upstream-transport
+// poisoning-rate aggregate of a campaign run's cells — which attacks
+// survive which encrypted transports, and what a plaintext front hop
+// or an active downgrade gives back.
+func CampaignTransportTable(cells []CampaignCell) *Report { return campaign.TransportTable(cells) }
 
 // TableResult is a rendered experiment artifact; *Report satisfies
 // it.

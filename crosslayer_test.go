@@ -162,7 +162,7 @@ func TestCampaignFacade(t *testing.T) {
 		Seed:    5,
 		Methods: []string{"hijack"}, Victims: []string{"web", "vpn"},
 		Profiles: []string{"bind"}, ChainDepths: []string{"0", "1"},
-		Placements:  []string{"stub"},
+		Placements: []string{"stub"}, Transports: []string{"udp"},
 		Trials:      2,
 		LatticeRank: 1, // scalar defense axis: 5 singleton sets
 	}
@@ -170,7 +170,7 @@ func TestCampaignFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, sec := range []string{"matrix", "summary", "depth", "lattice-sets", "lattice-marginal"} {
+	for _, sec := range []string{"matrix", "summary", "depth", "transport", "lattice-sets", "lattice-marginal"} {
 		if rep.Section(sec) == nil {
 			t.Fatalf("campaign report missing section %q", sec)
 		}
@@ -185,6 +185,7 @@ func TestCampaignFacade(t *testing.T) {
 		Filter: crosslayer.CampaignFilter{
 			Methods: spec.Methods, Victims: spec.Victims, Profiles: spec.Profiles,
 			ChainDepths: spec.ChainDepths, Placements: spec.Placements,
+			Transports: spec.Transports,
 		},
 		Trials:      2,
 		LatticeRank: 1,
@@ -201,6 +202,7 @@ func TestCampaignFacade(t *testing.T) {
 	}
 	if crosslayer.CampaignSummary(cells).String() == "" ||
 		crosslayer.CampaignDepthTable(cells).String() == "" ||
+		crosslayer.CampaignTransportTable(cells).String() == "" ||
 		crosslayer.CampaignLattice(cells).String() == "" {
 		t.Fatal("empty campaign rendering")
 	}

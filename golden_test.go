@@ -4,8 +4,9 @@ package crosslayer_test
 //
 //   - TestGoldenArtifacts pins every rendered TEXT artifact — Tables
 //     1–6, Figures 3–5, the campaign matrix, the forwarder-chain
-//     matrix with its depth table, and the defense-stacking lattice
-//     with its marginal-coverage view — byte-for-byte against
+//     matrix with its depth table, the defense-stacking lattice with
+//     its marginal-coverage view, and the encrypted-transport slice
+//     with its method × transport table — byte-for-byte against
 //     testdata/golden/*.txt at one small fixed execution spec
 //     (SampleCap 50, Seed 1). These files predate the structured
 //     Report layer: any refactor that changes a single rendered byte
@@ -56,6 +57,7 @@ func goldenSpec(name string) crosslayer.ExperimentSpec {
 		spec.Profiles = []string{"bind", "dnsmasq"}
 		spec.ChainDepths = []string{"0"}
 		spec.Placements = []string{"stub"}
+		spec.Transports = []string{"udp"}
 		spec.Trials = 2
 		spec.LatticeRank = 1
 	}
@@ -74,9 +76,10 @@ func goldenChainConfig() campaign.Config {
 	return campaign.Config{
 		Exec: goldenConfig(),
 		Filter: campaign.Filter{
-			Victims:  []string{"web"},
-			Profiles: []string{"bind"},
-			Defenses: []string{"none", "0x20"},
+			Victims:    []string{"web"},
+			Profiles:   []string{"bind"},
+			Defenses:   []string{"none", "0x20"},
+			Transports: []string{"udp"},
 		},
 		Trials: 2,
 	}
@@ -96,6 +99,29 @@ func goldenLatticeConfig() campaign.Config {
 			Profiles:    []string{"bind"},
 			ChainDepths: []string{"0"},
 			Placements:  []string{"stub"},
+			Transports:  []string{"udp"},
+		},
+		Trials: 2,
+	}
+}
+
+// goldenTransportConfig is the encrypted-transport slice: every method
+// against the web victim on BIND behind one forwarder hop, undefended,
+// across the plaintext baseline, two strict encrypted chains, the
+// mixed chain (plaintext front hop, encrypted recursive) and the
+// opportunistic chain — the threat-surface story campaign_transport.txt
+// pins: off-path methods collapse on the encrypted columns and SadDNS
+// re-opens on the mixed one.
+func goldenTransportConfig() campaign.Config {
+	return campaign.Config{
+		Exec: goldenConfig(),
+		Filter: campaign.Filter{
+			Victims:     []string{"web"},
+			Profiles:    []string{"bind"},
+			Defenses:    []string{"none"},
+			ChainDepths: []string{"1"},
+			Placements:  []string{"stub"},
+			Transports:  []string{"udp", "dot", "doh", "mixed", "opp"},
 		},
 		Trials: 2,
 	}
@@ -128,6 +154,10 @@ var goldenChain = sync.OnceValues(func() ([]campaign.CellResult, error) {
 
 var goldenLattice = sync.OnceValues(func() ([]campaign.CellResult, error) {
 	return campaign.Run(goldenLatticeConfig())
+})
+
+var goldenTransport = sync.OnceValues(func() ([]campaign.CellResult, error) {
+	return campaign.Run(goldenTransportConfig())
 })
 
 // compareGolden pins got against the golden file at path, rewriting
@@ -217,6 +247,20 @@ func TestGoldenArtifacts(t *testing.T) {
 				t.Fatal(err)
 			}
 			return campaign.Lattice(res).String()
+		}},
+		{"campaign_transport", func(t *testing.T) string {
+			res, err := goldenTransport()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return campaign.TransportTable(res).String()
+		}},
+		{"campaign_transport_matrix", func(t *testing.T) string {
+			res, err := goldenTransport()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return campaign.Matrix(res).String()
 		}},
 	}
 	for _, a := range artifacts {

@@ -154,7 +154,8 @@ func chainHops(s *scenario.S) []core.Hop {
 	sh := s.Hops()
 	hops := make([]core.Hop, len(sh))
 	for i, h := range sh {
-		hops[i] = core.Hop{Host: h.Host, Addr: h.Addr, Upstream: h.Upstream, Last: i == len(sh)-1}
+		hops[i] = core.Hop{Host: h.Host, Addr: h.Addr, Upstream: h.Upstream, Last: i == len(sh)-1,
+			UDPUpstream: h.UDPUpstream, Opportunistic: h.Opportunistic, ForceDowngrade: h.ForceDowngrade}
 	}
 	return hops
 }
@@ -233,6 +234,47 @@ func Placements() []PlacementEntry {
 	}
 }
 
+// TransportEntry binds a filter key to a chain-wide upstream-transport
+// assignment: what the forwarder hops speak upstream and what the
+// recursive resolver speaks toward the authoritative nameserver. The
+// registry spans the deployment space the encrypted-transport story
+// needs: an all-plaintext baseline, each strict encrypted transport,
+// the incremental-deployment "mixed" case (plaintext front hop in
+// front of an encrypted recursive — the configuration that silently
+// re-opens the off-path attacks), and an opportunistic chain the
+// active downgrade attack can strip.
+type TransportEntry struct {
+	Key  string
+	Name string
+	// Resolver is the recursive resolver's upstream transport.
+	Resolver resolver.Transport
+	// Forwarder is every forwarder hop's upstream transport.
+	Forwarder resolver.Transport
+	// Opportunistic marks every hop opportunistic: encrypted upstream
+	// sessions fall back to plaintext UDP when they fail.
+	Opportunistic bool
+}
+
+// Transports returns the transport-axis registry.
+func Transports() []TransportEntry {
+	return []TransportEntry{
+		{Key: "udp", Name: "plaintext UDP (baseline)"},
+		{Key: "tcp", Name: "DNS over TCP",
+			Resolver: resolver.TransportTCP, Forwarder: resolver.TransportTCP},
+		{Key: "dot", Name: "DNS over TLS (strict)",
+			Resolver: resolver.TransportDoT, Forwarder: resolver.TransportDoT},
+		{Key: "doh", Name: "DNS over HTTPS (strict)",
+			Resolver: resolver.TransportDoH, Forwarder: resolver.TransportDoH},
+		{Key: "doq", Name: "DNS over QUIC (strict)",
+			Resolver: resolver.TransportDoQ, Forwarder: resolver.TransportDoQ},
+		{Key: "mixed", Name: "plaintext front hop, encrypted recursive",
+			Resolver: resolver.TransportDoT, Forwarder: resolver.TransportUDP},
+		{Key: "opp", Name: "opportunistic DoT chain",
+			Resolver: resolver.TransportDoT, Forwarder: resolver.TransportDoT,
+			Opportunistic: true},
+	}
+}
+
 // Filter restricts the cross-product to the named registry keys; an
 // empty dimension means "all". Keys are matched case-insensitively.
 type Filter struct {
@@ -251,6 +293,7 @@ type Filter struct {
 	DefenseSets []string
 	ChainDepths []string
 	Placements  []string
+	Transports  []string
 }
 
 // Config controls a campaign sweep.
@@ -281,6 +324,14 @@ type Config struct {
 	// arenas, sample slices) across runs: a resident server sweeps
 	// many jobs without rebuilding warmed allocator state per job.
 	Arenas *ArenaPool
+	// Downgrade runs every cell under active downgrade pressure: each
+	// trial's attack is wrapped in core.Downgrade, which strips
+	// opportunistic hops back to plaintext UDP before the inner attack
+	// picks its target. It is a sweep-level condition, not an axis —
+	// cells keep their identity seeds so a downgraded sweep is the
+	// paired experiment of the plain one — but cached results gain a
+	// "/downgrade" key marker so the two conditions never collide.
+	Downgrade bool
 }
 
 // CellCache memoizes CellResults across campaign runs, keyed by
@@ -314,16 +365,18 @@ type Cell struct {
 	Defenses  DefenseSet
 	Depth     DepthEntry
 	Placement PlacementEntry
+	Transport TransportEntry
 }
 
 // Key returns the cell's stable identity
-// ("method/victim/profile/defense-set/depth/placement") — the string
-// its seed derives from. The defense component is the set's canonical
-// key, so a singleton set keeps the exact identity (and therefore the
-// exact trial population) of the historical scalar axis.
+// ("method/victim/profile/defense-set/depth/placement/transport") —
+// the string its seed derives from. The defense component is the
+// set's canonical key, so a singleton set keeps the exact identity
+// (and therefore the exact trial population) of the historical scalar
+// axis.
 func (c Cell) Key() string {
 	return c.Method.Key + "/" + c.Victim.Key + "/" + c.Profile.Key + "/" + c.Defenses.Key +
-		"/" + c.Depth.Key + "/" + c.Placement.Key
+		"/" + c.Depth.Key + "/" + c.Placement.Key + "/" + c.Transport.Key
 }
 
 // Cells plans the (filtered) cross-product at the default lattice
@@ -333,8 +386,8 @@ func Cells(f Filter) ([]Cell, error) { return CellsAtRank(f, 0) }
 // CellsAtRank plans the (filtered) cross-product in deterministic
 // order: methods, then victims, then profiles, then defense sets (the
 // stacking lattice bounded by latticeRank — see DefenseSets), then
-// chain depths, then placements, each in registry order. Unknown
-// filter keys are an error, not a silent empty sweep.
+// chain depths, then placements, then transports, each in registry
+// order. Unknown filter keys are an error, not a silent empty sweep.
 func CellsAtRank(f Filter, latticeRank int) ([]Cell, error) {
 	methods, err := selected("method", Methods(), func(m Method) string { return m.Key }, f.Methods)
 	if err != nil {
@@ -360,6 +413,10 @@ func CellsAtRank(f Filter, latticeRank int) ([]Cell, error) {
 	if err != nil {
 		return nil, err
 	}
+	transports, err := selected("transport", Transports(), func(t TransportEntry) string { return t.Key }, f.Transports)
+	if err != nil {
+		return nil, err
+	}
 	var cells []Cell
 	for _, m := range methods {
 		for _, v := range victims {
@@ -367,8 +424,10 @@ func CellsAtRank(f Filter, latticeRank int) ([]Cell, error) {
 				for _, d := range defenses {
 					for _, dep := range depths {
 						for _, pl := range placements {
-							cells = append(cells, Cell{Method: m, Victim: v, Profile: p,
-								Defenses: d, Depth: dep, Placement: pl})
+							for _, tr := range transports {
+								cells = append(cells, Cell{Method: m, Victim: v, Profile: p,
+									Defenses: d, Depth: dep, Placement: pl, Transport: tr})
+							}
 						}
 					}
 				}

@@ -15,16 +15,20 @@ func TestCellPlanFullProductAndOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := len(campaign.Methods()) * len(apps.Victims()) * len(campaign.Profiles()) *
-		len(campaign.DefaultDefenseSets()) * len(campaign.ChainDepths()) * len(campaign.Placements())
+		len(campaign.DefaultDefenseSets()) * len(campaign.ChainDepths()) * len(campaign.Placements()) *
+		len(campaign.Transports())
 	if len(cells) != want {
 		t.Fatalf("full product has %d cells, want %d", len(cells), want)
 	}
-	// Deterministic order: placements vary fastest, methods slowest.
-	if cells[0].Key() != "hijack/radius/bind/none/0/stub" {
+	// Deterministic order: transports vary fastest, methods slowest.
+	if cells[0].Key() != "hijack/radius/bind/none/0/stub/udp" {
 		t.Fatalf("first cell %q", cells[0].Key())
 	}
-	if cells[1].Placement.Key == cells[0].Placement.Key {
-		t.Fatal("placement dimension does not vary fastest")
+	if cells[1].Transport.Key == cells[0].Transport.Key {
+		t.Fatal("transport dimension does not vary fastest")
+	}
+	if cells[1].Placement.Key != cells[0].Placement.Key {
+		t.Fatal("placement must vary slower than transport")
 	}
 	if cells[1].Depth.Key != cells[0].Depth.Key {
 		t.Fatal("chain depth must vary slower than placement")
@@ -44,6 +48,7 @@ func TestCellFilterSelectsAndRejects(t *testing.T) {
 		Methods: []string{"FRAG"}, Victims: []string{" web "},
 		Profiles: []string{"bind", "dnsmasq"}, Defenses: []string{"none"},
 		ChainDepths: []string{"0"}, Placements: []string{"stub"},
+		Transports: []string{"udp"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +74,9 @@ func TestCellFilterSelectsAndRejects(t *testing.T) {
 	if _, err := campaign.Cells(campaign.Filter{Placements: []string{"satellite"}}); err == nil {
 		t.Fatal("unknown placement accepted")
 	}
+	if _, err := campaign.Cells(campaign.Filter{Transports: []string{"quic"}}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
 }
 
 // TestCampaignByteIdenticalAcrossParallelism is the acceptance
@@ -84,6 +92,7 @@ func TestCampaignByteIdenticalAcrossParallelism(t *testing.T) {
 			Profiles:    []string{"bind", "dnsmasq"},
 			ChainDepths: []string{"1"},
 			Placements:  []string{"carrier"},
+			Transports:  []string{"udp", "dot"},
 		},
 		Trials:      2,
 		LatticeRank: 1,
@@ -123,7 +132,7 @@ func TestCampaignFilterStability(t *testing.T) {
 		Exec: measure.Config{Seed: 12},
 		Filter: campaign.Filter{Methods: []string{"hijack"},
 			Victims: []string{"web", "ntp"}, Profiles: []string{"bind"},
-			ChainDepths: []string{"0", "2"}},
+			ChainDepths: []string{"0", "2"}, Transports: []string{"udp", "dot", "mixed"}},
 		Trials: 2,
 	})
 	if err != nil {
@@ -133,14 +142,15 @@ func TestCampaignFilterStability(t *testing.T) {
 		Exec: measure.Config{Seed: 12},
 		Filter: campaign.Filter{Methods: []string{"hijack"},
 			Victims: []string{"ntp"}, Profiles: []string{"bind"}, Defenses: []string{"none", "dnssec"},
-			ChainDepths: []string{"2"}, Placements: []string{"carrier"}},
+			ChainDepths: []string{"2"}, Placements: []string{"carrier"},
+			Transports: []string{"dot"}},
 		Trials: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cellKey := func(r campaign.CellResult) string {
-		return r.Method + "/" + r.Victim + "/" + r.Profile + "/" + r.Defense + "/" + r.Depth + "/" + r.Placement
+		return r.Method + "/" + r.Victim + "/" + r.Profile + "/" + r.Defense + "/" + r.Depth + "/" + r.Placement + "/" + r.Transport
 	}
 	byKey := map[string]campaign.CellResult{}
 	for _, r := range broad {
@@ -164,7 +174,8 @@ func TestCampaignDefenseStory(t *testing.T) {
 	res, err := campaign.Run(campaign.Config{
 		Exec: measure.Config{Seed: 1},
 		Filter: campaign.Filter{Victims: []string{"web"}, Profiles: []string{"bind"},
-			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+			ChainDepths: []string{"0"}, Placements: []string{"stub"},
+			Transports: []string{"udp"}},
 		Trials:      2,
 		LatticeRank: 1, // the historical scalar axis this test pins
 	})
@@ -208,7 +219,8 @@ func TestCampaignTrialsCappedBySampleCap(t *testing.T) {
 		Exec: measure.Config{Seed: 3, SampleCap: 1},
 		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web"},
 			Profiles: []string{"bind"}, Defenses: []string{"none"},
-			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+			ChainDepths: []string{"0"}, Placements: []string{"stub"},
+			Transports: []string{"udp"}},
 		Trials: 5,
 	})
 	if err != nil {
@@ -242,7 +254,8 @@ func TestCampaignProgressEvents(t *testing.T) {
 			Progress: func(ev measure.ProgressEvent) { events = append(events, ev) }},
 		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web", "ntp"},
 			Profiles: []string{"bind"}, Defenses: []string{"none", "0x20"},
-			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+			ChainDepths: []string{"0"}, Placements: []string{"stub"},
+			Transports: []string{"udp"}},
 		Trials: 1,
 	})
 	if err != nil {
@@ -275,7 +288,8 @@ func TestCampaignChainStory(t *testing.T) {
 		Exec: measure.Config{Seed: 7},
 		Filter: campaign.Filter{Methods: []string{"saddns"}, Victims: []string{"web"},
 			Profiles: []string{"bind"}, Defenses: []string{"none", "0x20", "dnssec"},
-			ChainDepths: []string{"0", "1"}, Placements: []string{"stub"}},
+			ChainDepths: []string{"0", "1"}, Placements: []string{"stub"},
+			Transports: []string{"udp"}},
 		Trials: 2,
 	})
 	if err != nil {
@@ -313,7 +327,8 @@ func TestCampaignChainDepthByteIdenticalAcrossParallelism(t *testing.T) {
 	base := campaign.Config{
 		Exec: measure.Config{Seed: 21, Parallelism: 1},
 		Filter: campaign.Filter{Methods: []string{"saddns"}, Victims: []string{"web"},
-			Profiles: []string{"bind"}, Defenses: []string{"none", "0x20"}},
+			Profiles: []string{"bind"}, Defenses: []string{"none", "0x20"},
+			Transports: []string{"udp"}},
 		Trials: 2,
 	}
 	refRes, err := campaign.Run(base)

@@ -17,7 +17,7 @@ import (
 func init() {
 	report.Register(report.Experiment{
 		Name:  "campaign",
-		Title: "Campaign: method × victim × profile × defense-set × chain-depth × placement sweep",
+		Title: "Campaign: method × victim × profile × defense-set × chain-depth × placement × transport sweep",
 		Run:   runExperiment,
 	})
 }
@@ -36,9 +36,11 @@ func ConfigFromSpec(spec report.Spec) Config {
 			DefenseSets: spec.DefenseSets,
 			ChainDepths: spec.ChainDepths,
 			Placements:  spec.Placements,
+			Transports:  spec.Transports,
 		},
 		Trials:      spec.Trials,
 		LatticeRank: spec.LatticeRank,
+		Downgrade:   spec.Downgrade,
 	}
 }
 
@@ -56,12 +58,12 @@ func runExperiment(ctx context.Context, spec report.Spec) (*report.Report, error
 
 // Report assembles the full campaign Report from a run's cells. The
 // sections keep their renderer names ("matrix", "summary", "depth",
-// "lattice-sets", "lattice-marginal"), so section-level consumers —
-// the golden suite pins each as its own text artifact — address them
-// stably.
+// "transport", "lattice-sets", "lattice-marginal"), so section-level
+// consumers — the golden suite pins each as its own text artifact —
+// address them stably.
 func Report(cells []CellResult, spec report.Spec) *report.Report {
 	rep := report.New("campaign",
-		"Campaign: method × victim × profile × defense-set × chain-depth × placement sweep")
+		"Campaign: method × victim × profile × defense-set × chain-depth × placement × transport sweep")
 	report.BaseParams(rep, spec)
 	addListParam(rep, "methods", spec.Methods)
 	addListParam(rep, "victims", spec.Victims)
@@ -70,13 +72,17 @@ func Report(cells []CellResult, spec report.Spec) *report.Report {
 	addListParam(rep, "defense_sets", spec.DefenseSets)
 	addListParam(rep, "chain_depths", spec.ChainDepths)
 	addListParam(rep, "placements", spec.Placements)
+	addListParam(rep, "transports", spec.Transports)
 	if spec.Trials != 0 {
 		rep.AddParam("trials", spec.Trials)
 	}
 	if spec.LatticeRank != 0 {
 		rep.AddParam("lattice_rank", spec.LatticeRank)
 	}
-	for _, sub := range []*report.Report{Matrix(cells), Summary(cells), DepthTable(cells), Lattice(cells)} {
+	if spec.Downgrade {
+		rep.AddParam("downgrade", true)
+	}
+	for _, sub := range []*report.Report{Matrix(cells), Summary(cells), DepthTable(cells), TransportTable(cells), Lattice(cells)} {
 		rep.Sections = append(rep.Sections, sub.Sections...)
 	}
 	return rep

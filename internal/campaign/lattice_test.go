@@ -96,6 +96,7 @@ func TestDefenseSetFilterPlansExactSets(t *testing.T) {
 		Methods: []string{"hijack"}, Victims: []string{"web"}, Profiles: []string{"bind"},
 		DefenseSets: []string{"shuffle+0x20", "NONE", "dnssec+no-rrl+0x20+shuffle"},
 		ChainDepths: []string{"0"}, Placements: []string{"stub"},
+		Transports: []string{"udp"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -118,6 +119,7 @@ func TestDefenseBaseFilterBoundsLattice(t *testing.T) {
 		Methods: []string{"hijack"}, Victims: []string{"web"}, Profiles: []string{"bind"},
 		Defenses:    []string{"none", "0x20", "shuffle"},
 		ChainDepths: []string{"0"}, Placements: []string{"stub"},
+		Transports: []string{"udp"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -134,6 +136,7 @@ func TestDefenseBaseFilterBoundsLattice(t *testing.T) {
 	cells, err = campaign.Cells(campaign.Filter{
 		Methods: []string{"hijack"}, Victims: []string{"web"}, Profiles: []string{"bind"},
 		Defenses: []string{"none"}, ChainDepths: []string{"0"}, Placements: []string{"stub"},
+		Transports: []string{"udp"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -150,7 +153,8 @@ func TestDefenseBaseFilterBoundsLattice(t *testing.T) {
 // seeds derive from the canonical set key, never from sweep position.
 func TestDefenseSetFilterByteIdenticalAcrossParallelism(t *testing.T) {
 	corner := campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web"},
-		Profiles: []string{"bind"}, ChainDepths: []string{"0"}, Placements: []string{"stub"}}
+		Profiles: []string{"bind"}, ChainDepths: []string{"0"}, Placements: []string{"stub"},
+		Transports: []string{"udp"}}
 	full, err := campaign.Run(campaign.Config{
 		Exec: measure.Config{Seed: 31, Parallelism: 1}, Filter: corner, Trials: 2})
 	if err != nil {
@@ -200,7 +204,8 @@ func TestCampaignStackingStory(t *testing.T) {
 		Filter: campaign.Filter{Methods: []string{"saddns", "frag"},
 			Victims: []string{"web"}, Profiles: []string{"bind"},
 			DefenseSets: []string{"none", "0x20", "shuffle", "0x20+shuffle"},
-			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+			ChainDepths: []string{"0"}, Placements: []string{"stub"},
+			Transports: []string{"udp"}},
 		Trials: 2,
 	})
 	if err != nil {
@@ -276,6 +281,8 @@ func TestFilterErrorsListValidKeys(t *testing.T) {
 			[]string{"chain-depth", "7", "valid:", "0", "3"}},
 		{"placement", campaign.Filter{Placements: []string{"moon"}},
 			[]string{"placement", "moon", "valid:", "stub", "carrier"}},
+		{"transport", campaign.Filter{Transports: []string{"quic"}},
+			[]string{"transport", "quic", "valid:", "udp", "dot", "doh", "doq", "mixed", "opp"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -15,13 +15,14 @@ import (
 func Matrix(results []CellResult) *report.Report {
 	rep := report.New("campaign", "Campaign matrix")
 	sec := rep.AddSection(report.Table("matrix",
-		"Campaign matrix: method × victim × profile × defense × chain depth × placement",
+		"Campaign matrix: method × victim × profile × defense × chain depth × placement × transport",
 		report.Col("Method", report.KindString),
 		report.Col("Victim", report.KindString),
 		report.Col("Profile", report.KindString),
 		report.Col("Defense", report.KindString),
 		report.Col("Depth", report.KindString),
 		report.Col("Placement", report.KindString),
+		report.Col("Transport", report.KindString),
 		report.Col("Poisoned", report.KindRatio),
 		report.Col("Impact", report.KindRatio),
 		report.Col("Iter p50", report.KindRound),
@@ -29,7 +30,7 @@ func Matrix(results []CellResult) *report.Report {
 		report.Col("Time p50", report.KindSeconds),
 		report.Col("Time p95", report.KindSeconds)))
 	for _, r := range results {
-		sec.Add(r.Method, r.Victim, r.Profile, r.Defense, r.Depth, r.Placement,
+		sec.Add(r.Method, r.Victim, r.Profile, r.Defense, r.Depth, r.Placement, r.Transport,
 			r.Poisoned, r.Impact,
 			r.Iterations.Quantile(0.5),
 			r.Packets.Quantile(0.5),
@@ -83,6 +84,47 @@ func DepthTable(results []CellResult) *report.Report {
 		row := []any{k.method, k.placement}
 		for _, d := range depths {
 			row = append(row, agg[cell{k, d}])
+		}
+		sec.Add(row...)
+	}
+	return rep
+}
+
+// TransportTable builds the transport-vs-success view of the sweep:
+// for each method, the poisoning rate under every upstream transport
+// present in the results (sweep order), aggregated over victims,
+// profiles, defenses, depths and placements — the one-screen answer to
+// "which attacks survive which upstream transports, and what does a
+// plaintext front hop give back".
+func TransportTable(results []CellResult) *report.Report {
+	type mt struct{ method, transport string }
+	agg := map[mt]stats.Counter{}
+	var methods, transports []string
+	seenM, seenT := map[string]bool{}, map[string]bool{}
+	for _, r := range results {
+		if !seenM[r.Method] {
+			seenM[r.Method] = true
+			methods = append(methods, r.Method)
+		}
+		if !seenT[r.Transport] {
+			seenT[r.Transport] = true
+			transports = append(transports, r.Transport)
+		}
+		k := mt{r.Method, r.Transport}
+		agg[k] = agg[k].Plus(r.Poisoned)
+	}
+	cols := []report.Column{report.Col("Method", report.KindString)}
+	for _, t := range transports {
+		cols = append(cols, report.Col(t, report.KindRatio))
+	}
+	rep := report.New("campaign-transport", "Campaign method × transport table")
+	sec := rep.AddSection(report.Table("transport",
+		"Campaign transports: poisoning success by method × upstream transport (over victims × profiles × defenses × depths × placements)",
+		cols...))
+	for _, m := range methods {
+		row := []any{m}
+		for _, t := range transports {
+			row = append(row, agg[mt{m, t}])
 		}
 		sec.Add(row...)
 	}

@@ -35,7 +35,8 @@ func TestRenderSingleCell(t *testing.T) {
 		Exec: measure.Config{Seed: 5},
 		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web"},
 			Profiles: []string{"bind"}, DefenseSets: []string{"none"},
-			ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+			ChainDepths: []string{"0"}, Placements: []string{"stub"},
+			Transports: []string{"udp"}},
 		Trials: 1,
 	})
 	if err != nil {
@@ -68,7 +69,7 @@ func TestDepthTableWithoutChainCells(t *testing.T) {
 		Exec: measure.Config{Seed: 6},
 		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web"},
 			Profiles: []string{"bind"}, DefenseSets: []string{"none"},
-			ChainDepths: []string{"0"}},
+			ChainDepths: []string{"0"}, Transports: []string{"udp"}},
 		Trials: 1,
 	})
 	if err != nil {
@@ -94,7 +95,8 @@ func TestLatticeRankOneDegeneratesToScalarSummary(t *testing.T) {
 	res, err := campaign.Run(campaign.Config{
 		Exec: measure.Config{Seed: 9},
 		Filter: campaign.Filter{Methods: []string{"hijack"}, Victims: []string{"web"},
-			Profiles: []string{"bind"}, ChainDepths: []string{"0"}, Placements: []string{"stub"}},
+			Profiles: []string{"bind"}, ChainDepths: []string{"0"}, Placements: []string{"stub"},
+			Transports: []string{"udp"}},
 		Trials:      1,
 		LatticeRank: 1,
 	})

@@ -7,6 +7,7 @@ import (
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/engine"
 	"crosslayer/internal/pool"
+	"crosslayer/internal/resolver"
 	"crosslayer/internal/scenario"
 	"crosslayer/internal/stats"
 )
@@ -14,10 +15,10 @@ import (
 // CellResult is the measured outcome of one cross-product cell over
 // its trials.
 type CellResult struct {
-	// Method/Victim/Profile/Defense/Depth/Placement are the cell's
-	// registry keys; Defense is the canonical defense-set key
+	// Method/Victim/Profile/Defense/Depth/Placement/Transport are the
+	// cell's registry keys; Defense is the canonical defense-set key
 	// ("none", "0x20", "0x20+shuffle", ...).
-	Method, Victim, Profile, Defense, Depth, Placement string
+	Method, Victim, Profile, Defense, Depth, Placement, Transport string
 	// Trials is the per-cell sample size.
 	Trials int
 	// Poisoned counts trials whose attack actually planted the
@@ -67,7 +68,8 @@ func RunContext(ctx context.Context, cfg Config) ([]CellResult, error) {
 	cfg.Exec.WireProgress(&job, "campaign", len(cells))
 	var cache engine.ShardCache[CellResult]
 	if cfg.Cache != nil {
-		cache = cellShardCache{cells: cells, seed: cfg.Exec.Seed, trials: trials, cache: cfg.Cache}
+		cache = cellShardCache{cells: cells, seed: cfg.Exec.Seed, trials: trials,
+			downgrade: cfg.Downgrade, cache: cfg.Cache}
 	}
 	newState := newTrialWorker
 	if cfg.Arenas != nil {
@@ -80,25 +82,37 @@ func RunContext(ctx context.Context, cfg Config) ([]CellResult, error) {
 		// plan). The shard's positional seed is deliberately unused:
 		// the cell's trials derive from its identity key instead, so
 		// filtering the sweep never reseeds surviving cells.
-		return runCell(w, cells[sh.Start], cfg.Exec.Seed, trials)
+		return runCell(w, cells[sh.Start], cfg.Exec.Seed, trials, cfg.Downgrade)
 	})
 }
 
 // cellShardCache adapts a CellCache to the engine's shard-dispatch
 // hook: shard i is cell i (ShardSize 1), addressed by its CellKey.
 type cellShardCache struct {
-	cells  []Cell
-	seed   int64
-	trials int
-	cache  CellCache
+	cells     []Cell
+	seed      int64
+	trials    int
+	downgrade bool
+	cache     CellCache
+}
+
+// key is the cell's CellKey, plus a "/downgrade" marker when the sweep
+// runs under active downgrade pressure: trial seeds are shared between
+// the two conditions (paired experiments), measured results are not.
+func (a cellShardCache) key(sh engine.Shard) string {
+	k := CellKey(a.seed, a.trials, a.cells[sh.Start])
+	if a.downgrade {
+		k += "/downgrade"
+	}
+	return k
 }
 
 func (a cellShardCache) Lookup(sh engine.Shard) (CellResult, bool) {
-	return a.cache.Lookup(CellKey(a.seed, a.trials, a.cells[sh.Start]))
+	return a.cache.Lookup(a.key(sh))
 }
 
 func (a cellShardCache) Store(sh engine.Shard, r CellResult) {
-	a.cache.Store(CellKey(a.seed, a.trials, a.cells[sh.Start]), r)
+	a.cache.Store(a.key(sh), r)
 }
 
 // trialWorker is the scratch one campaign worker reuses across every
@@ -125,16 +139,17 @@ func (w *trialWorker) Reset(engine.Shard) {
 }
 
 // runCell executes the cell's trials and folds them into a CellResult.
-func runCell(w *trialWorker, c Cell, baseSeed int64, trials int) CellResult {
+func runCell(w *trialWorker, c Cell, baseSeed int64, trials int, downgrade bool) CellResult {
 	res := CellResult{
 		Method: c.Method.Key, Victim: c.Victim.Key,
 		Profile: c.Profile.Key, Defense: c.Defenses.Key,
 		Depth: c.Depth.Key, Placement: c.Placement.Key,
-		Trials: trials,
+		Transport: c.Transport.Key,
+		Trials:    trials,
 	}
 	cellSeed := engine.DeriveSeedKey(baseSeed, c.Key())
 	for t := 0; t < trials; t++ {
-		poisoned, impact, r := runTrial(w, c, engine.DeriveSeed(cellSeed, t))
+		poisoned, impact, r := runTrial(w, c, engine.DeriveSeed(cellSeed, t), downgrade)
 		res.Poisoned.Observe(poisoned)
 		res.Impact.Observe(impact)
 		w.iters = append(w.iters, float64(r.Iterations))
@@ -154,16 +169,37 @@ func runCell(w *trialWorker, c Cell, baseSeed int64, trials int) CellResult {
 // defense stack rides scenario.Config.Defenses, whose pipeline runs
 // inside New — after the method's Prepare, so defenses always get the
 // last word.
-func runTrial(w *trialWorker, c Cell, seed int64) (poisoned, impact bool, r core.Result) {
+func runTrial(w *trialWorker, c Cell, seed int64, downgrade bool) (poisoned, impact bool, r core.Result) {
 	scfg := baseScenarioConfig(seed, c.Profile.Profile)
+	scfg.Profile.Transport = c.Transport.Resolver
+	scfg.Profile.Opportunistic = c.Transport.Opportunistic
 	scfg.ForwarderChain = c.Depth.Chain
+	if len(c.Depth.Chain) > 0 && (c.Transport.Forwarder != resolver.TransportUDP || c.Transport.Opportunistic) {
+		// The registry's chain specs are shared across cells; copy
+		// before stamping this cell's per-hop transport onto them.
+		chain := make([]scenario.ForwarderSpec, len(c.Depth.Chain))
+		copy(chain, c.Depth.Chain)
+		for i := range chain {
+			chain[i].Transport = c.Transport.Forwarder
+			chain[i].Opportunistic = c.Transport.Opportunistic
+		}
+		scfg.ForwarderChain = chain
+	}
 	scfg.Placement = c.Placement.Placement
 	scfg.WirePool = &w.wire
 	c.Method.Prepare(&scfg)
 	scfg.Defenses = c.Defenses.Specs
 	s := scenario.New(scfg)
 	exercise := c.Victim.Deploy(s)
-	atk := c.Method.New(s, c.Victim.QName)
+	var atk core.Attack
+	if downgrade {
+		// Target selection must happen AFTER the downgrade lands, so
+		// the inner attack is built lazily inside core.Downgrade.
+		atk = &core.Downgrade{Attacker: s.Attacker, Hops: chainHops(s),
+			Build: func() core.Attack { return c.Method.New(s, c.Victim.QName) }}
+	} else {
+		atk = c.Method.New(s, c.Victim.QName)
+	}
 	r = atk.Run(core.TriggerDirect(s.ClientHost, s.DNSAddr(), c.Victim.QName, dnswire.TypeA))
 	poisoned = s.ChainPoisoned(c.Victim.QName, dnswire.TypeA)
 	impact = exercise() == c.Victim.AttackOutcome

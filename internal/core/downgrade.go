@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"crosslayer/internal/netsim"
+)
+
+// downgradeJunkPackets is the disruption traffic the attacker fires at
+// each opportunistic hop's encrypted service port while breaking its
+// handshake (spoofed RSTs / QUIC garbage). The count only matters for
+// honest packet accounting — the downgrade itself is modeled as the
+// hop's ForceDowngrade transition.
+const downgradeJunkPackets = 8
+
+// downgradeSecurePort is the representative encrypted DNS service port
+// the disruption burst targets (DoT's 853; the specific number is
+// accounting colour, not mechanism).
+const downgradeSecurePort = 853
+
+// Downgrade is the active transport-downgrade attack against
+// opportunistic encryption: before launching an inner cache-poisoning
+// attack, the attacker disrupts the encrypted upstream session of
+// every opportunistic hop it can see, so the hop falls back to
+// plaintext UDP and re-exposes the classic spoofable port/TXID
+// surface. Strict hops are untouched — they fail closed rather than
+// fall back, which is exactly the deployment choice this attack
+// measures the cost of.
+type Downgrade struct {
+	Attacker *netsim.Host
+	// Hops is the victim's resolution chain (scenario.Hops mapped to
+	// core.Hop); only entries with Opportunistic and a ForceDowngrade
+	// hook are attacked.
+	Hops []Hop
+	// Build constructs the inner attack AFTER the downgrade landed, so
+	// its target selection (WeakestPortHop etc.) sees the
+	// post-downgrade chain.
+	Build func() Attack
+}
+
+var _ Attack = (*Downgrade)(nil)
+
+// Run strips every opportunistic hop back to plaintext UDP, then runs
+// the inner attack against the downgraded chain. The disruption
+// packets are added to the inner result's attacker-packet count.
+func (d *Downgrade) Run(trigger Trigger) Result {
+	junk := []byte("downgrade")
+	stripped := 0
+	var pkts uint64
+	for _, h := range d.Hops {
+		if !h.Opportunistic || h.ForceDowngrade == nil {
+			continue
+		}
+		// Keep re-handshake attempts failing for the rest of the trial,
+		// then flip the hop: its next upstream exchange would fail and
+		// fall back anyway, ForceDowngrade just skips the detour.
+		d.Attacker.Network().BlockSecure(h.Addr, h.Upstream)
+		if !h.ForceDowngrade() {
+			continue
+		}
+		stripped++
+		for i := 0; i < downgradeJunkPackets; i++ {
+			d.Attacker.SendUDP(uint16(41000+i), h.Addr, downgradeSecurePort, junk)
+			pkts++
+		}
+	}
+	res := d.Build().Run(trigger)
+	res.AttackerPackets += pkts
+	if stripped > 0 {
+		res.Detail = fmt.Sprintf("downgraded %d opportunistic hop(s); %s", stripped, res.Detail)
+	}
+	return res
+}

@@ -25,6 +25,23 @@ type Hop struct {
 	Upstream netip.Addr
 	// Last marks the final hop (the recursive resolver itself).
 	Last bool
+	// UDPUpstream, when set, reports whether the hop's upstream
+	// queries currently ride plaintext UDP (i.e. expose a spoofable
+	// port/TXID surface). nil means plaintext — the pre-transport
+	// chains all were.
+	UDPUpstream func() bool
+	// Opportunistic marks a hop whose encrypted upstream transport
+	// falls back to plaintext when the session fails; ForceDowngrade
+	// (set alongside it) strips the hop back to UDP, reporting whether
+	// anything changed. The active downgrade attack uses both.
+	Opportunistic  bool
+	ForceDowngrade func() bool
+}
+
+// PlaintextUpstream reports whether the hop's upstream currently runs
+// over spoofable plaintext UDP.
+func (h Hop) PlaintextUpstream() bool {
+	return h.UDPUpstream == nil || h.UDPUpstream()
 }
 
 // PortSpan returns the size of the hop's ephemeral source-port range —
@@ -47,8 +64,27 @@ func (h Hop) PortSpan() int {
 // expose ranges orders of magnitude below a server resolver's — which
 // is also why resolver-side defenses (0x20, validation) do not protect
 // a chain: the injection happens downstream of them.
+//
+// Hops whose upstream rides a stream transport expose no spoofable
+// port at all, so the attack only considers plaintext-UDP hops; on an
+// all-encrypted chain it falls back to the overall smallest span and
+// runs (honestly) against a surface that does not exist.
 func WeakestPortHop(hops []Hop) Hop {
-	best := hops[0]
+	var best Hop
+	found := false
+	for _, h := range hops {
+		if !h.PlaintextUpstream() {
+			continue
+		}
+		if !found || h.PortSpan() < best.PortSpan() {
+			best = h
+			found = true
+		}
+	}
+	if found {
+		return best
+	}
+	best = hops[0]
 	for _, h := range hops[1:] {
 		if h.PortSpan() < best.PortSpan() {
 			best = h

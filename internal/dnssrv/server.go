@@ -8,6 +8,7 @@ import (
 
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/netsim"
+	"crosslayer/internal/resolver"
 )
 
 // Config controls server behaviours the measurements distinguish.
@@ -62,14 +63,49 @@ type Server struct {
 	Observe func(q *dnswire.Message, src netip.Addr, transport string)
 }
 
-// New creates a server on host and binds UDP and TCP port 53. TCP
-// responses are never truncated or rate limited (RRL only protects the
-// amplification-prone UDP path).
+// New creates a server on host and binds UDP and TCP port 53, plus
+// every session-transport service port (always-TCP, DoT, DoH, DoQ) so
+// resolvers may pick any upstream transport. TCP fallback responses
+// are never truncated or rate limited (RRL only protects the
+// amplification-prone UDP path); session responses are never
+// truncated but DO spend the RRL budget — the limit models a
+// response-rate cap, so a muted server is silent on every transport.
 func New(host *netsim.Host, cfg Config) *Server {
 	s := &Server{Host: host, Cfg: cfg, zones: make(map[string]*Zone)}
 	host.BindUDP(53, s.handle)
 	host.BindTCP(53, s.handleTCP)
+	for _, t := range resolver.StreamTransports() {
+		host.BindSession(t.Port(), s.sessionHandler(t.Key()))
+	}
 	return s
+}
+
+// sessionHandler serves one session service port. Streams carry any
+// size, so there is no truncation path; the scratch buffer is safe
+// because the session respond contract copies before returning.
+func (s *Server) sessionHandler(transport string) netsim.SessionHandler {
+	return func(src netip.Addr, req []byte, respond func([]byte)) {
+		query, err := dnswire.Unpack(req)
+		if err != nil || query.Response || len(query.Questions) == 0 {
+			return
+		}
+		s.Queries++
+		if s.Observe != nil {
+			s.Observe(query, src, transport)
+		}
+		if s.Cfg.RateLimit && !s.allowResponse() {
+			s.RateDropped++
+			return // silence: the SadDNS mute lever is transport-blind
+		}
+		resp := s.BuildResponse(query)
+		wire, err := resp.AppendPack(s.scratch[:0])
+		if err != nil {
+			return
+		}
+		s.scratch = wire
+		s.Responses++
+		respond(wire)
+	}
 }
 
 func (s *Server) handleTCP(src netip.Addr, req []byte) []byte {

@@ -112,14 +112,16 @@ type Host struct {
 	Addr netip.Addr
 	Cfg  HostConfig
 
-	net      *Network
-	rng      *rand.Rand
-	udpPorts map[uint16]UDPHandler
-	tcpPorts map[uint16]TCPHandler
-	onICMP   ICMPHandler
-	onRaw    func(*packet.IPv4)
-	frag     *ipfrag.Cache
-	pmtu     map[netip.Addr]int
+	net          *Network
+	rng          *rand.Rand
+	udpPorts     map[uint16]UDPHandler
+	tcpPorts     map[uint16]TCPHandler
+	sessionPorts map[uint16]SessionHandler
+	sessions     map[sessionKey]*Session
+	onICMP       ICMPHandler
+	onRaw        func(*packet.IPv4)
+	frag         *ipfrag.Cache
+	pmtu         map[netip.Addr]int
 
 	ipidGlobal  uint16
 	ipidPerDest map[netip.Addr]uint16

@@ -43,6 +43,10 @@ type Network struct {
 	// unaffected (the abstraction models a reliable transport).
 	lossRate float64
 	lossRng  *rand.Rand
+	// secureBlocked records (client, server) pairs whose encrypted
+	// session handshakes an active attacker disrupts (BlockSecure) —
+	// the downgrade lever against opportunistic encryption.
+	secureBlocked map[[2]netip.Addr]bool
 	// Trace, when non-nil, observes every delivered packet; the
 	// example programs use it to print Figure 1/2-style sequences.
 	Trace func(ev TraceEvent)

@@ -60,12 +60,17 @@ type Spec struct {
 	DefenseSets []string
 	ChainDepths []string
 	Placements  []string
+	Transports  []string
 	// Trials is the campaign's per-cell sample size; 0 means the
 	// campaign default.
 	Trials int
 	// LatticeRank bounds the campaign's defense-stacking axis; 0 means
 	// the default lattice.
 	LatticeRank int
+	// Downgrade runs the campaign under active transport-downgrade
+	// pressure (opportunistic hops stripped to plaintext UDP before
+	// each trial's attack).
+	Downgrade bool
 }
 
 // Experiment is one registered experiment: a canonical name, a

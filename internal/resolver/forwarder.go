@@ -28,6 +28,18 @@ type Forwarder struct {
 	Upstream netip.Addr
 	Timeout  time.Duration
 
+	// Transport is the upstream transport relayed queries ride (zero
+	// value: plaintext UDP). Stream transports exchange through a
+	// reusable netsim.Session instead of an ephemeral UDP socket, so
+	// the hop exposes no spoofable port/TXID surface upstream.
+	Transport Transport
+	// Opportunistic hops fall back to plaintext UDP when the encrypted
+	// upstream session fails (the downgrade attack's target); strict
+	// hops drop the query instead.
+	Opportunistic bool
+	// downgraded is sticky once an opportunistic fallback happened.
+	downgraded bool
+
 	// Cache, when non-nil, is the per-hop answer cache. Plain relays
 	// (NewForwarder) leave it nil; chain hops (NewCachingForwarder)
 	// answer repeat queries locally from it.
@@ -46,9 +58,10 @@ type Forwarder struct {
 	// TXID included) for white-box tests; attack code must not use it.
 	TestHookQuerySent func(txid, port uint16)
 
-	Forwarded uint64
-	Returned  uint64
-	CacheHits uint64
+	Forwarded  uint64
+	Returned   uint64
+	CacheHits  uint64
+	Downgrades uint64
 
 	// scratch is the wire-format buffer reused for every message this
 	// forwarder packs. Safe because SendUDP copies the payload into a
@@ -62,7 +75,38 @@ type Forwarder struct {
 func NewForwarder(host *netsim.Host, upstream netip.Addr) *Forwarder {
 	f := &Forwarder{Host: host, Upstream: upstream, Timeout: 5 * time.Second}
 	host.BindUDP(53, f.handle)
+	// Serve downstream session transports too, so a chain may mix
+	// encrypted and plaintext hops freely.
+	serve := func(src netip.Addr, req []byte, respond func([]byte)) {
+		f.serveQuery(src, req, respond)
+	}
+	for _, t := range StreamTransports() {
+		host.BindSession(t.Port(), serve)
+	}
 	return f
+}
+
+// EffectiveTransport is the transport upstream relays currently use,
+// accounting for a sticky opportunistic downgrade.
+func (f *Forwarder) EffectiveTransport() Transport {
+	if f.downgraded {
+		return TransportUDP
+	}
+	return f.Transport
+}
+
+// Downgraded reports whether an opportunistic downgrade has happened.
+func (f *Forwarder) Downgraded() bool { return f.downgraded }
+
+// ForceDowngrade strips an opportunistic encrypted hop back to
+// plaintext UDP, reporting whether anything changed.
+func (f *Forwarder) ForceDowngrade() bool {
+	if !f.Opportunistic || !f.Transport.Stream() || f.downgraded {
+		return false
+	}
+	f.downgraded = true
+	f.Downgrades++
+	return true
 }
 
 // NewCachingForwarder creates a forwarder with a per-hop answer cache,
@@ -78,7 +122,18 @@ func NewCachingForwarder(host *netsim.Host, upstream netip.Addr, ttlCap uint32, 
 }
 
 func (f *Forwarder) handle(dg netsim.Datagram) {
-	query, err := dnswire.Unpack(dg.Payload)
+	src, srcPort := dg.Src, dg.SrcPort
+	f.serveQuery(src, dg.Payload, func(wire []byte) {
+		f.Host.SendUDP(53, src, srcPort, wire)
+	})
+}
+
+// serveQuery relays one client query, emitting the packed response
+// through send — the shared service path behind the UDP socket and
+// every downstream session endpoint. The bytes passed to send alias
+// f.scratch and are only valid for the duration of the call.
+func (f *Forwarder) serveQuery(src netip.Addr, payload []byte, send func(wire []byte)) {
+	query, err := dnswire.Unpack(payload)
 	if err != nil || query.Response || len(query.Questions) == 0 {
 		return
 	}
@@ -86,12 +141,11 @@ func (f *Forwarder) handle(dg netsim.Datagram) {
 	if f.Cache != nil {
 		if rrs, neg, ok := f.Cache.Get(q.Name, q.Type); ok && !neg {
 			f.CacheHits++
-			f.respondLocal(dg, query, rrs)
+			f.respondLocal(query, rrs, send)
 			return
 		}
 	}
 	f.Forwarded++
-	client := dg
 	upTXID := uint16(f.Host.Rand().Uint32())
 	fwd := *query
 	fwd.ID = upTXID
@@ -100,6 +154,70 @@ func (f *Forwarder) handle(dg netsim.Datagram) {
 		return
 	}
 	f.scratch = wire
+	f.exchange(upTXID, wire, func(msg *dnswire.Message) {
+		if f.CheckBailiwick {
+			msg.Answers = answersMatching(msg.Answers, q.Name)
+		}
+		f.cacheAnswers(msg)
+		msg.ID = query.ID
+		back, err := msg.AppendPack(f.scratch[:0])
+		if err != nil {
+			return
+		}
+		f.scratch = back
+		f.Returned++
+		send(back)
+	})
+}
+
+// exchange performs one upstream round trip over the hop's effective
+// transport, invoking onResp with the validated response (or never,
+// on timeout/failure). wire is only read synchronously.
+func (f *Forwarder) exchange(upTXID uint16, wire []byte, onResp func(*dnswire.Message)) {
+	t := f.EffectiveTransport()
+	if !t.Stream() {
+		f.exchangeUDP(upTXID, wire, onResp)
+		return
+	}
+	// The downgrade retry needs the query bytes after the session
+	// callback, by which time f.scratch (which wire aliases) may have
+	// been reused; copy up front only when a downgrade is possible.
+	var retry []byte
+	if f.Opportunistic && !f.downgraded {
+		retry = append([]byte(nil), wire...)
+	}
+	done := false
+	f.Host.Network().Clock.After(f.Timeout, func() { done = true })
+	if f.TestHookQuerySent != nil {
+		f.TestHookQuerySent(upTXID, 0)
+	}
+	sess := f.Host.Session(f.Upstream, t.Port(), t.SessionConfig())
+	sess.Call(wire, func(resp []byte) {
+		if done {
+			return
+		}
+		done = true
+		if resp == nil {
+			// Connection failure: opportunistic hops resend over
+			// plaintext UDP, strict hops drop (the client's own
+			// retransmission policy governs from here).
+			if retry != nil && f.ForceDowngrade() {
+				f.exchangeUDP(upTXID, retry, onResp)
+			}
+			return
+		}
+		msg, err := dnswire.Unpack(resp)
+		if err != nil || msg.ID != upTXID {
+			return
+		}
+		onResp(msg)
+	})
+}
+
+// exchangeUDP is the classic datagram round trip: fresh ephemeral
+// port, fresh TXID (chosen by the caller), spoofable by an off-path
+// attacker who wins the port/TXID race.
+func (f *Forwarder) exchangeUDP(upTXID uint16, wire []byte, onResp func(*dnswire.Message)) {
 	done := false
 	var port uint16
 	port = f.Host.BindUDP(0, func(resp netsim.Datagram) {
@@ -119,18 +237,7 @@ func (f *Forwarder) handle(dg netsim.Datagram) {
 		}
 		done = true
 		f.Host.CloseUDP(port)
-		if f.CheckBailiwick {
-			msg.Answers = answersMatching(msg.Answers, q.Name)
-		}
-		f.cacheAnswers(msg)
-		msg.ID = query.ID
-		back, err := msg.AppendPack(f.scratch[:0])
-		if err != nil {
-			return
-		}
-		f.scratch = back
-		f.Returned++
-		f.Host.SendUDP(53, client.Src, client.SrcPort, back)
+		onResp(msg)
 	})
 	if f.TestHookQuerySent != nil {
 		f.TestHookQuerySent(upTXID, port)
@@ -145,7 +252,7 @@ func (f *Forwarder) handle(dg netsim.Datagram) {
 }
 
 // respondLocal answers a client from the per-hop cache.
-func (f *Forwarder) respondLocal(dg netsim.Datagram, query *dnswire.Message, rrs []*dnswire.RR) {
+func (f *Forwarder) respondLocal(query *dnswire.Message, rrs []*dnswire.RR, send func([]byte)) {
 	resp := &dnswire.Message{
 		ID: query.ID, Response: true, RecursionAvailable: true,
 		RecursionDesired: query.RecursionDesired,
@@ -158,7 +265,7 @@ func (f *Forwarder) respondLocal(dg netsim.Datagram, query *dnswire.Message, rrs
 	}
 	f.scratch = wire
 	f.Returned++
-	f.Host.SendUDP(53, dg.Src, dg.SrcPort, wire)
+	send(wire)
 }
 
 // cacheAnswers stores the (already bailiwick-filtered, when enabled)

@@ -32,6 +32,15 @@ type Profile struct {
 	// retry draws a fresh source port and TXID.
 	Timeout time.Duration
 	Retries int
+	// Transport is the upstream transport queries ride (zero value:
+	// plaintext UDP with TCP fallback). Stream transports expose no
+	// spoofable port/TXID surface; see transport.go.
+	Transport Transport
+	// Opportunistic resolvers fall back to plaintext UDP when the
+	// encrypted upstream session cannot be established (opportunistic
+	// encryption, the downgrade attack's target); strict resolvers
+	// (false) fail the lookup instead.
+	Opportunistic bool
 }
 
 // Profiles of the five implementations in Table 5. Version strings

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"time"
 
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/netsim"
@@ -39,6 +40,10 @@ type Resolver struct {
 	knownSigned map[string]bool
 	inflight    map[cacheKey]*inflight
 	nextSock    int
+	// downgraded is set once an opportunistic resolver falls back to
+	// plaintext UDP after its encrypted upstream session failed; it is
+	// sticky for the resolver's lifetime (one scenario = one trial).
+	downgraded bool
 	// scratch is the wire-format buffer reused for client responses
 	// (upstream queries keep their own buffers: inf.wire is retained
 	// for TCP fallback and must not share this scratch).
@@ -62,6 +67,7 @@ type Resolver struct {
 	ValidationFailed uint64
 	Timeouts         uint64
 	TCPFallbacks     uint64
+	Downgrades       uint64
 
 	// TestHookQuerySent observes outgoing upstream queries (port and
 	// TXID included) for white-box tests; attack code must not use it.
@@ -88,8 +94,13 @@ type inflight struct {
 	// armed for; a timer firing after the attempt moved on (the
 	// truncated→TCP path bumps attempt to invalidate it) is stale. At
 	// most one timer is outstanding per inflight, so the inflight
-	// itself is the sim.Action — no per-round-trip closure.
+	// itself is the sim.Action — no per-round-trip closure. A resend
+	// that happens while a timer is already pending (the opportunistic
+	// session→UDP downgrade) only pushes deadline forward; the pending
+	// timer re-arms itself for the remainder when it fires early.
 	timerAttempt int
+	timerPending bool
+	deadline     time.Duration
 	done         bool
 	depth        int
 	cbs          []Callback
@@ -99,7 +110,10 @@ type inflight struct {
 }
 
 // Fire implements sim.Action: the retransmission timeout.
-func (inf *inflight) Fire() { inf.r.onTimeout(inf, inf.timerAttempt) }
+func (inf *inflight) Fire() {
+	inf.timerPending = false
+	inf.r.onTimeout(inf, inf.timerAttempt)
+}
 
 // release returns the leased wire buffer to the network's pool. Safe
 // to call on every completion path: TCP fallback copies the request
@@ -124,7 +138,40 @@ func New(host *netsim.Host, prof Profile) *Resolver {
 		inflight:    make(map[cacheKey]*inflight),
 	}
 	host.BindUDP(53, r.handleClient)
+	// Serve the same answers over every session transport so a
+	// downstream forwarder may pick any upstream transport toward us.
+	serve := func(src netip.Addr, req []byte, respond func([]byte)) {
+		r.serveQuery(req, src, respond)
+	}
+	for _, t := range StreamTransports() {
+		host.BindSession(t.Port(), serve)
+	}
 	return r
+}
+
+// EffectiveTransport is the transport upstream queries currently use:
+// the profile's choice, unless an opportunistic downgrade stripped it
+// back to plaintext UDP.
+func (r *Resolver) EffectiveTransport() Transport {
+	if r.downgraded {
+		return TransportUDP
+	}
+	return r.Prof.Transport
+}
+
+// Downgraded reports whether an opportunistic downgrade has happened.
+func (r *Resolver) Downgraded() bool { return r.downgraded }
+
+// ForceDowngrade strips an opportunistic encrypted resolver back to
+// plaintext UDP, reporting whether anything changed. Strict profiles
+// (Opportunistic false) never downgrade — they fail instead.
+func (r *Resolver) ForceDowngrade() bool {
+	if !r.Prof.Opportunistic || !r.Prof.Transport.Stream() || r.downgraded {
+		return false
+	}
+	r.downgraded = true
+	r.Downgrades++
+	return true
 }
 
 // AddZoneServer configures the authoritative addresses for a zone
@@ -259,18 +306,89 @@ func (r *Resolver) sendAttempt(inf *inflight) {
 		return
 	}
 	inf.wire = wire
-	inf.port = r.Host.BindUDP(0, inf.recv)
 	r.UpstreamQueries++
-	if r.TestHookQuerySent != nil {
-		r.TestHookQuerySent(inf.qname, inf.key.typ, inf.ns, inf.port, inf.txid)
+	if t := r.EffectiveTransport(); t.Stream() {
+		// Session transports expose no UDP socket: inf.port stays 0
+		// (never bound, so the shared CloseUDP calls are no-ops) and
+		// the response arrives through the session callback instead of
+		// inf.recv. The retransmission timer still runs — a server
+		// that accepts the query but stays silent (RRL) times out here
+		// exactly as on UDP, and the retry reuses the warm session.
+		inf.port = 0
+		if r.TestHookQuerySent != nil {
+			r.TestHookQuerySent(inf.qname, inf.key.typ, inf.ns, 0, inf.txid)
+		}
+		attempt := inf.attempt
+		sess := r.Host.Session(inf.ns, t.Port(), t.SessionConfig())
+		sess.Call(wire, func(resp []byte) { r.handleSession(inf, attempt, resp) })
+	} else {
+		inf.port = r.Host.BindUDP(0, inf.recv)
+		if r.TestHookQuerySent != nil {
+			r.TestHookQuerySent(inf.qname, inf.key.typ, inf.ns, inf.port, inf.txid)
+		}
+		r.Host.SendUDP(inf.port, inf.ns, 53, wire)
 	}
-	r.Host.SendUDP(inf.port, inf.ns, 53, wire)
 	inf.timerAttempt = inf.attempt
-	r.Host.Network().Clock.AfterAction(r.Prof.Timeout, inf)
+	clock := r.Host.Network().Clock
+	inf.deadline = clock.Now() + r.Prof.Timeout
+	if !inf.timerPending {
+		inf.timerPending = true
+		clock.AfterAction(r.Prof.Timeout, inf)
+	}
+}
+
+// handleSession consumes one session call's outcome. nil resp is a
+// CONNECTION failure (refused handshake, hijacked encrypted endpoint,
+// no route): opportunistic profiles fall back to plaintext UDP — the
+// surface the active downgrade attack exploits — while strict ones
+// fail the lookup rather than leak a plaintext query. A real response
+// passes the same validation as a UDP datagram minus the source
+// address and port checks the session makes redundant.
+func (r *Resolver) handleSession(inf *inflight, attempt int, resp []byte) {
+	if inf.done || inf.attempt != attempt {
+		return // a retransmission or completion superseded this call
+	}
+	if resp == nil {
+		inf.attempt++ // invalidate the pending retransmission timer
+		if r.ForceDowngrade() {
+			r.sendAttempt(inf) // resend over plaintext UDP
+			return
+		}
+		r.finish(inf, nil, ErrServFail)
+		return
+	}
+	if len(resp) < 2 || binary.BigEndian.Uint16(resp) != inf.txid {
+		return // a mis-ID'd stream response cannot be an attack; drop it
+	}
+	msg, err := dnswire.Unpack(resp)
+	if err != nil || msg.ID != inf.txid || !msg.Response || len(msg.Questions) == 0 {
+		return
+	}
+	q := msg.Questions[0]
+	if q.Type != inf.key.typ {
+		return
+	}
+	if r.Prof.Use0x20 {
+		if q.Name != inf.qname {
+			return
+		}
+	} else if !dnswire.EqualNames(q.Name, inf.key.name) {
+		return
+	}
+	// Streams never truncate; ignore a stray TC bit and process.
+	r.processResponse(inf, msg)
 }
 
 func (r *Resolver) onTimeout(inf *inflight, attempt int) {
 	if inf.done || inf.attempt != attempt {
+		return
+	}
+	clock := r.Host.Network().Clock
+	if now := clock.Now(); now < inf.deadline {
+		// A downgrade resend pushed the deadline while this timer was
+		// in flight; re-arm for the remainder.
+		inf.timerPending = true
+		clock.AfterAction(inf.deadline-now, inf)
 		return
 	}
 	r.Host.CloseUDP(inf.port)
@@ -527,11 +645,23 @@ func withoutType(rrs []*dnswire.RR, t dnswire.Type) []*dnswire.RR {
 // --- client-facing side ---
 
 func (r *Resolver) handleClient(dg netsim.Datagram) {
-	query, err := dnswire.Unpack(dg.Payload)
+	src, srcPort := dg.Src, dg.SrcPort
+	r.serveQuery(dg.Payload, src, func(wire []byte) {
+		r.Host.SendUDP(53, src, srcPort, wire)
+	})
+}
+
+// serveQuery parses and answers one client query, emitting the packed
+// response through send — the shared service path behind the UDP
+// socket and every session transport endpoint. The wire bytes passed
+// to send alias the resolver's scratch buffer and are only valid for
+// the duration of the call (SendUDP and session respond both copy).
+func (r *Resolver) serveQuery(payload []byte, src netip.Addr, send func(wire []byte)) {
+	query, err := dnswire.Unpack(payload)
 	if err != nil || query.Response || len(query.Questions) == 0 {
 		return
 	}
-	if !r.Open && !r.sameAS(dg.Src) {
+	if !r.Open && !r.sameAS(src) {
 		return // closed resolvers ignore external clients
 	}
 	r.ClientQueries++
@@ -562,7 +692,7 @@ func (r *Resolver) handleClient(dg netsim.Datagram) {
 			return
 		}
 		r.scratch = wire
-		r.Host.SendUDP(53, dg.Src, dg.SrcPort, wire)
+		send(wire)
 	}
 	r.Lookup(q.Name, q.Type, respond)
 }

@@ -1,0 +1,308 @@
+package resolver_test
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"crosslayer/internal/dnssrv"
+	"crosslayer/internal/dnswire"
+	"crosslayer/internal/netsim"
+	"crosslayer/internal/resolver"
+	"crosslayer/internal/scenario"
+)
+
+// newTransportS builds the canonical scenario with the resolver's
+// upstream transport overridden.
+func newTransportS(t *testing.T, seed int64, tr resolver.Transport, opportunistic bool) *scenario.S {
+	t.Helper()
+	prof := resolver.ProfileBIND
+	prof.Transport = tr
+	prof.Opportunistic = opportunistic
+	return newS(t, scenario.Config{Seed: seed, Profile: prof})
+}
+
+// nsSession returns the resolver host's cached session to the
+// nameserver for the given transport — the exact connection object the
+// resolver queried over, so its counters are the resolver's counters.
+func nsSession(s *scenario.S, tr resolver.Transport) *netsim.Session {
+	return s.ResolverHost.Session(scenario.NSIP, tr.Port(), tr.SessionConfig())
+}
+
+// chainLookupSync resolves name from the client through the forwarder
+// chain's entry hop.
+func chainLookupSync(t *testing.T, s *scenario.S, name string) ([]*dnswire.RR, error) {
+	t.Helper()
+	var rrs []*dnswire.RR
+	var err error
+	done := false
+	resolver.StubLookup(s.ClientHost, s.DNSAddr(), name, dnswire.TypeA, 20*time.Second,
+		func(r []*dnswire.RR, e error) { rrs, err, done = r, e, true })
+	s.Run()
+	if !done {
+		t.Fatal("chain lookup never completed")
+	}
+	return rrs, err
+}
+
+// TestEncryptedTransportsResolve: every stream transport resolves the
+// baseline query end-to-end — one upstream exchange over one fresh
+// connection, no UDP involved.
+func TestEncryptedTransportsResolve(t *testing.T) {
+	for _, tr := range resolver.StreamTransports() {
+		t.Run(tr.Key(), func(t *testing.T) {
+			s := newTransportS(t, 61, tr, false)
+			rrs, err := lookupSync(t, s, "www.vict.im.", dnswire.TypeA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rrs) != 1 || rrs[0].Data.(*dnswire.AData).Addr != scenario.VictimWWW {
+				t.Fatalf("bad answer: %v", rrs)
+			}
+			if s.NS.Queries != 1 {
+				t.Fatalf("NS saw %d queries, want 1", s.NS.Queries)
+			}
+			sess := nsSession(s, tr)
+			if sess.Handshakes != 1 || sess.Calls != 1 {
+				t.Fatalf("session counters: %d handshakes, %d calls, want 1/1", sess.Handshakes, sess.Calls)
+			}
+		})
+	}
+}
+
+// TestHandshakeRTTLatencyAccounting: a fresh connection's handshake
+// round trips are visible in virtual resolution time, ordered by each
+// transport's setup cost — UDP (0 RTT) < DoQ (1 RTT) < DoT (2 RTT).
+func TestHandshakeRTTLatencyAccounting(t *testing.T) {
+	elapsed := func(tr resolver.Transport) time.Duration {
+		s := newTransportS(t, 62, tr, false)
+		doneAt := time.Duration(-1)
+		s.Resolver.Lookup("www.vict.im.", dnswire.TypeA, func(_ []*dnswire.RR, e error) {
+			if e != nil {
+				t.Error(e)
+			}
+			doneAt = s.Clock.Now()
+		})
+		s.Run()
+		if doneAt < 0 {
+			t.Fatal("lookup never completed")
+		}
+		return doneAt
+	}
+	udp, doq, dot := elapsed(resolver.TransportUDP), elapsed(resolver.TransportDoQ), elapsed(resolver.TransportDoT)
+	if !(udp < doq && doq < dot) {
+		t.Fatalf("handshake cost not ordered: udp=%v doq=%v dot=%v", udp, doq, dot)
+	}
+}
+
+// TestSessionReuseAmortizesHandshakes: the second upstream exchange
+// rides the established connection — one handshake total, and the
+// second resolution is measurably faster (RFC 7766 reuse).
+func TestSessionReuseAmortizesHandshakes(t *testing.T) {
+	s := newTransportS(t, 63, resolver.TransportDoT, false)
+	timed := func(name string, wantErr error) time.Duration {
+		start := s.Clock.Now()
+		doneAt := time.Duration(-1)
+		s.Resolver.Lookup(name, dnswire.TypeA, func(_ []*dnswire.RR, e error) {
+			if !errors.Is(e, wantErr) {
+				t.Errorf("%s err = %v, want %v", name, e, wantErr)
+			}
+			doneAt = s.Clock.Now()
+		})
+		s.Run()
+		if doneAt < 0 {
+			t.Fatalf("%s lookup never completed", name)
+		}
+		return doneAt - start
+	}
+	first := timed("www.vict.im.", nil)
+	second := timed("nope.vict.im.", resolver.ErrNXDomain)
+
+	sess := nsSession(s, resolver.TransportDoT)
+	if sess.Handshakes != 1 || sess.Calls != 2 {
+		t.Fatalf("session counters: %d handshakes, %d calls, want 1/2", sess.Handshakes, sess.Calls)
+	}
+	if second >= first {
+		t.Fatalf("connection reuse did not amortize the handshake: first=%v second=%v", first, second)
+	}
+}
+
+// TestStrictEncryptedFailsClosed: a strict encrypted resolver whose
+// handshakes an active attacker breaks SERVFAILs — it never falls
+// back to plaintext, so the attack is a DoS, not an opening.
+func TestStrictEncryptedFailsClosed(t *testing.T) {
+	s := newTransportS(t, 64, resolver.TransportDoT, false)
+	s.Net.BlockSecure(scenario.ResolverIP, scenario.NSIP)
+	_, err := lookupSync(t, s, "www.vict.im.", dnswire.TypeA)
+	if !errors.Is(err, resolver.ErrServFail) {
+		t.Fatalf("err = %v, want SERVFAIL (fail closed)", err)
+	}
+	if s.NS.Queries != 0 {
+		t.Fatalf("NS saw %d queries through a blocked handshake", s.NS.Queries)
+	}
+	if s.Resolver.Downgraded() {
+		t.Fatal("strict resolver must never downgrade")
+	}
+}
+
+// TestOpportunisticDowngradeFallsBackToUDP: an opportunistic resolver
+// under the same handshake block retries the attempt over plaintext
+// UDP — resolution succeeds, and the sticky downgrade is counted.
+func TestOpportunisticDowngradeFallsBackToUDP(t *testing.T) {
+	s := newTransportS(t, 65, resolver.TransportDoT, true)
+	s.Net.BlockSecure(scenario.ResolverIP, scenario.NSIP)
+	rrs, err := lookupSync(t, s, "www.vict.im.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 1 || rrs[0].Data.(*dnswire.AData).Addr != scenario.VictimWWW {
+		t.Fatalf("bad answer after downgrade: %v", rrs)
+	}
+	if !s.Resolver.Downgraded() || s.Resolver.Downgrades != 1 {
+		t.Fatalf("downgrade not recorded: downgraded=%v count=%d", s.Resolver.Downgraded(), s.Resolver.Downgrades)
+	}
+	if s.Resolver.EffectiveTransport() != resolver.TransportUDP {
+		t.Fatalf("effective transport %v after downgrade", s.Resolver.EffectiveTransport())
+	}
+	// The fallback is permanent: the next miss goes straight to UDP,
+	// paying no further blocked-handshake round trips.
+	if _, err := lookupSync(t, s, "nope.vict.im.", dnswire.TypeA); !errors.Is(err, resolver.ErrNXDomain) {
+		t.Fatalf("post-downgrade lookup err = %v", err)
+	}
+	if s.Resolver.Downgrades != 1 {
+		t.Fatalf("Downgrades = %d after second lookup, want 1 (sticky)", s.Resolver.Downgrades)
+	}
+}
+
+// TestNoTruncationFallbackOnStream: a response that would truncate on
+// UDP rides the stream whole — no TC bit, no TCP fallback, no
+// interaction between the truncation machinery and stream transports.
+func TestNoTruncationFallbackOnStream(t *testing.T) {
+	prof := resolver.ProfileBIND
+	prof.EDNSSize = 512
+	prof.Transport = resolver.TransportDoT
+	cfg := dnssrv.DefaultConfig()
+	cfg.PadAnswersTo = 1500
+	s := newS(t, scenario.Config{Seed: 66, Profile: prof, ServerCfg: cfg})
+	rrs, err := lookupSync(t, s, "www.vict.im.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) == 0 {
+		t.Fatal("no answers over the stream")
+	}
+	if s.Resolver.TCPFallbacks != 0 {
+		t.Fatalf("TCPFallbacks = %d on a stream transport, want 0", s.Resolver.TCPFallbacks)
+	}
+	if s.NS.Truncated != 0 {
+		t.Fatalf("NS.Truncated = %d on a stream transport, want 0", s.NS.Truncated)
+	}
+}
+
+// TestEncryptedPaddingAccounting: every byte accounted on an encrypted
+// session is padded to the RFC 8467 block, so message sizes leak only
+// in 128-byte quanta.
+func TestEncryptedPaddingAccounting(t *testing.T) {
+	s := newTransportS(t, 67, resolver.TransportDoT, false)
+	if _, err := lookupSync(t, s, "www.vict.im.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	sess := nsSession(s, resolver.TransportDoT)
+	if sess.BytesSent == 0 || sess.BytesSent%128 != 0 {
+		t.Fatalf("BytesSent = %d, want a positive multiple of 128", sess.BytesSent)
+	}
+	if sess.BytesRcvd == 0 || sess.BytesRcvd%128 != 0 {
+		t.Fatalf("BytesRcvd = %d, want a positive multiple of 128", sess.BytesRcvd)
+	}
+}
+
+// TestStreamQueryHasNoSpoofSurface: the off-path primitive every UDP
+// attack needs — a guessable (port, TXID) pair to race — does not
+// exist on a stream upstream. Even a spoof carrying the CORRECT TXID,
+// sprayed at both the advertised query port (0: none) and the session
+// service port, changes nothing; the resolver just times out against
+// the muted server.
+func TestStreamQueryHasNoSpoofSurface(t *testing.T) {
+	prof := resolver.ProfileBIND
+	prof.Transport = resolver.TransportDoT
+	cfg := dnssrv.DefaultConfig()
+	cfg.RateLimit = true
+	cfg.RateLimitQPS = 0 // mute: queries arrive, responses never leave
+	s := newS(t, scenario.Config{Seed: 68, Profile: prof, ServerCfg: cfg})
+
+	var port, txid uint16
+	s.Resolver.TestHookQuerySent = func(_ string, _ dnswire.Type, _ netip.Addr, p, x uint16) { port, txid = p, x }
+	var lookupErr error
+	done := false
+	s.Resolver.Lookup("www.vict.im.", dnswire.TypeA, func(_ []*dnswire.RR, e error) { lookupErr, done = e, true })
+	s.Clock.RunFor(5 * time.Millisecond) // query on the wire
+
+	if port != 0 {
+		t.Fatalf("stream query advertised UDP port %d, want 0 (no ephemeral socket)", port)
+	}
+	spoof := &dnswire.Message{
+		ID: txid, Response: true,
+		Questions: []dnswire.Question{{Name: "www.vict.im.", Type: dnswire.TypeA, Class: dnswire.ClassIN}},
+		Answers:   []*dnswire.RR{dnswire.NewA("www.vict.im.", 300, scenario.AttackerIP)},
+	}
+	wire, _ := spoof.Pack()
+	for _, p := range []uint16{port, resolver.TransportDoT.Port()} {
+		s.Attacker.SendUDPSpoofed(scenario.NSIP, 53, scenario.ResolverIP, p, wire)
+	}
+	s.Run()
+	if s.Poisoned("www.vict.im.", dnswire.TypeA) {
+		t.Fatal("cache poisoned through a stream upstream")
+	}
+	if !done || !errors.Is(lookupErr, resolver.ErrTimeout) {
+		t.Fatalf("lookup err = %v (done=%v), want timeout against the muted server", lookupErr, done)
+	}
+}
+
+// TestForwarderEncryptedUpstream: a forwarder hop with a DoT upstream
+// relays the client's query over its session and serves the answer —
+// the chain works end-to-end with mixed per-hop transports.
+func TestForwarderEncryptedUpstream(t *testing.T) {
+	s := newS(t, scenario.Config{Seed: 69, ForwarderChain: []scenario.ForwarderSpec{
+		{Transport: resolver.TransportDoT},
+	}})
+	rrs, err := chainLookupSync(t, s, "www.vict.im.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 1 || rrs[0].Data.(*dnswire.AData).Addr != scenario.VictimWWW {
+		t.Fatalf("bad answer through encrypted forwarder: %v", rrs)
+	}
+	f := s.Forwarders[0]
+	if f.Forwarded != 1 || f.Returned != 1 {
+		t.Fatalf("forwarder counters: forwarded=%d returned=%d, want 1/1", f.Forwarded, f.Returned)
+	}
+	sess := f.Host.Session(scenario.ResolverIP, resolver.TransportDoT.Port(), resolver.TransportDoT.SessionConfig())
+	if sess.Handshakes != 1 || sess.Calls != 1 {
+		t.Fatalf("forwarder session: %d handshakes, %d calls, want 1/1", sess.Handshakes, sess.Calls)
+	}
+}
+
+// TestForwarderOpportunisticDowngrade: an opportunistic forwarder hop
+// whose handshake is blocked retries the same exchange over UDP and
+// records the sticky downgrade.
+func TestForwarderOpportunisticDowngrade(t *testing.T) {
+	s := newS(t, scenario.Config{Seed: 70, ForwarderChain: []scenario.ForwarderSpec{
+		{Transport: resolver.TransportDoT, Opportunistic: true},
+	}})
+	f := s.Forwarders[0]
+	s.Net.BlockSecure(f.Host.Addr, scenario.ResolverIP)
+	rrs, err := chainLookupSync(t, s, "www.vict.im.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 1 {
+		t.Fatalf("bad answer after forwarder downgrade: %v", rrs)
+	}
+	if !f.Downgraded() || f.Downgrades != 1 {
+		t.Fatalf("forwarder downgrade not recorded: downgraded=%v count=%d", f.Downgraded(), f.Downgrades)
+	}
+	if f.EffectiveTransport() != resolver.TransportUDP {
+		t.Fatalf("forwarder effective transport %v after downgrade", f.EffectiveTransport())
+	}
+}

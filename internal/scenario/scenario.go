@@ -91,6 +91,12 @@ type ForwarderSpec struct {
 	NoCache bool
 	// CheckBailiwick enables the hop's name-match response filter.
 	CheckBailiwick bool
+	// Transport is the hop's upstream transport (zero value: plaintext
+	// UDP). Stream transports expose no spoofable port/TXID surface.
+	Transport resolver.Transport
+	// Opportunistic lets an encrypted hop fall back to plaintext UDP
+	// when its upstream session fails — the downgrade-attack surface.
+	Opportunistic bool
 }
 
 // DefaultForwarderPortSpan is the ephemeral port span a ForwarderSpec
@@ -281,6 +287,8 @@ func New(cfg Config) *S {
 			} else {
 				s.Forwarders[i] = resolver.NewCachingForwarder(host, upstream, spec.TTLCap, spec.CheckBailiwick)
 			}
+			s.Forwarders[i].Transport = spec.Transport
+			s.Forwarders[i].Opportunistic = spec.Opportunistic
 		}
 	}
 	return s
@@ -392,6 +400,17 @@ type Hop struct {
 	// Forwarder is the hop's forwarder node; nil for the final
 	// recursive-resolver hop.
 	Forwarder *resolver.Forwarder
+	// Transport is the hop's configured upstream transport;
+	// Opportunistic marks it downgradeable.
+	Transport     resolver.Transport
+	Opportunistic bool
+	// UDPUpstream reports whether the hop's upstream queries currently
+	// travel plaintext UDP (configured UDP, or downgraded to it) —
+	// i.e. whether the hop exposes a spoofable port/TXID surface.
+	UDPUpstream func() bool
+	// ForceDowngrade strips an opportunistic hop back to plaintext
+	// UDP, reporting whether anything changed.
+	ForceDowngrade func() bool
 }
 
 // Hops returns the victim's resolution chain in client order: every
@@ -400,7 +419,19 @@ type Hop struct {
 func (s *S) Hops() []Hop {
 	hops := make([]Hop, 0, len(s.Forwarders)+1)
 	for _, f := range s.Forwarders {
-		hops = append(hops, Hop{Host: f.Host, Addr: f.Host.Addr, Upstream: f.Upstream, Forwarder: f})
+		f := f
+		hops = append(hops, Hop{
+			Host: f.Host, Addr: f.Host.Addr, Upstream: f.Upstream, Forwarder: f,
+			Transport: f.Transport, Opportunistic: f.Opportunistic,
+			UDPUpstream:    func() bool { return f.EffectiveTransport() == resolver.TransportUDP },
+			ForceDowngrade: f.ForceDowngrade,
+		})
 	}
-	return append(hops, Hop{Host: s.ResolverHost, Addr: ResolverIP, Upstream: NSIP})
+	r := s.Resolver
+	return append(hops, Hop{
+		Host: s.ResolverHost, Addr: ResolverIP, Upstream: NSIP,
+		Transport: r.Prof.Transport, Opportunistic: r.Prof.Opportunistic,
+		UDPUpstream:    func() bool { return r.EffectiveTransport() == resolver.TransportUDP },
+		ForceDowngrade: r.ForceDowngrade,
+	})
 }

@@ -357,10 +357,11 @@ func (s *Server) handleRun(ctx context.Context, w http.ResponseWriter, r *http.R
 
 // specFromQuery maps /run query parameters onto the registry Spec,
 // mirroring the xlmeasure flags: n, seed, parallel, shard-size,
-// sad-ports, trials, lattice-rank (integers) and methods, victims,
-// profiles, defenses, defense-sets, chain-depths, placement
-// (comma-separated keys). Unknown parameters are rejected so typos
-// fail loudly instead of silently sweeping the full axis.
+// sad-ports, trials, lattice-rank (integers), methods, victims,
+// profiles, defenses, defense-sets, chain-depths, placement,
+// transports (comma-separated keys) and downgrade (boolean). Unknown
+// parameters are rejected so typos fail loudly instead of silently
+// sweeping the full axis.
 func specFromQuery(r *http.Request) (report.Spec, error) {
 	var spec report.Spec
 	spec.SampleCap = 10000 // the CLI's default cap; n=0 opts into full populations
@@ -380,10 +381,17 @@ func specFromQuery(r *http.Request) (report.Spec, error) {
 		"defense-sets": &spec.DefenseSets,
 		"chain-depths": &spec.ChainDepths,
 		"placement":    &spec.Placements,
+		"transports":   &spec.Transports,
 	}
 	for key, vals := range r.URL.Query() {
 		val := vals[len(vals)-1]
 		switch {
+		case key == "downgrade":
+			v, err := strconv.ParseBool(val)
+			if err != nil {
+				return spec, fmt.Errorf("bad downgrade %q", val)
+			}
+			spec.Downgrade = v
 		case key == "seed":
 			v, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
