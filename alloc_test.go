@@ -171,3 +171,41 @@ func TestEngineDispatchAllocs(t *testing.T) {
 		t.Fatalf("engine dispatch: %v allocs/trial, want < 0.1", perTrial)
 	}
 }
+
+// TestResetTrialAllocs bounds the steady-state cost of the build-once/
+// reset-per-trial lifecycle. Both lifecycles run the same trial — one
+// full resolution — so both pay its bookkeeping (the inflight record,
+// the handler closure, cache inserts); the reset trial must shed the
+// world-assembly cost on top, staying well under a third of the legacy
+// build-per-trial figure. A regression here means Reset started
+// rebuilding state that New owns, or a freelist stopped being reused.
+func TestResetTrialAllocs(t *testing.T) {
+	resolve := func(s *scenario.S) {
+		done := false
+		s.Resolver.Lookup("www.vict.im.", dnswire.TypeA, func(_ []*dnswire.RR, err error) {
+			done = err == nil
+		})
+		s.Run()
+		if !done {
+			t.Fatal("resolution failed")
+		}
+	}
+	freshAllocs := testing.AllocsPerRun(5, func() {
+		resolve(scenario.New(scenario.Config{Seed: 42}))
+	})
+
+	s := scenario.New(scenario.Config{Seed: 42})
+	s.Snapshot()
+	trial := func() {
+		s.Reset(42)
+		resolve(s)
+	}
+	for i := 0; i < 10; i++ {
+		trial() // warm pools, freelists and lazily-created maps
+	}
+	resetAllocs := testing.AllocsPerRun(50, trial)
+	if resetAllocs*3 > freshAllocs {
+		t.Fatalf("reset-path trial: %v allocs vs %v for a build-per-trial run; want under a third",
+			resetAllocs, freshAllocs)
+	}
+}

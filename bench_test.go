@@ -487,3 +487,38 @@ func BenchmarkResolverCacheHit(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScenarioNew measures assembling one complete default world
+// from scratch — AS topology, RIB convergence, hosts, zones, resolver —
+// the per-trial cost the prototype lifecycle amortizes away.
+func BenchmarkScenarioNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := scenario.New(scenario.Config{Seed: int64(i)})
+		if s.Resolver == nil {
+			b.Fatal("no resolver")
+		}
+	}
+}
+
+// BenchmarkTrialReset measures the steady-state per-trial cost under
+// the prototype lifecycle: rewind the assembled world, then drive one
+// full resolution through it. The gap to BenchmarkScenarioNew is what
+// build-once/reset-per-trial saves on every trial after the first.
+func BenchmarkTrialReset(b *testing.B) {
+	s := scenario.New(scenario.Config{Seed: 42})
+	s.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset(int64(i))
+		done := false
+		s.Resolver.Lookup("www.vict.im.", dnswire.TypeA, func(_ []*dnswire.RR, err error) {
+			done = err == nil
+		})
+		s.Run()
+		if !done {
+			b.Fatal("resolution failed after reset")
+		}
+	}
+}

@@ -71,6 +71,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"crosslayer"
@@ -84,6 +86,13 @@ var sequenceDemos = map[string]string{
 }
 
 func main() {
+	// xlmain returns an exit code instead of calling os.Exit directly so
+	// its defers — in particular the profile writers — run on every exit
+	// path, including failed runs.
+	os.Exit(xlmain())
+}
+
+func xlmain() int {
 	exp := flag.String("exp", "all", "experiment to regenerate (see -list)")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
 	format := flag.String("format", "text", "output renderer: text|json|csv|md")
@@ -108,13 +117,46 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8053", "serve: HTTP listen address")
 	checkpoint := flag.String("checkpoint", "", "serve: cell-cache checkpoint file (empty = no persistence)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "serve: periodic checkpoint interval; 0 = default (30s)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (see DESIGN.md: profiling the trial hot path)")
+	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the live heap so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range crosslayer.ListExperiments() {
 			fmt.Printf("%-12s %s\n", e.Name, e.Title)
 		}
-		return
+		return 0
 	}
 
 	// Ctrl-C cancels in-flight sweeps at the next shard boundary; the
@@ -133,9 +175,9 @@ func main() {
 		})
 		if err := srv.Run(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	// spec executes one experiment under the engine, labelling progress
@@ -201,24 +243,25 @@ func main() {
 		for _, e := range crosslayer.ListExperiments() {
 			fmt.Fprintf(banner, "\n######## %s ########\n", strings.ToUpper(e.Name))
 			if !run(e.Name) {
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 	if msg, ok := sequenceDemos[*exp]; ok {
 		fmt.Println(msg)
-		return
+		return 0
 	}
 	if !known(*exp) {
 		// Usage error, not run failure: print the registry's
 		// valid-key listing and exit 2 like every other bad flag.
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n", *exp, strings.Join(registryNames(), ", "))
-		os.Exit(2)
+		return 2
 	}
 	if !run(*exp) {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // known reports whether name is a registered experiment.

@@ -100,6 +100,66 @@ func (r *RIB) reconverge() {
 	}
 }
 
+// RIBSnapshot captures a RIB's announcement set so trial-reset can
+// restore routing to its post-build state (an attack that announced a
+// hijack and crashed mid-withdraw must not leak routes into the next
+// trial).
+type RIBSnapshot struct {
+	anns   map[netip.Prefix][]Announcement
+	sorted []netip.Prefix
+}
+
+// Snapshot copies the current announcement set.
+func (r *RIB) Snapshot() *RIBSnapshot {
+	s := &RIBSnapshot{
+		anns:   make(map[netip.Prefix][]Announcement, len(r.anns)),
+		sorted: append([]netip.Prefix(nil), r.sorted...),
+	}
+	for p, anns := range r.anns {
+		s.anns[p] = append([]Announcement(nil), anns...)
+	}
+	return s
+}
+
+// Restore rewinds the RIB to a snapshot. When the live announcement
+// set already matches (the common case — attacks withdraw what they
+// announce), this is a comparison and nothing else: no reconvergence,
+// no allocation. Otherwise announcements and LPM order are restored
+// verbatim and every prefix reconverges.
+func (r *RIB) Restore(s *RIBSnapshot) {
+	if r.matches(s) {
+		return
+	}
+	clear(r.anns)
+	for p, anns := range s.anns {
+		r.anns[p] = append([]Announcement(nil), anns...)
+	}
+	r.sorted = append(r.sorted[:0], s.sorted...)
+	clear(r.routes)
+	r.reconverge()
+}
+
+// matches reports whether the live announcement set equals the
+// snapshot, including per-prefix announcement order (order is
+// selection-relevant tie-break state).
+func (r *RIB) matches(s *RIBSnapshot) bool {
+	if len(r.anns) != len(s.anns) {
+		return false
+	}
+	for p, anns := range r.anns {
+		want, ok := s.anns[p]
+		if !ok || len(anns) != len(want) {
+			return false
+		}
+		for i := range anns {
+			if anns[i] != want[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Prefixes returns all announced prefixes (longest first).
 func (r *RIB) Prefixes() []netip.Prefix { return append([]netip.Prefix(nil), r.sorted...) }
 

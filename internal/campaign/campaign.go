@@ -332,6 +332,12 @@ type Config struct {
 	// paired experiment of the plain one — but cached results gain a
 	// "/downgrade" key marker so the two conditions never collide.
 	Downgrade bool
+	// forceFreshBuild reverts runCell to the legacy build-a-world-per-
+	// trial lifecycle instead of build-once/Reset-per-trial. Only the
+	// differential equivalence tests set it: the two lifecycles must
+	// produce byte-identical results, and this is the lever that
+	// proves it.
+	forceFreshBuild bool
 }
 
 // CellCache memoizes CellResults across campaign runs, keyed by

@@ -6,9 +6,11 @@ import (
 	"crosslayer/internal/core"
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/engine"
+	"crosslayer/internal/netsim"
 	"crosslayer/internal/pool"
 	"crosslayer/internal/resolver"
 	"crosslayer/internal/scenario"
+	"crosslayer/internal/sim"
 	"crosslayer/internal/stats"
 )
 
@@ -82,7 +84,7 @@ func RunContext(ctx context.Context, cfg Config) ([]CellResult, error) {
 		// plan). The shard's positional seed is deliberately unused:
 		// the cell's trials derive from its identity key instead, so
 		// filtering the sweep never reseeds surviving cells.
-		return runCell(w, cells[sh.Start], cfg.Exec.Seed, trials, cfg.Downgrade)
+		return runCell(w, cells[sh.Start], cfg.Exec.Seed, trials, cfg.Downgrade, cfg.forceFreshBuild)
 	})
 }
 
@@ -117,60 +119,39 @@ func (a cellShardCache) Store(sh engine.Shard, r CellResult) {
 
 // trialWorker is the scratch one campaign worker reuses across every
 // cell it runs: the wire-buffer arena its trials' networks recycle
-// payloads through, and the per-cell cost-sample slices. Warmed
+// payloads through, the clock-event and delivery-node freelists those
+// simulations run on, the memoized scenario build artifacts
+// (scenario.Proto), and the per-cell cost-sample slices. Warmed
 // capacity carries across cells; recorded results never alias it
 // (stats.NewCDF copies its samples), so reuse cannot change output.
 type trialWorker struct {
-	wire  pool.Wire
-	iters []float64
-	pkts  []float64
-	secs  []float64
+	wire   pool.Wire
+	events sim.EventPool
+	deliv  netsim.DeliveryPool
+	proto  scenario.Proto
+	iters  []float64
+	pkts   []float64
+	secs   []float64
 }
 
 func newTrialWorker() *trialWorker { return &trialWorker{} }
 
 // Reset rewinds the sample slices for the next cell, keeping their
-// capacity. The wire arena deliberately survives Reset: its buffers
-// carry no state between trials, only capacity.
+// capacity. The wire arena, freelists and memoized prototypes
+// deliberately survive Reset: they carry no state between trials, only
+// capacity and immutable (or baseline-restored) build artifacts.
 func (w *trialWorker) Reset(engine.Shard) {
 	w.iters = w.iters[:0]
 	w.pkts = w.pkts[:0]
 	w.secs = w.secs[:0]
 }
 
-// runCell executes the cell's trials and folds them into a CellResult.
-func runCell(w *trialWorker, c Cell, baseSeed int64, trials int, downgrade bool) CellResult {
-	res := CellResult{
-		Method: c.Method.Key, Victim: c.Victim.Key,
-		Profile: c.Profile.Key, Defense: c.Defenses.Key,
-		Depth: c.Depth.Key, Placement: c.Placement.Key,
-		Transport: c.Transport.Key,
-		Trials:    trials,
-	}
-	cellSeed := engine.DeriveSeedKey(baseSeed, c.Key())
-	for t := 0; t < trials; t++ {
-		poisoned, impact, r := runTrial(w, c, engine.DeriveSeed(cellSeed, t), downgrade)
-		res.Poisoned.Observe(poisoned)
-		res.Impact.Observe(impact)
-		w.iters = append(w.iters, float64(r.Iterations))
-		w.pkts = append(w.pkts, float64(r.AttackerPackets))
-		w.secs = append(w.secs, r.Duration.Seconds())
-	}
-	res.Iterations = stats.NewCDF(w.iters)
-	res.Packets = stats.NewCDF(w.pkts)
-	res.Seconds = stats.NewCDF(w.secs)
-	return res
-}
-
-// runTrial builds the cell's private world and plays it end to end:
-// deploy the victim, run the attack against the victim's query name
-// (triggered through the cell's forwarder chain), read the chain's
-// cache ground truth, then exercise the application. The cell's
-// defense stack rides scenario.Config.Defenses, whose pipeline runs
-// inside New — after the method's Prepare, so defenses always get the
-// last word.
-func runTrial(w *trialWorker, c Cell, seed int64, downgrade bool) (poisoned, impact bool, r core.Result) {
-	scfg := baseScenarioConfig(seed, c.Profile.Profile)
+// cellConfig assembles the cell's scenario configuration — everything
+// but the seed: transports stamped (chain copied once per cell, not
+// per trial), placement, the worker's shared pools, the method's
+// Prepare overrides, and the defense stack.
+func (w *trialWorker) cellConfig(c Cell) scenario.Config {
+	scfg := baseScenarioConfig(0, c.Profile.Profile)
 	scfg.Profile.Transport = c.Transport.Resolver
 	scfg.Profile.Opportunistic = c.Transport.Opportunistic
 	scfg.ForwarderChain = c.Depth.Chain
@@ -187,9 +168,77 @@ func runTrial(w *trialWorker, c Cell, seed int64, downgrade bool) (poisoned, imp
 	}
 	scfg.Placement = c.Placement.Placement
 	scfg.WirePool = &w.wire
+	scfg.EventPool = &w.events
+	scfg.DeliveryPool = &w.deliv
 	c.Method.Prepare(&scfg)
 	scfg.Defenses = c.Defenses.Specs
-	s := scenario.New(scfg)
+	return scfg
+}
+
+// runCell executes the cell's trials and folds them into a CellResult.
+// The default lifecycle builds the cell's world ONCE as a prototype
+// (config, defenses and chain stamping applied once instead of trials
+// times), runs trial 0 on the fresh build, and rewinds the world with
+// scenario.S.Reset between trials. Building with trial 0's own seed —
+// rather than Resetting before every trial — matters for 1-trial
+// sweeps: reseeding every host RNG is most of a Reset's cost (the
+// lagged-Fibonacci init math/rand pays per source), and the fresh
+// build already paid it. fresh forces the legacy build-per-trial
+// lifecycle; the differential suite uses it to prove both lifecycles
+// produce byte-identical results.
+func runCell(w *trialWorker, c Cell, baseSeed int64, trials int, downgrade, fresh bool) CellResult {
+	res := CellResult{
+		Method: c.Method.Key, Victim: c.Victim.Key,
+		Profile: c.Profile.Key, Defense: c.Defenses.Key,
+		Depth: c.Depth.Key, Placement: c.Placement.Key,
+		Transport: c.Transport.Key,
+		Trials:    trials,
+	}
+	cellSeed := engine.DeriveSeedKey(baseSeed, c.Key())
+	var s *scenario.S
+	if !fresh {
+		scfg := w.cellConfig(c)
+		// Cross-cell memoization only joins the reset lifecycle: the
+		// memoized RIB relies on New/Reset restoring its baseline.
+		scfg.Proto = &w.proto
+		scfg.Seed = engine.DeriveSeed(cellSeed, 0)
+		s = scenario.New(scfg)
+		s.Snapshot() // post-New, pre-attack: the state Reset rewinds to
+	}
+	for t := 0; t < trials; t++ {
+		seed := engine.DeriveSeed(cellSeed, t)
+		var poisoned, impact bool
+		var r core.Result
+		if fresh {
+			scfg := w.cellConfig(c)
+			scfg.Seed = seed
+			poisoned, impact, r = runTrial(scenario.New(scfg), c, downgrade)
+		} else {
+			if t > 0 {
+				s.Reset(seed)
+			}
+			poisoned, impact, r = runTrial(s, c, downgrade)
+		}
+		res.Poisoned.Observe(poisoned)
+		res.Impact.Observe(impact)
+		w.iters = append(w.iters, float64(r.Iterations))
+		w.pkts = append(w.pkts, float64(r.AttackerPackets))
+		w.secs = append(w.secs, r.Duration.Seconds())
+	}
+	res.Iterations = stats.NewCDF(w.iters)
+	res.Packets = stats.NewCDF(w.pkts)
+	res.Seconds = stats.NewCDF(w.secs)
+	return res
+}
+
+// runTrial plays one trial end to end on an assembled (fresh or
+// freshly Reset) world: deploy the victim, run the attack against the
+// victim's query name (triggered through the cell's forwarder chain),
+// read the chain's cache ground truth, then exercise the application.
+// The cell's defense stack rode scenario.Config.Defenses at build
+// time, after the method's Prepare — defenses always get the last
+// word.
+func runTrial(s *scenario.S, c Cell, downgrade bool) (poisoned, impact bool, r core.Result) {
 	exercise := c.Victim.Deploy(s)
 	var atk core.Attack
 	if downgrade {

@@ -80,6 +80,18 @@ func New(host *netsim.Host, cfg Config) *Server {
 	return s
 }
 
+// Reset rewinds the server to its post-New state for the next trial of
+// a reused world: the RRL window bookkeeping and counters are zeroed
+// and the observation hook dropped. Zones (immutable under serving),
+// config and bound ports survive; SadDNS-style config overrides are
+// restored by the host-level snapshot, not here.
+func (s *Server) Reset() {
+	s.window = 0
+	s.sentInWin = 0
+	s.Queries, s.Responses, s.RateDropped, s.Truncated = 0, 0, 0, 0
+	s.Observe = nil
+}
+
 // sessionHandler serves one session service port. Streams carry any
 // size, so there is no truncation path; the scratch buffer is safe
 // because the session respond contract copies before returning.

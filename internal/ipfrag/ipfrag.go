@@ -78,6 +78,15 @@ func New(capacity int, timeout time.Duration) *Cache {
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Reset empties the cache and zeroes the counters in place, keeping
+// the allocated map and FIFO capacity — the trial-reset path, where a
+// warmed cache is reused by the next simulation run.
+func (c *Cache) Reset() {
+	clear(c.entries)
+	c.order = c.order[:0]
+	c.stats = Stats{}
+}
+
 // Len reports the number of in-progress reassemblies.
 func (c *Cache) Len() int { return len(c.entries) }
 

@@ -135,11 +135,105 @@ type Host struct {
 	ICMPSent          uint64
 	ICMPSuppressed    uint64
 	UDPDeliveredLocal uint64
+
+	// snap holds the post-build state restored by reset; nil until
+	// Network.Snapshot runs.
+	snap *hostSnap
 }
 
 type bucketState struct {
 	tokens float64
 	window time.Duration
+}
+
+// hostSnap is the part of a host's state that the build phase sets and
+// trials may overwrite: the config (SadDNS narrows the port range per
+// trial), the bound-port tables (victims deploy fresh apps per trial),
+// the capture hooks, and the ICMP bucket level as built.
+type hostSnap struct {
+	cfg          HostConfig
+	udpPorts     map[uint16]UDPHandler
+	tcpPorts     map[uint16]TCPHandler
+	sessionPorts map[uint16]SessionHandler
+	onICMP       ICMPHandler
+	onRaw        func(*packet.IPv4)
+	icmpBucket   float64
+}
+
+// snapshot records the host's current config and bindings as the state
+// reset returns to.
+func (h *Host) snapshot() {
+	s := &hostSnap{
+		cfg:        h.Cfg,
+		udpPorts:   make(map[uint16]UDPHandler, len(h.udpPorts)),
+		onICMP:     h.onICMP,
+		onRaw:      h.onRaw,
+		icmpBucket: h.icmpBucket,
+	}
+	for p, fn := range h.udpPorts {
+		s.udpPorts[p] = fn
+	}
+	if h.tcpPorts != nil {
+		s.tcpPorts = make(map[uint16]TCPHandler, len(h.tcpPorts))
+		for p, fn := range h.tcpPorts {
+			s.tcpPorts[p] = fn
+		}
+	}
+	if h.sessionPorts != nil {
+		s.sessionPorts = make(map[uint16]SessionHandler, len(h.sessionPorts))
+		for p, fn := range h.sessionPorts {
+			s.sessionPorts[p] = fn
+		}
+	}
+	h.snap = s
+}
+
+// reset rewinds the host to its snapshot: config and port bindings
+// restored, ephemeral state (sessions, defrag cache, learned PMTUs,
+// IPID counters, ICMP buckets) cleared, counters zeroed, and the random
+// stream re-derived from the (already reset) clock — called in host
+// creation order by Network.Reset, this draws exactly the streams a
+// fresh build would.
+func (h *Host) reset() {
+	s := h.snap
+	if s == nil {
+		panic("netsim: Host.reset without Snapshot")
+	}
+	h.Cfg = s.cfg
+	clear(h.udpPorts)
+	for p, fn := range s.udpPorts {
+		h.udpPorts[p] = fn
+	}
+	if s.tcpPorts == nil {
+		h.tcpPorts = nil
+	} else {
+		clear(h.tcpPorts)
+		for p, fn := range s.tcpPorts {
+			h.tcpPorts[p] = fn
+		}
+	}
+	if s.sessionPorts == nil {
+		h.sessionPorts = nil
+	} else {
+		clear(h.sessionPorts)
+		for p, fn := range s.sessionPorts {
+			h.sessionPorts[p] = fn
+		}
+	}
+	h.sessions = nil
+	h.onICMP = s.onICMP
+	h.onRaw = s.onRaw
+	h.frag.Reset()
+	clear(h.pmtu)
+	clear(h.ipidPerDest)
+	clear(h.icmpPerIP)
+	h.icmpBucket = s.icmpBucket
+	h.icmpWindow = 0
+	h.Sent, h.Received = 0, 0
+	h.ICMPSent, h.ICMPSuppressed = 0, 0
+	h.UDPDeliveredLocal = 0
+	h.rng = h.net.Clock.NewRand()
+	h.ipidGlobal = uint16(h.rng.Uint32())
 }
 
 func newHost(n *Network, name string, asn bgp.ASN, addr netip.Addr) *Host {

@@ -26,18 +26,25 @@ type Network struct {
 	RIB   *bgp.RIB
 	Topo  *bgp.Topology
 
-	hosts   map[netip.Addr]*Host
-	asHosts map[bgp.ASN][]*Host
-	asInfo  map[bgp.ASN]*ASInfo
-	latency time.Duration
+	hosts map[netip.Addr]*Host
+	// hostOrder lists hosts in creation order — the replay order
+	// Reset uses to re-derive per-host random streams exactly as a
+	// fresh build would.
+	hostOrder []*Host
+	asHosts   map[bgp.ASN][]*Host
+	asInfo    map[bgp.ASN]*ASInfo
+	latency   time.Duration
 	// wirep recycles packet payload buffers; it defaults to a
 	// per-network pool and can be replaced with a shared per-worker
-	// arena via SetWirePool. freeDeliv recycles in-flight delivery
-	// nodes. Both are single-goroutine by the same argument as the
-	// clock: all traffic of one simulation runs on one goroutine.
-	wirep     *pool.Wire
-	ownWire   pool.Wire
-	freeDeliv []*delivery
+	// arena via SetWirePool. delivp recycles in-flight delivery
+	// nodes the same way (private by default, shareable via
+	// SetDeliveryPool). Both are single-goroutine by the same argument
+	// as the clock: all traffic of one simulation runs on one
+	// goroutine.
+	wirep    *pool.Wire
+	ownWire  pool.Wire
+	delivp   *DeliveryPool
+	ownDeliv DeliveryPool
 	// lossRate drops each sent packet independently with this
 	// probability (failure injection; 0 = lossless). TCP exchanges are
 	// unaffected (the abstraction models a reliable transport).
@@ -105,7 +112,27 @@ func New(clock *sim.Clock, topo *bgp.Topology, rib *bgp.RIB) *Network {
 		latency: 10 * time.Millisecond,
 	}
 	n.wirep = &n.ownWire
+	n.delivp = &n.ownDeliv
 	return n
+}
+
+// DeliveryPool is a freelist of in-flight delivery nodes that can be
+// shared across networks, so the nodes warmed up by one simulation are
+// reused by the next (the flood bursts the paper's attacks generate
+// park thousands of deliveries in the queue at once — a cold freelist
+// allocates every one of them). Single-goroutine, like pool.Wire.
+type DeliveryPool struct {
+	free []*delivery
+}
+
+// SetDeliveryPool replaces the network's private delivery freelist
+// with a caller-owned one. A nil pool is ignored. Like SetWirePool,
+// the pool must only be used by the goroutine running this simulation,
+// and pooling changes where nodes live, never what packets say.
+func (n *Network) SetDeliveryPool(p *DeliveryPool) {
+	if p != nil {
+		n.delivp = p
+	}
 }
 
 // SetWirePool replaces the network's private payload-buffer pool with
@@ -175,9 +202,47 @@ func (n *Network) AddHost(name string, asn bgp.ASN, addr netip.Addr) *Host {
 	}
 	h := newHost(n, name, asn, addr)
 	n.hosts[addr] = h
+	n.hostOrder = append(n.hostOrder, h)
 	n.asHosts[asn] = append(n.asHosts[asn], h)
 	n.AS(asn) // ensure ASInfo exists
 	return h
+}
+
+// Snapshot records the post-build state Reset will restore: each
+// host's config and bound-port tables as they stand now. Call it once,
+// after the scenario is fully assembled and before any traffic runs.
+func (n *Network) Snapshot() {
+	for _, h := range n.hostOrder {
+		h.snapshot()
+	}
+}
+
+// Reset rewinds the network to the snapshotted post-build state so the
+// same assembled world can run another trial: the clock is reset (and
+// reseeded with seed), every host's ephemeral state — sessions,
+// defragmentation cache, learned path MTUs, IPID and ICMP bookkeeping,
+// counters — is cleared, per-host random streams are re-derived from
+// the fresh clock in creation order (exactly the order a fresh build
+// draws them), host configs and port bindings are restored from the
+// snapshot, interception and trace hooks are dropped, and the
+// secure-session blocks an attacker installed are lifted. Hosts, the
+// topology, the warmed wire/delivery pools and their capacity all
+// survive. Snapshot must have been called first.
+func (n *Network) Reset(seed int64) {
+	n.Clock.Reset(seed)
+	for _, h := range n.hostOrder {
+		h.reset()
+	}
+	for _, info := range n.asInfo {
+		info.Interceptor = nil
+		info.TCPInterceptor = nil
+	}
+	n.secureBlocked = nil
+	n.lossRate = 0
+	n.lossRng = nil
+	n.Trace = nil
+	n.Delivered = 0
+	n.Dropped = 0
 }
 
 // delivery is one in-flight packet: a pre-allocated clock Action so
@@ -192,10 +257,11 @@ type delivery struct {
 }
 
 func (n *Network) allocDelivery() *delivery {
-	if l := n.freeDeliv; len(l) > 0 {
+	if l := n.delivp.free; len(l) > 0 {
 		d := l[len(l)-1]
 		l[len(l)-1] = nil
-		n.freeDeliv = l[:len(l)-1]
+		n.delivp.free = l[:len(l)-1]
+		d.n = n // the pool may be shared across networks
 		return d
 	}
 	return &delivery{n: n}
@@ -203,7 +269,7 @@ func (n *Network) allocDelivery() *delivery {
 
 func (n *Network) recycleDelivery(d *delivery) {
 	d.ip = packet.IPv4{}
-	n.freeDeliv = append(n.freeDeliv, d)
+	n.delivp.free = append(n.delivp.free, d)
 }
 
 // Send routes one IPv4 packet from the given host. The packet is

@@ -106,6 +106,14 @@ func (c *Cache) IsPoisoned(name string, typ dnswire.Type) bool {
 // Flush drops everything.
 func (c *Cache) Flush() { c.entries = make(map[cacheKey]*cacheEntry) }
 
+// Reset drops everything and zeroes the activity counters in place,
+// keeping the allocated map — the trial-reset path, where the warmed
+// cache is reused by the next simulation run.
+func (c *Cache) Reset() {
+	clear(c.entries)
+	c.Hits, c.Misses, c.Inserts = 0, 0, 0
+}
+
 // Len returns the number of live entries (expired ones included until
 // next access).
 func (c *Cache) Len() int { return len(c.entries) }

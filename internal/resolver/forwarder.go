@@ -86,6 +86,20 @@ func NewForwarder(host *netsim.Host, upstream netip.Addr) *Forwarder {
 	return f
 }
 
+// Reset rewinds the forwarder to its post-construction state for the
+// next trial of a reused world: the per-hop cache (if any) is emptied
+// in place, the sticky opportunistic downgrade lifted, counters zeroed
+// and the test hook dropped. Upstream configuration and bound ports
+// survive.
+func (f *Forwarder) Reset() {
+	if f.Cache != nil {
+		f.Cache.Reset()
+	}
+	f.downgraded = false
+	f.Forwarded, f.Returned, f.CacheHits, f.Downgrades = 0, 0, 0, 0
+	f.TestHookQuerySent = nil
+}
+
 // EffectiveTransport is the transport upstream relays currently use,
 // accounting for a sticky opportunistic downgrade.
 func (f *Forwarder) EffectiveTransport() Transport {

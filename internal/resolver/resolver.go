@@ -149,6 +149,27 @@ func New(host *netsim.Host, prof Profile) *Resolver {
 	return r
 }
 
+// Reset rewinds the resolver to its post-New state for the next trial
+// of a reused world: in-flight resolutions are abandoned (their leased
+// wire buffers returned to the pool — their retransmission timers died
+// with the clock reset), the cache is emptied in place, the sticky
+// opportunistic downgrade is lifted, counters are zeroed and the test
+// hook dropped. Zone configuration, the bound ports and the reusable
+// upstream-query scaffolding all survive.
+func (r *Resolver) Reset() {
+	for _, inf := range r.inflight {
+		inf.done = true
+		inf.release()
+	}
+	clear(r.inflight)
+	r.Cache.Reset()
+	r.downgraded = false
+	r.ClientQueries, r.UpstreamQueries = 0, 0
+	r.Accepted, r.SpoofRejected, r.ValidationFailed = 0, 0, 0
+	r.Timeouts, r.TCPFallbacks, r.Downgrades = 0, 0, 0
+	r.TestHookQuerySent = nil
+}
+
 // EffectiveTransport is the transport upstream queries currently use:
 // the profile's choice, unless an opportunistic downgrade stripped it
 // back to plaintext UDP.

@@ -114,6 +114,23 @@ func ForwarderIP(i int) netip.Addr {
 	return netip.AddrFrom4([4]byte{30, 0, 0, byte(40 + i)})
 }
 
+// fwdNames precomputes the hop hostnames every chain build would
+// otherwise fmt.Sprintf per hop per build; deeper chains than the
+// table fall back to formatting.
+var fwdNames = func() (names [16]string) {
+	for i := range names {
+		names[i] = fmt.Sprintf("fwd%d.victim-net", i)
+	}
+	return
+}()
+
+func fwdName(i int) string {
+	if i < len(fwdNames) {
+		return fwdNames[i]
+	}
+	return fmt.Sprintf("fwd%d.victim-net", i)
+}
+
 // Config tunes scenario construction.
 type Config struct {
 	Seed int64
@@ -151,6 +168,116 @@ type Config struct {
 	// nil keeps the network's private pool. Single-goroutine, like the
 	// simulation itself.
 	WirePool *pool.Wire
+	// EventPool and DeliveryPool are the clock-event and in-flight
+	// delivery freelists, shareable across scenarios exactly like
+	// WirePool; nil keeps the private per-clock/per-network lists.
+	EventPool    *sim.EventPool
+	DeliveryPool *netsim.DeliveryPool
+
+	// Proto, when non-nil, memoizes the build artifacts that are
+	// identical across scenarios and immutable (or restored) at run
+	// time: the placement-keyed topology+RIB pair and the zone RR
+	// templates. Like the pools it is single-goroutine state owned by
+	// one trial runner. Scenarios built without a Proto behave exactly
+	// as before.
+	Proto *Proto
+}
+
+// Proto caches the scenario build artifacts one trial runner may share
+// across the many worlds it assembles: the two placement-keyed
+// topology+RIB computations and the immutable zone templates. Zones
+// are mutation-free under serving and the RIB is restored to its
+// baseline by every S.Reset, so sharing changes no observable
+// behaviour.
+type Proto struct {
+	routing     map[Placement]*protoRouting
+	victimZones map[bool]*dnssrv.Zone
+	atkZone     *dnssrv.Zone
+}
+
+type protoRouting struct {
+	topo *bgp.Topology
+	rib  *bgp.RIB
+	snap *bgp.RIBSnapshot
+}
+
+func (p *Proto) routingFor(pl Placement) *protoRouting {
+	if p.routing == nil {
+		p.routing = make(map[Placement]*protoRouting)
+	}
+	pr := p.routing[pl]
+	if pr == nil {
+		topo, rib := buildRouting(pl)
+		pr = &protoRouting{topo: topo, rib: rib, snap: rib.Snapshot()}
+		p.routing[pl] = pr
+	}
+	return pr
+}
+
+func (p *Proto) victimZone(signed bool) *dnssrv.Zone {
+	if p.victimZones == nil {
+		p.victimZones = make(map[bool]*dnssrv.Zone)
+	}
+	z := p.victimZones[signed]
+	if z == nil {
+		z = BuildVictimZone(signed)
+		p.victimZones[signed] = z
+	}
+	return z
+}
+
+func (p *Proto) attackerZone() *dnssrv.Zone {
+	if p.atkZone == nil {
+		p.atkZone = buildAttackerZone()
+	}
+	return p.atkZone
+}
+
+// buildRouting constructs the BGP layer for a placement: the canonical
+// topology (plus the carrier tier when the attacker operates from one)
+// and a RIB with the three baseline prefix originations announced.
+func buildRouting(pl Placement) (*bgp.Topology, *bgp.RIB) {
+	topo := bgp.NewTopology()
+	topo.AddAS(TransitAS, 1)
+	topo.AddAS(Transit2AS, 1)
+	topo.AddPeering(TransitAS, Transit2AS)
+	topo.AddAS(VictimAS, 3)
+	topo.AddAS(DomainAS, 3)
+	topo.AddAS(AttackerAS, 3)
+	topo.AddProviderCustomer(TransitAS, VictimAS)
+	topo.AddProviderCustomer(TransitAS, DomainAS)
+	topo.AddProviderCustomer(Transit2AS, AttackerAS)
+	topo.AddProviderCustomer(Transit2AS, DomainAS)
+	atkASN := AttackerAS
+	if pl == PlacementCarrier {
+		// The carrier sits at the BGP path position every route to the
+		// attacker's stub crosses: tier 2, peering with both transits,
+		// selling access to the stub. The attacker's hosts move into it.
+		topo.AddAS(CarrierAS, 2)
+		topo.AddPeering(CarrierAS, TransitAS)
+		topo.AddPeering(CarrierAS, Transit2AS)
+		topo.AddProviderCustomer(CarrierAS, AttackerAS)
+		atkASN = CarrierAS
+	}
+	rib := bgp.NewRIB(topo, nil)
+	rib.Announce(VictimPrefix, VictimAS)
+	rib.Announce(DomainPrefix, DomainAS)
+	rib.Announce(AttackerPrefix, atkASN)
+	return topo, rib
+}
+
+// buildAttackerZone constructs the attacker's own zone (atk.example).
+func buildAttackerZone() *dnssrv.Zone {
+	z := dnssrv.NewZone("atk.example.")
+	z.Add(
+		dnswire.NewSOA("atk.example.", 3600, "ns.atk.example.", "root.atk.example.", 1),
+		dnswire.NewNS("atk.example.", 3600, "ns.atk.example."),
+		dnswire.NewA("ns.atk.example.", 3600, AtkNSIP),
+		dnswire.NewA("atk.example.", 60, AttackerIP),
+		dnswire.NewMX("atk.example.", 60, 10, "mail.atk.example."),
+		dnswire.NewA("mail.atk.example.", 60, AttackerIP),
+	)
+	return z
 }
 
 // S is an assembled scenario.
@@ -178,6 +305,10 @@ type S struct {
 	// AttackerASN is the AS the attacker's hosts operate from —
 	// AttackerAS for PlacementStub, CarrierAS for PlacementCarrier.
 	AttackerASN bgp.ASN
+
+	// ribSnap is the routing baseline Reset restores; captured at
+	// build time for memoized RIBs and by Snapshot otherwise.
+	ribSnap *bgp.RIBSnapshot
 }
 
 // New assembles the canonical scenario.
@@ -190,39 +321,32 @@ func New(cfg Config) *S {
 	}
 	applyDefenses(&cfg)
 	clock := sim.NewClock(cfg.Seed)
-	topo := bgp.NewTopology()
-	topo.AddAS(TransitAS, 1)
-	topo.AddAS(Transit2AS, 1)
-	topo.AddPeering(TransitAS, Transit2AS)
-	topo.AddAS(VictimAS, 3)
-	topo.AddAS(DomainAS, 3)
-	topo.AddAS(AttackerAS, 3)
-	topo.AddProviderCustomer(TransitAS, VictimAS)
-	topo.AddProviderCustomer(TransitAS, DomainAS)
-	topo.AddProviderCustomer(Transit2AS, AttackerAS)
-	topo.AddProviderCustomer(Transit2AS, DomainAS)
+	clock.SetEventPool(cfg.EventPool)
 	atkASN := AttackerAS
 	if cfg.Placement == PlacementCarrier {
-		// The carrier sits at the BGP path position every route to the
-		// attacker's stub crosses: tier 2, peering with both transits,
-		// selling access to the stub. The attacker's hosts move into it.
-		topo.AddAS(CarrierAS, 2)
-		topo.AddPeering(CarrierAS, TransitAS)
-		topo.AddPeering(CarrierAS, Transit2AS)
-		topo.AddProviderCustomer(CarrierAS, AttackerAS)
 		atkASN = CarrierAS
 	}
-
-	rib := bgp.NewRIB(topo, nil)
+	var topo *bgp.Topology
+	var rib *bgp.RIB
+	var ribSnap *bgp.RIBSnapshot
+	if cfg.Proto != nil {
+		pr := cfg.Proto.routingFor(cfg.Placement)
+		topo, rib, ribSnap = pr.topo, pr.rib, pr.snap
+		// The memoized RIB is shared across every cell this worker
+		// runs; restore its baseline (a compare-only no-op when the
+		// previous user's attacks withdrew cleanly) so a world straight
+		// out of New never sees a neighbour's leftover routes.
+		rib.Restore(ribSnap)
+	} else {
+		topo, rib = buildRouting(cfg.Placement)
+	}
 	net := netsim.New(clock, topo, rib)
 	if cfg.WirePool != nil {
 		net.SetWirePool(cfg.WirePool)
 	}
-	rib.Announce(VictimPrefix, VictimAS)
-	rib.Announce(DomainPrefix, DomainAS)
-	rib.Announce(AttackerPrefix, atkASN)
+	net.SetDeliveryPool(cfg.DeliveryPool)
 
-	s := &S{Clock: clock, Topo: topo, RIB: rib, Net: net, AttackerASN: atkASN}
+	s := &S{Clock: clock, Topo: topo, RIB: rib, Net: net, AttackerASN: atkASN, ribSnap: ribSnap}
 	s.ResolverHost = net.AddHost("resolver.victim-net", VictimAS, ResolverIP)
 	s.ServiceHost = net.AddHost("service.victim-net", VictimAS, ServiceIP)
 	s.ClientHost = net.AddHost("client.victim-net", VictimAS, ClientIP)
@@ -238,19 +362,16 @@ func New(cfg Config) *S {
 		net.AS(CarrierAS).AccessLatency = 3 * time.Millisecond
 	}
 
-	s.VictimZone = BuildVictimZone(cfg.SignVictimZone)
+	var atkZone *dnssrv.Zone
+	if cfg.Proto != nil {
+		s.VictimZone = cfg.Proto.victimZone(cfg.SignVictimZone)
+		atkZone = cfg.Proto.attackerZone()
+	} else {
+		s.VictimZone = BuildVictimZone(cfg.SignVictimZone)
+		atkZone = buildAttackerZone()
+	}
 	s.NS = dnssrv.New(s.NSHost, cfg.ServerCfg)
 	s.NS.AddZone(s.VictimZone)
-
-	atkZone := dnssrv.NewZone("atk.example.")
-	atkZone.Add(
-		dnswire.NewSOA("atk.example.", 3600, "ns.atk.example.", "root.atk.example.", 1),
-		dnswire.NewNS("atk.example.", 3600, "ns.atk.example."),
-		dnswire.NewA("ns.atk.example.", 3600, AtkNSIP),
-		dnswire.NewA("atk.example.", 60, AttackerIP),
-		dnswire.NewMX("atk.example.", 60, 10, "mail.atk.example."),
-		dnswire.NewA("mail.atk.example.", 60, AttackerIP),
-	)
 	s.AtkNS = dnssrv.New(s.AtkNSHost, dnssrv.DefaultConfig())
 	s.AtkNS.AddZone(atkZone)
 
@@ -275,7 +396,7 @@ func New(cfg Config) *S {
 			if i < n-1 {
 				upstream = ForwarderIP(i + 1)
 			}
-			host := net.AddHost(fmt.Sprintf("fwd%d.victim-net", i), VictimAS, ForwarderIP(i))
+			host := net.AddHost(fwdName(i), VictimAS, ForwarderIP(i))
 			span := spec.PortSpan
 			if span == 0 {
 				span = DefaultForwarderPortSpan
@@ -334,6 +455,37 @@ func BuildVictimZone(signed bool) *dnssrv.Zone {
 
 // Run drains the event queue.
 func (s *S) Run() { s.Net.Run() }
+
+// Snapshot records the post-build state Reset rewinds to: every host's
+// config and port bindings, plus the routing baseline. Call once, after
+// New and any scenario-level customization (deployed defenses, stamped
+// transports), before traffic runs. Opt-in so builds that never reset
+// don't pay for it.
+func (s *S) Snapshot() {
+	s.Net.Snapshot()
+	if s.ribSnap == nil {
+		s.ribSnap = s.RIB.Snapshot()
+	}
+}
+
+// Reset rewinds the assembled world to its snapshotted post-build
+// state and reseeds it, so the same scenario value runs another trial
+// exactly as a fresh New(cfg with Seed: seed) build would: the clock
+// restarts at zero with replayed per-host random streams, hosts drop
+// all ephemeral state, routing returns to baseline, the resolver,
+// forwarder hops and both nameservers rewind caches / inflight work /
+// downgrade state / counters, and warmed pools (wire buffers, event
+// nodes, delivery nodes) carry over. Snapshot must have been called.
+func (s *S) Reset(seed int64) {
+	s.Net.Reset(seed)
+	s.RIB.Restore(s.ribSnap)
+	s.Resolver.Reset()
+	for _, f := range s.Forwarders {
+		f.Reset()
+	}
+	s.NS.Reset()
+	s.AtkNS.Reset()
+}
 
 // Poisoned reports whether (name, typ) in the victim resolver's cache
 // resolves to an attacker-controlled address — the ground-truth check

@@ -19,12 +19,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -291,6 +293,14 @@ func (s *Server) handler(ctx context.Context) http.Handler {
 	mux.HandleFunc("/run/", func(w http.ResponseWriter, r *http.Request) {
 		s.handleRun(ctx, w, r)
 	})
+	// Live profiling of the resident server (go tool pprof
+	// http://ADDR/debug/pprof/profile): the server binds localhost by
+	// default, and perf work on a warm cache needs exactly this view.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -344,15 +354,55 @@ func (s *Server) handleRun(ctx context.Context, w http.ResponseWriter, r *http.R
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	for ev := range j.events {
+	enc := newEventEncoder()
+	// One event variable for the whole stream: passing a fresh value
+	// per iteration would re-box it into the encoder's interface
+	// argument every event.
+	var ev streamEvent
+	for {
+		var ok bool
+		ev, ok = <-j.events
+		if !ok {
+			return
+		}
+		line, err := enc.encode(&ev)
+		if err != nil {
+			continue
+		}
 		// Write errors (client gone) are deliberately ignored: the
 		// loop must run to channel close regardless.
-		enc.Encode(ev)
+		w.Write(line)
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+}
+
+// eventEncoder packs streamEvents into NDJSON lines through one reused
+// buffer and encoder: a sweep streams one progress event per shard
+// (hundreds for a broad matrix, all of them cache hits on a warm
+// server), and per-event encoder/buffer churn was the remaining
+// allocation in the serve path.
+type eventEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+func newEventEncoder() *eventEncoder {
+	e := &eventEncoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}
+
+// encode returns ev as one newline-terminated JSON line. The returned
+// bytes alias the encoder's buffer and are only valid until the next
+// call.
+func (e *eventEncoder) encode(ev *streamEvent) ([]byte, error) {
+	e.buf.Reset()
+	if err := e.enc.Encode(ev); err != nil {
+		return nil, err
+	}
+	return e.buf.Bytes(), nil
 }
 
 // specFromQuery maps /run query parameters onto the registry Spec,

@@ -321,3 +321,46 @@ func TestServeEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestEventEncoderSteadyStateAllocs pins the pooled NDJSON path: after
+// warm-up, encoding a progress event through the per-job encoder must
+// not allocate — cache-hit sweeps stream one event per shard and the
+// serve path should add no per-event garbage on top.
+func TestEventEncoderSteadyStateAllocs(t *testing.T) {
+	enc := newEventEncoder()
+	ev := streamEvent{Event: "progress", Dataset: "campaign", DoneShards: 12, TotalShards: 360, Items: 360}
+	// Warm the buffer to its steady-state capacity.
+	for i := 0; i < 8; i++ {
+		if _, err := enc.encode(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		ev.DoneShards++
+		line, err := enc.encode(&ev)
+		if err != nil || len(line) == 0 {
+			t.Fatal("encode failed")
+		}
+	})
+	// encoding/json's internal encodeState pool can hand back a fresh
+	// state under concurrent GC; allow a fraction, not a per-event
+	// allocation.
+	if avg > 0.5 {
+		t.Fatalf("steady-state event encode allocates %.2f allocs/op, want ~0", avg)
+	}
+}
+
+// TestServePprofEndpoint checks the profiling handlers are mounted on
+// the job server's mux.
+func TestServePprofEndpoint(t *testing.T) {
+	s, cancel, _ := startServer(t, Config{})
+	defer cancel()
+	resp, err := http.Get("http://" + s.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline: status %d", resp.StatusCode)
+	}
+}

@@ -26,47 +26,125 @@ type Action interface {
 // pre-allocated Action (act). Exactly one of the two is set.
 type event struct {
 	at  time.Duration
-	seq uint64
 	fn  func()
 	act Action
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// bucket holds every event scheduled for one timestamp, in insertion
+// order. The scheduler's contract is (time, sequence) ordering; within
+// one timestamp that is exactly FIFO, so a bucket needs no per-event
+// sequence numbers — and draining a same-time burst (the paper's
+// floods park tens of thousands of deliveries at now+latency) costs
+// O(1) per event instead of an O(log n) heap sift with comparison
+// calls.
+type bucket struct {
+	at   time.Duration
+	evs  []*event
+	head int
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
+
+// bucketQueue is a min-heap of buckets by timestamp. Timestamps are
+// unique across live buckets (one bucket per distinct time), so the
+// ordering needs no tie-break.
+type bucketQueue []*bucket
+
+func (q bucketQueue) Len() int            { return len(q) }
+func (q bucketQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q bucketQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *bucketQueue) Push(x interface{}) { *q = append(*q, x.(*bucket)) }
+func (q *bucketQueue) Pop() interface{} {
 	old := *q
 	n := len(old)
-	e := old[n-1]
+	b := old[n-1]
 	old[n-1] = nil
 	*q = old[:n-1]
-	return e
+	return b
+}
+
+// EventPool is a freelist of event nodes and timestamp buckets that
+// can outlive a single Clock: a worker that builds many clocks over
+// its lifetime hands the same pool to each so the nodes (and the large
+// burst-sized bucket slices) warmed up by one simulation are reused by
+// the next. Single-goroutine, like the Clock itself.
+type EventPool struct {
+	free        []*event
+	freeBuckets []*bucket
+}
+
+func (p *EventPool) getBucket(at time.Duration) *bucket {
+	var b *bucket
+	if n := len(p.freeBuckets); n > 0 {
+		b = p.freeBuckets[n-1]
+		p.freeBuckets[n-1] = nil
+		p.freeBuckets = p.freeBuckets[:n-1]
+	} else {
+		b = &bucket{}
+	}
+	b.at = at
+	b.evs = b.evs[:0]
+	b.head = 0
+	return b
+}
+
+func (p *EventPool) putBucket(b *bucket) {
+	p.freeBuckets = append(p.freeBuckets, b)
 }
 
 // Clock is the discrete-event scheduler. The zero value is not usable;
 // construct with NewClock.
 type Clock struct {
-	now    time.Duration
-	seq    uint64
-	queue  eventQueue
-	free   []*event // recycled event nodes; single-goroutine, so no locking
-	rng    *rand.Rand
-	limit  int // safety valve: max events per Run, 0 = unlimited
-	nextID uint64
+	now     time.Duration
+	queue   bucketQueue
+	byTime  map[time.Duration]*bucket
+	pending int
+	pool    *EventPool // recycled event/bucket nodes; single-goroutine, so no locking
+	rng     *rand.Rand
+	limit   int // safety valve: max events per Run, 0 = unlimited
+	nextID  uint64
 }
 
 // NewClock returns a scheduler whose virtual time starts at zero and
 // whose random stream is seeded with seed.
 func NewClock(seed int64) *Clock {
-	return &Clock{rng: rand.New(rand.NewSource(seed))}
+	return &Clock{
+		rng:    rand.New(rand.NewSource(seed)),
+		pool:   &EventPool{},
+		byTime: make(map[time.Duration]*bucket),
+	}
+}
+
+// SetEventPool replaces the clock's private event freelist with a
+// shared one, so warmed-up nodes survive across clocks. A nil pool is
+// ignored. Call before scheduling; the pool must only ever be used
+// from one goroutine at a time.
+func (c *Clock) SetEventPool(p *EventPool) {
+	if p != nil {
+		c.pool = p
+	}
+}
+
+// Reset rewinds the clock to its post-NewClock state: pending events
+// are drained into the freelist, virtual time returns to zero, and the
+// random streams are reseeded with seed — so a reset clock replays
+// exactly like a fresh NewClock(seed). The event freelist (and any
+// shared EventPool) keeps its warmed-up nodes.
+func (c *Clock) Reset(seed int64) {
+	for i, b := range c.queue {
+		for j := b.head; j < len(b.evs); j++ {
+			e := b.evs[j]
+			e.fn, e.act = nil, nil
+			b.evs[j] = nil
+			c.pool.free = append(c.pool.free, e)
+		}
+		c.pool.putBucket(b)
+		c.queue[i] = nil
+	}
+	c.queue = c.queue[:0]
+	clear(c.byTime)
+	c.pending = 0
+	c.now = 0
+	c.nextID = 0
+	c.rng.Seed(seed)
 }
 
 // Now returns the current virtual time.
@@ -89,27 +167,40 @@ func (c *Clock) NewRand() *rand.Rand {
 func (c *Clock) SetEventLimit(n int) { c.limit = n }
 
 // alloc takes an event node from the free list (or the heap when the
-// list is empty), stamps it with t and the next sequence number, and
-// returns it. Recycling nodes keeps steady-state scheduling
-// allocation-free; the (time, seq) ordering discipline is untouched,
-// so event interleaving — and therefore every golden artifact — is
-// byte-identical to the always-allocate version.
+// list is empty), stamps it with t, and returns it. Recycling nodes
+// keeps steady-state scheduling allocation-free; the (time, insertion
+// order) discipline is untouched, so event interleaving — and
+// therefore every golden artifact — is byte-identical to the
+// always-allocate version.
 func (c *Clock) alloc(t time.Duration) *event {
 	if t < c.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, c.now))
 	}
-	c.seq++
 	var e *event
-	if n := len(c.free); n > 0 {
-		e = c.free[n-1]
-		c.free[n-1] = nil
-		c.free = c.free[:n-1]
+	if n := len(c.pool.free); n > 0 {
+		e = c.pool.free[n-1]
+		c.pool.free[n-1] = nil
+		c.pool.free = c.pool.free[:n-1]
 	} else {
 		e = &event{}
 	}
 	e.at = t
-	e.seq = c.seq
 	return e
+}
+
+// schedule appends e to the bucket for its timestamp, creating (and
+// heap-inserting) the bucket on first use of that time. Appending is
+// what preserves the global (time, sequence) contract: insertion order
+// within one timestamp IS sequence order.
+func (c *Clock) schedule(e *event) {
+	b := c.byTime[e.at]
+	if b == nil {
+		b = c.pool.getBucket(e.at)
+		c.byTime[e.at] = b
+		heap.Push(&c.queue, b)
+	}
+	b.evs = append(b.evs, e)
+	c.pending++
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
@@ -117,7 +208,7 @@ func (c *Clock) alloc(t time.Duration) *event {
 func (c *Clock) At(t time.Duration, fn func()) {
 	e := c.alloc(t)
 	e.fn = fn
-	heap.Push(&c.queue, e)
+	c.schedule(e)
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -133,7 +224,7 @@ func (c *Clock) After(d time.Duration, fn func()) {
 func (c *Clock) AtAction(t time.Duration, act Action) {
 	e := c.alloc(t)
 	e.act = act
-	heap.Push(&c.queue, e)
+	c.schedule(e)
 }
 
 // AfterAction schedules act.Fire to run d after the current virtual
@@ -146,7 +237,7 @@ func (c *Clock) AfterAction(d time.Duration, act Action) {
 }
 
 // Pending reports the number of queued events.
-func (c *Clock) Pending() int { return len(c.queue) }
+func (c *Clock) Pending() int { return c.pending }
 
 // Step runs the single earliest event, advancing the clock to its
 // timestamp. It reports whether an event was run.
@@ -154,11 +245,23 @@ func (c *Clock) Step() bool {
 	if len(c.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&c.queue).(*event)
+	b := c.queue[0]
+	e := b.evs[b.head]
+	b.evs[b.head] = nil
+	b.head++
+	if b.head == len(b.evs) {
+		// Drained. An event fired later at this same timestamp gets a
+		// fresh bucket; since the old one is already past, time-unique
+		// bucket keys stay intact by removing the map entry first.
+		heap.Pop(&c.queue)
+		delete(c.byTime, b.at)
+		c.pool.putBucket(b)
+	}
+	c.pending--
 	c.now = e.at
 	fn, act := e.fn, e.act
 	e.fn, e.act = nil, nil
-	c.free = append(c.free, e)
+	c.pool.free = append(c.pool.free, e)
 	if act != nil {
 		act.Fire()
 	} else {
