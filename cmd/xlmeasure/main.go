@@ -22,7 +22,7 @@
 //	          [-methods m,...] [-victims v,...] [-profiles p,...]
 //	          [-defenses d,...] [-defense-sets s,...] [-lattice-rank N]
 //	          [-chain-depths n,...] [-placement p,...] [-trials N]
-//	          [-transports t,...] [-downgrade]
+//	          [-transports t,...] [-deployments d,...] [-downgrade]
 //	xlmeasure -serve [-addr host:port] [-checkpoint file]
 //	          [-checkpoint-every d]
 //
@@ -50,7 +50,12 @@
 // plaintext front hop before an encrypted recursive) and opp (an
 // opportunistic DoT chain) — and -downgrade reruns every cell under
 // active downgrade pressure (opportunistic hops stripped back to
-// plaintext UDP before the attack). Unknown keys on any filter flag
+// plaintext UDP before the attack). The deployment axis replaces the
+// per-cell binary toggles with sampled populations: -deployments
+// sweeps named datasets (canonical,measured,hardened) that draw each
+// trial world's SAV, 0x20/DNSSEC retention and forwarder port spans
+// from measured rates — unlike the other filters, empty means the
+// canonical (unsampled) dataset only. Unknown keys on any filter flag
 // fail with the dimension's valid-key list.
 //
 // -serve starts the resident sweep server instead of a one-shot run:
@@ -112,6 +117,7 @@ func xlmain() int {
 	placement := flag.String("placement", "", "campaign: comma-separated attacker placements stub,carrier (empty = all)")
 	trials := flag.Int("trials", 0, "campaign: attack trials per cell; 0 = default (3)")
 	transports := flag.String("transports", "", "campaign: comma-separated upstream transports udp,tcp,dot,doh,doq,mixed,opp (empty = all)")
+	deployments := flag.String("deployments", "", "campaign: comma-separated deployment datasets canonical,measured,hardened (empty = canonical only)")
 	downgrade := flag.Bool("downgrade", false, "campaign: run cells under active transport-downgrade pressure")
 	serveMode := flag.Bool("serve", false, "run the resident sweep server instead of a one-shot experiment")
 	addr := flag.String("addr", "127.0.0.1:8053", "serve: HTTP listen address")
@@ -197,6 +203,7 @@ func xlmain() int {
 			ChainDepths: splitKeys(*chainDepths),
 			Placements:  splitKeys(*placement),
 			Transports:  splitKeys(*transports),
+			Deployments: splitKeys(*deployments),
 			Trials:      *trials,
 			LatticeRank: *latticeRank,
 			Downgrade:   *downgrade,

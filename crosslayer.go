@@ -311,6 +311,13 @@ func CampaignLattice(cells []CampaignCell) *Report { return campaign.Lattice(cel
 // or an active downgrade gives back.
 func CampaignTransportTable(cells []CampaignCell) *Report { return campaign.TransportTable(cells) }
 
+// CampaignDeployTable builds the method × deployment-dataset
+// poisoning-rate aggregate of a campaign run's cells, each rate
+// carrying its 95% Wilson confidence half-width — the population view:
+// what fraction of a deployed population each attack compromises, and
+// how tightly the sample size pins that estimate down.
+func CampaignDeployTable(cells []CampaignCell) *Report { return campaign.DeployTable(cells) }
+
 // TableResult is a rendered experiment artifact; *Report satisfies
 // it.
 type TableResult interface{ String() string }

@@ -127,6 +127,28 @@ func goldenTransportConfig() campaign.Config {
 	}
 }
 
+// goldenDeployConfig is the deployment-distribution slice: every
+// method against the web victim on BIND over the direct path,
+// undefended, under the canonical (unsampled) dataset and both sampled
+// populations — the rate-with-CI story campaign_deploy.txt pins: the
+// canonical column answers "is this configuration vulnerable", the
+// sampled columns "what fraction of a deployed population is".
+func goldenDeployConfig() campaign.Config {
+	return campaign.Config{
+		Exec: goldenConfig(),
+		Filter: campaign.Filter{
+			Victims:     []string{"web"},
+			Profiles:    []string{"bind"},
+			Defenses:    []string{"none"},
+			ChainDepths: []string{"0"},
+			Placements:  []string{"stub"},
+			Transports:  []string{"udp"},
+			Deployments: []string{"canonical", "measured", "hardened"},
+		},
+		Trials: 4,
+	}
+}
+
 // goldenReports runs each registered experiment once under its golden
 // spec; the text and JSON layers share the resulting Reports.
 var goldenReports = struct {
@@ -158,6 +180,10 @@ var goldenLattice = sync.OnceValues(func() ([]campaign.CellResult, error) {
 
 var goldenTransport = sync.OnceValues(func() ([]campaign.CellResult, error) {
 	return campaign.Run(goldenTransportConfig())
+})
+
+var goldenDeploy = sync.OnceValues(func() ([]campaign.CellResult, error) {
+	return campaign.Run(goldenDeployConfig())
 })
 
 // compareGolden pins got against the golden file at path, rewriting
@@ -261,6 +287,13 @@ func TestGoldenArtifacts(t *testing.T) {
 				t.Fatal(err)
 			}
 			return campaign.Matrix(res).String()
+		}},
+		{"campaign_deploy", func(t *testing.T) string {
+			res, err := goldenDeploy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return campaign.DeployTable(res).String()
 		}},
 	}
 	for _, a := range artifacts {

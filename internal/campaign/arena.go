@@ -19,6 +19,10 @@ type ArenaPool struct {
 	// its workers, so a job that briefly needed big frag-attack
 	// buffers does not pin them for the lifetime of the server.
 	MaxArenaBytes int
+	// MaxPoolNodes bounds the clock-event and delivery-node freelist
+	// retention of a parked worker the same way (a flood-heavy sweep
+	// parks tens of thousands of nodes); 0 means DefaultMaxPoolNodes.
+	MaxPoolNodes int
 
 	mu   sync.Mutex
 	free []*trialWorker
@@ -29,6 +33,12 @@ type ArenaPool struct {
 // DNS-sized working set warm, small enough that a fleet of workers
 // stays in cache-friendly territory between jobs.
 const DefaultMaxArenaBytes = 1 << 20
+
+// DefaultMaxPoolNodes is the per-worker retained-node bound (clock
+// events and delivery nodes each) used when ArenaPool.MaxPoolNodes is
+// zero: comfortably above the steady-state working set of a trial,
+// far below what one flood burst can park.
+const DefaultMaxPoolNodes = 1 << 12
 
 // arenaLease tracks the workers one run borrowed so endRun can return
 // exactly those, after the engine's goroutines have all finished.
@@ -60,13 +70,18 @@ func (l *arenaLease) get() *trialWorker {
 	return w
 }
 
-// endRun parks the run's workers back in the pool, trimming each arena
-// to the retained-capacity bound. Must only run after the engine call
-// that used the lease has returned (all worker goroutines joined).
+// endRun parks the run's workers back in the pool, trimming each
+// worker's wire arena and node freelists to their retained-capacity
+// bounds. Must only run after the engine call that used the lease has
+// returned (all worker goroutines joined).
 func (l *arenaLease) endRun() {
 	maxBytes := l.pool.MaxArenaBytes
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxArenaBytes
+	}
+	maxNodes := l.pool.MaxPoolNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxPoolNodes
 	}
 	l.mu.Lock()
 	handed := l.handed
@@ -74,6 +89,8 @@ func (l *arenaLease) endRun() {
 	l.mu.Unlock()
 	for _, w := range handed {
 		w.wire.Trim(maxBytes)
+		w.events.Trim(maxNodes)
+		w.deliv.Trim(maxNodes)
 	}
 	l.pool.mu.Lock()
 	l.pool.free = append(l.pool.free, handed...)

@@ -32,6 +32,7 @@ import (
 
 	"crosslayer/internal/apps"
 	"crosslayer/internal/core"
+	"crosslayer/internal/deploy"
 	"crosslayer/internal/dnssrv"
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/measure"
@@ -275,6 +276,27 @@ func Transports() []TransportEntry {
 	}
 }
 
+// DeploymentEntry binds a filter key to a deployment population —
+// the deploy.Dataset every cell under this axis value samples its
+// concrete worlds from.
+type DeploymentEntry struct {
+	Key     string
+	Name    string
+	Dataset deploy.Dataset
+}
+
+// Deployments returns the deployment-dataset registry (the
+// deploy.Datasets registry in sweep order: canonical first, then the
+// sampled populations).
+func Deployments() []DeploymentEntry {
+	ds := deploy.Datasets()
+	out := make([]DeploymentEntry, len(ds))
+	for i, d := range ds {
+		out[i] = DeploymentEntry{Key: d.Key, Name: d.Name, Dataset: d}
+	}
+	return out
+}
+
 // Filter restricts the cross-product to the named registry keys; an
 // empty dimension means "all". Keys are matched case-insensitively.
 type Filter struct {
@@ -294,6 +316,13 @@ type Filter struct {
 	ChainDepths []string
 	Placements  []string
 	Transports  []string
+	// Deployments restricts the deployment-dataset axis. UNLIKE every
+	// other dimension, empty means the canonical dataset only — not
+	// "all": sampled populations answer a different (and strictly
+	// additional) question, so sweeping them is an explicit opt-in and
+	// every pre-existing sweep keeps its exact cell plan and trial
+	// populations.
+	Deployments []string
 }
 
 // Config controls a campaign sweep.
@@ -365,13 +394,14 @@ const DefaultTrials = 3
 
 // Cell is one point of the cross-product.
 type Cell struct {
-	Method    Method
-	Victim    apps.Victim
-	Profile   ProfileEntry
-	Defenses  DefenseSet
-	Depth     DepthEntry
-	Placement PlacementEntry
-	Transport TransportEntry
+	Method     Method
+	Victim     apps.Victim
+	Profile    ProfileEntry
+	Defenses   DefenseSet
+	Depth      DepthEntry
+	Placement  PlacementEntry
+	Transport  TransportEntry
+	Deployment DeploymentEntry
 }
 
 // Key returns the cell's stable identity
@@ -379,10 +409,17 @@ type Cell struct {
 // the string its seed derives from. The defense component is the
 // set's canonical key, so a singleton set keeps the exact identity
 // (and therefore the exact trial population) of the historical scalar
-// axis.
+// axis. By the same argument the deployment component appears only
+// for sampled datasets ("/measured", "/hardened"): a canonical cell's
+// key — and therefore its seed and trial population — is exactly the
+// pre-deployment-axis identity.
 func (c Cell) Key() string {
-	return c.Method.Key + "/" + c.Victim.Key + "/" + c.Profile.Key + "/" + c.Defenses.Key +
+	k := c.Method.Key + "/" + c.Victim.Key + "/" + c.Profile.Key + "/" + c.Defenses.Key +
 		"/" + c.Depth.Key + "/" + c.Placement.Key + "/" + c.Transport.Key
+	if !c.Deployment.Dataset.Canonical() {
+		k += "/" + c.Deployment.Key
+	}
+	return k
 }
 
 // Cells plans the (filtered) cross-product at the default lattice
@@ -392,8 +429,9 @@ func Cells(f Filter) ([]Cell, error) { return CellsAtRank(f, 0) }
 // CellsAtRank plans the (filtered) cross-product in deterministic
 // order: methods, then victims, then profiles, then defense sets (the
 // stacking lattice bounded by latticeRank — see DefenseSets), then
-// chain depths, then placements, then transports, each in registry
-// order. Unknown filter keys are an error, not a silent empty sweep.
+// chain depths, then placements, then transports, then deployment
+// datasets (innermost), each in registry order. Unknown filter keys
+// are an error, not a silent empty sweep.
 func CellsAtRank(f Filter, latticeRank int) ([]Cell, error) {
 	methods, err := selected("method", Methods(), func(m Method) string { return m.Key }, f.Methods)
 	if err != nil {
@@ -423,6 +461,10 @@ func CellsAtRank(f Filter, latticeRank int) ([]Cell, error) {
 	if err != nil {
 		return nil, err
 	}
+	deployments, err := selectedDeployments(f.Deployments)
+	if err != nil {
+		return nil, err
+	}
 	var cells []Cell
 	for _, m := range methods {
 		for _, v := range victims {
@@ -431,8 +473,11 @@ func CellsAtRank(f Filter, latticeRank int) ([]Cell, error) {
 					for _, dep := range depths {
 						for _, pl := range placements {
 							for _, tr := range transports {
-								cells = append(cells, Cell{Method: m, Victim: v, Profile: p,
-									Defenses: d, Depth: dep, Placement: pl, Transport: tr})
+								for _, dpl := range deployments {
+									cells = append(cells, Cell{Method: m, Victim: v, Profile: p,
+										Defenses: d, Depth: dep, Placement: pl, Transport: tr,
+										Deployment: dpl})
+								}
 							}
 						}
 					}
@@ -441,6 +486,17 @@ func CellsAtRank(f Filter, latticeRank int) ([]Cell, error) {
 		}
 	}
 	return cells, nil
+}
+
+// selectedDeployments resolves the deployment-axis filter. An empty
+// filter plans the canonical dataset only (see Filter.Deployments);
+// unknown keys fail with the registry's valid-key list like every
+// other axis.
+func selectedDeployments(want []string) ([]DeploymentEntry, error) {
+	if len(want) == 0 {
+		want = []string{deploy.CanonicalKey}
+	}
+	return selected("deployment", Deployments(), func(d DeploymentEntry) string { return d.Key }, want)
 }
 
 // selected returns the registry entries matching the wanted keys (all

@@ -37,6 +37,7 @@ func ConfigFromSpec(spec report.Spec) Config {
 			ChainDepths: spec.ChainDepths,
 			Placements:  spec.Placements,
 			Transports:  spec.Transports,
+			Deployments: spec.Deployments,
 		},
 		Trials:      spec.Trials,
 		LatticeRank: spec.LatticeRank,
@@ -58,9 +59,9 @@ func runExperiment(ctx context.Context, spec report.Spec) (*report.Report, error
 
 // Report assembles the full campaign Report from a run's cells. The
 // sections keep their renderer names ("matrix", "summary", "depth",
-// "transport", "lattice-sets", "lattice-marginal"), so section-level
-// consumers — the golden suite pins each as its own text artifact —
-// address them stably.
+// "transport", "deploy", "lattice-sets", "lattice-marginal"), so
+// section-level consumers — the golden suite pins each as its own text
+// artifact — address them stably.
 func Report(cells []CellResult, spec report.Spec) *report.Report {
 	rep := report.New("campaign",
 		"Campaign: method × victim × profile × defense-set × chain-depth × placement × transport sweep")
@@ -73,6 +74,7 @@ func Report(cells []CellResult, spec report.Spec) *report.Report {
 	addListParam(rep, "chain_depths", spec.ChainDepths)
 	addListParam(rep, "placements", spec.Placements)
 	addListParam(rep, "transports", spec.Transports)
+	addListParam(rep, "deployments", spec.Deployments)
 	if spec.Trials != 0 {
 		rep.AddParam("trials", spec.Trials)
 	}
@@ -82,7 +84,7 @@ func Report(cells []CellResult, spec report.Spec) *report.Report {
 	if spec.Downgrade {
 		rep.AddParam("downgrade", true)
 	}
-	for _, sub := range []*report.Report{Matrix(cells), Summary(cells), DepthTable(cells), TransportTable(cells), Lattice(cells)} {
+	for _, sub := range []*report.Report{Matrix(cells), Summary(cells), DepthTable(cells), TransportTable(cells), DeployTable(cells), Lattice(cells)} {
 		rep.Sections = append(rep.Sections, sub.Sections...)
 	}
 	return rep

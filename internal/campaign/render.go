@@ -3,19 +3,37 @@ package campaign
 import (
 	"sort"
 
+	"crosslayer/internal/deploy"
 	"crosslayer/internal/report"
 	"crosslayer/internal/stats"
 )
+
+// deploymentOf returns the result's deployment-dataset key, mapping
+// the empty key (results from pre-axis checkpoints) to canonical.
+func deploymentOf(r CellResult) string {
+	if r.Deployment == "" {
+		return deploy.CanonicalKey
+	}
+	return r.Deployment
+}
 
 // Matrix builds the full per-cell success-rate/cost matrix: the
 // campaign's extension of Tables 1 and 6. Poisoned is the chain cache
 // ground truth over the cell's trials, Impact the application-level
 // outcome check, and the cost columns are per-trial percentiles of
-// attack rounds, attacker packets and virtual attack time.
+// attack rounds, attacker packets and virtual attack time. A Dataset
+// column appears only when the results span a sampled deployment
+// population — all-canonical sweeps keep the historical byte-exact
+// shape.
 func Matrix(results []CellResult) *report.Report {
-	rep := report.New("campaign", "Campaign matrix")
-	sec := rep.AddSection(report.Table("matrix",
-		"Campaign matrix: method × victim × profile × defense × chain depth × placement × transport",
+	withDeploy := false
+	for _, r := range results {
+		if deploymentOf(r) != deploy.CanonicalKey {
+			withDeploy = true
+			break
+		}
+	}
+	cols := []report.Column{
 		report.Col("Method", report.KindString),
 		report.Col("Victim", report.KindString),
 		report.Col("Profile", report.KindString),
@@ -23,19 +41,78 @@ func Matrix(results []CellResult) *report.Report {
 		report.Col("Depth", report.KindString),
 		report.Col("Placement", report.KindString),
 		report.Col("Transport", report.KindString),
+	}
+	if withDeploy {
+		cols = append(cols, report.Col("Dataset", report.KindString))
+	}
+	cols = append(cols,
 		report.Col("Poisoned", report.KindRatio),
 		report.Col("Impact", report.KindRatio),
 		report.Col("Iter p50", report.KindRound),
 		report.Col("Pkts p50", report.KindRound),
 		report.Col("Time p50", report.KindSeconds),
-		report.Col("Time p95", report.KindSeconds)))
+		report.Col("Time p95", report.KindSeconds))
+	rep := report.New("campaign", "Campaign matrix")
+	sec := rep.AddSection(report.Table("matrix",
+		"Campaign matrix: method × victim × profile × defense × chain depth × placement × transport",
+		cols...))
 	for _, r := range results {
-		sec.Add(r.Method, r.Victim, r.Profile, r.Defense, r.Depth, r.Placement, r.Transport,
+		row := []any{r.Method, r.Victim, r.Profile, r.Defense, r.Depth, r.Placement, r.Transport}
+		if withDeploy {
+			row = append(row, deploymentOf(r))
+		}
+		row = append(row,
 			r.Poisoned, r.Impact,
 			r.Iterations.Quantile(0.5),
 			r.Packets.Quantile(0.5),
 			r.Seconds.Quantile(0.5),
 			r.Seconds.Quantile(0.95))
+		sec.Add(row...)
+	}
+	return rep
+}
+
+// DeployTable builds the deployment view of the sweep — the paper's
+// population question: for each method, the poisoning rate under
+// every deployment dataset present in the results (sweep order),
+// aggregated over victims, profiles, defenses, depths, placements and
+// transports, rendered as rate ± the 95% Wilson confidence half-width
+// (stats.Counter.Wilson). Canonical cells answer "is this
+// configuration vulnerable"; sampled datasets answer "what fraction
+// of a deployed population is", and the CI says how much the per-cell
+// sample sizes let you conclude.
+func DeployTable(results []CellResult) *report.Report {
+	type md struct{ method, dataset string }
+	agg := map[md]stats.Counter{}
+	var methods, datasets []string
+	seenM, seenD := map[string]bool{}, map[string]bool{}
+	for _, r := range results {
+		dpl := deploymentOf(r)
+		if !seenM[r.Method] {
+			seenM[r.Method] = true
+			methods = append(methods, r.Method)
+		}
+		if !seenD[dpl] {
+			seenD[dpl] = true
+			datasets = append(datasets, dpl)
+		}
+		k := md{r.Method, dpl}
+		agg[k] = agg[k].Plus(r.Poisoned)
+	}
+	cols := []report.Column{report.Col("Method", report.KindString)}
+	for _, d := range datasets {
+		cols = append(cols, report.Col(d, report.KindRatioCI))
+	}
+	rep := report.New("campaign-deploy", "Campaign method × deployment-dataset table")
+	sec := rep.AddSection(report.Table("deploy",
+		"Campaign deployments: poisoning rate ±95% CI by method × deployment dataset (over victims × profiles × defenses × depths × placements × transports)",
+		cols...))
+	for _, m := range methods {
+		row := []any{m}
+		for _, d := range datasets {
+			row = append(row, agg[md{m, d}])
+		}
+		sec.Add(row...)
 	}
 	return rep
 }

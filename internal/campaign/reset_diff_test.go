@@ -38,10 +38,14 @@ func runBoth(t *testing.T, cfg Config) []CellResult {
 	return reset
 }
 
-// TestResetDifferentialAllAxes sweeps every one of the seven axes with
+// TestResetDifferentialAllAxes sweeps every one of the eight axes with
 // at least two values (methods, victims, profiles, defense sets, chain
-// depths, placements, transports) using the cheap hijack method for
-// the broad product, and checks reset-reuse against fresh builds.
+// depths, placements, transports, deployments) using the cheap hijack
+// method for the broad product, and checks reset-reuse against fresh
+// builds. The deployment axis is the sharpest Reset probe here: a
+// sampled dataset overwrites AS egress filtering, resolver defense
+// flags and forwarder port spans per trial, so Snapshot/Reset must
+// rewind every one of those before the next trial resamples them.
 func TestResetDifferentialAllAxes(t *testing.T) {
 	runBoth(t, Config{
 		Exec: measure.Config{Seed: 31, Parallelism: 2},
@@ -53,6 +57,7 @@ func TestResetDifferentialAllAxes(t *testing.T) {
 			ChainDepths: []string{"0", "1"},
 			Placements:  []string{"stub", "carrier"},
 			Transports:  []string{"udp", "dot"},
+			Deployments: []string{"canonical", "measured"},
 		},
 		Trials: 2,
 	})

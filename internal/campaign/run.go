@@ -21,6 +21,10 @@ type CellResult struct {
 	// cell's registry keys; Defense is the canonical defense-set key
 	// ("none", "0x20", "0x20+shuffle", ...).
 	Method, Victim, Profile, Defense, Depth, Placement, Transport string
+	// Deployment is the deployment-dataset key the cell's worlds were
+	// sampled from. Empty (results decoded from a pre-axis
+	// checkpoint) means canonical.
+	Deployment string `json:",omitempty"`
 	// Trials is the per-cell sample size.
 	Trials int
 	// Poisoned counts trials whose attack actually planted the
@@ -167,6 +171,7 @@ func (w *trialWorker) cellConfig(c Cell) scenario.Config {
 		scfg.ForwarderChain = chain
 	}
 	scfg.Placement = c.Placement.Placement
+	scfg.Deployment = c.Deployment.Dataset
 	scfg.WirePool = &w.wire
 	scfg.EventPool = &w.events
 	scfg.DeliveryPool = &w.deliv
@@ -191,8 +196,8 @@ func runCell(w *trialWorker, c Cell, baseSeed int64, trials int, downgrade, fres
 		Method: c.Method.Key, Victim: c.Victim.Key,
 		Profile: c.Profile.Key, Defense: c.Defenses.Key,
 		Depth: c.Depth.Key, Placement: c.Placement.Key,
-		Transport: c.Transport.Key,
-		Trials:    trials,
+		Transport: c.Transport.Key, Deployment: c.Deployment.Key,
+		Trials: trials,
 	}
 	cellSeed := engine.DeriveSeedKey(baseSeed, c.Key())
 	var s *scenario.S

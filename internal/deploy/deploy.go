@@ -1,0 +1,217 @@
+// Package deploy turns the simulator's binary realism toggles into
+// measured deployment rates: instead of "every AS enforces egress
+// filtering" or "the resolver validates DNSSEC", a named Dataset
+// carries the fraction of the population that actually does — per-AS
+// SAV rates, partial defense deployment, forwarder port-span and
+// bailiwick distributions — and scenarios sample concrete worlds from
+// it. That converts the campaign from "which configurations are
+// vulnerable" (the config question) to "what fraction of a deployed
+// population is" (the paper's §5 question).
+//
+// Determinism contract: every distribution draws from the package's
+// own splitmix64 Rand, seeded by the caller from the identity-derived
+// trial seed, in a fixed creation order. Sampling therefore inherits
+// the campaign's reproducibility guarantees — filtered sweeps
+// reproduce full-sweep cells byte-identically at any parallelism, and
+// scenario.Reset re-samples exactly what a fresh build would.
+package deploy
+
+// Rand is a splitmix64 sequence: the cheap, stateless-to-seed
+// deterministic source deployment sampling draws from. It is
+// deliberately NOT math/rand — scenario resets re-derive every
+// math/rand host stream in creation order, and deployment draws must
+// neither consume nor disturb those streams.
+type Rand struct {
+	s uint64
+}
+
+// NewRand returns a sequence seeded with seed. Equal seeds yield equal
+// sequences.
+func NewRand(seed int64) *Rand { return &Rand{s: uint64(seed)} }
+
+// Uint64 returns the next value of the sequence (splitmix64).
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns the next value mapped uniformly into [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli is a deployment rate in [0, 1]: the fraction of the
+// population for which the sampled property holds.
+type Bernoulli float64
+
+// Sample draws one member: true with probability b.
+func (b Bernoulli) Sample(r *Rand) bool { return r.Float64() < float64(b) }
+
+// Categorical is a weighted choice over len(Weights) options. Weights
+// are integers so the distribution is exact; a zero-weight option is
+// never drawn.
+type Categorical struct {
+	Weights []int
+}
+
+// Sample draws an option index. An empty or all-zero distribution
+// returns 0.
+func (c Categorical) Sample(r *Rand) int {
+	total := 0
+	for _, w := range c.Weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	pick := int(r.Uint64() % uint64(total))
+	for i, w := range c.Weights {
+		if w <= 0 {
+			continue
+		}
+		if pick < w {
+			return i
+		}
+		pick -= w
+	}
+	return 0
+}
+
+// IntSpan is a bounded integer distribution: uniform over [Min, Max]
+// inclusive. The zero value always samples 0.
+type IntSpan struct {
+	Min, Max int
+}
+
+// Sample draws one integer from the span.
+func (s IntSpan) Sample(r *Rand) int {
+	if s.Max <= s.Min {
+		return s.Min
+	}
+	n := uint64(s.Max - s.Min + 1)
+	return s.Min + int(r.Uint64()%n)
+}
+
+// WeightedSpans is a categorical distribution over ephemeral
+// port-span sizes: Spans[i] is drawn with weight Weights.Weights[i].
+// It models the §4.3 forwarder population, where span size follows
+// the device class (embedded CPE boxes expose tiny ranges, bigger
+// boxes expose thousands of ports).
+type WeightedSpans struct {
+	Spans   []uint16
+	Weights Categorical
+}
+
+// Sample draws one span; an empty distribution returns 0.
+func (w WeightedSpans) Sample(r *Rand) uint16 {
+	if len(w.Spans) == 0 {
+		return 0
+	}
+	i := w.Weights.Sample(r)
+	if i >= len(w.Spans) {
+		i = len(w.Spans) - 1
+	}
+	return w.Spans[i]
+}
+
+// Dataset is one named deployment population: every rate and
+// distribution a scenario samples when it instantiates a concrete
+// world from the population. The zero value is the canonical dataset
+// (no sampling; every toggle keeps its configured boolean).
+type Dataset struct {
+	// Key is the stable identifier used in filters, cell identities
+	// and report columns.
+	Key string
+	// Name is the display form.
+	Name string
+	// Sampled marks a dataset that actually samples; false is the
+	// canonical passthrough, which must leave a scenario bit-for-bit
+	// as configured.
+	Sampled bool
+
+	// SAV is the egress-filtering (BCP 38) deployment rate of the
+	// ordinary (non-attacker) ASes.
+	SAV Bernoulli
+	// AttackerSAV is the rate at which the AS the attacker operates
+	// from enforces egress filtering — the draw that decides whether
+	// this world's attacker can spoof at all. Attackers shop for lax
+	// networks, so realistic values sit well below SAV.
+	AttackerSAV Bernoulli
+
+	// Use0x20 is the fraction of resolvers that actually enforce a
+	// configured 0x20 defense; ValidateDNSSEC the fraction that
+	// actually validate when configured to. Both compose with the
+	// defense lattice as probabilistic application: sampling can
+	// withhold a configured defense, never invent one.
+	Use0x20        Bernoulli
+	ValidateDNSSEC Bernoulli
+
+	// PortSpan is the per-hop forwarder ephemeral-span distribution;
+	// SpanJitter adds a small uniform offset so spans are not exactly
+	// the class sizes (the long tail of device-specific ranges).
+	// Bailiwick is the per-hop rate of name-match response filtering.
+	PortSpan   WeightedSpans
+	SpanJitter IntSpan
+	Bailiwick  Bernoulli
+}
+
+// Canonical reports whether the dataset is the no-sampling passthrough.
+func (d Dataset) Canonical() bool { return !d.Sampled }
+
+// CanonicalKey is the registry key of the no-sampling dataset — the
+// default every sweep runs under unless a deployment filter opts into
+// sampled populations.
+const CanonicalKey = "canonical"
+
+// Datasets returns the deployment-population registry in sweep order.
+// The canonical passthrough is always first; the sampled datasets
+// bracket the measured Internet ("measured", survey-like rates) and an
+// optimistic hardened future ("hardened").
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Key:  CanonicalKey,
+			Name: "canonical configuration (no sampling)",
+		},
+		{
+			Key: "measured", Name: "survey-calibrated deployment rates",
+			Sampled: true,
+			// Spoofer-project-style SAV coverage; attackers pick lax ASes.
+			SAV: 0.73, AttackerSAV: 0.25,
+			Use0x20: 0.20, ValidateDNSSEC: 0.30,
+			PortSpan: WeightedSpans{
+				Spans:   []uint16{64, 256, 2048},
+				Weights: Categorical{Weights: []int{5, 3, 2}},
+			},
+			SpanJitter: IntSpan{Min: 0, Max: 15},
+			Bailiwick:  0.35,
+		},
+		{
+			Key: "hardened", Name: "optimistic hardened deployment",
+			Sampled: true,
+			SAV:     0.95, AttackerSAV: 0.60,
+			Use0x20: 0.85, ValidateDNSSEC: 0.75,
+			PortSpan: WeightedSpans{
+				Spans:   []uint16{256, 2048, 16384},
+				Weights: Categorical{Weights: []int{2, 4, 4}},
+			},
+			SpanJitter: IntSpan{Min: 0, Max: 15},
+			Bailiwick:  0.80,
+		},
+	}
+}
+
+// ByKey returns the named dataset.
+func ByKey(key string) (Dataset, bool) {
+	for _, d := range Datasets() {
+		if d.Key == key {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}

@@ -1,0 +1,131 @@
+package deploy
+
+import "testing"
+
+// TestRandDeterministic pins that equal seeds replay equal sequences
+// and different seeds diverge — the property every scenario Reset
+// relies on to re-sample exactly what a fresh build would.
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: equal seeds diverged: %d vs %d", i, av, bv)
+		}
+	}
+	c, d := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	for _, rate := range []Bernoulli{0, 0.25, 0.73, 1} {
+		r := NewRand(7)
+		hits := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if rate.Sample(r) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if diff := got - float64(rate); diff > 0.02 || diff < -0.02 {
+			t.Errorf("Bernoulli(%v): empirical rate %.3f", rate, got)
+		}
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	c := Categorical{Weights: []int{1, 0, 3}}
+	r := NewRand(3)
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[c.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight option drawn %d times", counts[1])
+	}
+	if got := float64(counts[2]) / n; got < 0.72 || got > 0.78 {
+		t.Fatalf("weight-3 option rate %.3f, want ~0.75", got)
+	}
+	// Degenerate distributions must not panic and must return 0.
+	if (Categorical{}).Sample(r) != 0 || (Categorical{Weights: []int{0, 0}}).Sample(r) != 0 {
+		t.Fatal("degenerate categorical did not return 0")
+	}
+}
+
+func TestIntSpan(t *testing.T) {
+	s := IntSpan{Min: 3, Max: 10}
+	r := NewRand(5)
+	seen := map[int]bool{}
+	for i := 0; i < 5000; i++ {
+		v := s.Sample(r)
+		if v < 3 || v > 10 {
+			t.Fatalf("sample %d out of [3,10]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("span covered %d/8 values", len(seen))
+	}
+	if (IntSpan{}).Sample(r) != 0 {
+		t.Fatal("zero IntSpan must sample 0")
+	}
+}
+
+func TestWeightedSpans(t *testing.T) {
+	w := WeightedSpans{Spans: []uint16{64, 256}, Weights: Categorical{Weights: []int{1, 1}}}
+	r := NewRand(9)
+	for i := 0; i < 1000; i++ {
+		if v := w.Sample(r); v != 64 && v != 256 {
+			t.Fatalf("sampled span %d not in the distribution", v)
+		}
+	}
+	if (WeightedSpans{}).Sample(r) != 0 {
+		t.Fatal("empty WeightedSpans must sample 0")
+	}
+}
+
+// TestDatasetsRegistry pins the registry shape the campaign axis is
+// built on: canonical first and alone in being unsampled, unique keys,
+// and every sampled span fitting the forwarder port window.
+func TestDatasetsRegistry(t *testing.T) {
+	ds := Datasets()
+	if len(ds) < 2 {
+		t.Fatalf("registry has %d datasets", len(ds))
+	}
+	if ds[0].Key != CanonicalKey || !ds[0].Canonical() {
+		t.Fatalf("first dataset %q (canonical=%v), want the canonical passthrough",
+			ds[0].Key, ds[0].Canonical())
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if seen[d.Key] {
+			t.Fatalf("duplicate dataset key %q", d.Key)
+		}
+		seen[d.Key] = true
+		if d.Key != CanonicalKey && d.Canonical() {
+			t.Fatalf("dataset %q is unsampled but not the canonical one", d.Key)
+		}
+		for _, span := range d.PortSpan.Spans {
+			// Forwarder hops bind 40000+span-1+jitter; stay under 65535.
+			if int(span)+d.SpanJitter.Max > 25000 {
+				t.Fatalf("dataset %q span %d+%d overflows the forwarder port window",
+					d.Key, span, d.SpanJitter.Max)
+			}
+		}
+	}
+	if _, ok := ByKey("measured"); !ok {
+		t.Fatal("ByKey(measured) missing")
+	}
+	if _, ok := ByKey("nope"); ok {
+		t.Fatal("ByKey(nope) found a dataset")
+	}
+}

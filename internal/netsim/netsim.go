@@ -33,7 +33,12 @@ type Network struct {
 	hostOrder []*Host
 	asHosts   map[bgp.ASN][]*Host
 	asInfo    map[bgp.ASN]*ASInfo
-	latency   time.Duration
+	// asSnaps holds each AS's snapshotted per-AS configuration
+	// (egress filtering, access latency), restored by Reset so a
+	// trial that sampled or mutated AS state rewinds like everything
+	// else.
+	asSnaps map[bgp.ASN]asSnap
+	latency time.Duration
 	// wirep recycles packet payload buffers; it defaults to a
 	// per-network pool and can be replaced with a shared per-worker
 	// arena via SetWirePool. delivp recycles in-flight delivery
@@ -123,6 +128,26 @@ func New(clock *sim.Clock, topo *bgp.Topology, rib *bgp.RIB) *Network {
 // allocates every one of them). Single-goroutine, like pool.Wire.
 type DeliveryPool struct {
 	free []*delivery
+}
+
+// Retained reports how many delivery nodes the pool currently holds.
+func (p *DeliveryPool) Retained() int { return len(p.free) }
+
+// Trim drops pooled delivery nodes until at most max remain — the
+// retention bound a resident process applies between jobs, mirroring
+// pool.Wire.Trim. Nodes are uniform-sized, so a plain truncation is
+// the whole policy. Trim(0) empties the pool; it never affects
+// correctness, only what the next simulation must re-allocate.
+func (p *DeliveryPool) Trim(max int) {
+	if max < 0 {
+		max = 0
+	}
+	for i := max; i < len(p.free); i++ {
+		p.free[i] = nil
+	}
+	if len(p.free) > max {
+		p.free = p.free[:max]
+	}
 }
 
 // SetDeliveryPool replaces the network's private delivery freelist
@@ -215,6 +240,18 @@ func (n *Network) Snapshot() {
 	for _, h := range n.hostOrder {
 		h.snapshot()
 	}
+	if n.asSnaps == nil {
+		n.asSnaps = make(map[bgp.ASN]asSnap, len(n.asInfo))
+	}
+	for asn, info := range n.asInfo {
+		n.asSnaps[asn] = asSnap{egress: info.EgressFiltering, access: info.AccessLatency}
+	}
+}
+
+// asSnap is the restorable per-AS configuration Snapshot captures.
+type asSnap struct {
+	egress bool
+	access time.Duration
 }
 
 // Reset rewinds the network to the snapshotted post-build state so the
@@ -224,8 +261,10 @@ func (n *Network) Snapshot() {
 // counters — is cleared, per-host random streams are re-derived from
 // the fresh clock in creation order (exactly the order a fresh build
 // draws them), host configs and port bindings are restored from the
-// snapshot, interception and trace hooks are dropped, and the
-// secure-session blocks an attacker installed are lifted. Hosts, the
+// snapshot, per-AS configuration (egress filtering, access latency)
+// returns to its snapshotted values, interception and trace hooks are
+// dropped, and the secure-session blocks an attacker installed are
+// lifted. Hosts, the
 // topology, the warmed wire/delivery pools and their capacity all
 // survive. Snapshot must have been called first.
 func (n *Network) Reset(seed int64) {
@@ -233,7 +272,11 @@ func (n *Network) Reset(seed int64) {
 	for _, h := range n.hostOrder {
 		h.reset()
 	}
-	for _, info := range n.asInfo {
+	for asn, info := range n.asInfo {
+		if s, ok := n.asSnaps[asn]; ok {
+			info.EgressFiltering = s.egress
+			info.AccessLatency = s.access
+		}
 		info.Interceptor = nil
 		info.TCPInterceptor = nil
 	}

@@ -415,3 +415,23 @@ func TestEphemeralPortRange(t *testing.T) {
 		seen[p] = true
 	}
 }
+
+// TestDeliveryPoolTrim pins the delivery-node retention bound that the
+// campaign arena applies between jobs.
+func TestDeliveryPoolTrim(t *testing.T) {
+	p := &DeliveryPool{}
+	for i := 0; i < 50; i++ {
+		p.free = append(p.free, &delivery{})
+	}
+	if p.Retained() != 50 {
+		t.Fatalf("Retained %d, want 50", p.Retained())
+	}
+	p.Trim(8)
+	if p.Retained() != 8 {
+		t.Fatalf("post-Trim Retained %d, want 8", p.Retained())
+	}
+	p.Trim(0)
+	if p.Retained() != 0 {
+		t.Fatalf("Trim(0) retained %d nodes", p.Retained())
+	}
+}

@@ -101,7 +101,7 @@ func decodeCell(kind Kind, cell json.RawMessage) (any, error) {
 		var v float64
 		err := json.Unmarshal(cell, &v)
 		return v, err
-	case KindRatio:
+	case KindRatio, KindRatioCI:
 		var v stats.Counter
 		err := json.Unmarshal(cell, &v)
 		return v, err

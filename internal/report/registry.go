@@ -61,6 +61,11 @@ type Spec struct {
 	ChainDepths []string
 	Placements  []string
 	Transports  []string
+	// Deployments selects the campaign's deployment-dataset axis.
+	// Unlike the other dimensions, empty means the canonical
+	// (unsampled) dataset ONLY — sampled trial populations are an
+	// explicit opt-in.
+	Deployments []string
 	// Trials is the campaign's per-cell sample size; 0 means the
 	// campaign default.
 	Trials int

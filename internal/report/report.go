@@ -38,6 +38,11 @@ const (
 	// KindRatio cells are hits-over-population counters
 	// (stats.Counter), rendered as whole percents ("74%", "n/a").
 	KindRatio Kind = "ratio"
+	// KindRatioCI cells are hits-over-population counters
+	// (stats.Counter) rendered with the half-width of their 95% Wilson
+	// confidence interval ("67%±46", "n/a") — the deploy section's
+	// population-rate format.
+	KindRatioCI Kind = "ratio-ci"
 	// KindPct1 cells are fractions in [0,1], rendered with one
 	// decimal ("13.5%").
 	KindPct1 Kind = "pct1"
@@ -251,6 +256,10 @@ func FormatCell(kind Kind, v any) string {
 	case KindRatio:
 		if c, ok := v.(stats.Counter); ok {
 			return c.Cell()
+		}
+	case KindRatioCI:
+		if c, ok := v.(stats.Counter); ok {
+			return c.CellCI()
 		}
 	case KindPct1:
 		if f, ok := v.(float64); ok {

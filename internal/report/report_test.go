@@ -25,10 +25,11 @@ func sampleReport() *Report {
 		Col("cost", KindRound),
 		Col("time", KindSeconds),
 		Col("delta", KindPP),
+		Col("ci", KindRatioCI),
 	))
-	tbl.Add("plain", 3, stats.Counter{Hits: 2, Total: 3}, 0.125, 17.4, 0.0421, 25.0)
-	tbl.Add("comma, quote \" and |pipe|", 0, stats.Counter{}, 0.0, 0.0, 0.0, nil)
-	tbl.Add("", -1, stats.Counter{Hits: 1, Total: 1}, 1.0, 2.6, 12.3456, -12.5)
+	tbl.Add("plain", 3, stats.Counter{Hits: 2, Total: 3}, 0.125, 17.4, 0.0421, 25.0, stats.Counter{Hits: 2, Total: 3})
+	tbl.Add("comma, quote \" and |pipe|", 0, stats.Counter{}, 0.0, 0.0, 0.0, nil, stats.Counter{})
+	tbl.Add("", -1, stats.Counter{Hits: 1, Total: 1}, 1.0, 2.6, 12.3456, -12.5, stats.Counter{Hits: 1, Total: 1})
 
 	bars := r.AddSection(&Section{
 		Name: "plot", Title: "A plot", Layout: LayoutBars,
@@ -62,6 +63,7 @@ func TestTextLayouts(t *testing.T) {
 		"+25pp",  // pp
 		"n/a",    // zero-total ratio AND nil pp
 		"-12pp",  // negative pp, %+.0f (round half to even)
+		"67%±46", // ratio-ci: Wilson 95% half-width
 		"== A plot ==",
 		"curve A (n=10)",
 		"  /11 |" + strings.Repeat("#", 25), // scale 100, prefix /

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"crosslayer/internal/bgp"
+	"crosslayer/internal/deploy"
 	"crosslayer/internal/dnssrv"
 	"crosslayer/internal/dnswire"
 	"crosslayer/internal/netsim"
@@ -151,6 +152,18 @@ type Config struct {
 	// a scenario hardened by both. See DefenseSpec for the pipeline's
 	// ordering and idempotence rules.
 	Defenses []DefenseSpec
+
+	// Deployment selects the deployment population the world is
+	// sampled from (the campaign's deployment axis): per-AS SAV rates
+	// instead of the binary egress-filtering booleans, partial defense
+	// deployment on the resolver, and per-hop forwarder port-span /
+	// bailiwick distributions. The zero value is the canonical dataset
+	// — no sampling, every toggle exactly as configured. Sampling
+	// draws from a dedicated splitmix64 stream keyed by the scenario
+	// seed in a fixed order (never from the clock's math/rand
+	// streams), and Reset re-samples under the trial's seed, so both
+	// lifecycles see identical worlds.
+	Deployment deploy.Dataset
 
 	// ForwarderChain inserts open DNS forwarders between the client and
 	// the recursive resolver (§4.3): the client queries hop 0, hop i
@@ -309,6 +322,15 @@ type S struct {
 	// ribSnap is the routing baseline Reset restores; captured at
 	// build time for memoized RIBs and by Snapshot otherwise.
 	ribSnap *bgp.RIBSnapshot
+
+	// deployment is the population the world samples per trial; the
+	// base* fields capture the resolver's post-defense configuration
+	// so per-trial sampling composes with the defense pipeline as
+	// downgrade-only probabilistic application (a dataset can withhold
+	// a configured defense, never invent one).
+	deployment   deploy.Dataset
+	base0x20     bool
+	baseValidate bool
 }
 
 // New assembles the canonical scenario.
@@ -412,7 +434,66 @@ func New(cfg Config) *S {
 			s.Forwarders[i].Opportunistic = spec.Opportunistic
 		}
 	}
+
+	// Deployment sampling runs last: the canonical world above is the
+	// baseline a dataset draws concrete worlds from, and the captured
+	// post-defense resolver flags are what partial defense deployment
+	// downgrades from. Reset re-runs the same draws under the trial's
+	// seed.
+	s.deployment = cfg.Deployment
+	s.base0x20 = s.Resolver.Prof.Use0x20
+	s.baseValidate = s.Resolver.Prof.ValidateDNSSEC
+	s.applyDeployment(cfg.Seed)
 	return s
+}
+
+// deploySalt decorrelates the deployment sampling stream from the
+// clock seed (the same int64 feeds both).
+const deploySalt = 0x6465706c6f79 // "deploy"
+
+// applyDeployment samples this trial's concrete world from the
+// scenario's deployment dataset: per-AS egress filtering, the
+// resolver's effectively deployed defenses, and each forwarder hop's
+// port span and bailiwick behaviour. Draws come from a dedicated
+// splitmix64 stream in fixed creation order — ordinary ASes, the
+// attacker's operating AS, resolver flags, then hops in client order —
+// so a Reset(seed) reproduces exactly the world a fresh New with that
+// seed would sample. Every sampled field is overwritten absolutely,
+// which makes the draw idempotent against whatever the previous trial
+// sampled. The canonical dataset returns without touching anything.
+func (s *S) applyDeployment(seed int64) {
+	d := s.deployment
+	if d.Canonical() {
+		return
+	}
+	rng := deploy.NewRand(seed ^ deploySalt)
+	// Ordinary ASes draw from the population SAV rate; the attacker's
+	// operating AS from the (much lower) rate of networks attackers
+	// manage to operate from. The canonical world's hard booleans
+	// (everyone filters, the attacker's AS never does) are the
+	// rate-1/rate-0 corner of this draw.
+	for _, asn := range []bgp.ASN{TransitAS, Transit2AS, VictimAS, DomainAS} {
+		s.Net.AS(asn).EgressFiltering = d.SAV.Sample(rng)
+	}
+	s.Net.AS(s.AttackerASN).EgressFiltering = d.AttackerSAV.Sample(rng)
+	// Partial defense deployment: draw unconditionally (fixed draw
+	// count), apply downgrade-only against the post-defense baseline.
+	keep0x20 := d.Use0x20.Sample(rng)
+	keepValidate := d.ValidateDNSSEC.Sample(rng)
+	s.Resolver.Prof.Use0x20 = s.base0x20 && keep0x20
+	s.Resolver.Prof.ValidateDNSSEC = s.baseValidate && keepValidate
+	// Forwarder population: each hop draws its device class's port
+	// span (plus jitter) and whether it bothers with bailiwick
+	// filtering, replacing the canonical chain constants.
+	for _, f := range s.Forwarders {
+		span := d.PortSpan.Sample(rng) + uint16(d.SpanJitter.Sample(rng))
+		if span == 0 {
+			span = DefaultForwarderPortSpan
+		}
+		f.Host.Cfg.PortMin = forwarderPortMin
+		f.Host.Cfg.PortMax = forwarderPortMin + span - 1
+		f.CheckBailiwick = d.Bailiwick.Sample(rng)
+	}
 }
 
 // DNSAddr returns the server the victim's client-side applications
@@ -485,6 +566,10 @@ func (s *S) Reset(seed int64) {
 	}
 	s.NS.Reset()
 	s.AtkNS.Reset()
+	// Re-sample the deployment draws under this trial's seed, after
+	// every baseline restore above — the same last-word position the
+	// sampling holds in New.
+	s.applyDeployment(seed)
 }
 
 // Poisoned reports whether (name, typ) in the victim resolver's cache

@@ -13,7 +13,10 @@ import (
 
 // checkpointVersion guards the on-disk schema: a version we don't
 // recognise fails the load instead of silently serving wrong cells.
-const checkpointVersion = 1
+// Version 2 added CellResult.Deployment (the deployment-dataset axis);
+// version-1 checkpoints predate the axis and are refused rather than
+// resurfaced as canonical cells with a guessed field.
+const checkpointVersion = 2
 
 // checkpointFile is the on-disk snapshot of the server's cell cache:
 // every completed campaign cell, keyed by its full content address

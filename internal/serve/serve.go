@@ -432,6 +432,7 @@ func specFromQuery(r *http.Request) (report.Spec, error) {
 		"chain-depths": &spec.ChainDepths,
 		"placement":    &spec.Placements,
 		"transports":   &spec.Transports,
+		"deployments":  &spec.Deployments,
 	}
 	for key, vals := range r.URL.Query() {
 		val := vals[len(vals)-1]

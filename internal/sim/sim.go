@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -88,6 +89,40 @@ func (p *EventPool) getBucket(at time.Duration) *bucket {
 
 func (p *EventPool) putBucket(b *bucket) {
 	p.freeBuckets = append(p.freeBuckets, b)
+}
+
+// Retained reports how many nodes the pool currently holds: free
+// event nodes plus free timestamp buckets.
+func (p *EventPool) Retained() int { return len(p.free) + len(p.freeBuckets) }
+
+// Trim drops pooled nodes until at most max event nodes and at most
+// max buckets remain — the retention bound a resident process applies
+// between jobs, mirroring pool.Wire.Trim: a sweep that briefly parked
+// a flood burst's worth of nodes does not pin them forever. Buckets
+// with the largest warmed event slices are kept preferentially (they
+// are the expensive ones to re-grow). Trim(0) empties the pool; it
+// never affects correctness, only what the next simulation must
+// re-allocate.
+func (p *EventPool) Trim(max int) {
+	if max < 0 {
+		max = 0
+	}
+	for i := max; i < len(p.free); i++ {
+		p.free[i] = nil
+	}
+	if len(p.free) > max {
+		p.free = p.free[:max]
+	}
+	if len(p.freeBuckets) > max {
+		// Keep the buckets with the largest burst capacity.
+		sort.Slice(p.freeBuckets, func(i, j int) bool {
+			return cap(p.freeBuckets[i].evs) > cap(p.freeBuckets[j].evs)
+		})
+		for i := max; i < len(p.freeBuckets); i++ {
+			p.freeBuckets[i] = nil
+		}
+		p.freeBuckets = p.freeBuckets[:max]
+	}
 }
 
 // Clock is the discrete-event scheduler. The zero value is not usable;

@@ -173,3 +173,43 @@ func TestDeterministicRandStreams(t *testing.T) {
 		t.Fatal("derived streams are identical")
 	}
 }
+
+// TestEventPoolTrim pins the retention bound: a pool warmed by a big
+// burst can be trimmed back between jobs, keeping the largest-capacity
+// buckets, and a trimmed pool still serves the next simulation
+// correctly.
+func TestEventPoolTrim(t *testing.T) {
+	p := &EventPool{}
+	for i := 0; i < 100; i++ {
+		p.free = append(p.free, &event{})
+	}
+	small := &bucket{evs: make([]*event, 0, 2)}
+	big := &bucket{evs: make([]*event, 0, 1024)}
+	p.putBucket(small)
+	p.putBucket(big)
+	if got := p.Retained(); got != 102 {
+		t.Fatalf("Retained %d, want 102", got)
+	}
+	p.Trim(1)
+	if got := p.Retained(); got != 2 {
+		t.Fatalf("post-Trim Retained %d, want 2 (1 event + 1 bucket)", got)
+	}
+	if len(p.freeBuckets) != 1 || cap(p.freeBuckets[0].evs) != 1024 {
+		t.Fatal("Trim did not keep the largest-capacity bucket")
+	}
+	p.Trim(0)
+	if p.Retained() != 0 {
+		t.Fatalf("Trim(0) retained %d nodes", p.Retained())
+	}
+	// A trimmed (empty) pool still runs a clock normally.
+	c := NewClock(1)
+	c.SetEventPool(p)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		c.After(time.Duration(i)*time.Millisecond, func() { fired++ })
+	}
+	c.Run()
+	if fired != 10 {
+		t.Fatalf("fired %d/10 events after Trim", fired)
+	}
+}

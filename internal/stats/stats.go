@@ -14,6 +14,7 @@ package stats
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -296,6 +297,53 @@ func (c Counter) Frac() float64 {
 
 // Cell renders the counter as a table percentage cell.
 func (c Counter) Cell() string { return Pct(c.Hits, c.Total) }
+
+// WilsonZ95 is the normal quantile behind a 95% Wilson interval.
+const WilsonZ95 = 1.96
+
+// Wilson returns the Wilson score confidence interval [lo, hi] for the
+// counter's hit fraction at normal quantile z (1.96 for 95%). Unlike
+// the normal approximation it stays inside [0,1] and is meaningful at
+// the small per-cell sample sizes campaign trials produce, including
+// the 0/n and n/n edges. An empty counter returns (0, 0). The interval
+// depends only on (Hits, Total), so merging shard counters with Plus
+// and then taking the interval equals the interval of the merged
+// population — the same mergeability contract as every accumulator
+// here.
+func (c Counter) Wilson(z float64) (lo, hi float64) {
+	if c.Total == 0 {
+		return 0, 0
+	}
+	n := float64(c.Total)
+	p := float64(c.Hits) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// CellCI renders the counter as a "pct±ci" table cell: the hit
+// percentage with the larger half-width of its 95% Wilson interval
+// ("67%±46"), or "n/a" for an empty counter. The half-width is
+// anchored on the raw fraction (not the Wilson center) so the leading
+// percentage matches Cell exactly.
+func (c Counter) CellCI() string {
+	if c.Total == 0 {
+		return "n/a"
+	}
+	p := c.Frac()
+	lo, hi := c.Wilson(WilsonZ95)
+	half := math.Max(hi-p, p-lo)
+	return fmt.Sprintf("%.0f%%±%.0f", 100*p, 100*half)
+}
 
 // Pct formats a fraction as a percentage cell.
 func Pct(num, den int) string {

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilsonEdges(t *testing.T) {
+	// Empty counter: no interval, "n/a" cell.
+	if lo, hi := (Counter{}).Wilson(WilsonZ95); lo != 0 || hi != 0 {
+		t.Fatalf("0/0 interval [%v, %v], want [0, 0]", lo, hi)
+	}
+	if got := (Counter{}).CellCI(); got != "n/a" {
+		t.Fatalf("0/0 cell %q, want n/a", got)
+	}
+	// 0/n: lower bound pinned at 0, upper strictly positive (a run of
+	// failures does not prove the rate is zero).
+	lo, hi := (Counter{Hits: 0, Total: 5}).Wilson(WilsonZ95)
+	if lo != 0 {
+		t.Fatalf("0/5 lower bound %v, want 0", lo)
+	}
+	if hi <= 0 || hi >= 1 {
+		t.Fatalf("0/5 upper bound %v, want in (0, 1)", hi)
+	}
+	// n/n: mirror image.
+	lo, hi = (Counter{Hits: 5, Total: 5}).Wilson(WilsonZ95)
+	if hi != 1 {
+		t.Fatalf("5/5 upper bound %v, want 1", hi)
+	}
+	if lo <= 0 || lo >= 1 {
+		t.Fatalf("5/5 lower bound %v, want in (0, 1)", lo)
+	}
+	// Symmetry of the two edges.
+	lo0, hi0 := (Counter{Hits: 0, Total: 5}).Wilson(WilsonZ95)
+	if d := math.Abs((1 - lo) - hi0); d > 1e-12 || math.Abs(hi-1) > 0 || lo0 != 0 {
+		t.Fatalf("0/5 and 5/5 intervals are not mirrored: [%v,%v] vs [%v,%v]", lo0, hi0, lo, hi)
+	}
+	// The interval shrinks with n at a fixed fraction.
+	_, hiSmall := (Counter{Hits: 1, Total: 4}).Wilson(WilsonZ95)
+	_, hiBig := (Counter{Hits: 100, Total: 400}).Wilson(WilsonZ95)
+	if hiBig >= hiSmall {
+		t.Fatalf("interval did not shrink with n: hi(1/4)=%v hi(100/400)=%v", hiSmall, hiBig)
+	}
+}
+
+// TestWilsonAgainstFormula cross-checks the implementation against an
+// independent evaluation of the Wilson score formula.
+func TestWilsonAgainstFormula(t *testing.T) {
+	for _, c := range []Counter{{1, 3}, {2, 3}, {7, 10}, {50, 200}, {1, 1000}} {
+		z := WilsonZ95
+		n := float64(c.Total)
+		p := float64(c.Hits) / n
+		center := (p + z*z/(2*n)) / (1 + z*z/n)
+		half := z / (1 + z*z/n) * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+		lo, hi := c.Wilson(z)
+		if math.Abs(lo-(center-half)) > 1e-12 || math.Abs(hi-(center+half)) > 1e-12 {
+			t.Fatalf("%d/%d: got [%v, %v], want [%v, %v]",
+				c.Hits, c.Total, lo, hi, center-half, center+half)
+		}
+	}
+}
+
+// TestWilsonMerge pins merge-then-interval ≡ interval-of-merged: the
+// interval is a pure function of the merged counts, so shard-parallel
+// accumulation cannot change the reported CI.
+func TestWilsonMerge(t *testing.T) {
+	a := Counter{Hits: 3, Total: 10}
+	b := Counter{Hits: 1, Total: 7}
+	merged := Counter{Hits: a.Hits + b.Hits, Total: a.Total + b.Total}
+	lo1, hi1 := a.Plus(b).Wilson(WilsonZ95)
+	lo2, hi2 := merged.Wilson(WilsonZ95)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatalf("merge-then-interval [%v, %v] != interval-of-merged [%v, %v]", lo1, hi1, lo2, hi2)
+	}
+	if c1, c2 := a.Plus(b).CellCI(), merged.CellCI(); c1 != c2 {
+		t.Fatalf("merged cells differ: %q vs %q", c1, c2)
+	}
+}
+
+// TestCellCIGolden pins the pct±ci cell format byte-for-byte — the
+// contract the deploy report section and its text goldens render
+// under.
+func TestCellCIGolden(t *testing.T) {
+	cases := []struct {
+		c    Counter
+		want string
+	}{
+		{Counter{}, "n/a"},
+		{Counter{Hits: 0, Total: 5}, "0%±43"},
+		{Counter{Hits: 5, Total: 5}, "100%±43"},
+		{Counter{Hits: 2, Total: 3}, "67%±46"},
+		{Counter{Hits: 50, Total: 100}, "50%±10"},
+		{Counter{Hits: 1, Total: 1000}, "0%±0"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.CellCI(); got != tc.want {
+			t.Errorf("%d/%d: CellCI %q, want %q", tc.c.Hits, tc.c.Total, got, tc.want)
+		}
+	}
+}
